@@ -1,0 +1,45 @@
+//! Ablation: the distributed-branch condition mechanism — broadcast
+//! (Fig. 5(b)) vs replicated condition computation (Fig. 5(c), our
+//! default heuristic replicates induction-fed compares).
+
+use voltron_bench::harness::HarnessArgs;
+use voltron_core::report::{mean, speedup, Table};
+use voltron_core::{outputs_equivalent, run_reference, Strategy};
+use voltron_sim::{Machine, MachineConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut table = Table::new(&["benchmark", "broadcast only", "replicated conditions"]);
+    let mut sums = [Vec::new(), Vec::new()];
+    for w in args.workloads() {
+        let golden = match run_reference(&w.program) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{}: {e}", w.name);
+                continue;
+            }
+        };
+        let base_cfg = MachineConfig::paper(1);
+        let opts = voltron_compiler::CompileOptions::default();
+        let base = voltron_compiler::compile(&w.program, Strategy::Serial, &base_cfg, &opts)
+            .map(|c| Machine::new(c.machine, &base_cfg).unwrap().run().unwrap())
+            .unwrap();
+        let cfg = MachineConfig::paper(4);
+        let mut row = vec![w.name.to_string()];
+        for (i, replicate) in [false, true].into_iter().enumerate() {
+            let mut o = voltron_compiler::CompileOptions::default();
+            o.emit.condition_replication = replicate;
+            let out = voltron_compiler::compile(&w.program, Strategy::Hybrid, &cfg, &o)
+                .map(|c| Machine::new(c.machine, &cfg).unwrap().run().unwrap())
+                .unwrap();
+            assert!(outputs_equivalent(&golden.memory, &out.memory).is_ok());
+            let sp = base.stats.cycles as f64 / out.stats.cycles.max(1) as f64;
+            sums[i].push(sp);
+            row.push(speedup(sp));
+        }
+        table.row(row);
+    }
+    table.row(vec!["average".into(), speedup(mean(&sums[0])), speedup(mean(&sums[1]))]);
+    println!("Ablation: hybrid speedup with branch-condition broadcast vs replication, 4 cores");
+    println!("{}", table.render());
+}

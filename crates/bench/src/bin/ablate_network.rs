@@ -1,0 +1,54 @@
+//! Ablation: sensitivity of coupled-mode ILP to operand-network latency.
+//! The dual-mode network's whole point is the 1 cycle/hop direct mode;
+//! this sweep raises the per-hop latency toward queue-mode cost and
+//! re-measures the ILP build (cf. §3.1's latency/flexibility trade-off).
+
+use voltron_bench::harness::HarnessArgs;
+use voltron_core::report::{mean, speedup, Table};
+use voltron_core::{outputs_equivalent, run_reference, Strategy};
+use voltron_sim::{Machine, MachineConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let hops = [1u64, 2, 3, 4];
+    let mut headers: Vec<String> = vec!["benchmark".into()];
+    headers.extend(hops.iter().map(|h| format!("{h} cyc/hop")));
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&hdr);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); hops.len()];
+    for w in args.workloads() {
+        let golden = match run_reference(&w.program) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{}: {e}", w.name);
+                continue;
+            }
+        };
+        // Baseline on the unmodified 1-core machine.
+        let base_cfg = MachineConfig::paper(1);
+        let opts = voltron_compiler::CompileOptions::default();
+        let base = voltron_compiler::compile(&w.program, Strategy::Serial, &base_cfg, &opts).map(|c| Machine::new(c.machine, &base_cfg).unwrap().run().unwrap())
+            .unwrap();
+        let mut row = vec![w.name.to_string()];
+        for (i, &h) in hops.iter().enumerate() {
+            let mut cfg = MachineConfig::paper(4);
+            cfg.hop_latency = h;
+            let out = voltron_compiler::compile(&w.program, Strategy::Ilp, &cfg, &opts)
+                .map(|c| Machine::new(c.machine, &cfg).unwrap().run().unwrap())
+                .unwrap();
+            assert!(outputs_equivalent(&golden.memory, &out.memory).is_ok());
+            let sp = base.stats.cycles as f64 / out.stats.cycles.max(1) as f64;
+            sums[i].push(sp);
+            row.push(speedup(sp));
+        }
+        table.row(row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for col in &sums {
+        avg.push(speedup(mean(col)));
+    }
+    table.row(avg);
+    println!("Ablation: coupled-mode (ILP) speedup vs direct-network hop latency, 4 cores");
+    println!("{}", table.render());
+    println!("1 cyc/hop is the dual-mode direct network; 3-4 approximates queue-mode-only hardware");
+}

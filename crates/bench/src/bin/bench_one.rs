@@ -1,0 +1,57 @@
+//! Deep-dive one benchmark: every strategy's cycles, speedup, stall
+//! breakdown, and region plan.
+//! `cargo run -p voltron-bench --bin bench_one -- <benchmark> [--full]`
+
+use voltron_core::{Experiment, StallCategory, Strategy};
+use voltron_workloads::{by_name, Scale};
+
+fn main() {
+    let mut bench = None;
+    let mut scale = Scale::Test;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--test" => scale = Scale::Test,
+            other => bench = Some(other.to_string()),
+        }
+    }
+    let bench = bench.unwrap_or_else(|| {
+        eprintln!("usage: bench_one <benchmark> [--full]");
+        std::process::exit(2);
+    });
+    let w = by_name(&bench, scale).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench}");
+        std::process::exit(2);
+    });
+    let mut exp = Experiment::new(&w.program).unwrap_or_else(|e| panic!("{e}"));
+    let base = exp.baseline_cycles();
+    println!("{} ({:?}): serial baseline {base} cycles", w.name, w.expected);
+    for (s, c) in [
+        (Strategy::Ilp, 4),
+        (Strategy::FineGrainTlp, 4),
+        (Strategy::Llp, 4),
+        (Strategy::Hybrid, 2),
+        (Strategy::Hybrid, 4),
+    ] {
+        match exp.run(s, c) {
+            Ok(r) => {
+                let mut kinds: Vec<_> = r.region_kinds.values().collect();
+                kinds.sort();
+                kinds.dedup();
+                println!(
+                    "{s:>15}/{c}: {:>9} cycles  speedup {:.2}  coupled {:>5.1}%  regions {kinds:?}",
+                    r.cycles,
+                    r.speedup,
+                    100.0 * r.coupled_fraction()
+                );
+                for cat in StallCategory::ALL {
+                    let v = r.normalized_stall(cat, base);
+                    if v > 0.002 {
+                        println!("{:>20}: {v:.3} of serial time", cat.label());
+                    }
+                }
+            }
+            Err(e) => println!("{s:>15}/{c}: ERROR {e}"),
+        }
+    }
+}

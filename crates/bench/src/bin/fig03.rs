@@ -1,0 +1,40 @@
+//! Figure 3: breakdown of exploitable parallelism on a 4-core system —
+//! the fraction of (estimated serial) execution the hybrid planner
+//! attributes to ILP, fine-grain TLP, LLP, or a single core.
+
+use voltron_bench::harness::{for_each_workload, HarnessArgs};
+use voltron_core::report::{pct, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut table = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP", "single core"]);
+    let mut sums = [0f64; 4];
+    let mut n = 0usize;
+    for_each_workload(&args, |w, exp| {
+        let frac = exp.parallelism_breakdown(4)?;
+        table.row(vec![
+            w.name.to_string(),
+            pct(frac[0]),
+            pct(frac[1]),
+            pct(frac[2]),
+            pct(frac[3]),
+        ]);
+        for (s, f) in sums.iter_mut().zip(frac.iter()) {
+            *s += f;
+        }
+        n += 1;
+        Ok(())
+    });
+    if n > 0 {
+        table.row(vec![
+            "average".into(),
+            pct(sums[0] / n as f64),
+            pct(sums[1] / n as f64),
+            pct(sums[2] / n as f64),
+            pct(sums[3] / n as f64),
+        ]);
+    }
+    println!("Figure 3: parallelism breakdown, 4 cores (planner attribution)");
+    println!("{}", table.render());
+    println!("paper: averages 30% ILP / 32% fine-grain TLP / 31% LLP / 7% single core");
+}

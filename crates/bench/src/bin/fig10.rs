@@ -1,0 +1,20 @@
+//! Figure 10: speedup on a 2-core Voltron exploiting ILP, fine-grain TLP,
+//! and LLP separately.
+
+use voltron_bench::harness::{speedup_figure, HarnessArgs};
+use voltron_core::Strategy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let out = speedup_figure(
+        "Figure 10: per-technique speedup, 2 cores (baseline = 1-core serial)",
+        &args,
+        &[
+            ("ILP", Strategy::Ilp, 2),
+            ("fine-grain TLP", Strategy::FineGrainTlp, 2),
+            ("LLP", Strategy::Llp, 2),
+        ],
+    );
+    println!("{out}");
+    println!("paper: averages 1.23 (ILP) / 1.16 (fTLP) / 1.18 (LLP)");
+}

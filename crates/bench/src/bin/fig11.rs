@@ -1,0 +1,20 @@
+//! Figure 11: speedup on a 4-core Voltron exploiting ILP, fine-grain TLP,
+//! and LLP separately.
+
+use voltron_bench::harness::{speedup_figure, HarnessArgs};
+use voltron_core::Strategy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let out = speedup_figure(
+        "Figure 11: per-technique speedup, 4 cores (baseline = 1-core serial)",
+        &args,
+        &[
+            ("ILP", Strategy::Ilp, 4),
+            ("fine-grain TLP", Strategy::FineGrainTlp, 4),
+            ("LLP", Strategy::Llp, 4),
+        ],
+    );
+    println!("{out}");
+    println!("paper: averages 1.33 (ILP) / 1.23 (fTLP) / 1.37 (LLP)");
+}

@@ -1,0 +1,16 @@
+//! Figure 13: speedup on 2- and 4-core Voltron exploiting hybrid
+//! parallelism (the full §4.2 selection with mode switching).
+
+use voltron_bench::harness::{speedup_figure, HarnessArgs};
+use voltron_core::Strategy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let out = speedup_figure(
+        "Figure 13: hybrid-parallelism speedup (baseline = 1-core serial)",
+        &args,
+        &[("2 cores", Strategy::Hybrid, 2), ("4 cores", Strategy::Hybrid, 4)],
+    );
+    println!("{out}");
+    println!("paper: averages 1.46 (2 cores) / 1.83 (4 cores)");
+}

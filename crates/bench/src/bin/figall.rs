@@ -1,0 +1,112 @@
+//! Regenerate every evaluation figure in one run (the EXPERIMENTS.md
+//! source). Equivalent to running fig03, fig10..fig14 in sequence but
+//! sharing each benchmark's baseline and per-configuration runs.
+
+use voltron_bench::harness::{for_each_workload, stall_row, HarnessArgs};
+use voltron_core::report::{mean, pct, speedup, Table};
+use voltron_core::{StallCategory, Strategy};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut fig3 = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP", "single core"]);
+    let mut fig10 = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP"]);
+    let mut fig11 = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP"]);
+    let mut fig12 = {
+        let mut h: Vec<&str> = vec!["benchmark", "mode"];
+        h.extend(StallCategory::ALL.iter().map(|c| c.label()));
+        Table::new(&h)
+    };
+    let mut fig13 = Table::new(&["benchmark", "2 cores", "4 cores"]);
+    let mut fig14 = Table::new(&["benchmark", "coupled", "decoupled"]);
+    let mut s10 = [Vec::new(), Vec::new(), Vec::new()];
+    let mut s11 = [Vec::new(), Vec::new(), Vec::new()];
+    let mut s13 = [Vec::new(), Vec::new()];
+    let mut s3 = [0f64; 4];
+    let mut s14 = Vec::new();
+
+    for_each_workload(&args, |w, exp| {
+        let base = exp.baseline_cycles();
+        // Figs. 10/11: per-technique builds.
+        let techniques = [Strategy::Ilp, Strategy::FineGrainTlp, Strategy::Llp];
+        let mut row10 = vec![w.name.to_string()];
+        let mut row11 = vec![w.name.to_string()];
+        for (i, &t) in techniques.iter().enumerate() {
+            let r2 = exp.run(t, 2)?.speedup;
+            s10[i].push(r2);
+            row10.push(speedup(r2));
+            let r4 = exp.run(t, 4)?.speedup;
+            s11[i].push(r4);
+            row11.push(speedup(r4));
+        }
+        fig10.row(row10);
+        fig11.row(row11);
+        // Fig. 12: stall breakdowns of the 4-core technique builds.
+        let mut row = vec![w.name.to_string(), "coupled".into()];
+        row.extend(stall_row(exp.run(Strategy::Ilp, 4)?, base));
+        fig12.row(row);
+        let mut row = vec![String::new(), "decoupled".into()];
+        row.extend(stall_row(exp.run(Strategy::FineGrainTlp, 4)?, base));
+        fig12.row(row);
+        // Fig. 13: hybrid.
+        let h2 = exp.run(Strategy::Hybrid, 2)?.speedup;
+        let h4 = exp.run(Strategy::Hybrid, 4)?.speedup;
+        s13[0].push(h2);
+        s13[1].push(h4);
+        fig13.row(vec![w.name.to_string(), speedup(h2), speedup(h4)]);
+        // Fig. 14: mode residency of the 4-core hybrid.
+        let c = exp.run(Strategy::Hybrid, 4)?.coupled_fraction();
+        s14.push(c);
+        fig14.row(vec![w.name.to_string(), pct(c), pct(1.0 - c)]);
+        // Fig. 3: planner attribution.
+        let frac = exp.parallelism_breakdown(4)?;
+        fig3.row(vec![
+            w.name.to_string(),
+            pct(frac[0]),
+            pct(frac[1]),
+            pct(frac[2]),
+            pct(frac[3]),
+        ]);
+        for (s, f) in s3.iter_mut().zip(frac.iter()) {
+            *s += f;
+        }
+        Ok(())
+    });
+
+    let n = s14.len().max(1) as f64;
+    fig3.row(vec![
+        "average".into(),
+        pct(s3[0] / n),
+        pct(s3[1] / n),
+        pct(s3[2] / n),
+        pct(s3[3] / n),
+    ]);
+    fig10.row(vec![
+        "average".into(),
+        speedup(mean(&s10[0])),
+        speedup(mean(&s10[1])),
+        speedup(mean(&s10[2])),
+    ]);
+    fig11.row(vec![
+        "average".into(),
+        speedup(mean(&s11[0])),
+        speedup(mean(&s11[1])),
+        speedup(mean(&s11[2])),
+    ]);
+    fig13.row(vec!["average".into(), speedup(mean(&s13[0])), speedup(mean(&s13[1]))]);
+    fig14.row(vec![
+        "average".into(),
+        pct(s14.iter().sum::<f64>() / n),
+        pct(1.0 - s14.iter().sum::<f64>() / n),
+    ]);
+
+    println!("== Figure 3: parallelism breakdown (4 cores) ==\n{}", fig3.render());
+    println!("paper: 30% ILP / 32% fTLP / 31% LLP / 7% single core\n");
+    println!("== Figure 10: per-technique speedup (2 cores) ==\n{}", fig10.render());
+    println!("paper averages: 1.23 / 1.16 / 1.18\n");
+    println!("== Figure 11: per-technique speedup (4 cores) ==\n{}", fig11.render());
+    println!("paper averages: 1.33 / 1.23 / 1.37\n");
+    println!("== Figure 12: stall breakdown / serial cycles (4 cores) ==\n{}", fig12.render());
+    println!("== Figure 13: hybrid speedup ==\n{}", fig13.render());
+    println!("paper averages: 1.46 (2 cores) / 1.83 (4 cores)\n");
+    println!("== Figure 14: mode residency (4-core hybrid) ==\n{}", fig14.render());
+}

@@ -1,0 +1,42 @@
+//! Inspect the machine code a benchmark compiles to:
+//! `cargo run -p voltron-bench --bin inspect -- <benchmark> [strategy] [cores]`
+//!
+//! Strategies: serial | ilp | ftlp | llp | hybrid (default hybrid).
+
+use voltron_compiler::{compile, CompileOptions, Strategy};
+use voltron_sim::MachineConfig;
+use voltron_workloads::{by_name, Scale};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| {
+        eprintln!("usage: inspect <benchmark> [serial|ilp|ftlp|llp|hybrid] [cores]");
+        std::process::exit(2);
+    });
+    let strategy = match args.next().as_deref() {
+        None | Some("hybrid") => Strategy::Hybrid,
+        Some("serial") => Strategy::Serial,
+        Some("ilp") => Strategy::Ilp,
+        Some("ftlp") => Strategy::FineGrainTlp,
+        Some("llp") => Strategy::Llp,
+        Some(other) => {
+            eprintln!("unknown strategy {other}");
+            std::process::exit(2);
+        }
+    };
+    let cores: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let w = by_name(&bench, Scale::Test).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench}");
+        std::process::exit(2);
+    });
+    let cfg = MachineConfig::paper(cores);
+    let c = compile(&w.program, strategy, &cfg, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"));
+    println!("== {} / {strategy} / {cores} cores ==", w.name);
+    let mut kinds: Vec<_> = c.region_kinds.iter().collect();
+    kinds.sort();
+    println!("regions: {kinds:?}\n");
+    for k in 0..cores {
+        println!("{}", c.machine.dump_core(k));
+    }
+}

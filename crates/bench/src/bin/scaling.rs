@@ -1,0 +1,20 @@
+//! Core-count scaling of the hybrid build (the paper's 2-vs-4-core
+//! comparison, §5.2): speedup at 1, 2, and 4 cores per benchmark.
+
+use voltron_bench::harness::{speedup_figure, HarnessArgs};
+use voltron_core::Strategy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let out = speedup_figure(
+        "Hybrid speedup vs core count (baseline = 1-core serial)",
+        &args,
+        &[
+            ("1 core", Strategy::Serial, 1),
+            ("2 cores", Strategy::Hybrid, 2),
+            ("4 cores", Strategy::Hybrid, 4),
+        ],
+    );
+    println!("{out}");
+    println!("paper: decoupled-capable benchmarks scale further from 2 to 4 cores");
+}

@@ -1,0 +1,128 @@
+//! Shared driver for the figure-regeneration binaries.
+//!
+//! Every binary accepts `--test` to run the reduced-size inputs (the
+//! default is the full evaluation scale) and `--bench <name>` to restrict
+//! to one benchmark.
+
+use voltron_core::report::{mean, speedup, Table};
+use voltron_core::{Experiment, RunResult, StallCategory, Strategy, SystemError};
+use voltron_workloads::{all, Scale, Workload};
+
+/// Command-line options common to the figure binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Restrict to one benchmark, when set.
+    pub only: Option<String>,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> HarnessArgs {
+        let mut scale = Scale::Full;
+        let mut only = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => scale = Scale::Test,
+                "--full" => scale = Scale::Full,
+                "--bench" => only = args.next(),
+                other => {
+                    eprintln!("unknown argument {other} (expected --test/--full/--bench NAME)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        HarnessArgs { scale, only }
+    }
+
+    /// The selected workloads.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let ws = all(self.scale);
+        match &self.only {
+            Some(n) => ws.into_iter().filter(|w| w.name == n.as_str()).collect(),
+            None => ws,
+        }
+    }
+}
+
+/// Run `f` for every selected workload with a ready [`Experiment`].
+/// Failures are printed and skipped so one bad configuration cannot hide
+/// the rest of a figure.
+pub fn for_each_workload(
+    args: &HarnessArgs,
+    mut f: impl FnMut(&Workload, &mut Experiment<'_>) -> Result<(), SystemError>,
+) {
+    for w in args.workloads() {
+        match Experiment::new(&w.program) {
+            Ok(mut exp) => {
+                if let Err(e) = f(&w, &mut exp) {
+                    eprintln!("{}: {e}", w.name);
+                }
+            }
+            Err(e) => eprintln!("{}: baseline failed: {e}", w.name),
+        }
+    }
+}
+
+/// Render a per-benchmark speedup figure (Figs. 10/11/13 share this
+/// shape): one column per (label, strategy, cores).
+pub fn speedup_figure(
+    title: &str,
+    args: &HarnessArgs,
+    columns: &[(&str, Strategy, usize)],
+) -> String {
+    let mut headers: Vec<&str> = vec!["benchmark"];
+    headers.extend(columns.iter().map(|(l, _, _)| *l));
+    let mut table = Table::new(&headers);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
+    for_each_workload(args, |w, exp| {
+        let mut cells = vec![w.name.to_string()];
+        for (i, &(_, strat, cores)) in columns.iter().enumerate() {
+            let r = exp.run(strat, cores)?;
+            sums[i].push(r.speedup);
+            cells.push(speedup(r.speedup));
+        }
+        table.row(cells);
+        Ok(())
+    });
+    let mut avg = vec!["average".to_string()];
+    for col in &sums {
+        avg.push(speedup(mean(col)));
+    }
+    table.row(avg);
+    format!("{title}\n{}", table.render())
+}
+
+/// Render the Fig. 12 stall-breakdown cells for one run.
+pub fn stall_row(r: &RunResult, baseline: u64) -> Vec<String> {
+    StallCategory::ALL
+        .iter()
+        .map(|&c| format!("{:.3}", r.normalized_stall(c, baseline)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_filter_selects_one() {
+        let args = HarnessArgs { scale: Scale::Test, only: Some("164.gzip".into()) };
+        let ws = args.workloads();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].name, "164.gzip");
+        let none = HarnessArgs { scale: Scale::Test, only: Some("nope".into()) };
+        assert!(none.workloads().is_empty());
+    }
+
+    #[test]
+    fn speedup_figure_renders_rows_and_average() {
+        let args = HarnessArgs { scale: Scale::Test, only: Some("rawcaudio".into()) };
+        let out = speedup_figure("t", &args, &[("serial", Strategy::Serial, 1)]);
+        assert!(out.contains("rawcaudio"));
+        assert!(out.contains("average"));
+        assert!(out.contains("1.00"));
+    }
+}

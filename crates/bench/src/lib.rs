@@ -1,0 +1,4 @@
+//! Shared harness utilities for the figure-regeneration binaries and
+//! Criterion benches (see `src/bin/fig*.rs`).
+
+pub mod harness;

@@ -1,0 +1,42 @@
+//! Compiler errors.
+
+use std::fmt;
+use voltron_ir::verify::VerifyError;
+
+/// A compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The input program failed verification.
+    Verify(VerifyError),
+    /// Profiling (reference interpretation) failed.
+    Profile(voltron_ir::interp::InterpError),
+    /// An internal invariant broke (a compiler bug with context).
+    Internal(String),
+    /// The requested configuration is unsupported.
+    Unsupported(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Verify(e) => write!(f, "input verification failed: {e}"),
+            CompileError::Profile(e) => write!(f, "profiling run failed: {e}"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+            CompileError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> CompileError {
+        CompileError::Verify(e)
+    }
+}
+
+impl From<voltron_ir::interp::InterpError> for CompileError {
+    fn from(e: voltron_ir::interp::InterpError) -> CompileError {
+        CompileError::Profile(e)
+    }
+}

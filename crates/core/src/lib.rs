@@ -1,0 +1,425 @@
+//! End-to-end Voltron system: compile, simulate, validate, and measure.
+//!
+//! This crate ties the stack together the way the paper's evaluation does:
+//!
+//! * [`run_reference`] interprets a program for the golden output;
+//! * [`run_configuration`] compiles with a [`Strategy`] for an N-core
+//!   machine, simulates it, and *always* checks the machine's final memory
+//!   against the golden model (with a documented FP-reduction tolerance);
+//! * [`Experiment`] batches the runs the figures need (baseline + each
+//!   technique + hybrid) and computes speedups, stall breakdowns, mode
+//!   residency, and per-region technique attribution.
+//!
+//! # Example
+//!
+//! ```
+//! use voltron_core::{Experiment, Strategy};
+//! use voltron_ir::builder::ProgramBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut pb = ProgramBuilder::new("quick");
+//! let a = pb.data_mut().zeroed("a", 8 * 512);
+//! let mut f = pb.function("main");
+//! let base = f.ldi(a as i64);
+//! f.counted_loop(0i64, 512i64, 1, |f, iv| {
+//!     let off = f.shl(iv, 3i64);
+//!     let ad = f.add(base, off);
+//!     f.store8(ad, 0, iv);
+//! });
+//! f.halt();
+//! pb.finish_function(f);
+//! let program = pb.finish();
+//!
+//! let mut exp = Experiment::new(&program)?;
+//! let hybrid = exp.run(Strategy::Hybrid, 4)?;
+//! assert!(hybrid.speedup > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod report;
+
+use std::collections::HashMap;
+use std::fmt;
+use voltron_compiler::{compile, CompileError, CompileOptions};
+use voltron_ir::{interp, Memory, Program};
+use voltron_sim::{Machine, MachineConfig, MachineStats, SimError, StallReason};
+
+pub use voltron_compiler::Strategy;
+
+/// A system-level failure (compilation, simulation, or validation).
+#[derive(Debug)]
+pub enum SystemError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// The golden (interpreter) run failed.
+    Golden(interp::InterpError),
+    /// The machine's output disagreed with the golden model.
+    OutputMismatch {
+        /// Strategy that produced the divergence.
+        strategy: Strategy,
+        /// Core count.
+        cores: usize,
+        /// First differing address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Compile(e) => write!(f, "compile: {e}"),
+            SystemError::Sim(e) => write!(f, "simulate: {e}"),
+            SystemError::Golden(e) => write!(f, "golden run: {e}"),
+            SystemError::OutputMismatch { strategy, cores, addr } => write!(
+                f,
+                "output mismatch under {strategy}/{cores} cores at {addr:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<CompileError> for SystemError {
+    fn from(e: CompileError) -> SystemError {
+        SystemError::Compile(e)
+    }
+}
+
+impl From<SimError> for SystemError {
+    fn from(e: SimError) -> SystemError {
+        SystemError::Sim(e)
+    }
+}
+
+impl From<interp::InterpError> for SystemError {
+    fn from(e: interp::InterpError) -> SystemError {
+        SystemError::Golden(e)
+    }
+}
+
+/// Compare final memories. Byte equality is required except for 8-byte
+/// words that parse as close floating-point values: chunked floating-point
+/// reductions legally reassociate (accumulator expansion, DESIGN.md §2),
+/// so FP sums may differ in the last bits.
+pub fn outputs_equivalent(golden: &Memory, machine: &Memory) -> Result<(), u64> {
+    let ga = golden.bytes();
+    let mb = machine.bytes();
+    if ga.len() != mb.len() {
+        return Err(voltron_ir::DataSegment::BASE + ga.len().min(mb.len()) as u64);
+    }
+    let mut i = 0usize;
+    while i < ga.len() {
+        if ga[i] == mb[i] {
+            i += 1;
+            continue;
+        }
+        // Mismatch: inspect the enclosing aligned 8-byte word as f64.
+        let w = i & !7;
+        if w + 8 <= ga.len() {
+            let fg = f64::from_le_bytes(ga[w..w + 8].try_into().expect("8 bytes"));
+            let fm = f64::from_le_bytes(mb[w..w + 8].try_into().expect("8 bytes"));
+            // Only genuine (normal or zero) floats qualify for tolerance;
+            // integer bytes reinterpreted as f64 are subnormals and fall
+            // through to the exact comparison.
+            let normal = |v: f64| v == 0.0 || (v.is_finite() && v.abs() >= f64::MIN_POSITIVE);
+            let tol = (1e-9 * fg.abs().max(fm.abs())).max(1e-12);
+            if normal(fg) && normal(fm) && (fg - fm).abs() <= tol {
+                i = w + 8;
+                continue;
+            }
+        }
+        return Err(voltron_ir::DataSegment::BASE + i as u64);
+    }
+    Ok(())
+}
+
+/// Result of one compiled-and-simulated configuration.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The strategy used.
+    pub strategy: Strategy,
+    /// Core count.
+    pub cores: usize,
+    /// Execution time in simulated cycles.
+    pub cycles: u64,
+    /// Speedup over the serial baseline.
+    pub speedup: f64,
+    /// Full machine statistics.
+    pub stats: MachineStats,
+    /// Planner region kinds (region id -> technique name).
+    pub region_kinds: HashMap<u32, &'static str>,
+    /// Estimated serial weight per region id.
+    pub region_weights: HashMap<u32, u64>,
+}
+
+impl RunResult {
+    /// Fraction of hybrid time in coupled mode.
+    pub fn coupled_fraction(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            0.0
+        } else {
+            self.stats.coupled_cycles as f64 / self.stats.cycles as f64
+        }
+    }
+
+    /// Per-core-average stall cycles for a Fig. 12 category, normalized
+    /// by `baseline_cycles`.
+    pub fn normalized_stall(&self, category: StallCategory, baseline_cycles: u64) -> f64 {
+        let raw: f64 = category
+            .reasons()
+            .iter()
+            .map(|&r| self.stats.avg_stall(r))
+            .sum();
+        raw / baseline_cycles.max(1) as f64
+    }
+}
+
+/// Fig. 12 stall categories (see `voltron_sim::stats` for the mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCategory {
+    /// Instruction-cache stalls.
+    IStall,
+    /// Data stalls (cache misses, store-buffer pressure).
+    DStall,
+    /// Data receive stalls (queue mode) and direct-latch waits.
+    RecvData,
+    /// Predicate receive stalls (control synchronization).
+    RecvPred,
+    /// Region-boundary synchronization (the paper's call/return sync):
+    /// spawn/join, mode-switch barriers, commit tokens.
+    Sync,
+    /// Fixed-latency interlock slack (schedule imperfection).
+    Other,
+}
+
+impl StallCategory {
+    /// All categories in display order.
+    pub const ALL: [StallCategory; 6] = [
+        StallCategory::IStall,
+        StallCategory::DStall,
+        StallCategory::RecvData,
+        StallCategory::RecvPred,
+        StallCategory::Sync,
+        StallCategory::Other,
+    ];
+
+    /// The raw stall reasons aggregated into this category.
+    pub fn reasons(self) -> &'static [StallReason] {
+        match self {
+            StallCategory::IStall => &[StallReason::IFetch],
+            StallCategory::DStall => &[StallReason::DMiss, StallReason::StoreBuf],
+            StallCategory::RecvData => &[StallReason::RecvData, StallReason::DirectWait],
+            StallCategory::RecvPred => &[StallReason::RecvPred],
+            StallCategory::Sync => &[StallReason::Sync, StallReason::SendFull],
+            StallCategory::Other => &[StallReason::Interlock],
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCategory::IStall => "i-stalls",
+            StallCategory::DStall => "d-stalls",
+            StallCategory::RecvData => "recv stall",
+            StallCategory::RecvPred => "predicate recv",
+            StallCategory::Sync => "call/return sync",
+            StallCategory::Other => "interlock",
+        }
+    }
+}
+
+/// Interpreter fuel used for golden runs.
+pub const GOLDEN_FUEL: u64 = 2_000_000_000;
+
+/// Run the reference interpreter.
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn run_reference(program: &Program) -> Result<interp::Outcome, SystemError> {
+    Ok(interp::run(program, GOLDEN_FUEL)?)
+}
+
+/// Compile and simulate one configuration, validating the output against
+/// `golden`.
+///
+/// # Errors
+/// Fails on compile/simulate errors or output divergence.
+pub fn run_configuration(
+    program: &Program,
+    golden: &Memory,
+    strategy: Strategy,
+    cores: usize,
+    baseline_cycles: u64,
+) -> Result<RunResult, SystemError> {
+    let mcfg = MachineConfig::paper(cores);
+    let opts = CompileOptions::default();
+    let compiled = compile(program, strategy, &mcfg, &opts)?;
+    let region_kinds = compiled.region_kinds.clone();
+    let region_weights = compiled.region_weights.clone();
+    let out = Machine::new(compiled.machine, &mcfg)?.run()?;
+    if let Err(addr) = outputs_equivalent(golden, &out.memory) {
+        return Err(SystemError::OutputMismatch { strategy, cores, addr });
+    }
+    let cycles = out.stats.cycles;
+    Ok(RunResult {
+        strategy,
+        cores,
+        cycles,
+        speedup: baseline_cycles as f64 / cycles.max(1) as f64,
+        stats: out.stats,
+        region_kinds,
+        region_weights,
+    })
+}
+
+/// Per-benchmark experiment driver: computes the baseline once, then runs
+/// any (strategy, cores) combination against it.
+pub struct Experiment<'a> {
+    program: &'a Program,
+    golden: Memory,
+    baseline_cycles: u64,
+    cache: HashMap<(Strategy, usize), RunResult>,
+}
+
+impl<'a> Experiment<'a> {
+    /// Interpret the golden model and time the 1-core serial baseline.
+    ///
+    /// # Errors
+    /// Fails if the reference run or the baseline build fails.
+    pub fn new(program: &'a Program) -> Result<Experiment<'a>, SystemError> {
+        let golden = run_reference(program)?.memory;
+        let base = run_configuration(program, &golden, Strategy::Serial, 1, 1)?;
+        Ok(Experiment {
+            program,
+            golden,
+            baseline_cycles: base.cycles,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// Serial 1-core execution time in cycles.
+    pub fn baseline_cycles(&self) -> u64 {
+        self.baseline_cycles
+    }
+
+    /// Run (or fetch the cached run of) a configuration.
+    ///
+    /// # Errors
+    /// Propagates configuration failures.
+    pub fn run(&mut self, strategy: Strategy, cores: usize) -> Result<&RunResult, SystemError> {
+        if !self.cache.contains_key(&(strategy, cores)) {
+            let r = run_configuration(
+                self.program,
+                &self.golden,
+                strategy,
+                cores,
+                self.baseline_cycles,
+            )?;
+            self.cache.insert((strategy, cores), r);
+        }
+        Ok(&self.cache[&(strategy, cores)])
+    }
+
+    /// Fig. 3-style attribution: the fraction of (estimated serial)
+    /// execution assigned by the hybrid planner to each parallelism class
+    /// on a 4-core machine. Returns fractions for
+    /// `[ilp, fine-grain tlp, llp, single-core]` summing to 1.
+    ///
+    /// # Errors
+    /// Propagates configuration failures.
+    pub fn parallelism_breakdown(&mut self, cores: usize) -> Result<[f64; 4], SystemError> {
+        let run = self.run(Strategy::Hybrid, cores)?;
+        let mut acc = [0u64; 4];
+        for (rid, kind) in &run.region_kinds {
+            let w = run.region_weights.get(rid).copied().unwrap_or(0);
+            let slot = match *kind {
+                "ilp" => 0,
+                "strands" | "dswp" => 1,
+                "doall" => 2,
+                _ => 3,
+            };
+            acc[slot] += w;
+        }
+        let total: u64 = acc.iter().sum();
+        if total == 0 {
+            return Ok([0.0, 0.0, 0.0, 1.0]);
+        }
+        Ok([
+            acc[0] as f64 / total as f64,
+            acc[1] as f64 / total as f64,
+            acc[2] as f64 / total as f64,
+            acc[3] as f64 / total as f64,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltron_ir::builder::ProgramBuilder;
+
+    fn doall_program() -> Program {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.data_mut().zeroed("a", 8 * 400);
+        let mut f = pb.function("main");
+        let base = f.ldi(a as i64);
+        f.counted_loop(0i64, 400i64, 1, |f, iv| {
+            let off = f.shl(iv, 3i64);
+            let ad = f.add(base, off);
+            let v = f.mul(iv, 5i64);
+            f.store8(ad, 0, v);
+        });
+        f.halt();
+        pb.finish_function(f);
+        pb.finish()
+    }
+
+    #[test]
+    fn hybrid_beats_serial_on_doall() {
+        let p = doall_program();
+        let mut exp = Experiment::new(&p).unwrap();
+        let r = exp.run(Strategy::Hybrid, 4).unwrap();
+        assert!(r.speedup > 1.3, "speedup {}", r.speedup);
+        let r2 = exp.run(Strategy::Llp, 2).unwrap();
+        assert!(r2.speedup > 1.0, "2-core LLP speedup {}", r2.speedup);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let p = doall_program();
+        let mut exp = Experiment::new(&p).unwrap();
+        let frac = exp.parallelism_breakdown(4).unwrap();
+        let sum: f64 = frac.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(frac[2] > 0.5, "doall should dominate: {frac:?}");
+    }
+
+    #[test]
+    fn equivalence_tolerates_fp_reassociation() {
+        let mut d = voltron_ir::DataSegment::default();
+        d.zeroed("x", 16);
+        let mut a = Memory::from_data(&d);
+        let mut b = Memory::from_data(&d);
+        let base = voltron_ir::DataSegment::BASE;
+        a.store_f64(base, 0.1 + 0.2).unwrap();
+        b.store_f64(base, 0.3).unwrap(); // differs in the last ulp
+        assert!(outputs_equivalent(&a, &b).is_ok());
+        // Integer differences are never tolerated.
+        a.store_uint(base + 8, 8, 41).unwrap();
+        b.store_uint(base + 8, 8, 42).unwrap();
+        assert!(outputs_equivalent(&a, &b).is_err());
+    }
+
+    #[test]
+    fn serial_strategy_has_speedup_one() {
+        let p = doall_program();
+        let mut exp = Experiment::new(&p).unwrap();
+        let r = exp.run(Strategy::Serial, 4).unwrap();
+        // Serial on a 4-core machine runs on the master only.
+        assert!((r.speedup - 1.0).abs() < 0.05, "speedup {}", r.speedup);
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the figure harnesses.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = width[i] - c.len();
+                if i == 0 {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a speedup (2 decimal places).
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Geometric mean of positive values (the figures report arithmetic means;
+/// both are provided).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["bench", "speedup"]);
+        t.row(vec!["gzip".into(), "1.20".into()]);
+        t.row(vec!["a-very-long-name".into(), "2.00".into()]);
+        let s = t.render();
+        assert!(s.contains("bench"));
+        assert!(s.lines().count() == 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn means_behave() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(pct(0.25), "25.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Control-flow graph utilities: successors, predecessors, reverse
+//! postorder, and dominators.
+
+use crate::opcode::Opcode;
+use crate::program::{BlockId, Function};
+use std::collections::HashMap;
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists, indexed by block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists, indexed by block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (unreachable blocks are absent).
+    pub rpo_index: HashMap<BlockId, usize>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    ///
+    /// Successor order: branch targets in instruction order, then the
+    /// fallthrough block (if the block falls through).
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut out: Vec<BlockId> = Vec::new();
+            for inst in &b.insts {
+                match inst.op {
+                    Opcode::Br | Opcode::Jump => {
+                        if let Some(t) = inst.static_target() {
+                            if !out.contains(&t) {
+                                out.push(t);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if b.falls_through() {
+                let next = BlockId(bi as u32 + 1);
+                if (next.idx()) < n && !out.contains(&next) {
+                    out.push(next);
+                }
+            }
+            succs[bi] = out;
+        }
+        let mut preds = vec![Vec::new(); n];
+        for (bi, ss) in succs.iter().enumerate() {
+            for s in ss {
+                preds[s.idx()].push(BlockId(bi as u32));
+            }
+        }
+        // Reverse postorder via iterative DFS.
+        let mut visited = vec![false; n];
+        let mut post: Vec<BlockId> = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some((b, i)) = stack.pop() {
+            if i < succs[b.idx()].len() {
+                stack.push((b, i + 1));
+                let s = succs[b.idx()][i];
+                if !visited[s.idx()] {
+                    visited[s.idx()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        let rpo_index: HashMap<BlockId, usize> =
+            post.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        Cfg { succs, preds, rpo: post, rpo_index }
+    }
+
+    /// Successors of a block.
+    pub fn succs_of(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.idx()]
+    }
+
+    /// Predecessors of a block.
+    pub fn preds_of(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.idx()]
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index.contains_key(&b)
+    }
+}
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry's idom
+    /// is itself. Unreachable blocks map to `None`.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators over a CFG.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.succs.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds_of(b) {
+                    if idom[p.idx()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.idx()] != Some(ni) {
+                        idom[b.idx()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.idx()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    let pos = |x: BlockId| rpo_index[&x];
+    while a != b {
+        while pos(a) > pos(b) {
+            a = idom[a.idx()].expect("reachable block has idom");
+        }
+        while pos(b) > pos(a) {
+            b = idom[b.idx()].expect("reachable block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Operand};
+    use crate::program::Block;
+
+    /// Build a function skeleton from (block, branch-target) edges where
+    /// each block optionally branches to `br` and falls through.
+    fn diamond() -> Function {
+        // bb0 -> bb1, bb2 ; bb1 -> bb3 ; bb2 -> bb3 ; bb3 halt
+        let mut f = Function::new("t");
+        f.blocks = vec![Block::default(), Block::default(), Block::default(), Block::default()];
+        f.blocks[0].insts.push(Inst::new(
+            Opcode::Br,
+            vec![Operand::Block(BlockId(2)), Operand::Reg(crate::reg::Reg::pred(0))],
+        ));
+        f.blocks[1]
+            .insts
+            .push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(3))]));
+        f.blocks[3].insts.push(Inst::new(Opcode::Halt, vec![]));
+        f
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs_of(BlockId(0)), &[BlockId(2), BlockId(1)]);
+        assert_eq!(cfg.succs_of(BlockId(1)), &[BlockId(3)]);
+        assert_eq!(cfg.succs_of(BlockId(2)), &[BlockId(3)]);
+        assert!(cfg.succs_of(BlockId(3)).is_empty());
+        assert_eq!(cfg.preds_of(BlockId(3)).len(), 2);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom[3], Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_skipped() {
+        let mut f = diamond();
+        f.blocks.push(Block::default()); // bb4 unreachable (bb3 halts)
+        let cfg = Cfg::build(&f);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom[4], None);
+    }
+}

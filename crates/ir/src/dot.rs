@@ -1,0 +1,95 @@
+//! Graphviz export of control-flow graphs (debugging aid).
+//!
+//! ```
+//! use voltron_ir::builder::ProgramBuilder;
+//! use voltron_ir::dot;
+//!
+//! let mut pb = ProgramBuilder::new("demo");
+//! pb.data_mut().zeroed("pad", 8);
+//! let mut f = pb.function("main");
+//! f.counted_loop(0i64, 4i64, 1, |_, _| {});
+//! f.halt();
+//! pb.finish_function(f);
+//! let p = pb.finish();
+//! let dot = dot::cfg_to_dot(p.main_func());
+//! assert!(dot.starts_with("digraph"));
+//! ```
+
+use crate::cfg::Cfg;
+use crate::Function;
+use std::fmt::Write as _;
+
+/// Render a function's CFG as a Graphviz `digraph`, with instruction
+/// listings inside the nodes.
+pub fn cfg_to_dot(f: &Function) -> String {
+    let cfg = Cfg::build(f);
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", f.name);
+    let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
+    for (bid, b) in f.iter_blocks() {
+        let mut label = format!("{bid}\\l");
+        for inst in &b.insts {
+            let text = inst
+                .to_string()
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"");
+            label.push_str(&text);
+            label.push_str("\\l");
+        }
+        let _ = writeln!(s, "  b{} [label=\"{}\"];", bid.0, label);
+        for t in cfg.succs_of(bid) {
+            let _ = writeln!(s, "  b{} -> b{};", bid.0, t.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn loop_cfg_has_back_edge_in_dot() {
+        let mut pb = ProgramBuilder::new("t");
+        pb.data_mut().zeroed("pad", 8);
+        let mut f = pb.function("main");
+        f.counted_loop(0i64, 4i64, 1, |f, iv| {
+            f.add(iv, 1i64);
+        });
+        f.halt();
+        pb.finish_function(f);
+        let p = pb.finish();
+        let dot = cfg_to_dot(p.main_func());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+        // The latch jumps back: an edge from a later block to an earlier
+        // one must appear.
+        let back_edge = dot.lines().any(|l| {
+            let l = l.trim();
+            if !l.starts_with('b') || !l.contains("->") {
+                return false;
+            }
+            let parts: Vec<&str> = l.trim_end_matches(';').split("->").collect();
+            let a: u32 = parts[0].trim().trim_start_matches('b').parse().unwrap_or(0);
+            let b: u32 = parts[1].trim().trim_start_matches('b').parse().unwrap_or(0);
+            b < a
+        });
+        assert!(back_edge, "no back edge in:\n{dot}");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut pb = ProgramBuilder::new("t");
+        pb.data_mut().zeroed("pad", 8);
+        let mut f = pb.function("main");
+        f.ldi(1);
+        f.halt();
+        pb.finish_function(f);
+        let p = pb.finish();
+        let dot = cfg_to_dot(p.main_func());
+        assert!(dot.contains("ldi 1"));
+        assert!(!dot.contains("\n\""), "unescaped newline inside label");
+    }
+}

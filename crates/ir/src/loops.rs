@@ -1,0 +1,254 @@
+//! Natural-loop detection and the loop forest.
+
+use crate::cfg::{Cfg, Dominators};
+use crate::program::BlockId;
+use std::collections::BTreeSet;
+
+/// Identifier of a loop within a function's [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// The loop index as usize.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub blocks: BTreeSet<BlockId>,
+    /// Sources of back edges (latch blocks).
+    pub latches: Vec<BlockId>,
+    /// The immediately enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Loops nested immediately inside this one.
+    pub children: Vec<LoopId>,
+    /// Blocks outside the loop that loop blocks branch to (loop exits'
+    /// *targets*).
+    pub exit_targets: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Loop depth (1 = outermost).
+    pub fn depth(&self, forest: &LoopForest) -> usize {
+        let mut d = 1;
+        let mut p = self.parent;
+        while let Some(pid) = p {
+            d += 1;
+            p = forest.loops[pid.idx()].parent;
+        }
+        d
+    }
+}
+
+/// All natural loops of a function, with nesting.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// The loops; `LoopId(i)` indexes `loops[i]`. Ordered outermost-first
+    /// within each nest (parents precede children).
+    pub loops: Vec<Loop>,
+    /// Innermost loop containing each block (`None` when not in any loop).
+    pub innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Find natural loops from back edges (`latch -> header` where the
+    /// header dominates the latch); merges loops sharing a header.
+    pub fn build(cfg: &Cfg, dom: &Dominators) -> LoopForest {
+        let n = cfg.succs.len();
+        // Collect back edges grouped by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for b in 0..n {
+            let bid = BlockId(b as u32);
+            if !cfg.is_reachable(bid) {
+                continue;
+            }
+            for &s in cfg.succs_of(bid) {
+                if dom.dominates(s, bid) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(bid),
+                        None => by_header.push((s, vec![bid])),
+                    }
+                }
+            }
+        }
+        // Build each loop body by backwards reachability from latches.
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in by_header {
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if blocks.insert(b) {
+                    for &p in cfg.preds_of(b) {
+                        if !blocks.contains(&p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            let mut exit_targets: Vec<BlockId> = Vec::new();
+            for &b in &blocks {
+                for &s in cfg.succs_of(b) {
+                    if !blocks.contains(&s) && !exit_targets.contains(&s) {
+                        exit_targets.push(s);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                blocks,
+                latches,
+                parent: None,
+                children: Vec::new(),
+                exit_targets,
+            });
+        }
+        // Sort outermost-first (bigger loops first) so parents get smaller ids.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+        // Nesting: the parent of L is the smallest strictly-containing loop.
+        let snapshot: Vec<(BTreeSet<BlockId>, BlockId)> =
+            loops.iter().map(|l| (l.blocks.clone(), l.header)).collect();
+        for i in 0..loops.len() {
+            let mut best: Option<(usize, usize)> = None; // (index, size)
+            for (j, (blocks, header)) in snapshot.iter().enumerate() {
+                if i == j || *header == snapshot[i].1 {
+                    continue;
+                }
+                if snapshot[i].0.is_subset(blocks) && blocks.len() > snapshot[i].0.len() {
+                    let sz = blocks.len();
+                    if best.is_none_or(|(_, bs)| sz < bs) {
+                        best = Some((j, sz));
+                    }
+                }
+            }
+            if let Some((j, _)) = best {
+                loops[i].parent = Some(LoopId(j as u32));
+            }
+        }
+        for i in 0..loops.len() {
+            if let Some(p) = loops[i].parent {
+                loops[p.idx()].children.push(LoopId(i as u32));
+            }
+        }
+        // Innermost map: the smallest loop containing each block.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; n];
+        for (bi, slot) in innermost.iter_mut().enumerate() {
+            let bid = BlockId(bi as u32);
+            let mut best: Option<(LoopId, usize)> = None;
+            for (li, l) in loops.iter().enumerate() {
+                if l.blocks.contains(&bid) {
+                    let sz = l.blocks.len();
+                    if best.is_none_or(|(_, bs)| sz < bs) {
+                        best = Some((LoopId(li as u32), sz));
+                    }
+                }
+            }
+            *slot = best.map(|(l, _)| l);
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// The innermost loop containing block `b`.
+    pub fn innermost_of(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost.get(b.idx()).copied().flatten()
+    }
+
+    /// Top-level (outermost) loops.
+    pub fn roots(&self) -> impl Iterator<Item = LoopId> + '_ {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.parent.is_none())
+            .map(|(i, _)| LoopId(i as u32))
+    }
+
+    /// Loop accessor.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, Dominators};
+    use crate::inst::{Inst, Operand};
+    use crate::opcode::Opcode;
+    use crate::program::{Block, Function};
+    use crate::reg::Reg;
+
+    /// bb0 -> bb1(header) -> bb2 -> bb1 (back), bb2 -> bb3 (exit: via br)
+    /// and a nested structure in a second helper.
+    fn single_loop() -> Function {
+        let mut f = Function::new("t");
+        f.blocks = vec![Block::default(); 4];
+        // bb1 falls to bb2; bb2 branches back to bb1 else falls to bb3.
+        f.blocks[2].insts.push(Inst::new(
+            Opcode::Br,
+            vec![Operand::Block(BlockId(1)), Operand::Reg(Reg::pred(0))],
+        ));
+        f.blocks[3].insts.push(Inst::new(Opcode::Halt, vec![]));
+        f
+    }
+
+    #[test]
+    fn finds_single_loop() {
+        let f = single_loop();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        let lf = LoopForest::build(&cfg, &dom);
+        assert_eq!(lf.loops.len(), 1);
+        let l = &lf.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert!(l.blocks.contains(&BlockId(2)));
+        assert!(!l.blocks.contains(&BlockId(0)));
+        assert_eq!(l.exit_targets, vec![BlockId(3)]);
+        assert_eq!(lf.innermost_of(BlockId(2)), Some(LoopId(0)));
+        assert_eq!(lf.innermost_of(BlockId(0)), None);
+    }
+
+    /// Outer loop bb1..bb4 with inner loop bb2..bb3.
+    fn nested_loops() -> Function {
+        let mut f = Function::new("t");
+        f.blocks = vec![Block::default(); 6];
+        // bb3 -> bb2 (inner back edge) else fall to bb4
+        f.blocks[3].insts.push(Inst::new(
+            Opcode::Br,
+            vec![Operand::Block(BlockId(2)), Operand::Reg(Reg::pred(0))],
+        ));
+        // bb4 -> bb1 (outer back edge) else fall to bb5
+        f.blocks[4].insts.push(Inst::new(
+            Opcode::Br,
+            vec![Operand::Block(BlockId(1)), Operand::Reg(Reg::pred(1))],
+        ));
+        f.blocks[5].insts.push(Inst::new(Opcode::Halt, vec![]));
+        f
+    }
+
+    #[test]
+    fn nesting_is_detected() {
+        let f = nested_loops();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        let lf = LoopForest::build(&cfg, &dom);
+        assert_eq!(lf.loops.len(), 2);
+        // Outer loop sorted first (bigger).
+        assert_eq!(lf.loops[0].header, BlockId(1));
+        assert_eq!(lf.loops[1].header, BlockId(2));
+        assert_eq!(lf.loops[1].parent, Some(LoopId(0)));
+        assert_eq!(lf.loops[0].children, vec![LoopId(1)]);
+        assert_eq!(lf.loops[1].depth(&lf), 2);
+        assert_eq!(lf.innermost_of(BlockId(3)), Some(LoopId(1)));
+        assert_eq!(lf.innermost_of(BlockId(4)), Some(LoopId(0)));
+        assert_eq!(lf.roots().collect::<Vec<_>>(), vec![LoopId(0)]);
+    }
+}

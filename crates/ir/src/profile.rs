@@ -1,0 +1,412 @@
+//! Profiling interpreter.
+//!
+//! The Voltron compiler is profile-driven in three places (paper §4):
+//!
+//! 1. **Statistical DOALL detection** needs, per loop, whether any
+//!    cross-iteration memory dependence was *observed* during profiling.
+//! 2. **eBUG** needs per-load cache-miss likelihood to weight
+//!    load→consumer edges.
+//! 3. **Parallelism selection** needs block execution counts and loop trip
+//!    counts to focus on hot regions and skip short loops.
+//!
+//! This module runs the reference interpreter with an observer that
+//! collects all three.
+
+use crate::cfg::{Cfg, Dominators};
+use crate::inst::InstRef;
+use crate::interp::{self, InterpError, Observer};
+use crate::loops::{LoopForest, LoopId};
+use crate::program::{BlockId, FuncId, Program};
+use std::collections::HashMap;
+
+/// Per-loop profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopProfile {
+    /// How many times the loop was entered.
+    pub invocations: u64,
+    /// Total iterations across all invocations.
+    pub total_iters: u64,
+    /// True if any cross-iteration memory dependence (RAW/WAR/WAW at byte
+    /// granularity) was observed in any invocation.
+    pub cross_iter_dep: bool,
+}
+
+impl LoopProfile {
+    /// Average trip count (0 if never invoked).
+    pub fn avg_trip(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.total_iters as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// Per-static-load profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// Dynamic executions of this load.
+    pub accesses: u64,
+    /// How many missed in the profiling L1D model.
+    pub misses: u64,
+}
+
+impl LoadProfile {
+    /// Miss ratio in `[0, 1]` (0 if never executed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The collected profile of one program run.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Dynamic entries per block.
+    pub block_counts: HashMap<(FuncId, BlockId), u64>,
+    /// Per-loop statistics.
+    pub loops: HashMap<(FuncId, LoopId), LoopProfile>,
+    /// Per-load cache behavior.
+    pub loads: HashMap<InstRef, LoadProfile>,
+    /// Total interpreted instructions.
+    pub steps: u64,
+}
+
+impl Profile {
+    /// Block count lookup (0 when never executed).
+    pub fn block_count(&self, f: FuncId, b: BlockId) -> u64 {
+        self.block_counts.get(&(f, b)).copied().unwrap_or(0)
+    }
+
+    /// Loop profile lookup.
+    pub fn loop_profile(&self, f: FuncId, l: LoopId) -> LoopProfile {
+        self.loops.get(&(f, l)).copied().unwrap_or_default()
+    }
+
+    /// Load profile lookup.
+    pub fn load_profile(&self, at: InstRef) -> LoadProfile {
+        self.loads.get(&at).copied().unwrap_or_default()
+    }
+}
+
+/// A small functional set-associative LRU cache used only for miss-rate
+/// profiling (matching the paper's 4 KB, 2-way, 32 B-line L1D).
+#[derive(Debug, Clone)]
+pub struct FunctionalCache {
+    sets: Vec<Vec<u64>>, // per-set tag list in LRU order (front = MRU)
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl FunctionalCache {
+    /// Create a cache of `size` bytes, `assoc` ways, `line` bytes per line.
+    ///
+    /// # Panics
+    /// Panics unless size/assoc/line are powers of two that divide evenly.
+    pub fn new(size: u64, assoc: usize, line: u64) -> FunctionalCache {
+        assert!(line.is_power_of_two() && size.is_power_of_two());
+        let nsets = size / line / assoc as u64;
+        assert!(nsets.is_power_of_two() && nsets > 0);
+        FunctionalCache {
+            sets: vec![Vec::new(); nsets as usize],
+            assoc,
+            line_shift: line.trailing_zeros(),
+            set_mask: nsets - 1,
+        }
+    }
+
+    /// The paper's L1D configuration.
+    pub fn paper_l1d() -> FunctionalCache {
+        FunctionalCache::new(4096, 2, 32)
+    }
+
+    /// Touch an address; returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|t| *t == line) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            ways.insert(0, line);
+            ways.truncate(self.assoc);
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveLoop {
+    id: LoopId,
+    iter: u64,
+    /// Per-byte last-writer and last-reader iteration.
+    mem: HashMap<u64, (i64, i64)>,
+    dep_found: bool,
+}
+
+#[derive(Debug)]
+struct FrameCtx {
+    func: FuncId,
+    stack: Vec<ActiveLoop>,
+}
+
+struct Profiler<'a> {
+    forests: &'a [LoopForest],
+    profile: Profile,
+    frames: Vec<FrameCtx>,
+    cache: FunctionalCache,
+}
+
+impl Profiler<'_> {
+    fn pop_loop(&mut self, frame_func: FuncId, al: ActiveLoop) {
+        let entry = self
+            .profile
+            .loops
+            .entry((frame_func, al.id))
+            .or_default();
+        entry.invocations += 1;
+        entry.total_iters += al.iter + 1;
+        entry.cross_iter_dep |= al.dep_found;
+    }
+
+    fn record_access(&mut self, addr: u64, bytes: u64, is_store: bool) {
+        let frame = match self.frames.last_mut() {
+            Some(f) => f,
+            None => return,
+        };
+        for al in &mut frame.stack {
+            if al.dep_found {
+                continue;
+            }
+            let k = al.iter as i64;
+            for b in 0..bytes {
+                let e = al.mem.entry(addr + b).or_insert((-1, -1));
+                if is_store {
+                    if (e.0 >= 0 && e.0 < k) || (e.1 >= 0 && e.1 < k) {
+                        al.dep_found = true;
+                        break;
+                    }
+                    e.0 = k;
+                } else {
+                    if e.0 >= 0 && e.0 < k {
+                        al.dep_found = true;
+                        break;
+                    }
+                    e.1 = e.1.max(k);
+                }
+            }
+            if al.dep_found {
+                al.mem.clear(); // free memory; flag already latched
+            }
+        }
+    }
+}
+
+impl Observer for Profiler<'_> {
+    fn on_block(&mut self, func: FuncId, block: BlockId) {
+        *self.profile.block_counts.entry((func, block)).or_insert(0) += 1;
+        let forest = &self.forests[func.idx()];
+        let frame = self.frames.last_mut().expect("frame exists");
+        debug_assert_eq!(frame.func, func);
+        // Pop loops that no longer contain this block.
+        while let Some(top) = frame.stack.last() {
+            if forest.get(top.id).blocks.contains(&block) {
+                break;
+            }
+            let al = frame.stack.pop().expect("non-empty");
+            let f = frame.func;
+            // Reborrow dance: record after pop.
+            let entry = self.profile.loops.entry((f, al.id)).or_default();
+            entry.invocations += 1;
+            entry.total_iters += al.iter + 1;
+            entry.cross_iter_dep |= al.dep_found;
+        }
+        // Entering a header either advances or opens an invocation.
+        if let Some(lid) = forest.innermost_of(block) {
+            if forest.get(lid).header == block {
+                match frame.stack.last_mut() {
+                    Some(top) if top.id == lid => top.iter += 1,
+                    _ => frame.stack.push(ActiveLoop {
+                        id: lid,
+                        iter: 0,
+                        mem: HashMap::new(),
+                        dep_found: false,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn on_load(&mut self, at: InstRef, addr: u64, bytes: u64) {
+        let hit = self.cache.access(addr);
+        let lp = self.profile.loads.entry(at).or_default();
+        lp.accesses += 1;
+        if !hit {
+            lp.misses += 1;
+        }
+        self.record_access(addr, bytes, false);
+    }
+
+    fn on_store(&mut self, _at: InstRef, addr: u64, bytes: u64) {
+        self.cache.access(addr);
+        self.record_access(addr, bytes, true);
+    }
+
+    fn on_call(&mut self, func: FuncId) {
+        self.frames.push(FrameCtx { func, stack: Vec::new() });
+    }
+
+    fn on_ret(&mut self, _func: FuncId) {
+        let frame = self.frames.pop().expect("frame exists");
+        for al in frame.stack.into_iter().rev() {
+            self.pop_loop(frame.func, al);
+        }
+    }
+}
+
+/// Loop forests for every function of a program (computed once, shared by
+/// the profiler and the compiler).
+pub fn loop_forests(program: &Program) -> Vec<LoopForest> {
+    program
+        .funcs
+        .iter()
+        .map(|f| {
+            let cfg = Cfg::build(f);
+            let dom = Dominators::compute(&cfg);
+            LoopForest::build(&cfg, &dom)
+        })
+        .collect()
+}
+
+/// Profile a program by interpreting it.
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn profile(program: &Program, fuel: u64) -> Result<Profile, InterpError> {
+    let forests = loop_forests(program);
+    let mut p = Profiler {
+        forests: &forests,
+        profile: Profile::default(),
+        frames: Vec::new(),
+        cache: FunctionalCache::paper_l1d(),
+    };
+    let outcome = interp::run_observed(program, fuel, &mut p)?;
+    // Drain remaining frames (main halts without returning).
+    while let Some(frame) = p.frames.pop() {
+        let func = frame.func;
+        for al in frame.stack.into_iter().rev() {
+            p.pop_loop(func, al);
+        }
+    }
+    p.profile.steps = outcome.steps;
+    Ok(p.profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::loops::LoopId;
+
+    /// A DOALL-style loop: a[i] = i (independent iterations).
+    fn doall_program() -> (Program, u64) {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.data_mut().zeroed("a", 8 * 64);
+        let mut f = pb.function("main");
+        let base = f.ldi(a as i64);
+        f.counted_loop(0i64, 64i64, 1, |f, iv| {
+            let off = f.shl(iv, 3i64);
+            let addr = f.add(base, off);
+            f.store8(addr, 0, iv);
+        });
+        f.halt();
+        pb.finish_function(f);
+        (pb.finish(), a)
+    }
+
+    /// A recurrence: a[i] = a[i-1] + 1 (cross-iteration RAW).
+    fn recurrence_program() -> Program {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.data_mut().zeroed("a", 8 * 64);
+        let mut f = pb.function("main");
+        let base = f.ldi(a as i64);
+        f.counted_loop(1i64, 64i64, 1, |f, iv| {
+            let off = f.shl(iv, 3i64);
+            let addr = f.add(base, off);
+            let prev = f.load8(addr, -8);
+            let v = f.add(prev, 1i64);
+            f.store8(addr, 0, v);
+        });
+        f.halt();
+        pb.finish_function(f);
+        pb.finish()
+    }
+
+    #[test]
+    fn doall_loop_has_no_cross_dep() {
+        let (p, _) = doall_program();
+        let prof = profile(&p, 1_000_000).unwrap();
+        let lp = prof.loop_profile(p.main, LoopId(0));
+        assert_eq!(lp.invocations, 1);
+        assert_eq!(lp.total_iters, 65); // 64 body iterations + exit test
+        assert!(!lp.cross_iter_dep);
+    }
+
+    #[test]
+    fn recurrence_has_cross_dep() {
+        let p = recurrence_program();
+        let prof = profile(&p, 1_000_000).unwrap();
+        let lp = prof.loop_profile(p.main, LoopId(0));
+        assert!(lp.cross_iter_dep);
+    }
+
+    #[test]
+    fn load_misses_are_counted() {
+        // Stream through 32 KB so the 4 KB cache must miss repeatedly.
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.data_mut().zeroed("a", 32 * 1024);
+        let mut f = pb.function("main");
+        let base = f.ldi(a as i64);
+        let acc = f.ldi(0);
+        f.counted_loop(0i64, 4096i64, 1, |f, iv| {
+            let off = f.shl(iv, 3i64);
+            let addr = f.add(base, off);
+            let v = f.load8(addr, 0);
+            let s = f.add(acc, v);
+            f.mov_to(acc, s);
+        });
+        f.halt();
+        pb.finish_function(f);
+        let p = pb.finish();
+        let prof = profile(&p, 10_000_000).unwrap();
+        let total_misses: u64 = prof.loads.values().map(|l| l.misses).sum();
+        // 4096 loads * 8B = 32 KB streamed with 32B lines: 1024 misses.
+        assert!(total_misses >= 1000, "got {total_misses}");
+    }
+
+    #[test]
+    fn functional_cache_lru() {
+        let mut c = FunctionalCache::new(64, 2, 16); // 2 sets, 2 ways
+        assert!(!c.access(0)); // set 0
+        assert!(!c.access(32)); // set 0
+        assert!(c.access(0)); // hit, now MRU
+        assert!(!c.access(64)); // set 0 -> evicts 32
+        assert!(c.access(0));
+        assert!(!c.access(32));
+    }
+
+    #[test]
+    fn block_counts_accumulate() {
+        let (p, _) = doall_program();
+        let prof = profile(&p, 1_000_000).unwrap();
+        // Header executes 65 times (64 iterations + final test).
+        let max = prof.block_counts.values().max().copied().unwrap_or(0);
+        assert!(max >= 64);
+    }
+}

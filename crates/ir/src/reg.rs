@@ -1,0 +1,124 @@
+//! Typed virtual registers.
+//!
+//! HPL-PD (and hence Voltron) partitions the architectural state into four
+//! register files: general-purpose (64-bit integer), floating-point,
+//! one-bit predicate, and branch-target registers. The IR mirrors that with
+//! a class tag on every virtual register.
+
+use std::fmt;
+
+/// The register file a [`Reg`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// General-purpose 64-bit integer register (GPR).
+    Gpr,
+    /// 64-bit floating-point register (FPR).
+    Fpr,
+    /// One-bit predicate register (PR).
+    Pred,
+    /// Branch-target register (BTR), holding a block address.
+    Btr,
+}
+
+impl RegClass {
+    /// All register classes, in a stable order.
+    pub const ALL: [RegClass; 4] = [RegClass::Gpr, RegClass::Fpr, RegClass::Pred, RegClass::Btr];
+
+    /// Index of this class in [`RegClass::ALL`] (useful for per-class tables).
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Gpr => 0,
+            RegClass::Fpr => 1,
+            RegClass::Pred => 2,
+            RegClass::Btr => 3,
+        }
+    }
+
+    /// Single-letter prefix used by the pretty-printer (`r`, `f`, `p`, `b`).
+    pub fn prefix(self) -> char {
+        match self {
+            RegClass::Gpr => 'r',
+            RegClass::Fpr => 'f',
+            RegClass::Pred => 'p',
+            RegClass::Btr => 'b',
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RegClass::Gpr => "gpr",
+            RegClass::Fpr => "fpr",
+            RegClass::Pred => "pred",
+            RegClass::Btr => "btr",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A virtual register: a class plus an index within that class's file.
+///
+/// Registers are function-local. The compiler renames them per core when
+/// lowering to machine code; the IR itself never runs out of registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    /// Which register file this register lives in.
+    pub class: RegClass,
+    /// Index within the file.
+    pub index: u32,
+}
+
+impl Reg {
+    /// Create a general-purpose register.
+    pub fn gpr(index: u32) -> Reg {
+        Reg { class: RegClass::Gpr, index }
+    }
+
+    /// Create a floating-point register.
+    pub fn fpr(index: u32) -> Reg {
+        Reg { class: RegClass::Fpr, index }
+    }
+
+    /// Create a predicate register.
+    pub fn pred(index: u32) -> Reg {
+        Reg { class: RegClass::Pred, index }
+    }
+
+    /// Create a branch-target register.
+    pub fn btr(index: u32) -> Reg {
+        Reg { class: RegClass::Btr, index }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_distinct_and_match_all() {
+        for (i, c) in RegClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(Reg::gpr(3).to_string(), "r3");
+        assert_eq!(Reg::fpr(0).to_string(), "f0");
+        assert_eq!(Reg::pred(7).to_string(), "p7");
+        assert_eq!(Reg::btr(1).to_string(), "b1");
+    }
+
+    #[test]
+    fn regs_are_ordered_by_class_then_index() {
+        assert!(Reg::gpr(5) < Reg::fpr(0));
+        assert!(Reg::gpr(1) < Reg::gpr(2));
+    }
+}

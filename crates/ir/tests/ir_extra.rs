@@ -1,0 +1,205 @@
+//! Extra IR coverage: single-block loops, opcode display uniqueness,
+//! operand conversions, and interpreter behavior on edge shapes.
+
+use voltron_ir::builder::ProgramBuilder;
+use voltron_ir::cfg::{Cfg, Dominators};
+use voltron_ir::loops::LoopForest;
+use voltron_ir::{CmpCc, MemWidth, Opcode, Operand, Signedness};
+
+#[test]
+fn do_while_forms_a_self_loop_and_runs() {
+    let mut pb = ProgramBuilder::new("t");
+    let out = pb.data_mut().zeroed("out", 8);
+    let mut f = pb.function("main");
+    let i = f.ldi(0);
+    f.do_while(|f| {
+        let ni = f.add(i, 1i64);
+        f.mov_to(i, ni);
+        f.cmp(CmpCc::Lt, i, 10i64)
+    });
+    let ob = f.ldi(out as i64);
+    f.store8(ob, 0, i);
+    f.halt();
+    pb.finish_function(f);
+    let p = pb.finish();
+
+    // The loop body is one block with a back edge to itself.
+    let func = p.main_func();
+    let cfg = Cfg::build(func);
+    let dom = Dominators::compute(&cfg);
+    let forest = LoopForest::build(&cfg, &dom);
+    assert_eq!(forest.loops.len(), 1);
+    let l = &forest.loops[0];
+    assert!(l.blocks.contains(&l.header));
+    assert_eq!(l.latches, vec![l.header]);
+
+    let o = voltron_ir::interp::run(&p, 100_000).unwrap();
+    assert_eq!(o.memory.load_i64(out).unwrap(), 10);
+}
+
+#[test]
+fn opcode_mnemonics_are_unique() {
+    use std::collections::HashSet;
+    let mut ops: Vec<Opcode> = vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sar,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Mov,
+        Opcode::Ldi,
+        Opcode::Fldi,
+        Opcode::Sel,
+        Opcode::Fsel,
+        Opcode::PAnd,
+        Opcode::POr,
+        Opcode::PNot,
+        Opcode::ItoF,
+        Opcode::FtoI,
+        Opcode::PtoG,
+        Opcode::GtoP,
+        Opcode::Fadd,
+        Opcode::Fsub,
+        Opcode::Fmul,
+        Opcode::Fdiv,
+        Opcode::Fabs,
+        Opcode::Fneg,
+        Opcode::Fmin,
+        Opcode::Fmax,
+        Opcode::Fsqrt,
+        Opcode::Fload,
+        Opcode::Fstore,
+        Opcode::Fload4,
+        Opcode::Fstore4,
+        Opcode::Pbr,
+        Opcode::Br,
+        Opcode::Jump,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::Halt,
+        Opcode::Nop,
+        Opcode::Put,
+        Opcode::Get,
+        Opcode::Bcast,
+        Opcode::GetB,
+        Opcode::Send,
+        Opcode::Recv,
+        Opcode::Spawn,
+        Opcode::Sleep,
+        Opcode::ModeSwitch,
+        Opcode::Xbegin,
+        Opcode::Xcommit,
+        Opcode::Xabort,
+    ];
+    for cc in [CmpCc::Eq, CmpCc::Ne, CmpCc::Lt, CmpCc::Le, CmpCc::Gt, CmpCc::Ge, CmpCc::Ltu, CmpCc::Geu] {
+        ops.push(Opcode::Cmp(cc));
+        ops.push(Opcode::Fcmp(cc));
+    }
+    for w in [MemWidth::W1, MemWidth::W2, MemWidth::W4, MemWidth::W8] {
+        ops.push(Opcode::Store(w));
+        for s in [Signedness::Signed, Signedness::Unsigned] {
+            ops.push(Opcode::Load(w, s));
+        }
+    }
+    let mut seen = HashSet::new();
+    for op in ops {
+        let m = op.mnemonic();
+        assert!(seen.insert(m.clone()), "duplicate mnemonic {m}");
+    }
+}
+
+#[test]
+fn operand_conversions_and_accessors() {
+    let r: Operand = voltron_ir::Reg::gpr(5).into();
+    assert_eq!(r.as_reg(), Some(voltron_ir::Reg::gpr(5)));
+    assert_eq!(r.as_block(), None);
+    let i: Operand = 42i64.into();
+    assert_eq!(i.as_reg(), None);
+    let f: Operand = 2.5f64.into();
+    assert!(matches!(f, Operand::FImm(v) if v == 2.5));
+    let c = Operand::Core(3);
+    assert_eq!(c.as_core(), Some(3));
+}
+
+#[test]
+fn unsigned_and_subword_memory_ops_interpret_correctly() {
+    let mut pb = ProgramBuilder::new("t");
+    let buf = pb.data_mut().array_u8("buf", &[0xff, 0x80, 0x01, 0x00]);
+    let out = pb.data_mut().zeroed("out", 40);
+    let mut f = pb.function("main");
+    let b = f.ldi(buf as i64);
+    let o = f.ldi(out as i64);
+    let su = f.load1u(b, 0); // 255
+    let ss = f.load1(b, 0); // -1
+    let wu = f.load2u(b, 0); // 0x80ff
+    let ws = f.load2(b, 0); // sign-extended 0x80ff -> negative
+    f.store8(o, 0, su);
+    f.store8(o, 8, ss);
+    f.store8(o, 16, wu);
+    f.store8(o, 24, ws);
+    f.store2(o, 32, 0x1234i64);
+    f.halt();
+    pb.finish_function(f);
+    let p = pb.finish();
+    let m = voltron_ir::interp::run(&p, 1000).unwrap().memory;
+    assert_eq!(m.load_i64(out).unwrap(), 255);
+    assert_eq!(m.load_i64(out + 8).unwrap(), -1);
+    assert_eq!(m.load_i64(out + 16).unwrap(), 0x80ff);
+    assert_eq!(m.load_i64(out + 24).unwrap(), 0x80ffu16 as i16 as i64);
+    assert_eq!(m.load_uint(out + 32, 2).unwrap(), 0x1234);
+}
+
+#[test]
+fn predicate_logic_and_conversions_interpret() {
+    let mut pb = ProgramBuilder::new("t");
+    let out = pb.data_mut().zeroed("out", 24);
+    let mut f = pb.function("main");
+    let a = f.cmp(CmpCc::Lt, 1i64, 2i64); // true
+    let b = f.cmp(CmpCc::Gt, 1i64, 2i64); // false
+    let and = f.pand(a, b);
+    let or = f.por(a, b);
+    let not = f.pnot(a);
+    let o = f.ldi(out as i64);
+    let g1 = f.ptog(and);
+    let g2 = f.ptog(or);
+    let g3 = f.ptog(not);
+    f.store8(o, 0, g1);
+    f.store8(o, 8, g2);
+    f.store8(o, 16, g3);
+    f.halt();
+    pb.finish_function(f);
+    let p = pb.finish();
+    let m = voltron_ir::interp::run(&p, 1000).unwrap().memory;
+    assert_eq!(m.load_i64(out).unwrap(), 0);
+    assert_eq!(m.load_i64(out + 8).unwrap(), 1);
+    assert_eq!(m.load_i64(out + 16).unwrap(), 0);
+}
+
+#[test]
+fn float_conversions_round_trip() {
+    let mut pb = ProgramBuilder::new("t");
+    let out = pb.data_mut().zeroed("out", 16);
+    let mut f = pb.function("main");
+    let i = f.ldi(-7);
+    let x = f.itof(i);
+    let two = f.fldi(2.0);
+    let y = f.fdiv(x, two);
+    let j = f.ftoi(y); // trunc(-3.5) = -3
+    let o = f.ldi(out as i64);
+    f.store8(o, 0, j);
+    f.fstore(o, 8, y);
+    f.halt();
+    pb.finish_function(f);
+    let p = pb.finish();
+    let m = voltron_ir::interp::run(&p, 1000).unwrap().memory;
+    assert_eq!(m.load_i64(out).unwrap(), -3);
+    assert_eq!(m.load_f64(out + 8).unwrap(), -3.5);
+}

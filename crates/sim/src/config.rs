@@ -1,0 +1,189 @@
+//! Machine configuration.
+
+/// Configuration of the simulated Voltron machine.
+///
+/// Defaults ([`MachineConfig::paper`]) follow the paper's experimental
+/// setup (§5.1): single-issue cores, 4 KB 2-way L1 I/D caches, a shared
+/// 128 KB 4-way L2, Itanium-like operation latencies, a 1 cycle/hop direct
+/// operand network and a 2 + hops queue network, and bus-based MOESI
+/// snooping coherence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores (1, 2 or 4; the mesh is 1x1, 2x1 or 2x2).
+    pub cores: usize,
+    /// L1 data cache size in bytes.
+    pub l1d_size: u64,
+    /// L1 data cache associativity.
+    pub l1d_assoc: usize,
+    /// L1 instruction cache size in bytes.
+    pub l1i_size: u64,
+    /// L1 instruction cache associativity.
+    pub l1i_assoc: usize,
+    /// Shared L2 size in bytes.
+    pub l2_size: u64,
+    /// Shared L2 associativity.
+    pub l2_assoc: usize,
+    /// Cache line size in bytes (all levels).
+    pub line_size: u64,
+    /// L1 load-to-use latency on a hit, in cycles.
+    pub l1_hit_latency: u32,
+    /// Bus occupancy + fill latency when the L2 supplies a line.
+    pub l2_latency: u64,
+    /// Bus occupancy + fill latency for a cache-to-cache transfer.
+    pub c2c_latency: u64,
+    /// Bus occupancy + fill latency when main memory supplies a line.
+    pub mem_latency: u64,
+    /// Extra bus occupancy when a fill evicts a dirty line.
+    pub writeback_penalty: u64,
+    /// Store buffer entries per core.
+    pub store_buffer_entries: usize,
+    /// Send/receive queue depth of the queue-mode operand network.
+    pub queue_depth: usize,
+    /// Cycles to enqueue into the send queue plus dequeue at the receiver
+    /// (the "2" in the paper's 2 + hops queue-mode latency).
+    pub queue_overhead: u64,
+    /// Per-hop network latency (both modes), cycles.
+    pub hop_latency: u64,
+    /// Whether the direct-mode (1 cycle/hop) network exists. Disabling it
+    /// is the dual-mode-network ablation: coupled-mode code then pays
+    /// queue-mode latency for every operand transfer.
+    pub direct_network: bool,
+    /// Base bus occupancy of a transactional commit.
+    pub tm_commit_base: u64,
+    /// Extra bus occupancy per committed line.
+    pub tm_commit_per_line: u64,
+    /// Cycles without any core issuing before the machine declares
+    /// deadlock.
+    pub deadlock_window: u64,
+    /// Hard cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's configuration for `cores` cores.
+    ///
+    /// # Panics
+    /// Panics unless `cores` is 1, 2, or 4.
+    pub fn paper(cores: usize) -> MachineConfig {
+        assert!(
+            matches!(cores, 1 | 2 | 4),
+            "the evaluation uses 1-, 2- or 4-core machines (got {cores})"
+        );
+        MachineConfig {
+            cores,
+            l1d_size: 4 * 1024,
+            l1d_assoc: 2,
+            l1i_size: 4 * 1024,
+            l1i_assoc: 2,
+            l2_size: 128 * 1024,
+            l2_assoc: 4,
+            line_size: 32,
+            l1_hit_latency: 2,
+            l2_latency: 12,
+            c2c_latency: 8,
+            mem_latency: 120,
+            writeback_penalty: 2,
+            store_buffer_entries: 8,
+            queue_depth: 16,
+            queue_overhead: 2,
+            hop_latency: 1,
+            direct_network: true,
+            tm_commit_base: 6,
+            tm_commit_per_line: 1,
+            deadlock_window: 50_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Mesh width (cores per row): 1, 2 or 2.
+    pub fn mesh_width(&self) -> usize {
+        if self.cores <= 1 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Grid coordinates of a core.
+    pub fn coords(&self, core: usize) -> (usize, usize) {
+        let w = self.mesh_width();
+        (core % w, core / w)
+    }
+
+    /// Manhattan hop distance between two cores.
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// The neighbor of `core` in direction `d`, if it exists.
+    pub fn neighbor(&self, core: usize, d: voltron_ir::Dir) -> Option<usize> {
+        use voltron_ir::Dir;
+        let w = self.mesh_width();
+        let h = self.cores.div_ceil(w);
+        let (x, y) = self.coords(core);
+        let (nx, ny) = match d {
+            Dir::East => (x + 1, y),
+            Dir::West => (x.wrapping_sub(1), y),
+            Dir::South => (x, y + 1),
+            Dir::North => (x, y.wrapping_sub(1)),
+        };
+        if nx < w && ny < h {
+            let n = ny * w + nx;
+            if n < self.cores && n != core {
+                return Some(n);
+            }
+        }
+        None
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::paper(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltron_ir::Dir;
+
+    #[test]
+    fn four_core_mesh_is_2x2() {
+        let c = MachineConfig::paper(4);
+        assert_eq!(c.coords(0), (0, 0));
+        assert_eq!(c.coords(1), (1, 0));
+        assert_eq!(c.coords(2), (0, 1));
+        assert_eq!(c.coords(3), (1, 1));
+        assert_eq!(c.hops(0, 3), 2);
+        assert_eq!(c.hops(0, 1), 1);
+        assert_eq!(c.hops(1, 2), 2);
+    }
+
+    #[test]
+    fn neighbors_in_2x2() {
+        let c = MachineConfig::paper(4);
+        assert_eq!(c.neighbor(0, Dir::East), Some(1));
+        assert_eq!(c.neighbor(0, Dir::South), Some(2));
+        assert_eq!(c.neighbor(0, Dir::West), None);
+        assert_eq!(c.neighbor(3, Dir::North), Some(1));
+        assert_eq!(c.neighbor(3, Dir::West), Some(2));
+    }
+
+    #[test]
+    fn two_core_mesh_is_1x2() {
+        let c = MachineConfig::paper(2);
+        assert_eq!(c.hops(0, 1), 1);
+        assert_eq!(c.neighbor(0, Dir::East), Some(1));
+        assert_eq!(c.neighbor(1, Dir::West), Some(0));
+        assert_eq!(c.neighbor(0, Dir::South), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-, 2- or 4-core")]
+    fn odd_core_counts_rejected() {
+        MachineConfig::paper(3);
+    }
+}

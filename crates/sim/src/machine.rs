@@ -1,0 +1,1258 @@
+//! The Voltron machine: cores, lock-step coupled execution, decoupled
+//! fine-grain threads, mode switching, and the cycle loop.
+//!
+//! Cores are single-issue and statically scheduled. A register scoreboard
+//! enforces operand readiness (LEQ semantics with hardware interlocks), so
+//! scheduling bugs can only cost cycles, never correctness. In coupled
+//! mode all cores issue in lock-step and any member's stall stalls the
+//! group (the 1-bit stall bus); in decoupled mode each core stalls
+//! independently.
+
+use crate::config::MachineConfig;
+use crate::mcode::{MachineProgram, RegionId, REGION_OUTSIDE};
+use crate::memsys::{Completion, LoadOutcome, MemSys};
+use crate::network::{OperandNetwork, Payload};
+use crate::stats::{CoreStats, MachineStats, StallReason};
+use crate::tm::TxnManager;
+use crate::trace::{TraceEvent, Tracer};
+use std::fmt;
+use std::sync::Arc;
+use voltron_ir::interp::{eval_operand, RegFile};
+use voltron_ir::{
+    semantics, BlockId, ExecMode, Inst, MemError, Memory, Opcode, Operand, Reg, RegClass, Value,
+};
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// No core made progress for the deadlock window; carries a state
+    /// dump for diagnosis.
+    Deadlock {
+        /// The cycle at which deadlock was declared.
+        cycle: u64,
+        /// Human-readable machine state.
+        dump: String,
+    },
+    /// The cycle cap was reached.
+    MaxCycles(u64),
+    /// A memory access faulted.
+    Mem(MemError),
+    /// The machine code is malformed.
+    Malformed(String),
+    /// An illegal network operation (e.g. PUT off the mesh).
+    Network(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, dump } => {
+                write!(f, "deadlock at cycle {cycle}:\n{dump}")
+            }
+            SimError::MaxCycles(c) => write!(f, "exceeded max cycles ({c})"),
+            SimError::Mem(e) => write!(f, "memory fault: {e}"),
+            SimError::Malformed(m) => write!(f, "malformed machine code: {m}"),
+            SimError::Network(m) => write!(f, "network error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> SimError {
+        SimError::Mem(e)
+    }
+}
+
+/// Result of a successful run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Final data memory (compare against the interpreter's).
+    pub memory: Memory,
+    /// All statistics.
+    pub stats: MachineStats,
+    /// Cores still running when the master halted (compiler bug
+    /// indicator; empty in correct executions).
+    pub stragglers: Vec<usize>,
+    /// The installed tracer's rendering (empty string without one).
+    pub trace: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    Running,
+    Idle,
+    Halted,
+    AtSwitch(ExecMode),
+    WaitBus,
+}
+
+#[derive(Debug, Clone)]
+struct Snapshot {
+    regs: RegFile,
+    pc: (usize, usize),
+}
+
+#[derive(Debug)]
+struct Core {
+    state: CoreState,
+    pc: (usize, usize),
+    regs: RegFile,
+    /// Cycle at which each register's value is available; `u64::MAX`
+    /// marks a pending (in-flight load) result.
+    ready: [Vec<u64>; 4],
+    epoch: u64,
+    pending_load: bool,
+    snapshot: Option<Snapshot>,
+}
+
+impl Core {
+    fn new(counts: [u32; 4]) -> Core {
+        Core {
+            state: CoreState::Idle,
+            pc: (0, 0),
+            regs: RegFile::new(counts),
+            ready: [
+                vec![0; counts[0] as usize],
+                vec![0; counts[1] as usize],
+                vec![0; counts[2] as usize],
+                vec![0; counts[3] as usize],
+            ],
+            epoch: 0,
+            pending_load: false,
+            snapshot: None,
+        }
+    }
+
+    fn ready_at(&self, r: Reg) -> u64 {
+        self.ready[r.class.index()][r.index as usize]
+    }
+
+    fn set_ready(&mut self, r: Reg, at: u64) {
+        self.ready[r.class.index()][r.index as usize] = at;
+    }
+
+    fn clear_scoreboard(&mut self) {
+        for bank in &mut self.ready {
+            bank.iter_mut().for_each(|t| *t = 0);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Issue,
+    Stall(StallReason),
+    StartThread,
+    Quiet,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    program: Arc<MachineProgram>,
+    offsets: Vec<Vec<u64>>,
+    cores: Vec<Core>,
+    memsys: MemSys,
+    net: OperandNetwork,
+    tm: TxnManager,
+    memory: Memory,
+    mode: ExecMode,
+    cycle: u64,
+    last_progress: u64,
+    core_stats: Vec<CoreStats>,
+    region_cycles: std::collections::HashMap<RegionId, u64>,
+    coupled_cycles: u64,
+    decoupled_cycles: u64,
+    spawns: u64,
+    mode_switches: u64,
+    dynamic_insts: u64,
+    tracer: Option<Box<dyn Tracer>>,
+}
+
+impl Machine {
+    /// Boot a machine for `program` under `cfg`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Malformed`] when the image count mismatches the
+    /// configuration or the machine code fails its structural check.
+    pub fn new(program: MachineProgram, cfg: &MachineConfig) -> Result<Machine, SimError> {
+        if program.cores.len() != cfg.cores {
+            return Err(SimError::Malformed(format!(
+                "program compiled for {} cores, machine has {}",
+                program.cores.len(),
+                cfg.cores
+            )));
+        }
+        program.check().map_err(SimError::Malformed)?;
+        let memory = Memory::from_data(&program.data);
+        let offsets: Vec<Vec<u64>> = program.cores.iter().map(|c| c.block_offsets()).collect();
+        let mut cores: Vec<Core> = program.cores.iter().map(|c| Core::new(c.reg_counts())).collect();
+        cores[0].state = CoreState::Running;
+        let n = cfg.cores;
+        Ok(Machine {
+            program: Arc::new(program),
+            offsets,
+            cores,
+            memsys: MemSys::new(cfg),
+            net: OperandNetwork::new(cfg),
+            tm: TxnManager::new(n, cfg.line_size),
+            memory,
+            mode: ExecMode::Decoupled,
+            cycle: 0,
+            last_progress: 0,
+            core_stats: vec![CoreStats::default(); n],
+            region_cycles: std::collections::HashMap::new(),
+            coupled_cycles: 0,
+            decoupled_cycles: 0,
+            spawns: 0,
+            mode_switches: 0,
+            dynamic_insts: 0,
+            tracer: None,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Install an execution tracer (see [`crate::trace`]).
+    pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
+        self.tracer = Some(t);
+    }
+
+    /// Remove and return the tracer (to inspect what it captured).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    fn trace(&mut self, e: TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.event(e);
+        }
+    }
+
+    /// Run to completion (master core `HALT`).
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        while self.cores[0].state != CoreState::Halted {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::MaxCycles(self.cfg.max_cycles));
+            }
+            self.tick()?;
+        }
+        // Execution time is the master's halt cycle; workers may still be
+        // a few instructions from their SLEEP (the master does not wait
+        // for the final join-token-to-sleep race). Drain briefly so the
+        // straggler check only flags genuinely stuck cores.
+        let exec_cycles = self.cycle;
+        let mut grace = 0u32;
+        while grace < 2_000
+            && self
+                .cores
+                .iter()
+                .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle))
+        {
+            self.tick()?;
+            grace += 1;
+        }
+        self.cycle = exec_cycles;
+        let stragglers: Vec<usize> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                !matches!(c.state, CoreState::Halted | CoreState::Idle)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let stats = MachineStats {
+            cycles: self.cycle,
+            coupled_cycles: self.coupled_cycles,
+            decoupled_cycles: self.decoupled_cycles,
+            region_cycles: self.region_cycles,
+            cores: self.core_stats,
+            mem: self.memsys.stats(),
+            net: self.net.stats(),
+            tm: self.tm.stats(),
+            spawns: self.spawns,
+            mode_switches: self.mode_switches,
+            dynamic_insts: self.dynamic_insts,
+        };
+        let trace = self.tracer.as_ref().map(|t| t.render()).unwrap_or_default();
+        Ok(RunOutcome { memory: self.memory, stats, stragglers, trace })
+    }
+
+    fn inst_addr(&self, core: usize) -> u64 {
+        let (b, s) = self.cores[core].pc;
+        crate::mcode::CoreImage::base(core) + (self.offsets[core][b] + s as u64) * 4
+    }
+
+    /// Normalize `pc` so it points at a real instruction (skipping empty
+    /// blocks, which a branch may legally target).
+    fn normalize_pc(&mut self, core: usize) -> Result<(), SimError> {
+        let image = &self.program.cores[core];
+        let (mut b, mut s) = self.cores[core].pc;
+        while b < image.blocks.len() && s >= image.blocks[b].insts.len() {
+            b += 1;
+            s = 0;
+        }
+        if b >= image.blocks.len() {
+            return Err(SimError::Malformed(format!(
+                "core {core} ran off the end of its image"
+            )));
+        }
+        self.cores[core].pc = (b, s);
+        Ok(())
+    }
+
+    /// Normalize `pc` to the next instruction, skipping empty blocks.
+    fn advance_pc(&mut self, core: usize) -> Result<(), SimError> {
+        let image = &self.program.cores[core];
+        let (mut b, mut s) = self.cores[core].pc;
+        s += 1;
+        while b < image.blocks.len() && s >= image.blocks[b].insts.len() {
+            // Fallthrough beyond a block that ends unconditionally is a
+            // malformed image; `MachineProgram::check` prevented targets
+            // out of range, and blocks that end a region end with
+            // jump/halt/sleep which never reach here.
+            b += 1;
+            s = 0;
+        }
+        if b >= image.blocks.len() {
+            return Err(SimError::Malformed(format!(
+                "core {core} ran off the end of its image"
+            )));
+        }
+        self.cores[core].pc = (b, s);
+        Ok(())
+    }
+
+    fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "mode: {}", self.mode);
+        for (i, c) in self.cores.iter().enumerate() {
+            let (b, sl) = c.pc;
+            let name = self
+                .program
+                .cores[i]
+                .blocks
+                .get(b)
+                .map(|blk| blk.name.as_str())
+                .unwrap_or("?");
+            let inst = self
+                .program
+                .cores[i]
+                .blocks
+                .get(b)
+                .and_then(|blk| blk.insts.get(sl))
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "?".into());
+            let _ = writeln!(
+                s,
+                "  core {i}: {:?} at bb{b}[{sl}] <{name}> next `{inst}` txn={}",
+                c.state,
+                self.tm.active(i)
+            );
+        }
+        s
+    }
+
+    fn try_mode_switch(&mut self) -> Result<(), SimError> {
+        let mut target: Option<ExecMode> = None;
+        for c in &self.cores {
+            match c.state {
+                CoreState::AtSwitch(m) => match target {
+                    None => target = Some(m),
+                    Some(t) if t == m => {}
+                    Some(t) => {
+                        return Err(SimError::Malformed(format!(
+                            "cores disagree on mode switch target ({t} vs {m})"
+                        )))
+                    }
+                },
+                _ => return Ok(()),
+            }
+        }
+        let m = target.expect("at least one core");
+        self.mode = m;
+        self.mode_switches += 1;
+        let cyc = self.cycle;
+        self.trace(TraceEvent::ModeSwitch { cycle: cyc, mode: m });
+        for i in 0..self.cores.len() {
+            self.cores[i].state = CoreState::Running;
+            self.advance_pc(i)?;
+        }
+        Ok(())
+    }
+
+    fn check_core(&mut self, i: usize) -> Decision {
+        let now = self.cycle;
+        match self.cores[i].state {
+            CoreState::Halted => Decision::Quiet,
+            CoreState::Idle => {
+                if self.net.has_spawn(i, now) {
+                    Decision::StartThread
+                } else {
+                    Decision::Quiet
+                }
+            }
+            CoreState::AtSwitch(_) | CoreState::WaitBus => Decision::Stall(StallReason::Sync),
+            CoreState::Running => {
+                let addr = self.inst_addr(i);
+                if !self.memsys.ifetch(i, addr) {
+                    return Decision::Stall(StallReason::IFetch);
+                }
+                let core = &self.cores[i];
+                let program = Arc::clone(&self.program);
+                let (b, s) = core.pc;
+                let inst = &program.cores[i].blocks[b].insts[s];
+                // Scoreboard: sources, guard, and destination (WAW).
+                let mut pending = false;
+                let mut not_ready = false;
+                let mut scan = |t: u64| {
+                    if t == u64::MAX {
+                        pending = true;
+                    } else if t > now {
+                        not_ready = true;
+                    }
+                };
+                for r in inst.uses() {
+                    scan(core.ready_at(r));
+                }
+                if let Some(d) = inst.dst {
+                    scan(core.ready_at(d));
+                }
+                if pending {
+                    return Decision::Stall(StallReason::DMiss);
+                }
+                if not_ready {
+                    return Decision::Stall(StallReason::Interlock);
+                }
+                // A nullified instruction consumes its slot, nothing else.
+                if let Some(g) = inst.guard {
+                    if !core.regs.read(g).as_pred() {
+                        return Decision::Issue;
+                    }
+                }
+                match inst.op {
+                    Opcode::Load(..) | Opcode::Fload | Opcode::Fload4 => {
+                        if core.pending_load {
+                            Decision::Stall(StallReason::DMiss)
+                        } else {
+                            Decision::Issue
+                        }
+                    }
+                    Opcode::Store(_) | Opcode::Fstore | Opcode::Fstore4 => {
+                        if !self.tm.active(i) && self.memsys.store_buffer_full(i) {
+                            Decision::Stall(StallReason::StoreBuf)
+                        } else {
+                            Decision::Issue
+                        }
+                    }
+                    Opcode::Put => {
+                        let d = match inst.srcs[1] {
+                            Operand::Dir(d) => d,
+                            _ => return Decision::Issue, // verified earlier
+                        };
+                        if self.net.can_put(i, d) {
+                            Decision::Issue
+                        } else {
+                            Decision::Stall(StallReason::DirectWait)
+                        }
+                    }
+                    Opcode::Get => {
+                        let d = match inst.srcs[0] {
+                            Operand::Dir(d) => d,
+                            _ => return Decision::Issue,
+                        };
+                        if self.net.can_get(i, d, now) {
+                            Decision::Issue
+                        } else {
+                            Decision::Stall(StallReason::DirectWait)
+                        }
+                    }
+                    Opcode::Bcast => {
+                        if self.net.can_bcast(i) {
+                            Decision::Issue
+                        } else {
+                            Decision::Stall(StallReason::DirectWait)
+                        }
+                    }
+                    Opcode::GetB => {
+                        if self.net.can_getb(i, now) {
+                            Decision::Issue
+                        } else {
+                            Decision::Stall(StallReason::DirectWait)
+                        }
+                    }
+                    Opcode::Send | Opcode::Spawn => {
+                        if self.net.can_send(i) {
+                            Decision::Issue
+                        } else {
+                            Decision::Stall(StallReason::SendFull)
+                        }
+                    }
+                    Opcode::Recv => {
+                        let from = inst.srcs[0].as_core().unwrap_or(0) as usize;
+                        let tag = recv_tag(inst);
+                        if self.net.can_recv(i, from, tag, now) {
+                            Decision::Issue
+                        } else if tag == crate::network::TAG_JOIN {
+                            Decision::Stall(StallReason::Sync)
+                        } else if inst.dst.map(|d| d.class) == Some(RegClass::Pred) {
+                            Decision::Stall(StallReason::RecvPred)
+                        } else {
+                            Decision::Stall(StallReason::RecvData)
+                        }
+                    }
+                    Opcode::Xcommit => {
+                        if self.tm.can_commit(i) {
+                            Decision::Issue
+                        } else {
+                            Decision::Stall(StallReason::Sync)
+                        }
+                    }
+                    _ => Decision::Issue,
+                }
+            }
+        }
+    }
+
+    fn eval(&self, core: usize, op: Operand) -> Result<Value, SimError> {
+        eval_operand(&self.cores[core].regs, op)
+            .map_err(|e| SimError::Malformed(format!("core {core}: {e}")))
+    }
+
+    fn restore_core(&mut self, i: usize) {
+        let snap = self.cores[i]
+            .snapshot
+            .take()
+            .expect("aborted transaction must have a snapshot");
+        let core = &mut self.cores[i];
+        core.regs = snap.regs;
+        core.pc = snap.pc;
+        core.clear_scoreboard();
+        core.pending_load = false;
+        core.epoch += 1;
+        core.state = CoreState::Running;
+    }
+
+    /// Execute a load's functional read (through the TM when live).
+    fn functional_load(&mut self, i: usize, addr: u64, width: u64) -> Result<u64, SimError> {
+        let committed = self.memory.load_uint(addr, width)?;
+        if self.tm.active(i) {
+            Ok(self.tm.read(i, addr, width, committed))
+        } else {
+            Ok(committed)
+        }
+    }
+
+    fn functional_store(&mut self, i: usize, addr: u64, width: u64, v: u64) -> Result<(), SimError> {
+        if self.tm.active(i) {
+            // Validate the range without writing (faults surface now).
+            self.memory.load_uint(addr, width)?;
+            self.tm.write(i, addr, width, v);
+        } else {
+            self.memory.store_uint(addr, width, v)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_core(&mut self, i: usize) -> Result<(), SimError> {
+        let now = self.cycle;
+        let program = Arc::clone(&self.program);
+        let (b, s) = self.cores[i].pc;
+        let inst = &program.cores[i].blocks[b].insts[s];
+        self.dynamic_insts += 1;
+        if inst.op == Opcode::Nop {
+            self.core_stats[i].nops += 1;
+        } else {
+            self.core_stats[i].issued += 1;
+        }
+        if self.tracer.is_some() && inst.op != Opcode::Nop {
+            let block = self.program.cores[i].blocks[b].name.clone();
+            let rendered = inst.to_string();
+            self.trace(TraceEvent::Issue { cycle: now, core: i, block, inst: rendered });
+        }
+
+        // Nullified by guard: slot consumed, no effects.
+        if let Some(g) = inst.guard {
+            if !self.cores[i].regs.read(g).as_pred() {
+                return self.advance_pc(i);
+            }
+        }
+
+        use Opcode::*;
+        match inst.op {
+            // ---- control ----
+            Br | Jump => {
+                let taken = if inst.op == Jump {
+                    true
+                } else {
+                    let p = inst.srcs[1].as_reg().expect("verified br predicate");
+                    self.cores[i].regs.read(p).as_pred()
+                };
+                if taken {
+                    let target = match inst.srcs[0] {
+                        Operand::Block(t) => t,
+                        Operand::Reg(r) if r.class == RegClass::Btr => {
+                            self.cores[i].regs.read(r).as_target()
+                        }
+                        _ => {
+                            return Err(SimError::Malformed(format!(
+                                "core {i}: branch without target"
+                            )))
+                        }
+                    };
+                    self.cores[i].pc = (target.idx(), 0);
+                    return Ok(());
+                }
+                return self.advance_pc(i);
+            }
+            Halt => {
+                self.cores[i].state = CoreState::Halted;
+                self.trace(TraceEvent::Halt { cycle: now, core: i });
+                return Ok(());
+            }
+            Sleep => {
+                self.cores[i].state = CoreState::Idle;
+                return Ok(());
+            }
+            ModeSwitch => {
+                let m = match inst.srcs[0] {
+                    Operand::Mode(m) => m,
+                    _ => return Err(SimError::Malformed("mode switch without mode".into())),
+                };
+                self.cores[i].state = CoreState::AtSwitch(m);
+                return Ok(()); // pc advances when the barrier resolves
+            }
+            Call | Ret => {
+                return Err(SimError::Malformed(format!(
+                    "core {i}: {} in machine code (inliner bug)",
+                    inst.op
+                )))
+            }
+
+            // ---- memory ----
+            Load(w, sgn) => {
+                let base = self.eval(i, inst.srcs[0])?.as_int() as u64;
+                let off = self.eval(i, inst.srcs[1])?.as_int();
+                let addr = base.wrapping_add(off as u64);
+                let raw = self.functional_load(i, addr, w.bytes())?;
+                let dst = inst.dst.expect("verified load dst");
+                let val = semantics::extend_load(raw, w.bytes(), sgn);
+                self.cores[i].regs.write(dst, Value::Int(val));
+                self.issue_load_timing(i, addr, dst);
+            }
+            Fload => {
+                let base = self.eval(i, inst.srcs[0])?.as_int() as u64;
+                let off = self.eval(i, inst.srcs[1])?.as_int();
+                let addr = base.wrapping_add(off as u64);
+                let raw = self.functional_load(i, addr, 8)?;
+                let dst = inst.dst.expect("verified fload dst");
+                self.cores[i].regs.write(dst, Value::Float(f64::from_bits(raw)));
+                self.issue_load_timing(i, addr, dst);
+            }
+            Fload4 => {
+                let base = self.eval(i, inst.srcs[0])?.as_int() as u64;
+                let off = self.eval(i, inst.srcs[1])?.as_int();
+                let addr = base.wrapping_add(off as u64);
+                let raw = self.functional_load(i, addr, 4)? as u32;
+                let dst = inst.dst.expect("verified fload4 dst");
+                self.cores[i]
+                    .regs
+                    .write(dst, Value::Float(f64::from(f32::from_bits(raw))));
+                self.issue_load_timing(i, addr, dst);
+            }
+            Store(w) => {
+                let base = self.eval(i, inst.srcs[0])?.as_int() as u64;
+                let off = self.eval(i, inst.srcs[1])?.as_int();
+                let v = self.eval(i, inst.srcs[2])?.as_int() as u64;
+                let addr = base.wrapping_add(off as u64);
+                self.functional_store(i, addr, w.bytes(), v)?;
+                self.issue_store_timing(i, addr, w.bytes());
+            }
+            Fstore => {
+                let base = self.eval(i, inst.srcs[0])?.as_int() as u64;
+                let off = self.eval(i, inst.srcs[1])?.as_int();
+                let v = self.eval(i, inst.srcs[2])?.as_float();
+                let addr = base.wrapping_add(off as u64);
+                self.functional_store(i, addr, 8, v.to_bits())?;
+                self.issue_store_timing(i, addr, 8);
+            }
+            Fstore4 => {
+                let base = self.eval(i, inst.srcs[0])?.as_int() as u64;
+                let off = self.eval(i, inst.srcs[1])?.as_int();
+                let v = self.eval(i, inst.srcs[2])?.as_float() as f32;
+                let addr = base.wrapping_add(off as u64);
+                self.functional_store(i, addr, 4, u64::from(v.to_bits()))?;
+                self.issue_store_timing(i, addr, 4);
+            }
+
+            // ---- operand network ----
+            Put => {
+                let v = self.eval(i, inst.srcs[0])?;
+                let d = match inst.srcs[1] {
+                    Operand::Dir(d) => d,
+                    _ => return Err(SimError::Malformed("put without direction".into())),
+                };
+                let ok = self.net.put(i, d, v, now).map_err(SimError::Network)?;
+                debug_assert!(ok, "checked can_put before issue");
+            }
+            Get => {
+                let d = match inst.srcs[0] {
+                    Operand::Dir(d) => d,
+                    _ => return Err(SimError::Malformed("get without direction".into())),
+                };
+                let v = self
+                    .net
+                    .get(i, d, now)
+                    .ok_or_else(|| SimError::Network(format!("core {i}: GET on empty latch")))?;
+                let dst = inst.dst.expect("verified get dst");
+                self.write_value(i, dst, v, now + 1)?;
+            }
+            Bcast => {
+                let v = self.eval(i, inst.srcs[0])?;
+                let ok = self.net.bcast(i, v, now);
+                debug_assert!(ok, "checked can_bcast before issue");
+            }
+            GetB => {
+                let v = self
+                    .net
+                    .getb(i, now)
+                    .ok_or_else(|| SimError::Network(format!("core {i}: GETB on empty latch")))?;
+                let dst = inst.dst.expect("verified getb dst");
+                self.write_value(i, dst, v, now + 1)?;
+            }
+            Send => {
+                let v = self.eval(i, inst.srcs[0])?;
+                let to = inst.srcs[1].as_core().expect("verified send target") as usize;
+                let tag = send_tag(inst);
+                let ok = self.net.send(i, to, tag, Payload::Data(v), now);
+                debug_assert!(ok, "checked can_send before issue");
+            }
+            Recv => {
+                let from = inst.srcs[0].as_core().expect("verified recv source") as usize;
+                let tag = recv_tag(inst);
+                let v = self.net.recv(i, from, tag, now).ok_or_else(|| {
+                    SimError::Network(format!("core {i}: RECV raced an empty queue"))
+                })?;
+                let dst = inst.dst.expect("verified recv dst");
+                self.write_value(i, dst, v, now + 1)?;
+            }
+            Spawn => {
+                let to = inst.srcs[0].as_core().expect("verified spawn target") as usize;
+                let blk = inst.srcs[1].as_block().expect("verified spawn block");
+                let ok = self.net.send(i, to, 0, Payload::Spawn(blk), now);
+                debug_assert!(ok, "checked can_send before issue");
+            }
+
+            // ---- transactional memory ----
+            Xbegin => {
+                let order = self.eval(i, inst.srcs[0])?.as_int();
+                let snap = Snapshot { regs: self.cores[i].regs.clone(), pc: self.cores[i].pc };
+                self.cores[i].snapshot = Some(snap);
+                self.tm.begin(i, order as u32);
+            }
+            Xcommit => {
+                let mut fault: Option<MemError> = None;
+                let mem = &mut self.memory;
+                let (lines, aborted) = self.tm.commit(i, |a, byte| {
+                    if let Err(e) = mem.store_uint(a, 1, u64::from(byte)) {
+                        fault.get_or_insert(e);
+                    }
+                });
+                if let Some(e) = fault {
+                    return Err(SimError::Mem(e));
+                }
+                self.cores[i].snapshot = None;
+                self.trace(TraceEvent::TmCommit { cycle: now, core: i, lines: lines.len() });
+                for c in aborted {
+                    self.restore_core(c);
+                    self.trace(TraceEvent::TmAbort { cycle: now, core: c });
+                }
+                if !lines.is_empty() {
+                    self.memsys.enqueue_tm_commit(i, lines);
+                    self.cores[i].state = CoreState::WaitBus;
+                }
+            }
+            Xabort => {
+                self.tm.abort(i);
+                self.restore_core(i);
+                return Ok(()); // pc restored to the XBEGIN
+            }
+
+            // ---- everything else shares the interpreter's semantics ----
+            _ => {
+                let core = &mut self.cores[i];
+                let at = voltron_ir::InstRef {
+                    func: voltron_ir::FuncId(0),
+                    block: BlockId(b as u32),
+                    index: s,
+                };
+                voltron_ir::interp::exec_inst(
+                    inst,
+                    at,
+                    &mut core.regs,
+                    &mut self.memory,
+                    &mut voltron_ir::interp::NoObserver,
+                )
+                .map_err(|e| SimError::Malformed(format!("core {i}: {e}")))?;
+                if let Some(d) = inst.dst {
+                    core.set_ready(d, now + u64::from(inst.op.latency()));
+                }
+            }
+        }
+        self.advance_pc(i)
+    }
+
+    fn write_value(&mut self, i: usize, dst: Reg, v: Value, ready: u64) -> Result<(), SimError> {
+        if v.class() != dst.class {
+            return Err(SimError::Malformed(format!(
+                "core {i}: network value {v:?} written to {dst} of class {}",
+                dst.class
+            )));
+        }
+        self.cores[i].regs.write(dst, v);
+        self.cores[i].set_ready(dst, ready);
+        Ok(())
+    }
+
+    fn issue_load_timing(&mut self, i: usize, addr: u64, dst: Reg) {
+        let now = self.cycle;
+        match self.memsys.load(i, addr, dst, self.cores[i].epoch) {
+            LoadOutcome::Hit => {
+                self.cores[i].set_ready(dst, now + u64::from(self.cfg.l1_hit_latency));
+            }
+            LoadOutcome::Miss => {
+                self.cores[i].set_ready(dst, u64::MAX);
+                self.cores[i].pending_load = true;
+            }
+        }
+    }
+
+    fn issue_store_timing(&mut self, i: usize, addr: u64, width: u64) {
+        if self.tm.active(i) {
+            return; // buffered in the transaction, no store-buffer entry
+        }
+        let ok = self.memsys.store(i, addr, width);
+        debug_assert!(ok, "store-buffer space was checked before issue");
+    }
+
+    fn dispatch(&mut self, c: Completion) {
+        match c {
+            Completion::LoadFill { core, dst, epoch } => {
+                if self.cores[core].epoch == epoch {
+                    let now = self.cycle;
+                    self.cores[core].set_ready(dst, now + 1);
+                    self.cores[core].pending_load = false;
+                }
+            }
+            Completion::TmCommitDone { core } => {
+                if self.cores[core].state == CoreState::WaitBus {
+                    self.cores[core].state = CoreState::Running;
+                }
+            }
+        }
+    }
+
+    /// Advance the machine one cycle.
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn tick(&mut self) -> Result<(), SimError> {
+        let now = self.cycle;
+        for c in self.memsys.tick(now) {
+            self.dispatch(c);
+        }
+        self.net.tick(now);
+        self.try_mode_switch()?;
+
+        let n = self.cfg.cores;
+        for i in 0..n {
+            if self.cores[i].state == CoreState::Running {
+                self.normalize_pc(i)?;
+            }
+        }
+        let decisions: Vec<Decision> = (0..n).map(|i| self.check_core(i)).collect();
+        let mut progress = false;
+
+        match self.mode {
+            ExecMode::Coupled => {
+                // The stall bus: any *running* member's stall stalls the
+                // group. Cores already waiting at the mode-switch barrier
+                // (or on a bus broadcast) no longer gate lock-step issue —
+                // otherwise a one-slot schedule misalignment at a region
+                // exit would wedge the whole group.
+                let group_stall = (0..n).find_map(|i| match decisions[i] {
+                    Decision::Stall(r) if self.cores[i].state == CoreState::Running => Some(r),
+                    _ => None,
+                });
+                match group_stall {
+                    Some(r) => {
+                        for (i, d) in decisions.iter().enumerate() {
+                            match d {
+                                Decision::Stall(own) => self.core_stats[i].stall(*own),
+                                _ => self.core_stats[i].stall(r),
+                            }
+                        }
+                    }
+                    None => {
+                        for (i, d) in decisions.iter().enumerate() {
+                            match d {
+                                Decision::Issue => {
+                                    self.exec_core(i)?;
+                                    progress = true;
+                                }
+                                Decision::Stall(own) => self.core_stats[i].stall(*own),
+                                Decision::Quiet => {
+                                    // A halted/idle core in coupled mode is
+                                    // a compiler bug; the deadlock detector
+                                    // will flag the hang if the group never
+                                    // re-forms.
+                                    self.core_stats[i].idle += 1;
+                                }
+                                Decision::StartThread => {}
+                            }
+                        }
+                    }
+                }
+                self.coupled_cycles += 1;
+            }
+            ExecMode::Decoupled => {
+                for (i, d) in decisions.iter().enumerate() {
+                    match d {
+                        Decision::Issue => {
+                            self.exec_core(i)?;
+                            progress = true;
+                        }
+                        Decision::Stall(r) => self.core_stats[i].stall(*r),
+                        Decision::StartThread => {
+                            let (_, blk) = self
+                                .net
+                                .take_spawn(i, now)
+                                .expect("has_spawn checked in decision phase");
+                            self.cores[i].pc = (blk.idx(), 0);
+                            self.cores[i].state = CoreState::Running;
+                            self.spawns += 1;
+                            self.trace(TraceEvent::ThreadStart {
+                                cycle: now,
+                                core: i,
+                                block: blk.idx(),
+                            });
+                            progress = true;
+                        }
+                        Decision::Quiet => self.core_stats[i].idle += 1,
+                    }
+                }
+                self.decoupled_cycles += 1;
+            }
+        }
+
+        // Region attribution follows the master core.
+        let region = self
+            .program
+            .cores[0]
+            .blocks
+            .get(self.cores[0].pc.0)
+            .map(|b| b.region)
+            .unwrap_or(REGION_OUTSIDE);
+        *self.region_cycles.entry(region).or_insert(0) += 1;
+
+        if progress {
+            self.last_progress = now;
+        } else {
+            let anyone_active = self
+                .cores
+                .iter()
+                .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle));
+            if anyone_active && now - self.last_progress > self.cfg.deadlock_window {
+                return Err(SimError::Deadlock { cycle: now, dump: self.dump() });
+            }
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+}
+
+/// The CAM tag of a SEND (optional third operand).
+fn send_tag(inst: &Inst) -> u32 {
+    match inst.srcs.get(2) {
+        Some(Operand::Imm(t)) => *t as u32,
+        _ => 0,
+    }
+}
+
+/// The CAM tag of a RECV (optional second operand).
+fn recv_tag(inst: &Inst) -> u32 {
+    match inst.srcs.get(1) {
+        Some(Operand::Imm(t)) => *t as u32,
+        _ => 0,
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Machine(cycle {}, mode {}, {} cores)", self.cycle, self.mode, self.cfg.cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcode::{CoreImage, MBlock};
+    use voltron_ir::{DataSegment, Dir};
+
+    fn mk_program(core_blocks: Vec<Vec<MBlock>>, data: DataSegment) -> MachineProgram {
+        MachineProgram {
+            name: "t".into(),
+            cores: core_blocks.into_iter().map(|blocks| CoreImage { blocks }).collect(),
+            data,
+        }
+    }
+
+    fn gpr(i: u32) -> Reg {
+        Reg::gpr(i)
+    }
+
+    #[test]
+    fn single_core_arithmetic_halts() {
+        let mut data = DataSegment::default();
+        let out = data.zeroed("out", 8);
+        let mut b = MBlock::new("entry", 0);
+        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(6)]));
+        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(7)]));
+        b.insts.push(Inst::with_dst(Opcode::Mul, gpr(2), vec![gpr(0).into(), gpr(1).into()]));
+        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(out as i64)]));
+        b.insts.push(Inst::new(
+            Opcode::Store(voltron_ir::MemWidth::W8),
+            vec![gpr(3).into(), Operand::Imm(0), gpr(2).into()],
+        ));
+        b.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let p = mk_program(vec![vec![b]], data);
+        let m = Machine::new(p, &MachineConfig::paper(1)).unwrap();
+        let out_run = m.run().unwrap();
+        assert_eq!(out_run.memory.load_i64(out).unwrap(), 42);
+        assert!(out_run.stats.cycles >= 6);
+        assert!(out_run.stragglers.is_empty());
+    }
+
+    #[test]
+    fn mul_latency_is_respected() {
+        // mul at cycle t; consumer must wait until t+3.
+        let mut data = DataSegment::default();
+        let out = data.zeroed("out", 8);
+        let mut b = MBlock::new("entry", 0);
+        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(5)]));
+        b.insts.push(Inst::with_dst(Opcode::Mul, gpr(1), vec![gpr(0).into(), gpr(0).into()]));
+        b.insts.push(Inst::with_dst(Opcode::Add, gpr(2), vec![gpr(1).into(), Operand::Imm(1)]));
+        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(out as i64)]));
+        b.insts.push(Inst::new(
+            Opcode::Store(voltron_ir::MemWidth::W8),
+            vec![gpr(3).into(), Operand::Imm(0), gpr(2).into()],
+        ));
+        b.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let p = mk_program(vec![vec![b]], data);
+        let out_run = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+        assert_eq!(out_run.memory.load_i64(out).unwrap(), 26);
+        let interlock = out_run.stats.cores[0].stalls_for(StallReason::Interlock);
+        assert!(interlock >= 2, "expected interlock stalls, got {interlock}");
+    }
+
+    /// Two cores in decoupled mode: master spawns a worker that computes
+    /// and sends a value back.
+    #[test]
+    fn spawn_send_recv_roundtrip() {
+        let mut data = DataSegment::default();
+        let out = data.zeroed("out", 8);
+        // Core 0: spawn core1@bb1, recv from core 1, store, halt.
+        let mut c0 = MBlock::new("main", 0);
+        c0.insts.push(Inst::new(
+            Opcode::Spawn,
+            vec![Operand::Core(1), Operand::Block(BlockId(1))],
+        ));
+        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(0), vec![Operand::Core(1)]));
+        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(out as i64)]));
+        c0.insts.push(Inst::new(
+            Opcode::Store(voltron_ir::MemWidth::W8),
+            vec![gpr(1).into(), Operand::Imm(0), gpr(0).into()],
+        ));
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        // Core 1: bb0 unused (sleep stub), bb1: compute 99, send, sleep.
+        let mut c1_idle = MBlock::new("idle", 0);
+        c1_idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let mut c1 = MBlock::new("worker", 0);
+        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(99)]));
+        c1.insts.push(Inst::new(Opcode::Send, vec![gpr(0).into(), Operand::Core(0)]));
+        c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = mk_program(vec![vec![c0], vec![c1_idle, c1]], data);
+        let out_run = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap();
+        assert_eq!(out_run.memory.load_i64(out).unwrap(), 99);
+        assert_eq!(out_run.stats.spawns, 1);
+        assert!(out_run.stats.cores[0].stalls_for(StallReason::RecvData) > 0);
+        assert!(out_run.stragglers.is_empty());
+    }
+
+    /// Coupled mode: two cores switch to lock-step, exchange a value over
+    /// the direct network, switch back.
+    #[test]
+    fn coupled_put_get_lockstep() {
+        let mut data = DataSegment::default();
+        let out = data.zeroed("out", 8);
+        // Core 0: spawn worker into its switch stub; mode switch; PUT 7
+        // east; NOP; mode switch back; recv join; store; halt.
+        let mut c0 = MBlock::new("main", 0);
+        c0.insts.push(Inst::new(
+            Opcode::Spawn,
+            vec![Operand::Core(1), Operand::Block(BlockId(1))],
+        ));
+        c0.insts.push(Inst::new(
+            Opcode::ModeSwitch,
+            vec![Operand::Mode(ExecMode::Coupled)],
+        ));
+        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(7)]));
+        c0.insts.push(Inst::new(Opcode::Put, vec![gpr(0).into(), Operand::Dir(Dir::East)]));
+        c0.insts.push(Inst::nop());
+        c0.insts.push(Inst::nop());
+        c0.insts.push(Inst::new(
+            Opcode::ModeSwitch,
+            vec![Operand::Mode(ExecMode::Decoupled)],
+        ));
+        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(1), vec![Operand::Core(1)]));
+        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(2), vec![Operand::Imm(out as i64)]));
+        c0.insts.push(Inst::new(
+            Opcode::Store(voltron_ir::MemWidth::W8),
+            vec![gpr(2).into(), Operand::Imm(0), gpr(1).into()],
+        ));
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        // Core 1: bb0 idle stub; bb1: switch, nops aligned, GET west,
+        // double it, switch back, send result, sleep.
+        let mut c1_idle = MBlock::new("idle", 0);
+        c1_idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let mut c1 = MBlock::new("worker", 0);
+        c1.insts.push(Inst::new(
+            Opcode::ModeSwitch,
+            vec![Operand::Mode(ExecMode::Coupled)],
+        ));
+        c1.insts.push(Inst::nop());
+        c1.insts.push(Inst::nop());
+        c1.insts.push(Inst::with_dst(Opcode::Get, gpr(0), vec![Operand::Dir(Dir::West)]));
+        c1.insts.push(Inst::with_dst(Opcode::Add, gpr(1), vec![gpr(0).into(), gpr(0).into()]));
+        c1.insts.push(Inst::nop());
+        c1.insts.push(Inst::new(
+            Opcode::ModeSwitch,
+            vec![Operand::Mode(ExecMode::Decoupled)],
+        ));
+        c1.insts.push(Inst::new(Opcode::Send, vec![gpr(1).into(), Operand::Core(0)]));
+        c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = mk_program(vec![vec![c0], vec![c1_idle, c1]], data);
+        let out_run = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap();
+        assert_eq!(out_run.memory.load_i64(out).unwrap(), 14);
+        assert_eq!(out_run.stats.mode_switches, 2);
+        assert!(out_run.stats.coupled_cycles > 0);
+        assert!(out_run.stats.net.direct_transfers >= 1);
+    }
+
+    #[test]
+    fn deadlocked_recv_is_reported() {
+        let mut data = DataSegment::default();
+        data.zeroed("pad", 8);
+        let mut c0 = MBlock::new("main", 0);
+        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(0), vec![Operand::Core(1)]));
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let mut c1 = MBlock::new("idle", 0);
+        c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = mk_program(vec![vec![c0], vec![c1]], data);
+        let err = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap_err();
+        match err {
+            SimError::Deadlock { dump, .. } => assert!(dump.contains("core 0")),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// Transactions: two chunks, the later one reads what the earlier one
+    /// writes -> observe an abort and a sequentially-correct result.
+    #[test]
+    fn tm_conflict_rolls_back_and_reexecutes() {
+        let mut data = DataSegment::default();
+        let shared = data.array_i64("shared", &[5]);
+        let out = data.zeroed("out", 8);
+        // Core 0 (chunk 0): spawn worker; xbegin 0; long delay (nops);
+        // store 100 to shared; xcommit; recv join; halt.
+        let mut c0 = MBlock::new("main", 0);
+        // Codegen contract: the master's XBEGIN 0 precedes worker spawns.
+        c0.insts.push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(0)]));
+        c0.insts.push(Inst::new(
+            Opcode::Spawn,
+            vec![Operand::Core(1), Operand::Block(BlockId(1))],
+        ));
+        for _ in 0..40 {
+            c0.insts.push(Inst::nop());
+        }
+        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(shared as i64)]));
+        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(100)]));
+        c0.insts.push(Inst::new(
+            Opcode::Store(voltron_ir::MemWidth::W8),
+            vec![gpr(0).into(), Operand::Imm(0), gpr(1).into()],
+        ));
+        c0.insts.push(Inst::new(Opcode::Xcommit, vec![]));
+        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(2), vec![Operand::Core(1)]));
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        // Core 1 (chunk 1): xbegin 1; read shared; store it to out;
+        // xcommit; send join; sleep. It reads early (before core 0's
+        // store), so it must abort and re-run, ending with out == 100.
+        let mut c1_idle = MBlock::new("idle", 0);
+        c1_idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let mut c1 = MBlock::new("chunk1", 0);
+        c1.insts.push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(1)]));
+        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(shared as i64)]));
+        c1.insts.push(Inst::with_dst(
+            Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
+            gpr(1),
+            vec![gpr(0).into(), Operand::Imm(0)],
+        ));
+        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(2), vec![Operand::Imm(out as i64)]));
+        c1.insts.push(Inst::new(
+            Opcode::Store(voltron_ir::MemWidth::W8),
+            vec![gpr(2).into(), Operand::Imm(0), gpr(1).into()],
+        ));
+        c1.insts.push(Inst::new(Opcode::Xcommit, vec![]));
+        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(1)]));
+        c1.insts.push(Inst::new(Opcode::Send, vec![gpr(3).into(), Operand::Core(0)]));
+        c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = mk_program(vec![vec![c0], vec![c1_idle, c1]], data);
+        let out_run = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap();
+        assert_eq!(out_run.memory.load_i64(out).unwrap(), 100, "sequential semantics");
+        assert!(out_run.stats.tm.aborts >= 1, "expected at least one abort");
+        assert_eq!(out_run.stats.tm.commits, 2 + out_run.stats.tm.aborts - out_run.stats.tm.aborts);
+    }
+
+    #[test]
+    fn load_miss_stalls_consumer_until_fill() {
+        let mut data = DataSegment::default();
+        let a = data.array_i64("a", &[11]);
+        let out = data.zeroed("out", 8);
+        let mut b = MBlock::new("entry", 0);
+        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(a as i64)]));
+        b.insts.push(Inst::with_dst(
+            Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
+            gpr(1),
+            vec![gpr(0).into(), Operand::Imm(0)],
+        ));
+        b.insts.push(Inst::with_dst(Opcode::Add, gpr(2), vec![gpr(1).into(), Operand::Imm(1)]));
+        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(out as i64)]));
+        b.insts.push(Inst::new(
+            Opcode::Store(voltron_ir::MemWidth::W8),
+            vec![gpr(3).into(), Operand::Imm(0), gpr(2).into()],
+        ));
+        b.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let p = mk_program(vec![vec![b]], data);
+        let out_run = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+        assert_eq!(out_run.memory.load_i64(out).unwrap(), 12);
+        let dstalls = out_run.stats.cores[0].stalls_for(StallReason::DMiss);
+        assert!(dstalls > 50, "cold miss should stall ~memory latency, got {dstalls}");
+    }
+}

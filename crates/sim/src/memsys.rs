@@ -1,0 +1,587 @@
+//! The memory hierarchy: per-core L1s, shared L2, snooping bus, store
+//! buffers.
+//!
+//! Timing only — data values live in the eager functional memory (see
+//! [`crate::cache`] for the rationale). The bus serializes one coherence
+//! transaction at a time, exactly like the paper's bus-based MOESI
+//! snooping protocol; cache-to-cache transfers are cheaper than memory.
+
+use crate::cache::{LineState, TagCache};
+use crate::config::MachineConfig;
+use std::collections::VecDeque;
+use voltron_ir::Reg;
+
+/// Bus occupancy of an ownership upgrade (S -> M invalidation round).
+const UPGRADE_LATENCY: u64 = 4;
+
+/// What a bus transaction is for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BusKind {
+    /// A load miss: fetch a line in shared state.
+    ReadShared {
+        /// Destination register to wake.
+        dst: Reg,
+        /// Core epoch at issue (stale fills after a TM abort are dropped).
+        epoch: u64,
+    },
+    /// A store miss: fetch the line with ownership.
+    ReadExclusive,
+    /// A store hit on a Shared line: invalidate other copies.
+    Upgrade,
+    /// An instruction-cache fill.
+    IFill,
+    /// A transactional commit broadcasting `extra_lines + 1` lines.
+    TmCommit {
+        /// All written lines (the req's `line` is the first).
+        lines: Vec<u64>,
+    },
+}
+
+/// A queued bus request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusReq {
+    /// Requesting core.
+    pub core: usize,
+    /// Line-aligned address.
+    pub line: u64,
+    /// Transaction type.
+    pub kind: BusKind,
+}
+
+/// A completion the machine must dispatch to a core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completion {
+    /// A load fill arrived: wake `dst` (if `epoch` still matches).
+    LoadFill {
+        /// The core that issued the load.
+        core: usize,
+        /// The register the load targets.
+        dst: Reg,
+        /// Epoch at issue.
+        epoch: u64,
+    },
+    /// A transactional commit finished its bus broadcast.
+    TmCommitDone {
+        /// The committing core.
+        core: usize,
+    },
+}
+
+/// Result of a load lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// L1 (or store-buffer forwarding) hit; data usable after the hit
+    /// latency.
+    Hit,
+    /// Miss; a bus request was enqueued, the destination register stays
+    /// pending until the fill completes.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreEntry {
+    addr: u64,
+    width: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: BusReq,
+    finish: u64,
+    /// Whether peers/L2/memory supplied (grant-time decision, applied at
+    /// completion).
+    others_had_copy: bool,
+}
+
+/// Memory-system statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Completed bus transactions.
+    pub bus_transactions: u64,
+    /// Total cycles the bus was occupied.
+    pub bus_busy_cycles: u64,
+    /// Cache-to-cache supplies.
+    pub c2c_transfers: u64,
+    /// Lines supplied by main memory.
+    pub mem_fetches: u64,
+    /// L1D (hits, misses) per core.
+    pub l1d: Vec<(u64, u64)>,
+    /// L1I (hits, misses) per core.
+    pub l1i: Vec<(u64, u64)>,
+}
+
+/// The full memory system.
+#[derive(Debug)]
+pub struct MemSys {
+    cfg: MachineConfig,
+    l1d: Vec<TagCache>,
+    l1i: Vec<TagCache>,
+    l2: TagCache,
+    queue: VecDeque<BusReq>,
+    current: Option<InFlight>,
+    store_bufs: Vec<VecDeque<StoreEntry>>,
+    /// Head-of-buffer bus request outstanding.
+    sb_waiting: Vec<bool>,
+    /// Line being I-fetched per core.
+    ifill_pending: Vec<Option<u64>>,
+    stats_bus: u64,
+    stats_busy: u64,
+    stats_c2c: u64,
+    stats_mem: u64,
+}
+
+impl MemSys {
+    /// Build the hierarchy for a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> MemSys {
+        let n = cfg.cores;
+        MemSys {
+            l1d: (0..n)
+                .map(|_| TagCache::new(cfg.l1d_size, cfg.l1d_assoc, cfg.line_size))
+                .collect(),
+            l1i: (0..n)
+                .map(|_| TagCache::new(cfg.l1i_size, cfg.l1i_assoc, cfg.line_size))
+                .collect(),
+            l2: TagCache::new(cfg.l2_size, cfg.l2_assoc, cfg.line_size),
+            queue: VecDeque::new(),
+            current: None,
+            store_bufs: (0..n).map(|_| VecDeque::new()).collect(),
+            sb_waiting: vec![false; n],
+            ifill_pending: vec![None; n],
+            cfg: cfg.clone(),
+            stats_bus: 0,
+            stats_busy: 0,
+            stats_c2c: 0,
+            stats_mem: 0,
+        }
+    }
+
+    /// Line-align an address.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_size - 1)
+    }
+
+    /// Issue a load. On a miss the fill is requested and `dst` must stay
+    /// pending until the matching [`Completion::LoadFill`].
+    pub fn load(&mut self, core: usize, addr: u64, dst: Reg, epoch: u64) -> LoadOutcome {
+        // Store-buffer forwarding.
+        if self.store_bufs[core]
+            .iter()
+            .any(|e| e.addr < addr + 8 && addr < e.addr + e.width)
+        {
+            return LoadOutcome::Hit;
+        }
+        let line = self.line_of(addr);
+        if self.l1d[core].access(line).is_some() {
+            return LoadOutcome::Hit;
+        }
+        self.queue.push_back(BusReq {
+            core,
+            line,
+            kind: BusKind::ReadShared { dst, epoch },
+        });
+        LoadOutcome::Miss
+    }
+
+    /// Issue a store into the core's store buffer. Returns false when the
+    /// buffer is full (the core must stall and retry).
+    pub fn store(&mut self, core: usize, addr: u64, width: u64) -> bool {
+        if self.store_bufs[core].len() >= self.cfg.store_buffer_entries {
+            return false;
+        }
+        self.store_bufs[core].push_back(StoreEntry { addr, width });
+        true
+    }
+
+    /// True when the core's store buffer has drained (used at memory
+    /// synchronization points).
+    pub fn store_buffer_empty(&self, core: usize) -> bool {
+        self.store_bufs[core].is_empty()
+    }
+
+    /// True when the core's store buffer cannot accept another entry.
+    pub fn store_buffer_full(&self, core: usize) -> bool {
+        self.store_bufs[core].len() >= self.cfg.store_buffer_entries
+    }
+
+    /// Instruction fetch: true when the line is in the I-cache; otherwise
+    /// a fill is requested (at most one outstanding per core).
+    pub fn ifetch(&mut self, core: usize, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        if self.ifill_pending[core] == Some(line) {
+            return false;
+        }
+        if self.l1i[core].access(line).is_some() {
+            return true;
+        }
+        if self.ifill_pending[core].is_none() {
+            self.ifill_pending[core] = Some(line);
+            self.queue.push_back(BusReq { core, line, kind: BusKind::IFill });
+        }
+        false
+    }
+
+    /// Enqueue a transactional-commit broadcast of `lines`.
+    ///
+    /// # Panics
+    /// Panics if `lines` is empty.
+    pub fn enqueue_tm_commit(&mut self, core: usize, mut lines: Vec<u64>) {
+        assert!(!lines.is_empty(), "tm commit needs at least one line");
+        let first = lines.remove(0);
+        self.queue.push_back(BusReq {
+            core,
+            line: first,
+            kind: BusKind::TmCommit { lines },
+        });
+    }
+
+    fn grant_latency(&self, req: &BusReq) -> (u64, bool) {
+        let peers_dirty = (0..self.cfg.cores).any(|j| {
+            j != req.core
+                && self.l1d[j]
+                    .peek(req.line)
+                    .map(LineState::is_dirty)
+                    .unwrap_or(false)
+        });
+        let peers_any = (0..self.cfg.cores)
+            .any(|j| j != req.core && self.l1d[j].peek(req.line).is_some());
+        let base = match &req.kind {
+            BusKind::Upgrade => UPGRADE_LATENCY,
+            BusKind::TmCommit { lines } => {
+                self.cfg.tm_commit_base + (lines.len() as u64 + 1) * self.cfg.tm_commit_per_line
+            }
+            BusKind::IFill => {
+                if self.l2.peek(req.line).is_some() {
+                    self.cfg.l2_latency
+                } else {
+                    self.cfg.mem_latency
+                }
+            }
+            BusKind::ReadShared { .. } | BusKind::ReadExclusive => {
+                if peers_dirty {
+                    self.cfg.c2c_latency
+                } else if self.l2.peek(req.line).is_some() {
+                    self.cfg.l2_latency
+                } else if peers_any {
+                    self.cfg.c2c_latency
+                } else {
+                    self.cfg.mem_latency
+                }
+            }
+        };
+        let mut lat = base;
+        if matches!(req.kind, BusKind::ReadShared { .. } | BusKind::ReadExclusive) {
+            if let Some(v) = self.l1d[req.core].victim_state(req.line) {
+                if v.is_dirty() {
+                    lat += self.cfg.writeback_penalty;
+                }
+            }
+        }
+        (lat, peers_any)
+    }
+
+    fn writeback_to_l2(&mut self, line: u64) {
+        // Dirty L1 eviction: install/mark dirty in L2 (L2 evictions go to
+        // memory for free — memory is always functionally up to date).
+        self.l2.fill(line, LineState::M);
+    }
+
+    fn fill_l1d(&mut self, core: usize, line: u64, state: LineState) {
+        if let Some((vline, vstate)) = self.l1d[core].fill(line, state) {
+            if vstate.is_dirty() {
+                self.writeback_to_l2(vline);
+            }
+        }
+    }
+
+    fn complete(&mut self, inflight: InFlight, out: &mut Vec<Completion>) {
+        let req = inflight.req;
+        let n = self.cfg.cores;
+        match req.kind {
+            BusKind::ReadShared { dst, epoch } => {
+                let mut shared = false;
+                for j in 0..n {
+                    if j == req.core {
+                        continue;
+                    }
+                    match self.l1d[j].peek(req.line) {
+                        Some(LineState::M) => {
+                            self.l1d[j].set_state(req.line, LineState::O);
+                            shared = true;
+                            self.stats_c2c += 1;
+                        }
+                        Some(LineState::E) => {
+                            self.l1d[j].set_state(req.line, LineState::S);
+                            shared = true;
+                        }
+                        Some(_) => shared = true,
+                        None => {}
+                    }
+                }
+                if self.l2.peek(req.line).is_none() && !shared {
+                    // Came from memory: install in L2 too.
+                    self.l2.fill(req.line, LineState::E);
+                    self.stats_mem += 1;
+                }
+                let state = if shared { LineState::S } else { LineState::E };
+                self.fill_l1d(req.core, req.line, state);
+                out.push(Completion::LoadFill { core: req.core, dst, epoch });
+            }
+            BusKind::ReadExclusive => {
+                for j in 0..n {
+                    if j != req.core {
+                        self.l1d[j].invalidate(req.line);
+                    }
+                }
+                if self.l2.peek(req.line).is_none() && !inflight.others_had_copy {
+                    self.l2.fill(req.line, LineState::E);
+                    self.stats_mem += 1;
+                }
+                self.fill_l1d(req.core, req.line, LineState::M);
+                self.retire_store(req.core);
+            }
+            BusKind::Upgrade => {
+                for j in 0..n {
+                    if j != req.core {
+                        self.l1d[j].invalidate(req.line);
+                    }
+                }
+                match self.l1d[req.core].peek(req.line) {
+                    Some(_) => self.l1d[req.core].set_state(req.line, LineState::M),
+                    None => self.fill_l1d(req.core, req.line, LineState::M),
+                }
+                self.retire_store(req.core);
+            }
+            BusKind::IFill => {
+                self.l1i[req.core].fill(req.line, LineState::E);
+                if self.l2.peek(req.line).is_none() {
+                    self.l2.fill(req.line, LineState::E);
+                }
+                self.ifill_pending[req.core] = None;
+            }
+            BusKind::TmCommit { lines } => {
+                let mut all = lines;
+                all.push(req.line);
+                for line in all {
+                    for j in 0..n {
+                        if j != req.core {
+                            self.l1d[j].invalidate(line);
+                        }
+                    }
+                    match self.l1d[req.core].peek(line) {
+                        Some(_) => self.l1d[req.core].set_state(line, LineState::M),
+                        None => self.fill_l1d(req.core, line, LineState::M),
+                    }
+                }
+                out.push(Completion::TmCommitDone { core: req.core });
+            }
+        }
+        self.stats_bus += 1;
+    }
+
+    fn retire_store(&mut self, core: usize) {
+        self.sb_waiting[core] = false;
+        self.store_bufs[core].pop_front();
+    }
+
+    fn drain_store_buffers(&mut self) {
+        for core in 0..self.cfg.cores {
+            if self.sb_waiting[core] {
+                continue;
+            }
+            let Some(head) = self.store_bufs[core].front().copied() else {
+                continue;
+            };
+            let line = self.line_of(head.addr);
+            match self.l1d[core].access(line) {
+                Some(s) if s.is_writable() => {
+                    self.l1d[core].set_state(line, LineState::M);
+                    self.store_bufs[core].pop_front();
+                }
+                Some(_) => {
+                    // Shared or Owned: need exclusive ownership.
+                    self.queue.push_back(BusReq { core, line, kind: BusKind::Upgrade });
+                    self.sb_waiting[core] = true;
+                }
+                None => {
+                    self.queue.push_back(BusReq { core, line, kind: BusKind::ReadExclusive });
+                    self.sb_waiting[core] = true;
+                }
+            }
+        }
+    }
+
+    /// Advance one cycle: finish a due transaction, grant the next,
+    /// drain store buffers. Returns completions for the machine to
+    /// dispatch.
+    pub fn tick(&mut self, now: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        if let Some(cur) = &self.current {
+            if now >= cur.finish {
+                let cur = self.current.take().expect("checked above");
+                self.complete(cur, &mut out);
+            }
+        }
+        if self.current.is_none() {
+            if let Some(req) = self.queue.pop_front() {
+                let (lat, others) = self.grant_latency(&req);
+                self.stats_busy += lat;
+                self.current = Some(InFlight { req, finish: now + lat, others_had_copy: others });
+            }
+        }
+        self.drain_store_buffers();
+        out
+    }
+
+    /// Snapshot the statistics.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            bus_transactions: self.stats_bus,
+            bus_busy_cycles: self.stats_busy,
+            c2c_transfers: self.stats_c2c,
+            mem_fetches: self.stats_mem,
+            l1d: self.l1d.iter().map(|c| c.stats()).collect(),
+            l1i: self.l1i.iter().map(|c| c.stats()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemSys {
+        MemSys::new(&MachineConfig::paper(4))
+    }
+
+    fn r0() -> Reg {
+        Reg::gpr(0)
+    }
+
+    /// Run ticks until a completion arrives (or panic after `cap`).
+    fn run_until_completion(m: &mut MemSys, start: u64, cap: u64) -> (u64, Vec<Completion>) {
+        for t in start..start + cap {
+            let c = m.tick(t);
+            if !c.is_empty() {
+                return (t, c);
+            }
+        }
+        panic!("no completion within {cap} cycles");
+    }
+
+    #[test]
+    fn cold_load_misses_then_hits() {
+        let mut m = sys();
+        assert_eq!(m.load(0, 0x1_0000, r0(), 0), LoadOutcome::Miss);
+        let (t, c) = run_until_completion(&mut m, 0, 1000);
+        assert_eq!(c, vec![Completion::LoadFill { core: 0, dst: r0(), epoch: 0 }]);
+        // Memory latency for a cold miss.
+        assert!(t >= 120, "completed too fast at {t}");
+        assert_eq!(m.load(0, 0x1_0008, r0(), 0), LoadOutcome::Hit);
+    }
+
+    #[test]
+    fn second_core_gets_line_faster_from_l2_or_peer() {
+        let mut m = sys();
+        m.load(0, 0x1_0000, r0(), 0);
+        run_until_completion(&mut m, 0, 1000);
+        m.load(1, 0x1_0000, r0(), 0);
+        let (t0, _) = run_until_completion(&mut m, 200, 1000);
+        assert!(t0 - 200 < 120, "should be served by L2/peer, took {}", t0 - 200);
+    }
+
+    #[test]
+    fn store_gains_ownership_and_invalidates_sharers() {
+        let mut m = sys();
+        // Both cores read the line -> shared.
+        m.load(0, 0x1_0000, r0(), 0);
+        run_until_completion(&mut m, 0, 1000);
+        m.load(1, 0x1_0000, r0(), 0);
+        run_until_completion(&mut m, 200, 1000);
+        // Core 0 stores: must upgrade and invalidate core 1.
+        assert!(m.store(0, 0x1_0000, 8));
+        for t in 400..800 {
+            m.tick(t);
+        }
+        assert!(m.store_buffer_empty(0));
+        assert_eq!(m.l1d[1].peek(0x1_0000), None);
+        assert_eq!(m.l1d[0].peek(0x1_0000), Some(LineState::M));
+    }
+
+    #[test]
+    fn dirty_line_is_supplied_cache_to_cache() {
+        let mut m = sys();
+        assert!(m.store(0, 0x1_0000, 8));
+        for t in 0..400 {
+            m.tick(t);
+        }
+        assert_eq!(m.l1d[0].peek(0x1_0000), Some(LineState::M));
+        // Core 1 load: supplier is core 0 (dirty), downgrading it to O.
+        m.load(1, 0x1_0000, r0(), 0);
+        let (t, _) = run_until_completion(&mut m, 400, 1000);
+        assert!(t - 400 <= 16, "c2c should be fast, took {}", t - 400);
+        assert_eq!(m.l1d[0].peek(0x1_0000), Some(LineState::O));
+        assert_eq!(m.l1d[1].peek(0x1_0000), Some(LineState::S));
+    }
+
+    #[test]
+    fn store_buffer_forwards_to_loads() {
+        let mut m = sys();
+        assert!(m.store(0, 0x1_0000, 8));
+        // Load overlapping the buffered store hits by forwarding.
+        assert_eq!(m.load(0, 0x1_0004, r0(), 0), LoadOutcome::Hit);
+    }
+
+    #[test]
+    fn store_buffer_fills_up() {
+        let mut m = sys();
+        // The drain needs bus round-trips, so 8 quick stores to distinct
+        // lines fill the buffer.
+        for i in 0..8 {
+            assert!(m.store(0, 0x1_0000 + i * 64, 8), "store {i} rejected");
+            m.tick(i);
+        }
+        assert!(!m.store(0, 0x2_0000, 8));
+    }
+
+    #[test]
+    fn ifetch_fills_once() {
+        let mut m = sys();
+        assert!(!m.ifetch(0, 0x8000_0000));
+        assert!(!m.ifetch(0, 0x8000_0004)); // same line, already pending
+        let mut done = false;
+        for t in 0..400 {
+            m.tick(t);
+            if m.ifetch(0, 0x8000_0000) {
+                done = true;
+                break;
+            }
+        }
+        assert!(done);
+        assert!(m.ifetch(0, 0x8000_001c)); // same 32B line
+    }
+
+    #[test]
+    fn tm_commit_invalidates_peers_and_completes() {
+        let mut m = sys();
+        m.load(1, 0x1_0000, r0(), 0);
+        run_until_completion(&mut m, 0, 1000);
+        m.enqueue_tm_commit(0, vec![0x1_0000, 0x1_0020]);
+        let (_, c) = run_until_completion(&mut m, 200, 1000);
+        assert_eq!(c, vec![Completion::TmCommitDone { core: 0 }]);
+        assert_eq!(m.l1d[1].peek(0x1_0000), None);
+        assert_eq!(m.l1d[0].peek(0x1_0000), Some(LineState::M));
+    }
+
+    #[test]
+    fn bus_serializes_requests() {
+        let mut m = sys();
+        m.load(0, 0x1_0000, r0(), 0);
+        m.load(1, 0x2_0000, r0(), 1);
+        // First completion strictly before the second.
+        let (t1, c1) = run_until_completion(&mut m, 0, 1000);
+        let (t2, c2) = run_until_completion(&mut m, t1 + 1, 1000);
+        assert!(matches!(c1[0], Completion::LoadFill { core: 0, .. }));
+        assert!(matches!(c2[0], Completion::LoadFill { core: 1, .. }));
+        assert!(t2 > t1);
+    }
+}

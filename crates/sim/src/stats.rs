@@ -1,0 +1,205 @@
+//! Cycle and stall accounting.
+//!
+//! The categories follow Fig. 12 of the paper: instruction-cache stalls,
+//! data stalls, receive stalls (split into data and predicate receives),
+//! and synchronization (spawn/join/commit-token/mode-switch barriers —
+//! the paper's "call return sync" category; calls are inlined here, so the
+//! synchronization happens at region boundaries instead, see DESIGN.md).
+
+use crate::memsys::MemStats;
+use crate::network::NetStats;
+use crate::tm::TmStats;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a core could not issue this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// Instruction-cache miss.
+    IFetch,
+    /// Waiting on a data-cache miss (pending load destination).
+    DMiss,
+    /// Store buffer full.
+    StoreBuf,
+    /// Register not yet ready (fixed-latency interlock slack).
+    Interlock,
+    /// Direct-mode latch not ready / occupied (`PUT`/`GET`/`BCAST`).
+    DirectWait,
+    /// `RECV` of a non-predicate value with no matching message.
+    RecvData,
+    /// `RECV`/`GETB` of a predicate with no matching message (control
+    /// synchronization).
+    RecvPred,
+    /// Send queue full.
+    SendFull,
+    /// Synchronization: mode-switch barrier, commit token, or commit bus
+    /// broadcast.
+    Sync,
+}
+
+impl StallReason {
+    /// All reasons, in display order.
+    pub const ALL: [StallReason; 9] = [
+        StallReason::IFetch,
+        StallReason::DMiss,
+        StallReason::StoreBuf,
+        StallReason::Interlock,
+        StallReason::DirectWait,
+        StallReason::RecvData,
+        StallReason::RecvPred,
+        StallReason::SendFull,
+        StallReason::Sync,
+    ];
+
+    /// Dense index for table storage.
+    pub fn index(self) -> usize {
+        match self {
+            StallReason::IFetch => 0,
+            StallReason::DMiss => 1,
+            StallReason::StoreBuf => 2,
+            StallReason::Interlock => 3,
+            StallReason::DirectWait => 4,
+            StallReason::RecvData => 5,
+            StallReason::RecvPred => 6,
+            StallReason::SendFull => 7,
+            StallReason::Sync => 8,
+        }
+    }
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallReason::IFetch => "i-stall",
+            StallReason::DMiss => "d-stall",
+            StallReason::StoreBuf => "store-buf",
+            StallReason::Interlock => "interlock",
+            StallReason::DirectWait => "direct-wait",
+            StallReason::RecvData => "recv-data",
+            StallReason::RecvPred => "recv-pred",
+            StallReason::SendFull => "send-full",
+            StallReason::Sync => "sync",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-core cycle accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles that issued a useful (non-NOP) operation.
+    pub issued: u64,
+    /// Cycles that issued a NOP (coupled-mode schedule padding).
+    pub nops: u64,
+    /// Cycles spent idle awaiting a spawn.
+    pub idle: u64,
+    /// Stall cycles by reason.
+    pub stalls: [u64; 9],
+}
+
+impl CoreStats {
+    /// Record a stall.
+    pub fn stall(&mut self, r: StallReason) {
+        self.stalls[r.index()] += 1;
+    }
+
+    /// Total stall cycles.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Stall cycles for one reason.
+    pub fn stalls_for(&self, r: StallReason) -> u64 {
+        self.stalls[r.index()]
+    }
+}
+
+/// Whole-machine statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles spent in coupled mode.
+    pub coupled_cycles: u64,
+    /// Cycles spent in decoupled mode.
+    pub decoupled_cycles: u64,
+    /// Cycles attributed to each planner region (by the master core's
+    /// current block).
+    pub region_cycles: HashMap<u32, u64>,
+    /// Per-core accounting.
+    pub cores: Vec<CoreStats>,
+    /// Memory system statistics.
+    pub mem: MemStats,
+    /// Operand network statistics.
+    pub net: NetStats,
+    /// Transactional memory statistics.
+    pub tm: TmStats,
+    /// Threads spawned.
+    pub spawns: u64,
+    /// Mode switches performed.
+    pub mode_switches: u64,
+    /// Dynamic instructions issued (all cores, including NOPs).
+    pub dynamic_insts: u64,
+}
+
+impl MachineStats {
+    /// Sum of a stall reason across cores.
+    pub fn total_stall(&self, r: StallReason) -> u64 {
+        self.cores.iter().map(|c| c.stalls_for(r)).sum()
+    }
+
+    /// Average per-core stall cycles for a reason (the paper's Fig. 12
+    /// plots per-core averages normalized to serial time).
+    pub fn avg_stall(&self, r: StallReason) -> f64 {
+        if self.cores.is_empty() {
+            0.0
+        } else {
+            self.total_stall(r) as f64 / self.cores.len() as f64
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cycles ({} coupled / {} decoupled), {} insts, {} spawns, {} tm commits / {} aborts",
+            self.cycles,
+            self.coupled_cycles,
+            self.decoupled_cycles,
+            self.dynamic_insts,
+            self.spawns,
+            self.tm.commits,
+            self.tm.aborts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_indices_are_dense_and_unique() {
+        for (i, r) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn core_stats_accumulate() {
+        let mut c = CoreStats::default();
+        c.stall(StallReason::DMiss);
+        c.stall(StallReason::DMiss);
+        c.stall(StallReason::Sync);
+        assert_eq!(c.stalls_for(StallReason::DMiss), 2);
+        assert_eq!(c.total_stalls(), 3);
+    }
+
+    #[test]
+    fn machine_stats_aggregate_across_cores() {
+        let mut m = MachineStats { cores: vec![CoreStats::default(); 4], ..Default::default() };
+        m.cores[0].stall(StallReason::RecvPred);
+        m.cores[3].stall(StallReason::RecvPred);
+        assert_eq!(m.total_stall(StallReason::RecvPred), 2);
+        assert!((m.avg_stall(StallReason::RecvPred) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Low-cost transactional memory for speculative (statistical) DOALL
+//! execution.
+//!
+//! The paper's design (§3, citing the Lieberman tech report): loop chunks
+//! run as ordered transactions; the hardware watches coherence traffic for
+//! cross-core dependences and rolls back memory state on a violation,
+//! while register state is restored so the chunk re-executes from its
+//! start.
+//!
+//! This implementation is lazy-versioned with ordered commits:
+//!
+//! * writes are buffered byte-granular per transaction;
+//! * a commit token enforces chunk order (chunk *k* commits only after
+//!   chunk *k − 1*), so the committing transaction never fails;
+//! * at commit, the write-set is broadcast (a bus transaction in
+//!   [`crate::memsys`]); any *later-ordered* live transaction whose
+//!   line-granular read-set intersects the committed write-set aborts and
+//!   restarts — it may have read stale pre-commit data.
+
+use std::collections::{HashMap, HashSet};
+
+/// Per-core transaction bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    /// Chunk order within the current speculative region (0-based).
+    pub order: u32,
+    read_lines: HashSet<u64>,
+    write_lines: HashSet<u64>,
+    writes: HashMap<u64, u8>,
+}
+
+/// TM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TmStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted (and restarted) transactions.
+    pub aborts: u64,
+    /// Lines broadcast at commits.
+    pub committed_lines: u64,
+}
+
+/// The transaction manager (one per machine).
+#[derive(Debug)]
+pub struct TxnManager {
+    line_mask: u64,
+    txns: Vec<Option<Txn>>,
+    /// The commit token: the order the next commit must have.
+    expected: u32,
+    stats: TmStats,
+}
+
+impl TxnManager {
+    /// Create a manager for `cores` cores and `line_size`-byte conflict
+    /// granularity.
+    pub fn new(cores: usize, line_size: u64) -> TxnManager {
+        assert!(line_size.is_power_of_two());
+        TxnManager {
+            line_mask: !(line_size - 1),
+            txns: vec![None; cores],
+            expected: 0,
+            stats: TmStats::default(),
+        }
+    }
+
+    /// True if `core` has a live transaction.
+    pub fn active(&self, core: usize) -> bool {
+        self.txns[core].is_some()
+    }
+
+    /// Begin a transaction of the given chunk `order`. Order 0 resets the
+    /// commit token. Each DOALL invocation numbers its chunks from 0;
+    /// chunk 0 runs on the master core, and the code generator emits the
+    /// master's `XBEGIN 0` *before* the worker spawns, so the reset is
+    /// ordered before any worker activity of the invocation.
+    ///
+    /// # Panics
+    /// Panics if the core already has a live transaction (no nesting).
+    pub fn begin(&mut self, core: usize, order: u32) {
+        assert!(self.txns[core].is_none(), "core {core}: nested transaction");
+        if order == 0 {
+            self.expected = 0;
+        }
+        self.txns[core] = Some(Txn {
+            order,
+            read_lines: HashSet::new(),
+            write_lines: HashSet::new(),
+            writes: HashMap::new(),
+        });
+    }
+
+    /// Transactional read: merge the transaction's own buffered bytes over
+    /// the globally committed bytes, recording the read-set.
+    ///
+    /// `committed` supplies the committed value of the addressed bytes
+    /// (little-endian, as [`voltron_ir::Memory::load_uint`] returns).
+    pub fn read(&mut self, core: usize, addr: u64, width: u64, committed: u64) -> u64 {
+        let txn = self.txns[core].as_mut().expect("transactional read outside txn");
+        for b in 0..width {
+            txn.read_lines.insert((addr + b) & self.line_mask);
+        }
+        let mut bytes = committed.to_le_bytes();
+        for (i, byte) in bytes.iter_mut().enumerate().take(width as usize) {
+            if let Some(v) = txn.writes.get(&(addr + i as u64)) {
+                *byte = *v;
+            }
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Transactional write: buffer bytes, recording the write-set.
+    pub fn write(&mut self, core: usize, addr: u64, width: u64, value: u64) {
+        let txn = self.txns[core].as_mut().expect("transactional write outside txn");
+        let bytes = value.to_le_bytes();
+        for b in 0..width {
+            txn.write_lines.insert((addr + b) & self.line_mask);
+            txn.writes.insert(addr + b, bytes[b as usize]);
+        }
+    }
+
+    /// True when `core` holds the commit token.
+    pub fn can_commit(&self, core: usize) -> bool {
+        self.txns[core]
+            .as_ref()
+            .map(|t| t.order == self.expected)
+            .unwrap_or(false)
+    }
+
+    /// Commit `core`'s transaction: apply its buffered writes through
+    /// `apply`, advance the token, and abort any later-ordered live
+    /// transaction that read a committed line. Returns the committed
+    /// line-set (for the bus broadcast) and the cores that must restart.
+    ///
+    /// # Panics
+    /// Panics if the core holds no transaction or lacks the token.
+    pub fn commit(
+        &mut self,
+        core: usize,
+        mut apply: impl FnMut(u64, u8),
+    ) -> (Vec<u64>, Vec<usize>) {
+        assert!(self.can_commit(core), "commit without token on core {core}");
+        let txn = self.txns[core].take().expect("checked by can_commit");
+        for (addr, byte) in &txn.writes {
+            apply(*addr, *byte);
+        }
+        self.expected = txn.order + 1;
+        let mut aborted = Vec::new();
+        for (c, slot) in self.txns.iter_mut().enumerate() {
+            if let Some(other) = slot {
+                let conflicts = other.order > txn.order
+                    && !other.read_lines.is_disjoint(&txn.write_lines);
+                if conflicts {
+                    *slot = None;
+                    aborted.push(c);
+                    self.stats.aborts += 1;
+                }
+            }
+        }
+        self.stats.commits += 1;
+        self.stats.committed_lines += txn.write_lines.len() as u64;
+        let mut lines: Vec<u64> = txn.write_lines.into_iter().collect();
+        lines.sort_unstable();
+        (lines, aborted)
+    }
+
+    /// Explicitly abort `core`'s transaction (XABORT or machine-initiated).
+    pub fn abort(&mut self, core: usize) {
+        if self.txns[core].take().is_some() {
+            self.stats.aborts += 1;
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TmStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_own_writes() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.begin(0, 0);
+        tm.write(0, 100, 4, 0xaabbccdd);
+        assert_eq!(tm.read(0, 100, 4, 0), 0xaabbccdd);
+        // Partial overlap merges committed and buffered bytes.
+        assert_eq!(tm.read(0, 102, 4, 0x11110000), 0x1111aabb);
+    }
+
+    #[test]
+    fn ordered_commit_token() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        assert!(!tm.can_commit(1));
+        assert!(tm.can_commit(0));
+        let mut mem: HashMap<u64, u8> = HashMap::new();
+        tm.commit(0, |a, b| {
+            mem.insert(a, b);
+        });
+        assert!(tm.can_commit(1));
+    }
+
+    #[test]
+    fn raw_conflict_aborts_later_txn() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        // Later txn reads a line the earlier one writes.
+        tm.read(1, 64, 8, 0);
+        tm.write(0, 64, 8, 42);
+        let (lines, aborted) = tm.commit(0, |_, _| {});
+        assert_eq!(lines, vec![64]);
+        assert_eq!(aborted, vec![1]);
+        assert!(!tm.active(1));
+        assert_eq!(tm.stats().aborts, 1);
+    }
+
+    #[test]
+    fn disjoint_lines_do_not_conflict() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        tm.read(1, 128, 8, 0);
+        tm.write(0, 64, 8, 42);
+        let (_, aborted) = tm.commit(0, |_, _| {});
+        assert!(aborted.is_empty());
+        assert!(tm.active(1));
+    }
+
+    #[test]
+    fn false_sharing_within_a_line_conflicts() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        tm.read(1, 40, 8, 0); // same 32B line as addr 32..63
+        tm.write(0, 32, 8, 1);
+        let (_, aborted) = tm.commit(0, |_, _| {});
+        assert_eq!(aborted, vec![1]);
+    }
+
+    #[test]
+    fn order_zero_resets_token_for_next_invocation() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.begin(0, 0);
+        tm.commit(0, |_, _| {});
+        // Next invocation. The codegen contract: the master's XBEGIN 0
+        // precedes worker spawns, so begin(0) happens before any worker
+        // begin of the same invocation.
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        assert!(!tm.can_commit(1));
+        tm.commit(0, |_, _| {});
+        assert!(tm.can_commit(1));
+    }
+
+    #[test]
+    fn commit_applies_bytes() {
+        let mut tm = TxnManager::new(1, 32);
+        tm.begin(0, 0);
+        tm.write(0, 10, 2, 0xbeef);
+        let mut mem: HashMap<u64, u8> = HashMap::new();
+        tm.commit(0, |a, b| {
+            mem.insert(a, b);
+        });
+        assert_eq!(mem.get(&10), Some(&0xef));
+        assert_eq!(mem.get(&11), Some(&0xbe));
+    }
+}

@@ -1,0 +1,169 @@
+//! Execution tracing.
+//!
+//! A [`Tracer`] installed on a [`crate::Machine`] receives the
+//! architecturally interesting events — instruction issues, thread
+//! spawns, mode switches, transactional commits/aborts — as they happen.
+//! This is the debugging lens for compiler work: a deadlock dump tells
+//! you where the machine wedged; a trace tells you how it got there.
+
+use voltron_ir::ExecMode;
+use std::fmt::Write as _;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A core issued an instruction.
+    Issue {
+        /// Cycle of issue.
+        cycle: u64,
+        /// Issuing core.
+        core: usize,
+        /// Machine block name.
+        block: String,
+        /// Rendered instruction.
+        inst: String,
+    },
+    /// An idle core picked up a spawned thread.
+    ThreadStart {
+        /// Cycle.
+        cycle: u64,
+        /// The core that woke.
+        core: usize,
+        /// Target block index in its image.
+        block: usize,
+    },
+    /// The group switched execution mode.
+    ModeSwitch {
+        /// Cycle.
+        cycle: u64,
+        /// The new mode.
+        mode: ExecMode,
+    },
+    /// A transaction committed.
+    TmCommit {
+        /// Cycle.
+        cycle: u64,
+        /// Committing core.
+        core: usize,
+        /// Lines broadcast.
+        lines: usize,
+    },
+    /// A transaction was aborted (and will re-execute).
+    TmAbort {
+        /// Cycle.
+        cycle: u64,
+        /// Rolled-back core.
+        core: usize,
+    },
+    /// A core halted.
+    Halt {
+        /// Cycle.
+        cycle: u64,
+        /// The core.
+        core: usize,
+    },
+}
+
+/// Receiver of trace events.
+pub trait Tracer {
+    /// Called for every event, in cycle order.
+    fn event(&mut self, e: TraceEvent);
+
+    /// Render whatever was captured (returned in
+    /// [`crate::machine::RunOutcome::trace`] after a traced run).
+    fn render(&self) -> String {
+        String::new()
+    }
+}
+
+/// A tracer that renders events as text lines, with a cap so hot loops
+/// cannot balloon memory.
+#[derive(Debug)]
+pub struct TextTracer {
+    lines: Vec<String>,
+    /// Stop recording after this many events (issues included).
+    pub limit: usize,
+    /// Record instruction issues (very verbose) or only the structural
+    /// events.
+    pub issues: bool,
+}
+
+impl TextTracer {
+    /// A tracer capturing up to `limit` events; `issues` selects whether
+    /// per-instruction lines are included.
+    pub fn new(limit: usize, issues: bool) -> TextTracer {
+        TextTracer { lines: Vec::new(), limit, issues }
+    }
+
+    /// The captured lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Render the whole trace.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for l in &self.lines {
+            let _ = writeln!(s, "{l}");
+        }
+        s
+    }
+}
+
+impl Tracer for TextTracer {
+    fn render(&self) -> String {
+        TextTracer::render(self)
+    }
+
+    fn event(&mut self, e: TraceEvent) {
+        if self.lines.len() >= self.limit {
+            return;
+        }
+        let line = match e {
+            TraceEvent::Issue { cycle, core, block, inst } => {
+                if !self.issues {
+                    return;
+                }
+                format!("[{cycle:>8}] core{core} <{block}> {inst}")
+            }
+            TraceEvent::ThreadStart { cycle, core, block } => {
+                format!("[{cycle:>8}] core{core} SPAWNED at bb{block}")
+            }
+            TraceEvent::ModeSwitch { cycle, mode } => {
+                format!("[{cycle:>8}] MODE -> {mode}")
+            }
+            TraceEvent::TmCommit { cycle, core, lines } => {
+                format!("[{cycle:>8}] core{core} XCOMMIT ({lines} lines)")
+            }
+            TraceEvent::TmAbort { cycle, core } => {
+                format!("[{cycle:>8}] core{core} ABORTED (replaying chunk)")
+            }
+            TraceEvent::Halt { cycle, core } => {
+                format!("[{cycle:>8}] core{core} HALT")
+            }
+        };
+        self.lines.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_tracer_respects_limit_and_issue_filter() {
+        let mut t = TextTracer::new(2, false);
+        t.event(TraceEvent::Issue {
+            cycle: 1,
+            core: 0,
+            block: "b".into(),
+            inst: "nop".into(),
+        });
+        assert!(t.lines().is_empty(), "issues filtered out");
+        t.event(TraceEvent::ModeSwitch { cycle: 2, mode: ExecMode::Coupled });
+        t.event(TraceEvent::Halt { cycle: 3, core: 0 });
+        t.event(TraceEvent::Halt { cycle: 4, core: 1 });
+        assert_eq!(t.lines().len(), 2, "limit enforced");
+        assert!(t.render().contains("MODE -> coupled"));
+    }
+}

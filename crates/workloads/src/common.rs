@@ -1,0 +1,102 @@
+//! Shared helpers for kernel construction: seeded data generation and a
+//! few recurring loop shapes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG seeded from the benchmark name.
+pub fn rng_for(name: &str) -> StdRng {
+    let mut seed = 0xB5_u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` random i64 values in `[lo, hi)`.
+pub fn rand_i64s(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` random i32 values in `[lo, hi)`.
+pub fn rand_i32s(rng: &mut StdRng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` random i16 values in `[lo, hi)`.
+pub fn rand_i16s(rng: &mut StdRng, n: usize, lo: i16, hi: i16) -> Vec<i16> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` random bytes.
+pub fn rand_bytes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` random f64 values in `[lo, hi)`.
+pub fn rand_f64s(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A random permutation-ish index array of `n` indices into `[0, m)`.
+pub fn rand_indices(rng: &mut StdRng, n: usize, m: usize) -> Vec<i32> {
+    (0..n).map(|_| rng.gen_range(0..m) as i32).collect()
+}
+
+/// A singly-linked ring over `n` nodes (next[i] visits all nodes in a
+/// shuffled order), for pointer-chasing kernels.
+pub fn chase_ring(rng: &mut StdRng, n: usize) -> Vec<i32> {
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut next = vec![0i32; n];
+    for w in 0..n {
+        next[order[w]] = order[(w + 1) % n] as i32;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = rng_for("x");
+        let mut b = rng_for("x");
+        let mut c = rng_for("y");
+        let va = rand_i64s(&mut a, 8, 0, 100);
+        let vb = rand_i64s(&mut b, 8, 0, 100);
+        let vc = rand_i64s(&mut c, 8, 0, 100);
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn chase_ring_is_a_single_cycle() {
+        let mut r = rng_for("ring");
+        let next = chase_ring(&mut r, 64);
+        let mut seen = [false; 64];
+        let mut p = 0usize;
+        for _ in 0..64 {
+            assert!(!seen[p], "revisited node {p}");
+            seen[p] = true;
+            p = next[p] as usize;
+        }
+        assert_eq!(p, 0, "ring must close");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = rng_for("t");
+        for v in rand_i64s(&mut r, 100, -5, 5) {
+            assert!((-5..5).contains(&v));
+        }
+        for v in rand_indices(&mut r, 100, 10) {
+            assert!((0..10).contains(&v));
+        }
+    }
+}

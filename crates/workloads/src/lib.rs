@@ -1,0 +1,184 @@
+//! Benchmark kernels for the Voltron reproduction.
+//!
+//! The paper evaluates 25 programs from SPEC and MediaBench (§5.1). Those
+//! suites cannot be redistributed, so each benchmark is replaced by a
+//! synthetic kernel that reproduces the *structure* the paper's analysis
+//! keys on — the dominant loops, their dependence patterns (DOALL /
+//! reduction / recurrence / pointer-chasing), their memory footprints and
+//! miss behavior, and their control-flow shape. The per-benchmark
+//! expectations (`Workload::expected`) encode the paper's Fig. 3/10
+//! trends: which parallelism class each program favors.
+//!
+//! All kernels are deterministic (seeded data), self-checking (results
+//! are stored into the data segment, which the system compares against
+//! the reference interpreter), and available at two scales: [`Scale::Test`]
+//! for CI-speed runs and [`Scale::Full`] for figure regeneration.
+
+mod common;
+mod media;
+mod specfp;
+mod specint;
+
+use voltron_ir::Program;
+
+/// Benchmark suite a workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// MediaBench.
+    MediaBench,
+    /// SPEC CPU (integer).
+    SpecInt,
+    /// SPEC CPU (floating point).
+    SpecFp,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::MediaBench => "MediaBench",
+            Suite::SpecInt => "SPECint",
+            Suite::SpecFp => "SPECfp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parallelism class a benchmark is expected to favor (the paper's
+/// Fig. 3 / Fig. 10 trend), used in reports only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// Coupled-mode ILP.
+    Ilp,
+    /// Fine-grain TLP (strands or DSWP).
+    FineGrainTlp,
+    /// Loop-level parallelism.
+    Llp,
+    /// A mix (the hybrid shines).
+    Mixed,
+}
+
+/// Workload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs for tests (tens of thousands of cycles).
+    Test,
+    /// Evaluation inputs for the figures (hundreds of thousands of
+    /// cycles).
+    Full,
+}
+
+impl Scale {
+    /// Pick a size by scale.
+    pub fn of(self, test: i64, full: i64) -> i64 {
+        match self {
+            Scale::Test => test,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A named benchmark program.
+pub struct Workload {
+    /// Benchmark name (matches the paper's figures).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Expected dominant parallelism class.
+    pub expected: Expected,
+    /// The program.
+    pub program: Program,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.name)
+    }
+}
+
+/// Build every benchmark at the given scale, in the paper's figure order.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        specfp::alvinn(scale),
+        specfp::ear(scale),
+        specint::ijpeg(scale),
+        specint::gzip(scale),
+        specfp::swim(scale),
+        specfp::mgrid(scale),
+        specint::vpr(scale),
+        specfp::mesa(scale),
+        specfp::art(scale),
+        specfp::equake(scale),
+        specint::parser(scale),
+        specint::vortex(scale),
+        specint::bzip2(scale),
+        media::cjpeg(scale),
+        media::djpeg(scale),
+        media::epic(scale),
+        media::g721decode(scale),
+        media::g721encode(scale),
+        media::gsmdecode(scale),
+        media::gsmencode(scale),
+        media::mpeg2dec(scale),
+        media::mpeg2enc(scale),
+        media::rawcaudio(scale),
+        media::rawdaudio(scale),
+        media::unepic(scale),
+    ]
+}
+
+/// Look up one benchmark by name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    all(scale).into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_25_unique_verified_programs() {
+        let ws = all(Scale::Test);
+        assert_eq!(ws.len(), 25);
+        let mut names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 25, "duplicate benchmark names");
+        for w in &ws {
+            voltron_ir::verify::verify_program(&w.program)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn every_workload_interprets_and_is_deterministic() {
+        for w in all(Scale::Test) {
+            let a = voltron_ir::interp::run(&w.program, 200_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let b = voltron_ir::interp::run(&w.program, 200_000_000).unwrap();
+            assert_eq!(
+                a.memory.first_difference(&b.memory),
+                None,
+                "{} is nondeterministic",
+                w.name
+            );
+            assert!(a.steps > 1_000, "{} is trivially small ({} steps)", w.name, a.steps);
+        }
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_test_scale() {
+        for name in ["171.swim", "164.gzip", "gsmdecode"] {
+            let t = by_name(name, Scale::Test).unwrap();
+            let f = by_name(name, Scale::Full).unwrap();
+            let ts = voltron_ir::interp::run(&t.program, 2_000_000_000).unwrap().steps;
+            let fs = voltron_ir::interp::run(&f.program, 2_000_000_000).unwrap().steps;
+            assert!(fs > ts * 2, "{name}: full {fs} vs test {ts}");
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("164.gzip", Scale::Test).is_some());
+        assert!(by_name("no-such-bench", Scale::Test).is_none());
+    }
+}

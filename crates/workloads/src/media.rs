@@ -1,0 +1,729 @@
+//! MediaBench kernels: `cjpeg`, `djpeg`, `epic`, `g721decode`,
+//! `g721encode`, `gsmdecode`, `gsmencode`, `mpeg2dec`, `mpeg2enc`,
+//! `rawcaudio`, `rawdaudio`, `unepic`.
+
+use crate::common::*;
+use crate::{Expected, Scale, Suite, Workload};
+use voltron_ir::builder::{FunctionBuilder, ProgramBuilder};
+use voltron_ir::{CmpCc, Reg};
+
+/// Emit the 8-tap GSM long-term-prediction filter of the paper's Fig. 9:
+/// a tight serial recurrence over `sri` with abundant ILP per step.
+fn ltp_filter_step(f: &mut FunctionBuilder, rrp: Reg, v: Reg, sri: Reg, i: i64) {
+    let tap = f.load8(rrp, i * 8);
+    let dv = f.load8(v, i * 8);
+    let prod = f.mul(tap, dv);
+    let rounded = f.add(prod, 16384i64);
+    let term = f.sar(rounded, 15i64);
+    let ns = f.sub(sri, term);
+    f.mov_to(sri, ns);
+    let prod2 = f.mul(tap, ns);
+    let rounded2 = f.add(prod2, 16384i64);
+    let term2 = f.sar(rounded2, 15i64);
+    let vn = f.load8(v, i * 8);
+    let nv = f.add(vn, term2);
+    f.store8(v, i * 8 + 8, nv);
+}
+
+/// `cjpeg` — JPEG compression front end: RGB→YCbCr color conversion
+/// (LLP) followed by blocked DCT rows (ILP). The paper's hybrid poster
+/// child (Fig. 13 discussion).
+pub fn cjpeg(scale: Scale) -> Workload {
+    let mut rng = rng_for("cjpeg");
+    let pixels = scale.of(768, 2048);
+    let blocks = pixels / 64; // the DCT consumes the converted luma plane
+    let mut pb = ProgramBuilder::new("cjpeg");
+    let rgb = pb
+        .data_mut()
+        .array_i32("rgb", &rand_i32s(&mut rng, (pixels * 3) as usize, 0, 256));
+    let luma = pb.data_mut().zeroed("luma", (pixels * 4) as u64);
+    let chroma = pb.data_mut().zeroed("chroma", (pixels * 4) as u64);
+    let dct = pb.data_mut().zeroed("dct", (blocks * 64 * 4) as u64);
+
+    let mut f = pb.function("main");
+    let rgb_b = f.ldi(rgb as i64);
+    let y_b = f.ldi(luma as i64);
+    let c_b = f.ldi(chroma as i64);
+    // Color conversion: pure DOALL.
+    f.counted_loop(0i64, pixels, 1, |f, px| {
+        let po = f.mul(px, 12i64);
+        let pa = f.add(rgb_b, po);
+        let r = f.load4(pa, 0);
+        let g = f.load4(pa, 4);
+        let b = f.load4(pa, 8);
+        let yr = f.mul(r, 77i64);
+        let yg = f.mul(g, 150i64);
+        let yb = f.mul(b, 29i64);
+        let y0 = f.add(yr, yg);
+        let y1 = f.add(y0, yb);
+        let y = f.sar(y1, 8i64);
+        let cr = f.sub(r, y);
+        let oo = f.shl(px, 2i64);
+        let ya = f.add(y_b, oo);
+        f.store4(ya, 0, y);
+        let ca = f.add(c_b, oo);
+        f.store4(ca, 0, cr);
+    });
+    // Full row-pass DCT over the just-converted luma plane: eight dense
+    // butterfly rows per block (heavy integer ILP on data still warm in
+    // the caches), with a carried DC predictor so the block loop stays
+    // off the DOALL path — the paper's "significant portion best suited
+    // for ILP" half of cjpeg.
+    let co_b = f.ldi(luma as i64);
+    let d_b = f.ldi(dct as i64);
+    let dcpred = f.ldi(0);
+    f.counted_loop(0i64, blocks, 1, |f, blk| {
+        let bo = f.mul(blk, 256i64);
+        let sb = f.add(co_b, bo);
+        let db = f.add(d_b, bo);
+        let blocksum = f.ldi(0);
+        f.counted_loop(0i64, 8i64, 1, |f, row| {
+            let ro = f.mul(row, 32i64);
+            let srow = f.add(sb, ro);
+            let drow = f.add(db, ro);
+            let a0 = f.load4(srow, 0);
+            let a1 = f.load4(srow, 4);
+            let a2 = f.load4(srow, 8);
+            let a3 = f.load4(srow, 12);
+            let a4 = f.load4(srow, 16);
+            let a5 = f.load4(srow, 20);
+            let a6 = f.load4(srow, 24);
+            let a7 = f.load4(srow, 28);
+            let s0 = f.add(a0, a7);
+            let s1 = f.add(a1, a6);
+            let s2 = f.add(a2, a5);
+            let s3 = f.add(a3, a4);
+            let d0 = f.sub(a0, a7);
+            let d1 = f.sub(a1, a6);
+            let d2 = f.sub(a2, a5);
+            let d3 = f.sub(a3, a4);
+            let e0 = f.add(s0, s3);
+            let e1 = f.add(s1, s2);
+            let dc = f.add(e0, e1);
+            let ac1 = f.sub(e0, e1);
+            let m0 = f.mul(d0, 5i64);
+            let m1 = f.mul(d1, 4i64);
+            let m2 = f.mul(d2, 3i64);
+            let m3 = f.mul(d3, 2i64);
+            let ac2 = f.add(m0, m1);
+            let ac3 = f.add(m2, m3);
+            let x0 = f.mul(ac1, 7i64);
+            let x1 = f.mul(ac2, 6i64);
+            let x2 = f.mul(ac3, 5i64);
+            let y0 = f.add(x0, x1);
+            let y1 = f.add(x2, dc);
+            let q0 = f.sar(y0, 2i64);
+            let q1 = f.sar(y1, 2i64);
+            f.store4(drow, 0, q0);
+            f.store4(drow, 4, q1);
+            f.store4(drow, 8, ac2);
+            f.store4(drow, 12, ac3);
+            f.reduce_add(blocksum, dc);
+        });
+        let delta = f.sub(blocksum, dcpred);
+        f.mov_to(dcpred, blocksum);
+        f.store4(db, 16, delta);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "cjpeg", suite: Suite::MediaBench, expected: Expected::Mixed, program: pb.finish() }
+}
+
+/// `djpeg` — JPEG decompression: blocked IDCT (LLP) and a 2x horizontal
+/// upsample (LLP) with a serial Huffman-state-like prefix pass (ILP).
+pub fn djpeg(scale: Scale) -> Workload {
+    let mut rng = rng_for("djpeg");
+    let blocks = scale.of(16, 72);
+    let pixels = blocks * 32;
+    let mut pb = ProgramBuilder::new("djpeg");
+    let coeffs = pb
+        .data_mut()
+        .array_i32("coeffs", &rand_i32s(&mut rng, (blocks * 64) as usize, -512, 512));
+    let image = pb.data_mut().zeroed("image", (blocks * 64 * 4) as u64);
+    let upsampled = pb.data_mut().zeroed("upsampled", (pixels * 2 * 4) as u64);
+    let state_sym = pb.data_mut().zeroed("state", 8);
+
+    let mut f = pb.function("main");
+    let c_b = f.ldi(coeffs as i64);
+    let i_b = f.ldi(image as i64);
+    // Huffman-like serial prefix: each block's DC adds to the previous.
+    let run = f.ldi(0);
+    f.counted_loop(0i64, blocks, 1, |f, blk| {
+        let bo = f.mul(blk, 256i64);
+        let ca = f.add(c_b, bo);
+        let dc = f.load4(ca, 0);
+        let nr = f.add(run, dc);
+        f.mov_to(run, nr);
+        f.store4(ca, 0, nr);
+    });
+    let st_b = f.ldi(state_sym as i64);
+    f.store8(st_b, 0, run);
+    // Blocked IDCT-like reconstruction: DOALL over blocks.
+    f.counted_loop(0i64, blocks, 1, |f, blk| {
+        let bo = f.mul(blk, 256i64);
+        let sb = f.add(c_b, bo);
+        let db = f.add(i_b, bo);
+        f.counted_loop(0i64, 8i64, 1, |f, r| {
+            let ro = f.mul(r, 32i64);
+            let row = f.add(sb, ro);
+            let orow = f.add(db, ro);
+            let c0 = f.load4(row, 0);
+            let c1 = f.load4(row, 4);
+            let c2 = f.load4(row, 8);
+            let c3 = f.load4(row, 12);
+            let t0 = f.add(c0, c2);
+            let t1 = f.sub(c0, c2);
+            let m1 = f.mul(c1, 6i64);
+            let m3 = f.mul(c3, 2i64);
+            let u0 = f.add(m1, m3);
+            let u1 = f.sub(m1, m3);
+            let p0 = f.add(t0, u0);
+            let p1 = f.add(t1, u1);
+            let p2 = f.sub(t1, u1);
+            let p3 = f.sub(t0, u0);
+            let q0 = f.sar(p0, 3i64);
+            let q1 = f.sar(p1, 3i64);
+            let q2 = f.sar(p2, 3i64);
+            let q3 = f.sar(p3, 3i64);
+            f.store4(orow, 0, q0);
+            f.store4(orow, 4, q1);
+            f.store4(orow, 8, q2);
+            f.store4(orow, 12, q3);
+        });
+    });
+    // Horizontal 2x upsample: DOALL.
+    let u_b = f.ldi(upsampled as i64);
+    f.counted_loop(0i64, pixels - 1, 1, |f, px| {
+        let po = f.shl(px, 2i64);
+        let ia = f.add(i_b, po);
+        let v = f.load4(ia, 0);
+        let nxt = f.load4(ia, 4);
+        let avg0 = f.add(v, nxt);
+        let avg = f.sar(avg0, 1i64);
+        let uo = f.shl(px, 3i64);
+        let ua = f.add(u_b, uo);
+        f.store4(ua, 0, v);
+        f.store4(ua, 4, avg);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "djpeg", suite: Suite::MediaBench, expected: Expected::Mixed, program: pb.finish() }
+}
+
+/// `epic` — image-pyramid coder: a wavelet averaging level (statistical
+/// LLP) feeding a quantize/run-length stage whose carried state forms a
+/// pipeline recurrence — the DSWP showcase.
+pub fn epic(scale: Scale) -> Workload {
+    let mut rng = rng_for("epic");
+    let n = scale.of(768, 3072);
+    let mut pb = ProgramBuilder::new("epic");
+    let img = pb.data_mut().array_i32("img", &rand_i32s(&mut rng, n as usize, 0, 64));
+    let half = pb.data_mut().zeroed("half", (n / 2 * 4) as u64);
+    let runs = pb.data_mut().zeroed("runs", (n * 8) as u64);
+    let emitted_sym = pb.data_mut().zeroed("emitted", 8);
+
+    let mut f = pb.function("main");
+    let i_b = f.ldi(img as i64);
+    let h_b = f.ldi(half as i64);
+    // Wavelet level: half[i] = (img[2i] + img[2i+1]) / 2 — DOALL.
+    f.counted_loop(0i64, n / 2, 1, |f, i| {
+        let so = f.shl(i, 3i64);
+        let sa = f.add(i_b, so);
+        let a = f.load4(sa, 0);
+        let b = f.load4(sa, 4);
+        let s = f.add(a, b);
+        let avg = f.sar(s, 1i64);
+        let ho = f.shl(i, 2i64);
+        let ha = f.add(h_b, ho);
+        f.store4(ha, 0, avg);
+    });
+    // Quantize + run-length: load/quantize upstream (stage 1) feeds the
+    // carried run-length emitter (stage 2) — a DSWP pipeline.
+    let r_b = f.ldi(runs as i64);
+    let prev = f.ldi(-1);
+    let runlen = f.ldi(0);
+    let pos = f.ldi(0);
+    f.counted_loop(0i64, n / 2, 1, |f, i| {
+        let ho = f.shl(i, 2i64);
+        let ha = f.add(h_b, ho);
+        let v = f.load4(ha, 0);
+        let v2 = f.mul(v, v);
+        let q0 = f.sar(v2, 4i64);
+        let q = f.min(q0, 15i64);
+        let same = f.cmp(CmpCc::Eq, q, prev);
+        f.if_then_else(
+            same,
+            |f| {
+                let r1 = f.add(runlen, 1i64);
+                f.mov_to(runlen, r1);
+            },
+            |f| {
+                let po = f.shl(pos, 3i64);
+                let ra = f.add(r_b, po);
+                let packed0 = f.shl(prev, 16i64);
+                let packed = f.or(packed0, runlen);
+                f.store8(ra, 0, packed);
+                let p1 = f.add(pos, 1i64);
+                f.mov_to(pos, p1);
+                f.mov_to(prev, q);
+                f.mov_to(runlen, 1i64);
+            },
+        );
+    });
+    let e_b = f.ldi(emitted_sym as i64);
+    f.store8(e_b, 0, pos);
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "epic",
+        suite: Suite::MediaBench,
+        expected: Expected::FineGrainTlp,
+        program: pb.finish(),
+    }
+}
+
+/// Shared G.721 ADPCM predictor recurrence.
+fn g721(name: &'static str, encode: bool, scale: Scale) -> Workload {
+    let mut rng = rng_for(name);
+    let samples = scale.of(700, 2600);
+    let mut pb = ProgramBuilder::new(name);
+    let input = pb
+        .data_mut()
+        .array_i16("input", &rand_i16s(&mut rng, samples as usize, -2000, 2000));
+    let output = pb.data_mut().zeroed("output", (samples * 2) as u64);
+    let state_sym = pb.data_mut().zeroed("state", 16);
+
+    let mut f = pb.function("main");
+    let in_b = f.ldi(input as i64);
+    let out_b = f.ldi(output as i64);
+    let valpred = f.ldi(0);
+    let step = f.ldi(16);
+    f.counted_loop(0i64, samples, 1, |f, i| {
+        let io = f.shl(i, 1i64);
+        let ia = f.add(in_b, io);
+        let s = f.load2(ia, 0);
+        // delta against prediction; quantize to 4 levels via selects.
+        let diff = f.sub(s, valpred);
+        let neg = f.cmp(CmpCc::Lt, diff, 0i64);
+        let nd = f.sub(0i64, diff);
+        let mag = f.sel(neg, nd, diff);
+        let st2 = f.shl(step, 1i64);
+        let big = f.cmp(CmpCc::Ge, mag, st2);
+        let mid = f.cmp(CmpCc::Ge, mag, step);
+        let c2 = f.sel(big, 3i64, 1i64);
+        let c1 = f.sel(mid, c2, 0i64);
+        // Reconstruct: vpdelta = (code + 0.5) * step approx.
+        let halfstep = f.sar(step, 1i64);
+        let base = f.mul(c1, step);
+        let recon0 = f.add(base, halfstep);
+        let negrecon = f.sub(0i64, recon0);
+        let recon = f.sel(neg, negrecon, recon0);
+        let nv0 = f.add(valpred, recon);
+        let nv1 = f.min(nv0, 32767i64);
+        let nv = f.max(nv1, -32768i64);
+        f.mov_to(valpred, nv);
+        // Step adaptation.
+        let grow = f.cmp(CmpCc::Ge, c1, 2i64);
+        let up = f.shl(step, 1i64);
+        let dn0 = f.sar(step, 1i64);
+        let dn = f.max(dn0, 4i64);
+        let ns0 = f.sel(grow, up, dn);
+        let ns = f.min(ns0, 16384i64);
+        f.mov_to(step, ns);
+        let oa = f.add(out_b, io);
+        if encode {
+            let sign = f.sel(neg, 4i64, 0i64);
+            let code = f.or(c1, sign);
+            f.store2(oa, 0, code);
+        } else {
+            f.store2(oa, 0, nv);
+        }
+    });
+    let st_b = f.ldi(state_sym as i64);
+    f.store8(st_b, 0, valpred);
+    f.store8(st_b, 8, step);
+    f.halt();
+    pb.finish_function(f);
+    Workload { name, suite: Suite::MediaBench, expected: Expected::Ilp, program: pb.finish() }
+}
+
+/// `g721decode` — ADPCM decoder: a tight serial predictor recurrence
+/// whose wide select/clamp dataflow is coupled-mode ILP territory.
+pub fn g721decode(scale: Scale) -> Workload {
+    g721("g721decode", false, scale)
+}
+
+/// `g721encode` — ADPCM encoder (same recurrence plus quantizer).
+pub fn g721encode(scale: Scale) -> Workload {
+    g721("g721encode", true, scale)
+}
+
+/// `gsmdecode` — GSM decoder: the paper's Fig. 7 DOALL scaling loop and
+/// the Fig. 9 LTP filter recurrence, per frame — a genuine hybrid.
+pub fn gsmdecode(scale: Scale) -> Workload {
+    let mut rng = rng_for("gsmdecode");
+    let frames = scale.of(6, 20);
+    let subsamples = 64i64;
+    let mut pb = ProgramBuilder::new("gsmdecode");
+    let u = pb
+        .data_mut()
+        .array_i64("u", &rand_i64s(&mut rng, (frames * subsamples) as usize, -8000, 8000));
+    let rp = pb
+        .data_mut()
+        .array_i64("rp", &rand_i64s(&mut rng, (frames * subsamples) as usize, -8000, 8000));
+    let uf = pb.data_mut().zeroed("uf", (frames * subsamples * 8) as u64);
+    let rpf = pb.data_mut().zeroed("rpf", (frames * subsamples * 8) as u64);
+    let rrp = pb.data_mut().array_i64("rrp", &rand_i64s(&mut rng, 8, -16000, 16000));
+    let v = pb.data_mut().zeroed("v", 9 * 8);
+    let sri_sym = pb.data_mut().zeroed("sri", 8);
+
+    let mut f = pb.function("main");
+    let u_b = f.ldi(u as i64);
+    let rp_b = f.ldi(rp as i64);
+    let uf_b = f.ldi(uf as i64);
+    let rpf_b = f.ldi(rpf as i64);
+    let rrp_b = f.ldi(rrp as i64);
+    let v_b = f.ldi(v as i64);
+    let sri = f.ldi(0);
+    let scalef = f.ldi(13);
+    f.counted_loop(0i64, frames, 1, |f, frame| {
+        // Fig. 7: uf[i] = u[i]; rpf[i] = rp[i] * scalef over this frame's
+        // subwindow — DOALL.
+        let lo = f.mul(frame, subsamples);
+        let hi = f.add(lo, subsamples);
+        f.counted_loop(lo, hi, 1, |f, i| {
+            let io = f.shl(i, 3i64);
+            let ua = f.add(u_b, io);
+            let uv = f.load8(ua, 0);
+            let ufa = f.add(uf_b, io);
+            f.store8(ufa, 0, uv);
+            let rpa = f.add(rp_b, io);
+            let rv = f.load8(rpa, 0);
+            let scaled = f.mul(rv, scalef);
+            let rpfa = f.add(rpf_b, io);
+            f.store8(rpfa, 0, scaled);
+        });
+        // Fig. 9: the 8-tap LTP filter recurrence — ILP.
+        for i in 0..8 {
+            ltp_filter_step(f, rrp_b, v_b, sri, i);
+        }
+    });
+    let s_b = f.ldi(sri_sym as i64);
+    f.store8(s_b, 0, sri);
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "gsmdecode",
+        suite: Suite::MediaBench,
+        expected: Expected::Mixed,
+        program: pb.finish(),
+    }
+}
+
+/// `gsmencode` — GSM encoder: autocorrelation lags (DOALL over lags with
+/// inner reductions) and a preemphasis recurrence through memory (ILP).
+pub fn gsmencode(scale: Scale) -> Workload {
+    let mut rng = rng_for("gsmencode");
+    let samples = scale.of(512, 2048);
+    let lags = 16i64;
+    let mut pb = ProgramBuilder::new("gsmencode");
+    let s = pb
+        .data_mut()
+        .array_i64("s", &rand_i64s(&mut rng, (samples + lags) as usize, -4000, 4000));
+    let acf = pb.data_mut().zeroed("acf", (lags * 8) as u64);
+    let pre = pb.data_mut().zeroed("pre", (samples * 8) as u64);
+
+    let mut f = pb.function("main");
+    let s_b = f.ldi(s as i64);
+    let a_b = f.ldi(acf as i64);
+    let p_b = f.ldi(pre as i64);
+    // Preemphasis: pre[i] = s[i] - (s[i-1] * 28180 >> 15) (serial-ish but
+    // reads only the immutable input: actually DOALL-safe reads; writes
+    // disjoint — profiled independent).
+    f.counted_loop(1i64, samples, 1, |f, i| {
+        let io = f.shl(i, 3i64);
+        let sa = f.add(s_b, io);
+        let cur = f.load8(sa, 0);
+        let prv = f.load8(sa, -8);
+        let scaled = f.mul(prv, 28180i64);
+        let term = f.sar(scaled, 15i64);
+        let val = f.sub(cur, term);
+        let pa = f.add(p_b, io);
+        f.store8(pa, 0, val);
+    });
+    // Autocorrelation: acf[k] = sum_i pre[i] * pre[i+k] — DOALL over k.
+    f.counted_loop(0i64, lags, 1, |f, k| {
+        let acc = f.ldi(0);
+        let ko = f.shl(k, 3i64);
+        let shifted = f.add(p_b, ko);
+        f.counted_loop(0i64, samples - lags, 1, |f, i| {
+            let io = f.shl(i, 3i64);
+            let pa = f.add(p_b, io);
+            let x = f.load8(pa, 0);
+            let qa = f.add(shifted, io);
+            let y = f.load8(qa, 0);
+            let prod = f.mul(x, y);
+            let scaled = f.sar(prod, 8i64);
+            f.reduce_add(acc, scaled);
+        });
+        let aa = f.add(a_b, ko);
+        f.store8(aa, 0, acc);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "gsmencode",
+        suite: Suite::MediaBench,
+        expected: Expected::Llp,
+        program: pb.finish(),
+    }
+}
+
+/// `mpeg2dec` — MPEG-2 decoding: blocked IDCT plus motion compensation
+/// averaging — dominated by DOALL loops (LLP).
+pub fn mpeg2dec(scale: Scale) -> Workload {
+    let mut rng = rng_for("mpeg2dec");
+    let blocks = scale.of(20, 80);
+    let n = blocks * 64;
+    let mut pb = ProgramBuilder::new("mpeg2dec");
+    let coeff = pb.data_mut().array_i32("coeff", &rand_i32s(&mut rng, n as usize, -256, 256));
+    let refframe = pb.data_mut().array_i32("ref", &rand_i32s(&mut rng, (n + 64) as usize, 0, 255));
+    let out = pb.data_mut().zeroed("out", (n * 4) as u64);
+
+    let mut f = pb.function("main");
+    let c_b = f.ldi(coeff as i64);
+    let r_b = f.ldi(refframe as i64);
+    let o_b = f.ldi(out as i64);
+    // IDCT-lite per element (DOALL).
+    f.counted_loop(0i64, n, 1, |f, i| {
+        let io = f.shl(i, 2i64);
+        let ca = f.add(c_b, io);
+        let v = f.load4(ca, 0);
+        let v3 = f.mul(v, 3i64);
+        let vs = f.sar(v3, 2i64);
+        f.store4(ca, 0, vs);
+    });
+    // Motion compensation: out[i] = (idct[i] + ref[i + 16] + 1) >> 1.
+    f.counted_loop(0i64, n, 1, |f, i| {
+        let io = f.shl(i, 2i64);
+        let ca = f.add(c_b, io);
+        let p = f.load4(ca, 0);
+        let ra = f.add(r_b, io);
+        let rv = f.load4(ra, 64);
+        let s0 = f.add(p, rv);
+        let s1 = f.add(s0, 1i64);
+        let avg = f.sar(s1, 1i64);
+        let oa = f.add(o_b, io);
+        f.store4(oa, 0, avg);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "mpeg2dec",
+        suite: Suite::MediaBench,
+        expected: Expected::Llp,
+        program: pb.finish(),
+    }
+}
+
+/// `mpeg2enc` — motion estimation: SAD over candidate vectors (DOALL
+/// with inner reductions) and a serial argmin scan (ILP).
+pub fn mpeg2enc(scale: Scale) -> Workload {
+    let mut rng = rng_for("mpeg2enc");
+    let candidates = scale.of(24, 96);
+    let blocksz = 64i64;
+    let mut pb = ProgramBuilder::new("mpeg2enc");
+    let cur = pb.data_mut().array_i32("cur", &rand_i32s(&mut rng, blocksz as usize, 0, 255));
+    let refw = pb.data_mut().array_i32(
+        "refw",
+        &rand_i32s(&mut rng, (candidates + blocksz) as usize, 0, 255),
+    );
+    let sads = pb.data_mut().zeroed("sads", (candidates * 8) as u64);
+    let best_sym = pb.data_mut().zeroed("best", 16);
+
+    let mut f = pb.function("main");
+    let c_b = f.ldi(cur as i64);
+    let r_b = f.ldi(refw as i64);
+    let s_b = f.ldi(sads as i64);
+    // SAD per candidate (DOALL over candidates).
+    f.counted_loop(0i64, candidates, 1, |f, cand| {
+        let co = f.shl(cand, 2i64);
+        let base = f.add(r_b, co);
+        let acc = f.ldi(0);
+        f.counted_loop(0i64, blocksz, 1, |f, i| {
+            let io = f.shl(i, 2i64);
+            let ca = f.add(c_b, io);
+            let a = f.load4(ca, 0);
+            let ra = f.add(base, io);
+            let b = f.load4(ra, 0);
+            let d = f.sub(a, b);
+            let neg = f.cmp(CmpCc::Lt, d, 0i64);
+            let nd = f.sub(0i64, d);
+            let ad = f.sel(neg, nd, d);
+            f.reduce_add(acc, ad);
+        });
+        let so = f.shl(cand, 3i64);
+        let sa = f.add(s_b, so);
+        f.store8(sa, 0, acc);
+    });
+    // Argmin scan (serial: carried best index).
+    let best = f.ldi(i64::MAX);
+    let besti = f.ldi(-1);
+    f.counted_loop(0i64, candidates, 1, |f, cand| {
+        let so = f.shl(cand, 3i64);
+        let sa = f.add(s_b, so);
+        let v = f.load8(sa, 0);
+        let better = f.cmp(CmpCc::Lt, v, best);
+        let nb = f.sel(better, v, best);
+        let ni = f.sel(better, cand, besti);
+        f.mov_to(best, nb);
+        f.mov_to(besti, ni);
+    });
+    let b_b = f.ldi(best_sym as i64);
+    f.store8(b_b, 0, best);
+    f.store8(b_b, 8, besti);
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "mpeg2enc",
+        suite: Suite::MediaBench,
+        expected: Expected::Mixed,
+        program: pb.finish(),
+    }
+}
+
+/// Shared IMA-ADPCM raw audio recurrence (`rawcaudio` / `rawdaudio`).
+fn rawaudio(name: &'static str, encode: bool, scale: Scale) -> Workload {
+    let mut rng = rng_for(name);
+    let samples = scale.of(800, 3000);
+    let mut pb = ProgramBuilder::new(name);
+    let input = pb
+        .data_mut()
+        .array_i16("input", &rand_i16s(&mut rng, samples as usize, -8000, 8000));
+    let output = pb.data_mut().zeroed("output", (samples * 2) as u64);
+    let state_sym = pb.data_mut().zeroed("state", 16);
+
+    let mut f = pb.function("main");
+    let in_b = f.ldi(input as i64);
+    let out_b = f.ldi(output as i64);
+    let pred = f.ldi(0);
+    let index = f.ldi(0);
+    f.counted_loop(0i64, samples, 1, |f, i| {
+        let io = f.shl(i, 1i64);
+        let ia = f.add(in_b, io);
+        let s = f.load2(ia, 0);
+        let stepsize = f.add(index, 7i64);
+        let sq = f.mul(stepsize, stepsize);
+        let diff = f.sub(s, pred);
+        let neg = f.cmp(CmpCc::Lt, diff, 0i64);
+        let nd = f.sub(0i64, diff);
+        let mag = f.sel(neg, nd, diff);
+        let q = f.div(mag, sq);
+        let qc = f.min(q, 7i64);
+        let dq0 = f.mul(qc, sq);
+        let negdq = f.sub(0i64, dq0);
+        let dq = f.sel(neg, negdq, dq0);
+        let np0 = f.add(pred, dq);
+        let np1 = f.min(np0, 32767i64);
+        let np = f.max(np1, -32768i64);
+        f.mov_to(pred, np);
+        let upidx = f.cmp(CmpCc::Ge, qc, 4i64);
+        let inc = f.sel(upidx, 2i64, -1i64);
+        let ni0 = f.add(index, inc);
+        let ni1 = f.max(ni0, 0i64);
+        let ni = f.min(ni1, 88i64);
+        f.mov_to(index, ni);
+        let oa = f.add(out_b, io);
+        if encode {
+            let sign = f.sel(neg, 8i64, 0i64);
+            let code = f.or(qc, sign);
+            f.store2(oa, 0, code);
+        } else {
+            f.store2(oa, 0, np);
+        }
+    });
+    let st_b = f.ldi(state_sym as i64);
+    f.store8(st_b, 0, pred);
+    f.store8(st_b, 8, index);
+    f.halt();
+    pb.finish_function(f);
+    Workload { name, suite: Suite::MediaBench, expected: Expected::Ilp, program: pb.finish() }
+}
+
+/// `rawcaudio` — IMA-ADPCM encoder recurrence (ILP).
+pub fn rawcaudio(scale: Scale) -> Workload {
+    rawaudio("rawcaudio", true, scale)
+}
+
+/// `rawdaudio` — IMA-ADPCM decoder recurrence (ILP).
+pub fn rawdaudio(scale: Scale) -> Workload {
+    rawaudio("rawdaudio", false, scale)
+}
+
+/// `unepic` — EPIC decoder: run-length expansion (serial cursor) and an
+/// inverse-wavelet reconstruction (statistical LLP).
+pub fn unepic(scale: Scale) -> Workload {
+    let mut rng = rng_for("unepic");
+    let half = scale.of(384, 1536);
+    let mut pb = ProgramBuilder::new("unepic");
+    // Host-side run-length stream: (value, run) pairs totaling `half`.
+    let mut packed: Vec<i64> = Vec::new();
+    let mut total = 0i64;
+    while total < half {
+        let run = rand_i64s(&mut rng, 1, 1, 9)[0].min(half - total);
+        let val = rand_i64s(&mut rng, 1, 0, 16)[0];
+        packed.push((val << 16) | run);
+        total += run;
+    }
+    let stream = pb.data_mut().array_i64("stream", &packed);
+    let coeffs = pb.data_mut().zeroed("coeffs", (half * 4) as u64);
+    let detail = pb
+        .data_mut()
+        .array_i32("detail", &rand_i32s(&mut rng, half as usize, -8, 8));
+    let image = pb.data_mut().zeroed("image", (half * 2 * 4) as u64);
+
+    let mut f = pb.function("main");
+    let st_b = f.ldi(stream as i64);
+    let c_b = f.ldi(coeffs as i64);
+    let nruns = packed.len() as i64;
+    // Run-length expansion: carried output cursor (serial / strands).
+    let cursor = f.ldi(0);
+    f.counted_loop(0i64, nruns, 1, |f, r| {
+        let ro = f.shl(r, 3i64);
+        let sa = f.add(st_b, ro);
+        let pk = f.load8(sa, 0);
+        let val = f.sar(pk, 16i64);
+        let run = f.and(pk, 0xffffi64);
+        let stop = f.add(cursor, run);
+        f.counted_loop(cursor, stop, 1, |f, j| {
+            let jo = f.shl(j, 2i64);
+            let ca = f.add(c_b, jo);
+            f.store4(ca, 0, val);
+        });
+        f.mov_to(cursor, stop);
+    });
+    // Inverse wavelet: image[2i] = c[i] + d[i]; image[2i+1] = c[i] - d[i].
+    let d_b = f.ldi(detail as i64);
+    let i_b = f.ldi(image as i64);
+    f.counted_loop(0i64, half, 1, |f, i| {
+        let io = f.shl(i, 2i64);
+        let ca = f.add(c_b, io);
+        let c = f.load4(ca, 0);
+        let da = f.add(d_b, io);
+        let d = f.load4(da, 0);
+        let lo = f.add(c, d);
+        let hi = f.sub(c, d);
+        let oo = f.shl(i, 3i64);
+        let oa = f.add(i_b, oo);
+        f.store4(oa, 0, lo);
+        f.store4(oa, 4, hi);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "unepic",
+        suite: Suite::MediaBench,
+        expected: Expected::FineGrainTlp,
+        program: pb.finish(),
+    }
+}

@@ -1,0 +1,417 @@
+//! SPEC floating-point (and FP-ish) benchmark kernels:
+//! `052.alvinn`, `056.ear`, `171.swim`, `172.mgrid`, `177.mesa`,
+//! `179.art`, `183.equake`.
+
+use crate::common::*;
+use crate::{Expected, Scale, Suite, Workload};
+use voltron_ir::builder::ProgramBuilder;
+use voltron_ir::CmpCc;
+
+/// `052.alvinn` — neural-net training step: hidden-layer matrix-vector
+/// products and an outer-product weight update. Both nests are DOALL over
+/// rows (the paper's LLP class).
+pub fn alvinn(scale: Scale) -> Workload {
+    let mut rng = rng_for("alvinn");
+    let ni = scale.of(24, 48); // inputs
+    let nh = scale.of(16, 48); // hidden units
+    let mut pb = ProgramBuilder::new("052.alvinn");
+    let input = pb.data_mut().array_f64("input", &rand_f64s(&mut rng, ni as usize, -1.0, 1.0));
+    let weights = pb
+        .data_mut()
+        .array_f64("weights", &rand_f64s(&mut rng, (ni * nh) as usize, -0.5, 0.5));
+    let err = pb.data_mut().array_f64("err", &rand_f64s(&mut rng, nh as usize, -0.2, 0.2));
+    let hidden = pb.data_mut().zeroed("hidden", (nh * 8) as u64);
+
+    let mut f = pb.function("main");
+    let in_b = f.ldi(input as i64);
+    let w_b = f.ldi(weights as i64);
+    let e_b = f.ldi(err as i64);
+    let h_b = f.ldi(hidden as i64);
+    let one = f.fldi(1.0);
+    let lr = f.fldi(0.125);
+    // Forward: hidden[j] = squash(sum_i w[j][i] * input[i]).
+    f.counted_loop(0i64, nh, 1, |f, j| {
+        let row_off = f.mul(j, ni * 8);
+        let row = f.add(w_b, row_off);
+        let acc = f.fldi(0.0);
+        f.counted_loop(0i64, ni, 1, |f, i| {
+            let io = f.shl(i, 3i64);
+            let wa = f.add(row, io);
+            let w = f.fload(wa, 0);
+            let xa = f.add(in_b, io);
+            let x = f.fload(xa, 0);
+            let p = f.fmul(w, x);
+            f.reduce_fadd(acc, p);
+        });
+        // squash(x) = x / (1 + |x|).
+        let mag = f.fabs(acc);
+        let den = f.fadd(one, mag);
+        let y = f.fdiv(acc, den);
+        let jo = f.shl(j, 3i64);
+        let ha = f.add(h_b, jo);
+        f.fstore(ha, 0, y);
+    });
+    // Backward: w[j][i] += lr * err[j] * input[i].
+    f.counted_loop(0i64, nh, 1, |f, j| {
+        let row_off = f.mul(j, ni * 8);
+        let row = f.add(w_b, row_off);
+        let jo = f.shl(j, 3i64);
+        let ea = f.add(e_b, jo);
+        let ej = f.fload(ea, 0);
+        let g = f.fmul(lr, ej);
+        f.counted_loop(0i64, ni, 1, |f, i| {
+            let io = f.shl(i, 3i64);
+            let xa = f.add(in_b, io);
+            let x = f.fload(xa, 0);
+            let dw = f.fmul(g, x);
+            let wa = f.add(row, io);
+            let w = f.fload(wa, 0);
+            let nw = f.fadd(w, dw);
+            f.fstore(wa, 0, nw);
+        });
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "052.alvinn", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+}
+
+/// `056.ear` — cochlea filter bank: one IIR recurrence per channel
+/// (serial inside), independent across channels (LLP over channels, ILP
+/// within).
+pub fn ear(scale: Scale) -> Workload {
+    let mut rng = rng_for("ear");
+    let channels = scale.of(12, 32);
+    let samples = scale.of(96, 256);
+    let mut pb = ProgramBuilder::new("056.ear");
+    let x = pb.data_mut().array_f64("x", &rand_f64s(&mut rng, samples as usize, -1.0, 1.0));
+    let coef_a = pb.data_mut().array_f64("coef_a", &rand_f64s(&mut rng, channels as usize, 0.1, 0.9));
+    let coef_b = pb.data_mut().array_f64("coef_b", &rand_f64s(&mut rng, channels as usize, 0.05, 0.5));
+    let energy = pb.data_mut().zeroed("energy", (channels * 8) as u64);
+
+    let mut f = pb.function("main");
+    let x_b = f.ldi(x as i64);
+    let a_b = f.ldi(coef_a as i64);
+    let b_b = f.ldi(coef_b as i64);
+    let e_b = f.ldi(energy as i64);
+    f.counted_loop(0i64, channels, 1, |f, c| {
+        let co = f.shl(c, 3i64);
+        let aa = f.add(a_b, co);
+        let a = f.fload(aa, 0);
+        let ba = f.add(b_b, co);
+        let b = f.fload(ba, 0);
+        let state = f.fldi(0.0);
+        let acc = f.fldi(0.0);
+        f.counted_loop(0i64, samples, 1, |f, t| {
+            let to = f.shl(t, 3i64);
+            let xa = f.add(x_b, to);
+            let xv = f.fload(xa, 0);
+            let drive = f.fmul(a, xv);
+            let decay = f.fmul(b, state);
+            let y = f.fadd(drive, decay);
+            f.mov_to(state, y);
+            let sq = f.fmul(y, y);
+            f.reduce_fadd(acc, sq);
+        });
+        let ea = f.add(e_b, co);
+        f.fstore(ea, 0, acc);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "056.ear", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+}
+
+/// `171.swim` — shallow-water 2-D stencil sweep plus a checksum
+/// reduction: classic DOALL.
+pub fn swim(scale: Scale) -> Workload {
+    let mut rng = rng_for("swim");
+    let rows = scale.of(24, 64);
+    let cols = scale.of(24, 48);
+    let n = (rows * cols) as usize;
+    let mut pb = ProgramBuilder::new("171.swim");
+    let v = pb.data_mut().array_f64("v", &rand_f64s(&mut rng, n, -2.0, 2.0));
+    let u = pb.data_mut().zeroed("u", (n * 8) as u64);
+    let sum = pb.data_mut().zeroed("sum", 8);
+
+    let mut f = pb.function("main");
+    let v_b = f.ldi(v as i64);
+    let u_b = f.ldi(u as i64);
+    let quarter = f.fldi(0.25);
+    // Interior stencil, DOALL over rows.
+    f.counted_loop(1i64, rows - 1, 1, |f, i| {
+        let row_off = f.mul(i, cols * 8);
+        let vr = f.add(v_b, row_off);
+        let ur = f.add(u_b, row_off);
+        f.counted_loop(1i64, cols - 1, 1, |f, j| {
+            let jo = f.shl(j, 3i64);
+            let vc = f.add(vr, jo);
+            let north = f.fload(vc, -(cols * 8));
+            let south = f.fload(vc, cols * 8);
+            let west = f.fload(vc, -8);
+            let east = f.fload(vc, 8);
+            let s1 = f.fadd(north, south);
+            let s2 = f.fadd(west, east);
+            let s3 = f.fadd(s1, s2);
+            let avg = f.fmul(s3, quarter);
+            let uc = f.add(ur, jo);
+            f.fstore(uc, 0, avg);
+        });
+    });
+    // Checksum reduction over u.
+    let acc = f.fldi(0.0);
+    f.counted_loop(0i64, rows * cols, 1, |f, k| {
+        let ko = f.shl(k, 3i64);
+        let ua = f.add(u_b, ko);
+        let val = f.fload(ua, 0);
+        f.reduce_fadd(acc, val);
+    });
+    let s_b = f.ldi(sum as i64);
+    f.fstore(s_b, 0, acc);
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "171.swim", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+}
+
+/// `172.mgrid` — multigrid-style relaxation: two strided smoothing sweeps
+/// over ping-pong buffers (LLP).
+pub fn mgrid(scale: Scale) -> Workload {
+    let mut rng = rng_for("mgrid");
+    let plane = scale.of(20, 40);
+    let n = (plane * plane) as usize;
+    let mut pb = ProgramBuilder::new("172.mgrid");
+    let a = pb.data_mut().array_f64("a", &rand_f64s(&mut rng, n, -1.0, 1.0));
+    let b = pb.data_mut().zeroed("b", (n * 8) as u64);
+    let resid = pb.data_mut().zeroed("resid", 8);
+
+    let mut f = pb.function("main");
+    let a_b = f.ldi(a as i64);
+    let b_b = f.ldi(b as i64);
+    let w0 = f.fldi(0.5);
+    let w1 = f.fldi(0.125);
+    // Sweep 1: b = smooth(a), DOALL over interior cells (flat index).
+    let stride = plane * 8;
+    f.counted_loop(plane, plane * (plane - 1), 1, |f, k| {
+        let ko = f.shl(k, 3i64);
+        let ac = f.add(a_b, ko);
+        let c = f.fload(ac, 0);
+        let up = f.fload(ac, -stride);
+        let dn = f.fload(ac, stride);
+        let core = f.fmul(c, w0);
+        let nsum = f.fadd(up, dn);
+        let nbr = f.fmul(nsum, w1);
+        let out = f.fadd(core, nbr);
+        let bc = f.add(b_b, ko);
+        f.fstore(bc, 0, out);
+    });
+    // Sweep 2: a = smooth(b) with the east/west neighbors.
+    f.counted_loop(1i64, plane * plane - 1, 1, |f, k| {
+        let ko = f.shl(k, 3i64);
+        let bc = f.add(b_b, ko);
+        let c = f.fload(bc, 0);
+        let west = f.fload(bc, -8);
+        let east = f.fload(bc, 8);
+        let core = f.fmul(c, w0);
+        let nsum = f.fadd(west, east);
+        let nbr = f.fmul(nsum, w1);
+        let out = f.fadd(core, nbr);
+        let ac = f.add(a_b, ko);
+        f.fstore(ac, 0, out);
+    });
+    // Residual reduction.
+    let acc = f.fldi(0.0);
+    f.counted_loop(0i64, plane * plane, 1, |f, k| {
+        let ko = f.shl(k, 3i64);
+        let aa = f.add(a_b, ko);
+        let av = f.fload(aa, 0);
+        let ba = f.add(b_b, ko);
+        let bv = f.fload(ba, 0);
+        let d = f.fsub(av, bv);
+        let d2 = f.fmul(d, d);
+        f.reduce_fadd(acc, d2);
+    });
+    let r_b = f.ldi(resid as i64);
+    f.fstore(r_b, 0, acc);
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "172.mgrid", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+}
+
+/// `177.mesa` — vertex pipeline: a 4x4 transform per vertex with a
+/// clip-and-append output cursor. The carried cursor defeats DOALL, so
+/// the wide FP dataflow makes it the paper's ILP showcase.
+pub fn mesa(scale: Scale) -> Workload {
+    let mut rng = rng_for("mesa");
+    let nv = scale.of(80, 220);
+    let mut pb = ProgramBuilder::new("177.mesa");
+    let verts = pb
+        .data_mut()
+        .array_f64("verts", &rand_f64s(&mut rng, (nv * 4) as usize, -4.0, 4.0));
+    let mat = pb.data_mut().array_f64("mat", &rand_f64s(&mut rng, 16, -1.0, 1.0));
+    let out = pb.data_mut().zeroed("out", (nv * 4 * 8) as u64);
+    let count = pb.data_mut().zeroed("count", 8);
+
+    let mut f = pb.function("main");
+    let v_b = f.ldi(verts as i64);
+    let m_b = f.ldi(mat as i64);
+    let o_b = f.ldi(out as i64);
+    // Load the matrix once.
+    let mut m = Vec::new();
+    for i in 0..16i64 {
+        m.push(f.fload(m_b, i * 8));
+    }
+    let cursor = f.ldi(0); // carried output cursor (bytes)
+    let eps = f.fldi(0.1);
+    f.counted_loop(0i64, nv, 1, |f, vtx| {
+        let vo = f.mul(vtx, 32i64);
+        let va = f.add(v_b, vo);
+        let x = f.fload(va, 0);
+        let y = f.fload(va, 8);
+        let z = f.fload(va, 16);
+        let w = f.fload(va, 24);
+        let mut res = Vec::new();
+        for r in 0..4 {
+            let t0 = f.fmul(m[r * 4], x);
+            let t1 = f.fmul(m[r * 4 + 1], y);
+            let t2 = f.fmul(m[r * 4 + 2], z);
+            let t3 = f.fmul(m[r * 4 + 3], w);
+            let s0 = f.fadd(t0, t1);
+            let s1 = f.fadd(t2, t3);
+            res.push(f.fadd(s0, s1));
+        }
+        let keep = f.fcmp(CmpCc::Gt, res[3], eps);
+        f.if_then(keep, |f| {
+            let oa = f.add(o_b, cursor);
+            f.fstore(oa, 0, res[0]);
+            f.fstore(oa, 8, res[1]);
+            f.fstore(oa, 16, res[2]);
+            f.fstore(oa, 24, res[3]);
+            let nc = f.add(cursor, 32i64);
+            f.mov_to(cursor, nc);
+        });
+    });
+    let c_b = f.ldi(count as i64);
+    f.store8(c_b, 0, cursor);
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "177.mesa", suite: Suite::SpecFp, expected: Expected::Ilp, program: pb.finish() }
+}
+
+/// `179.art` — neural match over a large weight store with a serial
+/// pointer chase: frequent misses, overlapped by decoupled strands
+/// (the paper's fine-grain-TLP showcase).
+pub fn art(scale: Scale) -> Workload {
+    let mut rng = rng_for("art");
+    let nodes = scale.of(1024, 8192); // ring nodes
+    let steps = scale.of(600, 3000);
+    let mut pb = ProgramBuilder::new("179.art");
+    let w = pb
+        .data_mut()
+        .array_f64("w", &rand_f64s(&mut rng, nodes as usize, 0.0, 1.0));
+    let stream = pb
+        .data_mut()
+        .array_f64("stream", &rand_f64s(&mut rng, steps as usize, 0.0, 1.0));
+    let next = pb.data_mut().array_i32("next", &chase_ring(&mut rng, nodes as usize));
+    let outp = pb.data_mut().zeroed("out", 16);
+
+    let mut f = pb.function("main");
+    let w_b = f.ldi(w as i64);
+    let s_b = f.ldi(stream as i64);
+    let n_b = f.ldi(next as i64);
+    let p = f.ldi(0); // carried chase cursor
+    let score = f.fldi(0.0);
+    let flux = f.fldi(0.0);
+    f.counted_loop(0i64, steps, 1, |f, t| {
+        // Chain A: pointer chase through the weight store (misses).
+        let po = f.shl(p, 3i64);
+        let wa = f.add(w_b, po);
+        let wv = f.fload(wa, 0);
+        f.reduce_fadd(score, wv);
+        let ia = f.shl(p, 2i64);
+        let na = f.add(n_b, ia);
+        let np = f.load4(na, 0);
+        f.mov_to(p, np);
+        // Chain B: independent streaming loads + FP work (overlappable).
+        let to = f.shl(t, 3i64);
+        let sa = f.add(s_b, to);
+        let sv = f.fload(sa, 0);
+        let sv2 = f.fmul(sv, sv);
+        let sv3 = f.fadd(sv2, sv);
+        f.reduce_fadd(flux, sv3);
+    });
+    let o_b = f.ldi(outp as i64);
+    f.fstore(o_b, 0, score);
+    f.fstore(o_b, 8, flux);
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "179.art",
+        suite: Suite::SpecFp,
+        expected: Expected::FineGrainTlp,
+        program: pb.finish(),
+    }
+}
+
+/// `183.equake` — CSR sparse matrix-vector product: indirect loads the
+/// compiler cannot prove independent, a statistical-DOALL poster child
+/// with heavy memory traffic.
+pub fn equake(scale: Scale) -> Workload {
+    let mut rng = rng_for("equake");
+    let rows = scale.of(64, 200);
+    let avg_nnz = 10usize;
+    let mut pb = ProgramBuilder::new("183.equake");
+    // Build CSR arrays on the host.
+    let mut rowptr: Vec<i32> = Vec::with_capacity(rows as usize + 1);
+    let mut cols: Vec<i32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    rowptr.push(0);
+    for _ in 0..rows {
+        let nnz = 6 + (rand_i64s(&mut rng, 1, 0, 2 * (avg_nnz as i64 - 6))[0] as usize);
+        for _ in 0..nnz {
+            cols.push(rand_indices(&mut rng, 1, rows as usize)[0]);
+            vals.push(rand_f64s(&mut rng, 1, -1.0, 1.0)[0]);
+        }
+        rowptr.push(cols.len() as i32);
+    }
+    let rp = pb.data_mut().array_i32("rowptr", &rowptr);
+    let ci = pb.data_mut().array_i32("col", &cols);
+    let av = pb.data_mut().array_f64("a", &vals);
+    let x = pb.data_mut().array_f64("x", &rand_f64s(&mut rng, rows as usize, -1.0, 1.0));
+    let y = pb.data_mut().zeroed("y", (rows * 8) as u64);
+
+    let mut f = pb.function("main");
+    let rp_b = f.ldi(rp as i64);
+    let ci_b = f.ldi(ci as i64);
+    let a_b = f.ldi(av as i64);
+    let x_b = f.ldi(x as i64);
+    let y_b = f.ldi(y as i64);
+    f.counted_loop(0i64, rows, 1, |f, i| {
+        let io = f.shl(i, 2i64);
+        let rpa = f.add(rp_b, io);
+        let start = f.load4(rpa, 0);
+        let end = f.load4(rpa, 4);
+        let acc = f.fldi(0.0);
+        f.counted_loop(start, end, 1, |f, k| {
+            let ko = f.shl(k, 2i64);
+            let ca = f.add(ci_b, ko);
+            let c = f.load4(ca, 0);
+            let k8 = f.shl(k, 3i64);
+            let aa = f.add(a_b, k8);
+            let aval = f.fload(aa, 0);
+            let c8 = f.shl(c, 3i64);
+            let xa = f.add(x_b, c8);
+            let xv = f.fload(xa, 0);
+            let prod = f.fmul(aval, xv);
+            f.reduce_fadd(acc, prod);
+        });
+        let i8 = f.shl(i, 3i64);
+        let ya = f.add(y_b, i8);
+        f.fstore(ya, 0, acc);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "183.equake",
+        suite: Suite::SpecFp,
+        expected: Expected::FineGrainTlp,
+        program: pb.finish(),
+    }
+}

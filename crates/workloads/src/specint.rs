@@ -1,0 +1,450 @@
+//! SPEC integer benchmark kernels: `132.ijpeg`, `164.gzip`, `175.vpr`,
+//! `197.parser`, `255.vortex`, `256.bzip2`.
+
+use crate::common::*;
+use crate::{Expected, Scale, Suite, Workload};
+use voltron_ir::builder::ProgramBuilder;
+use voltron_ir::CmpCc;
+
+/// `132.ijpeg` — forward DCT-like transform and quantization over 8x8
+/// blocks: DOALL across blocks with dense integer ILP inside.
+pub fn ijpeg(scale: Scale) -> Workload {
+    let mut rng = rng_for("ijpeg");
+    let blocks = scale.of(24, 96);
+    let n = (blocks * 64) as usize;
+    let mut pb = ProgramBuilder::new("132.ijpeg");
+    let src = pb.data_mut().array_i32("src", &rand_i32s(&mut rng, n, -128, 128));
+    let dst = pb.data_mut().zeroed("dst", (n * 4) as u64);
+    let quant = pb.data_mut().array_i32("quant", &rand_i32s(&mut rng, 64, 1, 32));
+
+    let mut f = pb.function("main");
+    let s_b = f.ldi(src as i64);
+    let d_b = f.ldi(dst as i64);
+    let q_b = f.ldi(quant as i64);
+    f.counted_loop(0i64, blocks, 1, |f, blk| {
+        let bo = f.mul(blk, 256i64); // 64 * 4 bytes
+        let sb = f.add(s_b, bo);
+        let db = f.add(d_b, bo);
+        // Row-pass butterflies (trip 8 per block).
+        f.counted_loop(0i64, 8i64, 1, |f, r| {
+            let ro = f.mul(r, 32i64);
+            let row = f.add(sb, ro);
+            let orow = f.add(db, ro);
+            let a0 = f.load4(row, 0);
+            let a7 = f.load4(row, 28);
+            let a1 = f.load4(row, 4);
+            let a6 = f.load4(row, 24);
+            let a2 = f.load4(row, 8);
+            let a5 = f.load4(row, 20);
+            let a3 = f.load4(row, 12);
+            let a4 = f.load4(row, 16);
+            let s07 = f.add(a0, a7);
+            let d07 = f.sub(a0, a7);
+            let s16 = f.add(a1, a6);
+            let d16 = f.sub(a1, a6);
+            let s25 = f.add(a2, a5);
+            let d25 = f.sub(a2, a5);
+            let s34 = f.add(a3, a4);
+            let d34 = f.sub(a3, a4);
+            let e0 = f.add(s07, s34);
+            let e1 = f.add(s16, s25);
+            let e2 = f.sub(s07, s34);
+            let e3 = f.sub(s16, s25);
+            let o0 = f.add(e0, e1);
+            let o1 = f.sub(e0, e1);
+            let o2 = f.add(e2, e3);
+            let t = f.mul(d16, 3i64);
+            let o3 = f.add(d07, t);
+            let t2 = f.mul(d34, 3i64);
+            let o4 = f.add(d25, t2);
+            f.store4(orow, 0, o0);
+            f.store4(orow, 4, o1);
+            f.store4(orow, 8, o2);
+            f.store4(orow, 12, o3);
+            f.store4(orow, 16, o4);
+            f.store4(orow, 20, d07);
+            f.store4(orow, 24, d16);
+            f.store4(orow, 28, d25);
+        });
+        // Quantize pass (trip 64 per block).
+        f.counted_loop(0i64, 64i64, 1, |f, k| {
+            let ko = f.shl(k, 2i64);
+            let da = f.add(db, ko);
+            let v = f.load4(da, 0);
+            let qa = f.add(q_b, ko);
+            let q = f.load4(qa, 0);
+            let scaled = f.div(v, q);
+            f.store4(da, 0, scaled);
+        });
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "132.ijpeg", suite: Suite::SpecInt, expected: Expected::Llp, program: pb.finish() }
+}
+
+/// `164.gzip` — the paper's Fig. 8 strand loop: longest-match string
+/// comparison over two large byte buffers, decoupled so the `scan` and
+/// `match` load streams overlap their misses.
+pub fn gzip(scale: Scale) -> Workload {
+    let mut rng = rng_for("gzip");
+    let len = scale.of(8 * 1024, 48 * 1024);
+    let tries = scale.of(48, 160);
+    let mut pb = ProgramBuilder::new("164.gzip");
+    // Compressible-ish data: long runs with noise.
+    let mut window = rand_bytes(&mut rng, len as usize + 512); // +512: match overrun margin
+    for chunk in window.chunks_mut(97) {
+        let v = chunk[0];
+        for b in chunk.iter_mut().skip(1) {
+            if *b % 3 != 0 {
+                *b = v;
+            }
+        }
+    }
+    let win = pb.data_mut().array_u8("window", &window);
+    let starts = pb
+        .data_mut()
+        .array_i32("starts", &rand_indices(&mut rng, tries as usize, (len / 2) as usize));
+    let lens = pb.data_mut().zeroed("lens", (tries * 8) as u64);
+    let best_sym = pb.data_mut().zeroed("best", 8);
+
+    let mut f = pb.function("main");
+    let w_b = f.ldi(win as i64);
+    let st_b = f.ldi(starts as i64);
+    let l_b = f.ldi(lens as i64);
+    let max_len = f.ldi(32); // 32 iterations x 8 bytes = a 258-ish byte cap
+    let best = f.ldi(0);
+    f.counted_loop(0i64, tries, 1, |f, t| {
+        let to = f.shl(t, 2i64);
+        let sa = f.add(st_b, to);
+        let s0 = f.load4(sa, 0);
+        let scan = f.add(w_b, s0);
+        let half = f.ldi(len / 2);
+        let m0 = f.add(s0, half);
+        let mtch = f.add(w_b, m0);
+        let n = f.ldi(0);
+        // Fig. 8 do-while, faithfully: each iteration compares FOUR
+        // 2-byte strides (`*(ush*)(scan+=2) == *(ush*)(match+=2) && ...`),
+        // so one predicate round-trip between the strands amortizes over
+        // four load pairs.
+        f.do_while(|f| {
+            let off = f.shl(n, 3i64); // 4 shorts = 8 bytes per iteration
+            let pscan = f.add(scan, off);
+            let s0 = f.load2u(pscan, 0);
+            let s1 = f.load2u(pscan, 2);
+            let s2 = f.load2u(pscan, 4);
+            let s3 = f.load2u(pscan, 6);
+            let pmatch = f.add(mtch, off);
+            let m0 = f.load2u(pmatch, 0);
+            let m1 = f.load2u(pmatch, 2);
+            let m2 = f.load2u(pmatch, 4);
+            let m3 = f.load2u(pmatch, 6);
+            let e0 = f.cmp(CmpCc::Eq, s0, m0);
+            let e1 = f.cmp(CmpCc::Eq, s1, m1);
+            let e2 = f.cmp(CmpCc::Eq, s2, m2);
+            let e3 = f.cmp(CmpCc::Eq, s3, m3);
+            let a0 = f.pand(e0, e1);
+            let a1 = f.pand(e2, e3);
+            let eq = f.pand(a0, a1);
+            let more = f.cmp(CmpCc::Lt, n, max_len);
+            // Canonical self-increment: the compiler replicates `n` on
+            // both strands (Fig. 8 keeps each side's pointer local).
+            f.reduce_add(n, 1i64);
+            f.pand(eq, more)
+        });
+        let la = f.shl(t, 3i64);
+        let lp = f.add(l_b, la);
+        f.store8(lp, 0, n);
+        f.reduce_max(best, n);
+    });
+    let b_b = f.ldi(best_sym as i64);
+    f.store8(b_b, 0, best);
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "164.gzip",
+        suite: Suite::SpecInt,
+        expected: Expected::FineGrainTlp,
+        program: pb.finish(),
+    }
+}
+
+/// `175.vpr` — placement cost evaluation: indirect endpoint lookups per
+/// net (statistical LLP) followed by a serial annealing-style update with
+/// a carried LCG seed (ILP).
+pub fn vpr(scale: Scale) -> Workload {
+    let mut rng = rng_for("vpr");
+    let nets = scale.of(96, 320);
+    let cells = scale.of(128, 512);
+    let mut pb = ProgramBuilder::new("175.vpr");
+    let xs = pb.data_mut().array_i32("xs", &rand_i32s(&mut rng, cells as usize, 0, 100));
+    let ys = pb.data_mut().array_i32("ys", &rand_i32s(&mut rng, cells as usize, 0, 100));
+    let pins = pb
+        .data_mut()
+        .array_i32("pins", &rand_indices(&mut rng, (nets * 4) as usize, cells as usize));
+    let cost = pb.data_mut().zeroed("cost", (nets * 8) as u64);
+    let total_sym = pb.data_mut().zeroed("total", 16);
+
+    let mut f = pb.function("main");
+    let x_b = f.ldi(xs as i64);
+    let y_b = f.ldi(ys as i64);
+    let p_b = f.ldi(pins as i64);
+    let c_b = f.ldi(cost as i64);
+    let total = f.ldi(0);
+    // Bounding-box cost per net (indirect loads, disjoint stores).
+    f.counted_loop(0i64, nets, 1, |f, net| {
+        let po = f.shl(net, 4i64); // 4 pins * 4 bytes
+        let pa = f.add(p_b, po);
+        let minx = f.ldi(1_000_000);
+        let maxx = f.ldi(-1_000_000);
+        let miny = f.ldi(1_000_000);
+        let maxy = f.ldi(-1_000_000);
+        f.counted_loop(0i64, 4i64, 1, |f, k| {
+            let ko = f.shl(k, 2i64);
+            let ppa = f.add(pa, ko);
+            let cell = f.load4(ppa, 0);
+            let co = f.shl(cell, 2i64);
+            let cxa = f.add(x_b, co);
+            let cx = f.load4(cxa, 0);
+            let cya = f.add(y_b, co);
+            let cy = f.load4(cya, 0);
+            f.reduce_min(minx, cx);
+            f.reduce_max(maxx, cx);
+            f.reduce_min(miny, cy);
+            f.reduce_max(maxy, cy);
+        });
+        let dx = f.sub(maxx, minx);
+        let dy = f.sub(maxy, miny);
+        let bb = f.add(dx, dy);
+        let co8 = f.shl(net, 3i64);
+        let ca = f.add(c_b, co8);
+        f.store8(ca, 0, bb);
+        f.reduce_add(total, bb);
+    });
+    // Serial annealing sweep: carried LCG decides accept/reject.
+    let seed = f.ldi(12345);
+    let accepted = f.ldi(0);
+    f.counted_loop(0i64, nets, 1, |f, net| {
+        let s1 = f.mul(seed, 1103515245i64);
+        let s2 = f.add(s1, 12345i64);
+        let s3 = f.and(s2, 0x7fff_ffffi64);
+        f.mov_to(seed, s3);
+        let co8 = f.shl(net, 3i64);
+        let ca = f.add(c_b, co8);
+        let c = f.load8(ca, 0);
+        let gate = f.rem(s3, 100i64);
+        let p = f.cmp(CmpCc::Lt, gate, 40i64);
+        let dc = f.sar(c, 3i64);
+        let gain = f.sel(p, dc, 0i64);
+        f.reduce_add(accepted, gain);
+    });
+    let t_b = f.ldi(total_sym as i64);
+    f.store8(t_b, 0, total);
+    f.store8(t_b, 8, accepted);
+    f.halt();
+    pb.finish_function(f);
+    Workload { name: "175.vpr", suite: Suite::SpecInt, expected: Expected::Mixed, program: pb.finish() }
+}
+
+/// `197.parser` — dictionary lookup over hash chains: pointer chasing
+/// with data-dependent trip counts; the paper's hardest benchmark.
+pub fn parser(scale: Scale) -> Workload {
+    let mut rng = rng_for("parser");
+    let buckets = 64i64;
+    let nodes = scale.of(512, 2048);
+    let words = scale.of(128, 512);
+    let mut pb = ProgramBuilder::new("197.parser");
+    // Host-side hash-chain construction: every bucket non-empty.
+    let mut heads = vec![-1i32; buckets as usize];
+    let mut next = vec![-1i32; nodes as usize];
+    let mut keys = vec![0i32; nodes as usize];
+    for i in 0..nodes as usize {
+        let key = rand_i32s(&mut rng, 1, 0, 100_000)[0];
+        keys[i] = key;
+        let b = (key as u64 % buckets as u64) as usize;
+        next[i] = heads[b];
+        heads[b] = i as i32;
+    }
+    for (b, h) in heads.iter_mut().enumerate() {
+        if *h == -1 {
+            // Force-fill: repoint node b's chain.
+            *h = b as i32;
+        }
+    }
+    let heads_a = pb.data_mut().array_i32("heads", &heads);
+    let next_a = pb.data_mut().array_i32("next", &next);
+    let keys_a = pb.data_mut().array_i32("keys", &keys);
+    let queries =
+        pb.data_mut().array_i32("queries", &rand_i32s(&mut rng, words as usize, 0, 100_000));
+    let steps_a = pb.data_mut().zeroed("steps", (words * 8) as u64);
+
+    let mut f = pb.function("main");
+    let h_b = f.ldi(heads_a as i64);
+    let n_b = f.ldi(next_a as i64);
+    let k_b = f.ldi(keys_a as i64);
+    let q_b = f.ldi(queries as i64);
+    let s_b = f.ldi(steps_a as i64);
+    f.counted_loop(0i64, words, 1, |f, wi| {
+        let qo = f.shl(wi, 2i64);
+        let qa = f.add(q_b, qo);
+        let q = f.load4(qa, 0);
+        let bucket = f.rem(q, 64i64);
+        let bo = f.shl(bucket, 2i64);
+        let ha = f.add(h_b, bo);
+        let p = f.load4(ha, 0);
+        let steps = f.ldi(0);
+        // Chase: while (p != -1 && keys[p] != q).
+        f.do_while(|f| {
+            let so = f.add(steps, 1i64);
+            f.mov_to(steps, so);
+            let po = f.shl(p, 2i64);
+            let ka = f.add(k_b, po);
+            let key = f.load4(ka, 0);
+            let na = f.add(n_b, po);
+            let nxt = f.load4(na, 0);
+            f.mov_to(p, nxt);
+            let miss = f.cmp(CmpCc::Ne, key, q);
+            let valid = f.cmp(CmpCc::Ne, nxt, -1i64);
+            f.pand(miss, valid)
+        });
+        let so8 = f.shl(wi, 3i64);
+        let sa = f.add(s_b, so8);
+        f.store8(sa, 0, steps);
+    });
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "197.parser",
+        suite: Suite::SpecInt,
+        expected: Expected::FineGrainTlp,
+        program: pb.finish(),
+    }
+}
+
+/// `255.vortex` — object-store transactions: hashed record lookups and
+/// 64-byte record copies with cache-hostile strides (fine-grain TLP).
+pub fn vortex(scale: Scale) -> Workload {
+    let mut rng = rng_for("vortex");
+    let records = scale.of(256, 1024);
+    let txns = scale.of(96, 384);
+    let rec_words = 8i64;
+    let mut pb = ProgramBuilder::new("255.vortex");
+    let store = pb.data_mut().array_i64(
+        "store",
+        &rand_i64s(&mut rng, (records * rec_words) as usize, 0, 1 << 40),
+    );
+    let picks = pb
+        .data_mut()
+        .array_i32("picks", &rand_indices(&mut rng, txns as usize, records as usize));
+    let staging = pb.data_mut().zeroed("staging", (txns * rec_words * 8) as u64);
+    let digest_sym = pb.data_mut().zeroed("digest", 16);
+
+    let mut f = pb.function("main");
+    let st_b = f.ldi(store as i64);
+    let p_b = f.ldi(picks as i64);
+    let sg_b = f.ldi(staging as i64);
+    let digest = f.ldi(0);
+    let lru = f.ldi(0); // carried MRU tracker: keeps the loop off the DOALL path
+    f.counted_loop(0i64, txns, 1, |f, t| {
+        let po = f.shl(t, 2i64);
+        let pa = f.add(p_b, po);
+        let rec = f.load4(pa, 0);
+        let nl = f.xor(lru, rec);
+        f.mov_to(lru, nl);
+        let ro = f.mul(rec, rec_words * 8);
+        let src = f.add(st_b, ro);
+        let so = f.mul(t, rec_words * 8);
+        let dst = f.add(sg_b, so);
+        // Copy the record with a checksum fold.
+        f.counted_loop(0i64, rec_words, 1, |f, wdi| {
+            let wo = f.shl(wdi, 3i64);
+            let sa = f.add(src, wo);
+            let v = f.load8(sa, 0);
+            let da = f.add(dst, wo);
+            let mixed = f.xor(v, t);
+            f.store8(da, 0, mixed);
+            f.reduce_add(digest, v);
+        });
+    });
+    let d_b = f.ldi(digest_sym as i64);
+    f.store8(d_b, 0, digest);
+    f.store8(d_b, 8, lru);
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "255.vortex",
+        suite: Suite::SpecInt,
+        expected: Expected::FineGrainTlp,
+        program: pb.finish(),
+    }
+}
+
+/// `256.bzip2` — block-sort front end: byte histogram (carried through
+/// memory), serial prefix sum, permutation scatter, and a checksum
+/// reduction. A mix of serial, strand, and LLP regions.
+pub fn bzip2(scale: Scale) -> Workload {
+    let mut rng = rng_for("bzip2");
+    let n = scale.of(2048, 8192);
+    let mut pb = ProgramBuilder::new("256.bzip2");
+    let data = pb.data_mut().array_u8("data", &rand_bytes(&mut rng, n as usize));
+    let hist = pb.data_mut().zeroed("hist", 256 * 8);
+    let cumsum = pb.data_mut().zeroed("cumsum", 256 * 8);
+    let sorted = pb.data_mut().zeroed("sorted", n as u64);
+    let check_sym = pb.data_mut().zeroed("check", 8);
+
+    let mut f = pb.function("main");
+    let d_b = f.ldi(data as i64);
+    let h_b = f.ldi(hist as i64);
+    let c_b = f.ldi(cumsum as i64);
+    let s_b = f.ldi(sorted as i64);
+    // Histogram: indirect read-modify-write (true cross-iteration deps).
+    f.counted_loop(0i64, n, 1, |f, i| {
+        let da = f.add(d_b, i);
+        let byte = f.load1u(da, 0);
+        let ho = f.shl(byte, 3i64);
+        let ha = f.add(h_b, ho);
+        let cnt = f.load8(ha, 0);
+        let c1 = f.add(cnt, 1i64);
+        f.store8(ha, 0, c1);
+    });
+    // Exclusive prefix sum (serial recurrence through memory).
+    let run = f.ldi(0);
+    f.counted_loop(0i64, 256i64, 1, |f, c| {
+        let co = f.shl(c, 3i64);
+        let ha = f.add(h_b, co);
+        let cnt = f.load8(ha, 0);
+        let ca = f.add(c_b, co);
+        f.store8(ca, 0, run);
+        let nr = f.add(run, cnt);
+        f.mov_to(run, nr);
+    });
+    // Scatter into sorted order (carried cursor array in memory).
+    f.counted_loop(0i64, n, 1, |f, i| {
+        let da = f.add(d_b, i);
+        let byte = f.load1u(da, 0);
+        let co = f.shl(byte, 3i64);
+        let ca = f.add(c_b, co);
+        let pos = f.load8(ca, 0);
+        let oa = f.add(s_b, pos);
+        f.store1(oa, 0, byte);
+        let p1 = f.add(pos, 1i64);
+        f.store8(ca, 0, p1);
+    });
+    // Checksum over the sorted output (order-independent LLP reduction).
+    let check = f.ldi(0);
+    f.counted_loop(0i64, n, 1, |f, i| {
+        let sa = f.add(s_b, i);
+        let v = f.load1u(sa, 0);
+        let w = f.mul(v, 31i64);
+        f.reduce_add(check, w);
+    });
+    let k_b = f.ldi(check_sym as i64);
+    f.store8(k_b, 0, check);
+    f.halt();
+    pb.finish_function(f);
+    Workload {
+        name: "256.bzip2",
+        suite: Suite::SpecInt,
+        expected: Expected::Mixed,
+        program: pb.finish(),
+    }
+}

@@ -1,0 +1,102 @@
+//! Structural assertions on the benchmark kernels: each must exhibit the
+//! instruction mix its original is known for (the property the planner's
+//! choices depend on).
+
+use voltron_workloads::{all, by_name, Expected, Scale, Suite};
+use voltron_ir::{Opcode, Program};
+
+fn count(p: &Program, pred: impl Fn(&Opcode) -> bool) -> usize {
+    p.funcs
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .flat_map(|b| b.insts.iter())
+        .filter(|i| pred(&i.op))
+        .count()
+}
+
+#[test]
+fn fp_benchmarks_use_floating_point() {
+    for name in ["052.alvinn", "056.ear", "171.swim", "172.mgrid", "177.mesa", "179.art", "183.equake"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        assert_eq!(w.suite, Suite::SpecFp);
+        let fp = count(&w.program, |o| {
+            matches!(o, Opcode::Fadd | Opcode::Fmul | Opcode::Fload | Opcode::Fstore)
+        });
+        assert!(fp > 3, "{name}: only {fp} FP ops");
+    }
+}
+
+#[test]
+fn integer_benchmarks_avoid_floating_point() {
+    for name in ["164.gzip", "197.parser", "256.bzip2", "g721decode", "rawcaudio"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        let fp = count(&w.program, |o| matches!(o, Opcode::Fadd | Opcode::Fmul | Opcode::Fdiv));
+        assert_eq!(fp, 0, "{name} should be integer-only");
+    }
+}
+
+#[test]
+fn pointer_chasers_load_indices() {
+    // art and parser chase through i32 next-pointers.
+    for name in ["179.art", "197.parser"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        let narrow_loads = count(&w.program, |o| {
+            matches!(o, Opcode::Load(voltron_ir::MemWidth::W4, _))
+        });
+        assert!(narrow_loads >= 1, "{name}: no index loads");
+    }
+}
+
+#[test]
+fn gsmdecode_contains_the_fig9_filter() {
+    let w = by_name("gsmdecode", Scale::Test).unwrap();
+    // The LTP filter: multiply, round (+16384), arithmetic shift by 15.
+    let sars = count(&w.program, |o| matches!(o, Opcode::Sar));
+    let muls = count(&w.program, |o| matches!(o, Opcode::Mul));
+    assert!(sars >= 16, "filter shifts missing ({sars})");
+    assert!(muls >= 16, "filter multiplies missing ({muls})");
+}
+
+#[test]
+fn gzip_compares_four_shorts_per_iteration() {
+    let w = by_name("164.gzip", Scale::Test).unwrap();
+    let short_loads = count(&w.program, |o| {
+        matches!(o, Opcode::Load(voltron_ir::MemWidth::W2, voltron_ir::Signedness::Unsigned))
+    });
+    assert!(short_loads >= 8, "Fig. 8 loads 4 shorts per side, found {short_loads}");
+}
+
+#[test]
+fn adpcm_codecs_are_select_heavy_recurrences() {
+    for name in ["rawcaudio", "rawdaudio", "g721decode", "g721encode"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        assert_eq!(w.expected, Expected::Ilp);
+        let sels = count(&w.program, |o| matches!(o, Opcode::Sel));
+        assert!(sels >= 3, "{name}: ADPCM quantizer needs selects ({sels})");
+    }
+}
+
+#[test]
+fn every_workload_writes_results_to_memory() {
+    for w in all(Scale::Test) {
+        let stores = count(&w.program, |o| o.is_store());
+        assert!(stores > 0, "{}: no observable output", w.name);
+        // And has at least one loop.
+        let branches = count(&w.program, |o| matches!(o, Opcode::Br));
+        assert!(branches > 0, "{}: no control flow", w.name);
+    }
+}
+
+#[test]
+fn expected_classes_cover_all_variants() {
+    let ws = all(Scale::Test);
+    for e in [Expected::Ilp, Expected::FineGrainTlp, Expected::Llp, Expected::Mixed] {
+        assert!(
+            ws.iter().any(|w| w.expected == e),
+            "no benchmark expects {e:?}"
+        );
+    }
+    // Suite balance matches the paper: 12 MediaBench + 13 SPEC.
+    let media = ws.iter().filter(|w| w.suite == Suite::MediaBench).count();
+    assert_eq!(media, 12);
+}

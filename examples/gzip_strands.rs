@@ -1,0 +1,36 @@
+//! The paper's Fig. 8 story: 164.gzip's longest-match loop split into
+//! fine-grain strands so the `scan` and `match` load streams (and their
+//! cache misses) overlap across cores in decoupled mode.
+//!
+//! Run with: `cargo run --release --example gzip_strands`
+
+use voltron::system::{Experiment, StallCategory, Strategy};
+use voltron::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = by_name("164.gzip", Scale::Full).expect("gzip registered");
+    let mut exp = Experiment::new(&w.program)?;
+    let base = exp.baseline_cycles();
+    println!("164.gzip serial baseline: {base} cycles");
+
+    for (label, strategy) in [
+        ("coupled ILP", Strategy::Ilp),
+        ("fine-grain TLP (strands)", Strategy::FineGrainTlp),
+        ("hybrid", Strategy::Hybrid),
+    ] {
+        let r = exp.run(strategy, 4)?;
+        println!("\n{label}: {} cycles, speedup {:.2}x", r.cycles, r.speedup);
+        for cat in StallCategory::ALL {
+            let v = r.normalized_stall(cat, base);
+            if v > 0.0005 {
+                println!("  {:18} {:.3} of serial time", cat.label(), v);
+            }
+        }
+    }
+    println!(
+        "\nThe decoupled build trades lock-step d-stalls for receive stalls: \
+         each strand stalls independently, overlapping the two strings' misses \
+         (the paper's fine-grain TLP motivation)."
+    );
+    Ok(())
+}

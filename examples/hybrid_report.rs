@@ -1,0 +1,60 @@
+//! Full per-benchmark report: the speedup of every technique and the
+//! hybrid on the whole 25-benchmark suite (test-scale inputs; pass
+//! --full for the evaluation scale used by EXPERIMENTS.md).
+//!
+//! Run with: `cargo run --release --example hybrid_report [-- --full]`
+
+use voltron::system::{Experiment, Strategy};
+use voltron::workloads::{all, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Test
+    };
+    println!(
+        "{:12} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "base cyc", "ilp4", "ftlp4", "llp4", "hyb4", "hyb2"
+    );
+    let mut sums = [0f64; 5];
+    let mut n = 0;
+    for w in all(scale) {
+        let mut exp = match Experiment::new(&w.program) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{:12} failed: {e}", w.name);
+                continue;
+            }
+        };
+        let configs = [
+            (Strategy::Ilp, 4),
+            (Strategy::FineGrainTlp, 4),
+            (Strategy::Llp, 4),
+            (Strategy::Hybrid, 4),
+            (Strategy::Hybrid, 2),
+        ];
+        let mut row = format!("{:12} {:>9}", w.name, exp.baseline_cycles());
+        for (i, (s, c)) in configs.into_iter().enumerate() {
+            match exp.run(s, c) {
+                Ok(r) => {
+                    sums[i] += r.speedup;
+                    row.push_str(&format!(" {:>7.2}", r.speedup));
+                }
+                Err(e) => {
+                    row.push_str("     ERR");
+                    eprintln!("{}: {e}", w.name);
+                }
+            }
+        }
+        println!("{row}");
+        n += 1;
+    }
+    if n > 0 {
+        print!("{:12} {:>9}", "average", "");
+        for s in sums {
+            print!(" {:>7.2}", s / n as f64);
+        }
+        println!();
+    }
+}

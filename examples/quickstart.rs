@@ -1,0 +1,64 @@
+//! Quickstart: build a small single-thread program with the IR builder,
+//! compile it for a 4-core Voltron with the hybrid strategy, simulate it,
+//! and check the result against the reference interpreter.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use voltron::compiler::{compile, CompileOptions, Strategy};
+use voltron::ir::builder::ProgramBuilder;
+use voltron::sim::{Machine, MachineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // y[i] = 3 * x[i] + 1 over 1024 elements, then a checksum.
+    let n = 1024i64;
+    let mut pb = ProgramBuilder::new("quickstart");
+    let xs: Vec<i64> = (0..n).map(|i| i * 7 % 100).collect();
+    let x = pb.data_mut().array_i64("x", &xs);
+    let y = pb.data_mut().zeroed("y", (n * 8) as u64);
+    let sum = pb.data_mut().zeroed("sum", 8);
+
+    let mut f = pb.function("main");
+    let xb = f.ldi(x as i64);
+    let yb = f.ldi(y as i64);
+    let acc = f.ldi(0);
+    f.counted_loop(0i64, n, 1, |f, i| {
+        let off = f.shl(i, 3i64);
+        let xa = f.add(xb, off);
+        let v = f.load8(xa, 0);
+        let t = f.mul(v, 3i64);
+        let r = f.add(t, 1i64);
+        let ya = f.add(yb, off);
+        f.store8(ya, 0, r);
+        f.reduce_add(acc, r);
+    });
+    let sb = f.ldi(sum as i64);
+    f.store8(sb, 0, acc);
+    f.halt();
+    pb.finish_function(f);
+    let program = pb.finish();
+
+    // Golden model: the reference interpreter.
+    let golden = voltron::ir::interp::run(&program, 100_000_000)?;
+    println!("interpreter: {} dynamic instructions", golden.steps);
+
+    // Baseline: 1-core serial machine.
+    let base_cfg = MachineConfig::paper(1);
+    let base = compile(&program, Strategy::Serial, &base_cfg, &CompileOptions::default())?;
+    let base_out = Machine::new(base.machine, &base_cfg)?.run()?;
+    println!("1-core serial: {} cycles", base_out.stats.cycles);
+
+    // 4-core hybrid Voltron.
+    let cfg = MachineConfig::paper(4);
+    let compiled = compile(&program, Strategy::Hybrid, &cfg, &CompileOptions::default())?;
+    let out = Machine::new(compiled.machine, &cfg)?.run()?;
+    println!("4-core hybrid: {} cycles ({})", out.stats.cycles, out.stats.summary());
+    println!(
+        "speedup: {:.2}x",
+        base_out.stats.cycles as f64 / out.stats.cycles as f64
+    );
+
+    assert_eq!(golden.memory.first_difference(&out.memory), None);
+    println!("result checksum: {}", out.memory.load_i64(sum)?);
+    println!("outputs match the golden model");
+    Ok(())
+}

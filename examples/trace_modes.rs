@@ -1,0 +1,22 @@
+//! Watch the machine switch between execution modes: compile the ADPCM
+//! decoder (a coupled-ILP benchmark) and print the structural trace —
+//! thread spawns, mode switches, commits, halts.
+//!
+//! Run with: `cargo run --release --example trace_modes`
+
+use voltron::compiler::{compile, CompileOptions, Strategy};
+use voltron::sim::trace::TextTracer;
+use voltron::sim::{Machine, MachineConfig};
+use voltron::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = by_name("g721decode", Scale::Test).expect("registered");
+    let cfg = MachineConfig::paper(4);
+    let compiled = compile(&w.program, Strategy::Hybrid, &cfg, &CompileOptions::default())?;
+    let mut machine = Machine::new(compiled.machine, &cfg)?;
+    machine.set_tracer(Box::new(TextTracer::new(64, false)));
+    let outcome = machine.run()?;
+    println!("{}", outcome.trace);
+    println!("--\n{}", outcome.stats.summary());
+    Ok(())
+}

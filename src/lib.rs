@@ -1,0 +1,17 @@
+//! Voltron — reproduction of "Extending Multicore Architectures to Exploit
+//! Hybrid Parallelism in Single-thread Applications" (HPCA 2007).
+//!
+//! This facade crate re-exports the sub-crates so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`ir`] — compiler IR, interpreter, profiler.
+//! * [`sim`] — the cycle-level Voltron machine simulator.
+//! * [`compiler`] — partitioners, schedulers, DOALL, mode selection.
+//! * [`system`] — the end-to-end compile-and-run API and experiments.
+//! * [`workloads`] — the MediaBench/SPEC-shaped benchmark kernels.
+
+pub use voltron_compiler as compiler;
+pub use voltron_core as system;
+pub use voltron_ir as ir;
+pub use voltron_sim as sim;
+pub use voltron_workloads as workloads;

@@ -1,0 +1,95 @@
+//! The master integration test: every benchmark, under every strategy and
+//! core count, must produce exactly the reference interpreter's output
+//! (modulo the documented FP-reduction tolerance).
+
+use voltron_core::{outputs_equivalent, run_reference, Strategy};
+use voltron_ir::Program;
+use voltron_sim::{Machine, MachineConfig};
+use voltron_workloads::{all, Scale};
+
+fn check(program: &Program, name: &str, strategies: &[Strategy], cores: &[usize]) {
+    let golden = run_reference(program).unwrap_or_else(|e| panic!("{name}: golden: {e}"));
+    for &n in cores {
+        for &strategy in strategies {
+            let mcfg = MachineConfig::paper(n);
+            let compiled = voltron_compiler::compile(
+                program,
+                strategy,
+                &mcfg,
+                &voltron_compiler::CompileOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{name} {strategy}/{n}: compile: {e}"));
+            let out = Machine::new(compiled.machine, &mcfg)
+                .unwrap_or_else(|e| panic!("{name} {strategy}/{n}: boot: {e}"))
+                .run()
+                .unwrap_or_else(|e| panic!("{name} {strategy}/{n}: run: {e}"));
+            assert!(
+                out.stragglers.is_empty(),
+                "{name} {strategy}/{n}: stragglers {:?}",
+                out.stragglers
+            );
+            if let Err(addr) = outputs_equivalent(&golden.memory, &out.memory) {
+                panic!(
+                    "{name} {strategy}/{n}: output mismatch at {addr:#x} \
+                     (golden {:?} vs machine {:?})",
+                    golden.memory.load_i64(addr & !7),
+                    out.memory.load_i64(addr & !7)
+                );
+            }
+        }
+    }
+}
+
+const ALL_STRATEGIES: [Strategy; 5] = [
+    Strategy::Serial,
+    Strategy::Ilp,
+    Strategy::FineGrainTlp,
+    Strategy::Llp,
+    Strategy::Hybrid,
+];
+
+// One test per benchmark keeps failures attributable and lets the harness
+// parallelize across the suite.
+macro_rules! golden {
+    ($test:ident, $bench:expr) => {
+        #[test]
+        fn $test() {
+            let w = voltron_workloads::by_name($bench, Scale::Test)
+                .expect("benchmark registered");
+            check(&w.program, w.name, &ALL_STRATEGIES, &[1, 2, 4]);
+        }
+    };
+}
+
+golden!(golden_alvinn, "052.alvinn");
+golden!(golden_ear, "056.ear");
+golden!(golden_ijpeg, "132.ijpeg");
+golden!(golden_gzip, "164.gzip");
+golden!(golden_swim, "171.swim");
+golden!(golden_mgrid, "172.mgrid");
+golden!(golden_vpr, "175.vpr");
+golden!(golden_mesa, "177.mesa");
+golden!(golden_art, "179.art");
+golden!(golden_equake, "183.equake");
+golden!(golden_parser, "197.parser");
+golden!(golden_vortex, "255.vortex");
+golden!(golden_bzip2, "256.bzip2");
+golden!(golden_cjpeg, "cjpeg");
+golden!(golden_djpeg, "djpeg");
+golden!(golden_epic, "epic");
+golden!(golden_g721decode, "g721decode");
+golden!(golden_g721encode, "g721encode");
+golden!(golden_gsmdecode, "gsmdecode");
+golden!(golden_gsmencode, "gsmencode");
+golden!(golden_mpeg2dec, "mpeg2dec");
+golden!(golden_mpeg2enc, "mpeg2enc");
+golden!(golden_rawcaudio, "rawcaudio");
+golden!(golden_rawdaudio, "rawdaudio");
+golden!(golden_unepic, "unepic");
+
+/// The registry itself must expose all 25 benchmarks at both scales.
+#[test]
+fn registry_complete_at_both_scales() {
+    assert_eq!(all(Scale::Test).len(), 25);
+    assert_eq!(all(Scale::Full).len(), 25);
+}

@@ -1,0 +1,89 @@
+//! The hybrid planner must classify the benchmark suite the way the
+//! paper's Fig. 3 discussion does: DOALL for the loop-parallel codes,
+//! strands/DSWP for the miss-bound irregular codes, coupled ILP for the
+//! ADPCM recurrences.
+
+use std::collections::HashSet;
+use voltron_compiler::{compile, CompileOptions, Strategy};
+use voltron_sim::MachineConfig;
+use voltron_workloads::{by_name, Scale};
+
+fn kinds_of(bench: &str, strategy: Strategy) -> HashSet<&'static str> {
+    let w = by_name(bench, Scale::Test).expect("benchmark registered");
+    let cfg = MachineConfig::paper(4);
+    let c = compile(&w.program, strategy, &cfg, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{bench}: {e}"));
+    c.region_kinds.values().copied().collect()
+}
+
+#[test]
+fn loop_parallel_benchmarks_get_doall_regions() {
+    for bench in [
+        "052.alvinn",
+        "171.swim",
+        "172.mgrid",
+        "132.ijpeg",
+        "gsmencode",
+        "mpeg2dec",
+        "183.equake",
+    ] {
+        let kinds = kinds_of(bench, Strategy::Hybrid);
+        assert!(kinds.contains("doall"), "{bench}: hybrid kinds {kinds:?}");
+    }
+}
+
+#[test]
+fn recurrence_codecs_get_coupled_ilp_regions() {
+    for bench in ["rawcaudio", "rawdaudio", "g721encode"] {
+        let kinds = kinds_of(bench, Strategy::Hybrid);
+        assert!(kinds.contains("ilp"), "{bench}: hybrid kinds {kinds:?}");
+        assert!(!kinds.contains("doall"), "{bench}: recurrences must not chunk");
+    }
+}
+
+#[test]
+fn miss_bound_irregular_benchmarks_get_decoupled_threads() {
+    for bench in ["179.art", "255.vortex"] {
+        let kinds = kinds_of(bench, Strategy::Hybrid);
+        assert!(
+            kinds.contains("strands") || kinds.contains("dswp"),
+            "{bench}: hybrid kinds {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn epic_pipeline_is_found_by_dswp() {
+    let kinds = kinds_of("epic", Strategy::FineGrainTlp);
+    assert!(kinds.contains("dswp"), "epic fTLP kinds {kinds:?}");
+}
+
+#[test]
+fn llp_strategy_never_uses_other_parallel_kinds() {
+    for bench in ["cjpeg", "gsmdecode", "197.parser"] {
+        let kinds = kinds_of(bench, Strategy::Llp);
+        for k in &kinds {
+            assert!(
+                *k == "doall" || *k == "serial",
+                "{bench}: LLP build contains {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_mixes_techniques_on_mixed_benchmarks() {
+    // The paper's cjpeg discussion: part LLP, part something else.
+    for bench in ["cjpeg", "256.bzip2"] {
+        let kinds = kinds_of(bench, Strategy::Hybrid);
+        let parallel: Vec<&str> = kinds
+            .iter()
+            .copied()
+            .filter(|k| *k != "serial")
+            .collect();
+        assert!(
+            parallel.len() >= 2,
+            "{bench}: expected a technique mix, got {kinds:?}"
+        );
+    }
+}
