@@ -66,7 +66,13 @@ fn bench_compiler(c: &mut Criterion) {
 fn bench_machine(c: &mut Criterion) {
     let w = by_name("rawcaudio", Scale::Test).unwrap();
     let cfg = MachineConfig::paper(4);
-    let compiled = compile(&w.program, Strategy::Hybrid, &cfg, &CompileOptions::default()).unwrap();
+    let compiled = compile(
+        &w.program,
+        Strategy::Hybrid,
+        &cfg,
+        &CompileOptions::default(),
+    )
+    .unwrap();
     c.bench_function("machine/simulate_rawcaudio_hybrid", |b| {
         b.iter(|| {
             Machine::new(compiled.machine.clone(), &cfg)
@@ -82,7 +88,11 @@ fn bench_machine(c: &mut Criterion) {
 fn bench_interp(c: &mut Criterion) {
     let w = by_name("rawcaudio", Scale::Test).unwrap();
     c.bench_function("interp/reference_rawcaudio", |b| {
-        b.iter(|| voltron_ir::interp::run(&w.program, 1_000_000_000).unwrap().steps);
+        b.iter(|| {
+            voltron_ir::interp::run(&w.program, 1_000_000_000)
+                .unwrap()
+                .steps
+        });
     });
 }
 

@@ -39,7 +39,11 @@ fn main() {
         }
         table.row(row);
     }
-    table.row(vec!["average".into(), speedup(mean(&sums[0])), speedup(mean(&sums[1]))]);
+    table.row(vec![
+        "average".into(),
+        speedup(mean(&sums[0])),
+        speedup(mean(&sums[1])),
+    ]);
     println!("Ablation: hybrid speedup with branch-condition broadcast vs replication, 4 cores");
     println!("{}", table.render());
 }

@@ -38,7 +38,11 @@ fn main() {
         }
         table.row(row);
     }
-    table.row(vec!["average".into(), speedup(mean(&sums[0])), speedup(mean(&sums[1]))]);
+    table.row(vec![
+        "average".into(),
+        speedup(mean(&sums[0])),
+        speedup(mean(&sums[1])),
+    ]);
     println!("Ablation: strand extraction with plain BUG vs eBUG weights, 4 cores");
     println!("{}", table.render());
 }

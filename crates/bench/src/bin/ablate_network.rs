@@ -27,7 +27,8 @@ fn main() {
         // Baseline on the unmodified 1-core machine.
         let base_cfg = MachineConfig::paper(1);
         let opts = voltron_compiler::CompileOptions::default();
-        let base = voltron_compiler::compile(&w.program, Strategy::Serial, &base_cfg, &opts).map(|c| Machine::new(c.machine, &base_cfg).unwrap().run().unwrap())
+        let base = voltron_compiler::compile(&w.program, Strategy::Serial, &base_cfg, &opts)
+            .map(|c| Machine::new(c.machine, &base_cfg).unwrap().run().unwrap())
             .unwrap();
         let mut row = vec![w.name.to_string()];
         for (i, &h) in hops.iter().enumerate() {
@@ -50,5 +51,7 @@ fn main() {
     table.row(avg);
     println!("Ablation: coupled-mode (ILP) speedup vs direct-network hop latency, 4 cores");
     println!("{}", table.render());
-    println!("1 cyc/hop is the dual-mode direct network; 3-4 approximates queue-mode-only hardware");
+    println!(
+        "1 cyc/hop is the dual-mode direct network; 3-4 approximates queue-mode-only hardware"
+    );
 }

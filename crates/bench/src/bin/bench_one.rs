@@ -2,10 +2,13 @@
 //! breakdown, and region plan.
 //! `cargo run -p voltron-bench --bin bench_one -- <benchmark> [--full]`
 
+use voltron_bench::harness::{bench_json, workload_summary};
+use voltron_core::report::throughput;
 use voltron_core::{Experiment, StallCategory, Strategy};
 use voltron_workloads::{by_name, Scale};
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let mut bench = None;
     let mut scale = Scale::Test;
     for a in std::env::args().skip(1) {
@@ -25,7 +28,10 @@ fn main() {
     });
     let mut exp = Experiment::new(&w.program).unwrap_or_else(|e| panic!("{e}"));
     let base = exp.baseline_cycles();
-    println!("{} ({:?}): serial baseline {base} cycles", w.name, w.expected);
+    println!(
+        "{} ({:?}): serial baseline {base} cycles",
+        w.name, w.expected
+    );
     for (s, c) in [
         (Strategy::Ilp, 4),
         (Strategy::FineGrainTlp, 4),
@@ -53,5 +59,19 @@ fn main() {
             }
             Err(e) => println!("{s:>15}/{c}: ERROR {e}"),
         }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    eprintln!("[bench_one] {}", throughput(exp.simulated_cycles(), secs));
+    let scale_name = if scale == Scale::Full { "full" } else { "test" };
+    let summary = workload_summary(w.name, &exp);
+    let doc = bench_json(
+        "bench_one",
+        scale_name,
+        exp.simulated_cycles(),
+        secs,
+        &[summary],
+    );
+    if let Err(e) = std::fs::write("BENCH_bench_one.json", doc.render()) {
+        eprintln!("[bench_one] cannot write BENCH_bench_one.json: {e}");
     }
 }

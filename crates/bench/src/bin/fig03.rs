@@ -2,16 +2,15 @@
 //! the fraction of (estimated serial) execution the hybrid planner
 //! attributes to ILP, fine-grain TLP, LLP, or a single core.
 
-use voltron_bench::harness::{for_each_workload, HarnessArgs};
+use voltron_bench::harness::{run_workloads, HarnessArgs};
 use voltron_core::report::{pct, Table};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let harvest = run_workloads(&args, |_, exp| exp.parallelism_breakdown(4));
     let mut table = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP", "single core"]);
     let mut sums = [0f64; 4];
-    let mut n = 0usize;
-    for_each_workload(&args, |w, exp| {
-        let frac = exp.parallelism_breakdown(4)?;
+    for (w, frac) in &harvest.results {
         table.row(vec![
             w.name.to_string(),
             pct(frac[0]),
@@ -22,9 +21,8 @@ fn main() {
         for (s, f) in sums.iter_mut().zip(frac.iter()) {
             *s += f;
         }
-        n += 1;
-        Ok(())
-    });
+    }
+    let n = harvest.results.len();
     if n > 0 {
         table.row(vec![
             "average".into(),
@@ -37,4 +35,5 @@ fn main() {
     println!("Figure 3: parallelism breakdown, 4 cores (planner attribution)");
     println!("{}", table.render());
     println!("paper: averages 30% ILP / 32% fine-grain TLP / 31% LLP / 7% single core");
+    harvest.report("fig03", &args);
 }

@@ -6,7 +6,7 @@ use voltron_core::Strategy;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let out = speedup_figure(
+    let (out, harvest) = speedup_figure(
         "Figure 10: per-technique speedup, 2 cores (baseline = 1-core serial)",
         &args,
         &[
@@ -17,4 +17,5 @@ fn main() {
     );
     println!("{out}");
     println!("paper: averages 1.23 (ILP) / 1.16 (fTLP) / 1.18 (LLP)");
+    harvest.report("fig10", &args);
 }

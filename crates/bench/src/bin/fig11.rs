@@ -6,7 +6,7 @@ use voltron_core::Strategy;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let out = speedup_figure(
+    let (out, harvest) = speedup_figure(
         "Figure 11: per-technique speedup, 4 cores (baseline = 1-core serial)",
         &args,
         &[
@@ -17,4 +17,5 @@ fn main() {
     );
     println!("{out}");
     println!("paper: averages 1.33 (ILP) / 1.23 (fTLP) / 1.37 (LLP)");
+    harvest.report("fig11", &args);
 }

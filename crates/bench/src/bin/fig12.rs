@@ -3,28 +3,31 @@
 //! benchmark: the coupled (ILP) build and the decoupled (fine-grain TLP)
 //! build.
 
-use voltron_bench::harness::{for_each_workload, stall_row, HarnessArgs};
+use voltron_bench::harness::{run_workloads, stall_row, HarnessArgs};
 use voltron_core::report::Table;
 use voltron_core::{StallCategory, Strategy};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let harvest = run_workloads(&args, |_, exp| {
+        let base = exp.baseline_cycles();
+        let coupled = stall_row(exp.run(Strategy::Ilp, 4)?, base);
+        let decoupled = stall_row(exp.run(Strategy::FineGrainTlp, 4)?, base);
+        Ok((coupled, decoupled))
+    });
     let mut headers: Vec<&str> = vec!["benchmark", "mode"];
     headers.extend(StallCategory::ALL.iter().map(|c| c.label()));
     let mut table = Table::new(&headers);
-    for_each_workload(&args, |w, exp| {
-        let base = exp.baseline_cycles();
-        let ilp = exp.run(Strategy::Ilp, 4)?;
+    for (w, (coupled, decoupled)) in &harvest.results {
         let mut row = vec![w.name.to_string(), "coupled".into()];
-        row.extend(stall_row(ilp, base));
+        row.extend(coupled.iter().cloned());
         table.row(row);
-        let ftlp = exp.run(Strategy::FineGrainTlp, 4)?;
         let mut row = vec![String::new(), "decoupled".into()];
-        row.extend(stall_row(ftlp, base));
+        row.extend(decoupled.iter().cloned());
         table.row(row);
-        Ok(())
-    });
+    }
     println!("Figure 12: per-core-average stall cycles / serial cycles, 4 cores");
     println!("{}", table.render());
     println!("paper: decoupled halves cache-miss stalls vs coupled but adds receive/sync stalls");
+    harvest.report("fig12", &args);
 }

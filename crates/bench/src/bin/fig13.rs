@@ -6,11 +6,15 @@ use voltron_core::Strategy;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let out = speedup_figure(
+    let (out, harvest) = speedup_figure(
         "Figure 13: hybrid-parallelism speedup (baseline = 1-core serial)",
         &args,
-        &[("2 cores", Strategy::Hybrid, 2), ("4 cores", Strategy::Hybrid, 4)],
+        &[
+            ("2 cores", Strategy::Hybrid, 2),
+            ("4 cores", Strategy::Hybrid, 4),
+        ],
     );
     println!("{out}");
     println!("paper: averages 1.46 (2 cores) / 1.83 (4 cores)");
+    harvest.report("fig13", &args);
 }

@@ -1,27 +1,31 @@
 //! Figure 14: breakdown of the time a hybrid build spends in each
 //! execution mode on a 4-core system.
 
-use voltron_bench::harness::{for_each_workload, HarnessArgs};
+use voltron_bench::harness::{run_workloads, HarnessArgs};
 use voltron_core::report::{pct, Table};
 use voltron_core::Strategy;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let harvest = run_workloads(&args, |_, exp| {
+        Ok(exp.run(Strategy::Hybrid, 4)?.coupled_fraction())
+    });
     let mut table = Table::new(&["benchmark", "coupled", "decoupled"]);
     let mut sum = 0f64;
-    let mut n = 0usize;
-    for_each_workload(&args, |w, exp| {
-        let r = exp.run(Strategy::Hybrid, 4)?;
-        let c = r.coupled_fraction();
-        table.row(vec![w.name.to_string(), pct(c), pct(1.0 - c)]);
+    for (w, c) in &harvest.results {
+        table.row(vec![w.name.to_string(), pct(*c), pct(1.0 - c)]);
         sum += c;
-        n += 1;
-        Ok(())
-    });
+    }
+    let n = harvest.results.len();
     if n > 0 {
-        table.row(vec!["average".into(), pct(sum / n as f64), pct(1.0 - sum / n as f64)]);
+        table.row(vec![
+            "average".into(),
+            pct(sum / n as f64),
+            pct(1.0 - sum / n as f64),
+        ]);
     }
     println!("Figure 14: fraction of hybrid execution time per mode, 4 cores");
     println!("{}", table.render());
     println!("paper: significant time in both modes; memory-bound programs mostly decoupled");
+    harvest.report("fig14", &args);
 }

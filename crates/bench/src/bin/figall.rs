@@ -1,13 +1,59 @@
 //! Regenerate every evaluation figure in one run (the EXPERIMENTS.md
 //! source). Equivalent to running fig03, fig10..fig14 in sequence but
-//! sharing each benchmark's baseline and per-configuration runs.
+//! sharing each benchmark's baseline and per-configuration runs. The
+//! workloads simulate in parallel; the tables are assembled afterwards
+//! in workload order, so the output matches a serial sweep exactly.
 
-use voltron_bench::harness::{for_each_workload, stall_row, HarnessArgs};
+use voltron_bench::harness::{run_workloads, stall_row, HarnessArgs};
 use voltron_core::report::{mean, pct, speedup, Table};
 use voltron_core::{StallCategory, Strategy};
 
+/// Everything one workload contributes across the six figures.
+struct Row {
+    /// Per-technique speedups at 2 and 4 cores (Figs. 10/11).
+    t2: [f64; 3],
+    t4: [f64; 3],
+    /// Stall-breakdown cells for the coupled / decoupled builds (Fig. 12).
+    stall_c: Vec<String>,
+    stall_d: Vec<String>,
+    /// Hybrid speedups (Fig. 13).
+    h2: f64,
+    h4: f64,
+    /// Coupled-mode residency of the 4-core hybrid (Fig. 14).
+    coupled: f64,
+    /// Planner attribution fractions (Fig. 3).
+    frac: [f64; 4],
+}
+
 fn main() {
     let args = HarnessArgs::parse();
+    let harvest = run_workloads(&args, |_, exp| {
+        let base = exp.baseline_cycles();
+        let techniques = [Strategy::Ilp, Strategy::FineGrainTlp, Strategy::Llp];
+        let mut t2 = [0f64; 3];
+        let mut t4 = [0f64; 3];
+        for (i, &t) in techniques.iter().enumerate() {
+            t2[i] = exp.run(t, 2)?.speedup;
+            t4[i] = exp.run(t, 4)?.speedup;
+        }
+        let stall_c = stall_row(exp.run(Strategy::Ilp, 4)?, base);
+        let stall_d = stall_row(exp.run(Strategy::FineGrainTlp, 4)?, base);
+        let h2 = exp.run(Strategy::Hybrid, 2)?.speedup;
+        let h4 = exp.run(Strategy::Hybrid, 4)?.speedup;
+        let coupled = exp.run(Strategy::Hybrid, 4)?.coupled_fraction();
+        let frac = exp.parallelism_breakdown(4)?;
+        Ok(Row {
+            t2,
+            t4,
+            stall_c,
+            stall_d,
+            h2,
+            h4,
+            coupled,
+            frac,
+        })
+    });
+
     let mut fig3 = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP", "single core"]);
     let mut fig10 = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP"]);
     let mut fig11 = Table::new(&["benchmark", "ILP", "fine-grain TLP", "LLP"]);
@@ -24,53 +70,43 @@ fn main() {
     let mut s3 = [0f64; 4];
     let mut s14 = Vec::new();
 
-    for_each_workload(&args, |w, exp| {
-        let base = exp.baseline_cycles();
-        // Figs. 10/11: per-technique builds.
-        let techniques = [Strategy::Ilp, Strategy::FineGrainTlp, Strategy::Llp];
+    for (w, r) in &harvest.results {
         let mut row10 = vec![w.name.to_string()];
         let mut row11 = vec![w.name.to_string()];
-        for (i, &t) in techniques.iter().enumerate() {
-            let r2 = exp.run(t, 2)?.speedup;
-            s10[i].push(r2);
-            row10.push(speedup(r2));
-            let r4 = exp.run(t, 4)?.speedup;
-            s11[i].push(r4);
-            row11.push(speedup(r4));
+        for i in 0..3 {
+            s10[i].push(r.t2[i]);
+            row10.push(speedup(r.t2[i]));
+            s11[i].push(r.t4[i]);
+            row11.push(speedup(r.t4[i]));
         }
         fig10.row(row10);
         fig11.row(row11);
-        // Fig. 12: stall breakdowns of the 4-core technique builds.
         let mut row = vec![w.name.to_string(), "coupled".into()];
-        row.extend(stall_row(exp.run(Strategy::Ilp, 4)?, base));
+        row.extend(r.stall_c.iter().cloned());
         fig12.row(row);
         let mut row = vec![String::new(), "decoupled".into()];
-        row.extend(stall_row(exp.run(Strategy::FineGrainTlp, 4)?, base));
+        row.extend(r.stall_d.iter().cloned());
         fig12.row(row);
-        // Fig. 13: hybrid.
-        let h2 = exp.run(Strategy::Hybrid, 2)?.speedup;
-        let h4 = exp.run(Strategy::Hybrid, 4)?.speedup;
-        s13[0].push(h2);
-        s13[1].push(h4);
-        fig13.row(vec![w.name.to_string(), speedup(h2), speedup(h4)]);
-        // Fig. 14: mode residency of the 4-core hybrid.
-        let c = exp.run(Strategy::Hybrid, 4)?.coupled_fraction();
-        s14.push(c);
-        fig14.row(vec![w.name.to_string(), pct(c), pct(1.0 - c)]);
-        // Fig. 3: planner attribution.
-        let frac = exp.parallelism_breakdown(4)?;
+        s13[0].push(r.h2);
+        s13[1].push(r.h4);
+        fig13.row(vec![w.name.to_string(), speedup(r.h2), speedup(r.h4)]);
+        s14.push(r.coupled);
+        fig14.row(vec![
+            w.name.to_string(),
+            pct(r.coupled),
+            pct(1.0 - r.coupled),
+        ]);
         fig3.row(vec![
             w.name.to_string(),
-            pct(frac[0]),
-            pct(frac[1]),
-            pct(frac[2]),
-            pct(frac[3]),
+            pct(r.frac[0]),
+            pct(r.frac[1]),
+            pct(r.frac[2]),
+            pct(r.frac[3]),
         ]);
-        for (s, f) in s3.iter_mut().zip(frac.iter()) {
+        for (s, f) in s3.iter_mut().zip(r.frac.iter()) {
             *s += f;
         }
-        Ok(())
-    });
+    }
 
     let n = s14.len().max(1) as f64;
     fig3.row(vec![
@@ -92,21 +128,41 @@ fn main() {
         speedup(mean(&s11[1])),
         speedup(mean(&s11[2])),
     ]);
-    fig13.row(vec!["average".into(), speedup(mean(&s13[0])), speedup(mean(&s13[1]))]);
+    fig13.row(vec![
+        "average".into(),
+        speedup(mean(&s13[0])),
+        speedup(mean(&s13[1])),
+    ]);
     fig14.row(vec![
         "average".into(),
         pct(s14.iter().sum::<f64>() / n),
         pct(1.0 - s14.iter().sum::<f64>() / n),
     ]);
 
-    println!("== Figure 3: parallelism breakdown (4 cores) ==\n{}", fig3.render());
+    println!(
+        "== Figure 3: parallelism breakdown (4 cores) ==\n{}",
+        fig3.render()
+    );
     println!("paper: 30% ILP / 32% fTLP / 31% LLP / 7% single core\n");
-    println!("== Figure 10: per-technique speedup (2 cores) ==\n{}", fig10.render());
+    println!(
+        "== Figure 10: per-technique speedup (2 cores) ==\n{}",
+        fig10.render()
+    );
     println!("paper averages: 1.23 / 1.16 / 1.18\n");
-    println!("== Figure 11: per-technique speedup (4 cores) ==\n{}", fig11.render());
+    println!(
+        "== Figure 11: per-technique speedup (4 cores) ==\n{}",
+        fig11.render()
+    );
     println!("paper averages: 1.33 / 1.23 / 1.37\n");
-    println!("== Figure 12: stall breakdown / serial cycles (4 cores) ==\n{}", fig12.render());
+    println!(
+        "== Figure 12: stall breakdown / serial cycles (4 cores) ==\n{}",
+        fig12.render()
+    );
     println!("== Figure 13: hybrid speedup ==\n{}", fig13.render());
     println!("paper averages: 1.46 (2 cores) / 1.83 (4 cores)\n");
-    println!("== Figure 14: mode residency (4-core hybrid) ==\n{}", fig14.render());
+    println!(
+        "== Figure 14: mode residency (4-core hybrid) ==\n{}",
+        fig14.render()
+    );
+    harvest.report("figall", &args);
 }

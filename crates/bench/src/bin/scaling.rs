@@ -6,7 +6,7 @@ use voltron_core::Strategy;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let out = speedup_figure(
+    let (out, harvest) = speedup_figure(
         "Hybrid speedup vs core count (baseline = 1-core serial)",
         &args,
         &[
@@ -17,4 +17,5 @@ fn main() {
     );
     println!("{out}");
     println!("paper: decoupled-capable benchmarks scale further from 2 to 4 cores");
+    harvest.report("scaling", &args);
 }

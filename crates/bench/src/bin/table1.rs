@@ -9,16 +9,44 @@ fn main() {
     let c = MachineConfig::paper(4);
     let mut t = Table::new(&["parameter", "value", "paper §5.1"]);
     let mut row = |k: &str, v: String, p: &str| t.row(vec![k.into(), v, p.into()]);
-    row("cores", format!("{} (2x2 mesh)", c.cores), "1/2/4 single-issue VLIW");
+    row(
+        "cores",
+        format!("{} (2x2 mesh)", c.cores),
+        "1/2/4 single-issue VLIW",
+    );
     row("issue width", "1".into(), "single-issue");
-    row("L1 I-cache", format!("{} B, {}-way", c.l1i_size, c.l1i_assoc), "4 kB 2-way");
-    row("L1 D-cache", format!("{} B, {}-way", c.l1d_size, c.l1d_assoc), "4 kB 2-way");
-    row("shared L2", format!("{} B, {}-way", c.l2_size, c.l2_assoc), "128 kB 4-way");
-    row("line size", format!("{} B", c.line_size), "(not stated; 32 B)");
-    row("coherence", "MOESI snooping bus".into(), "MOESI bus-based snooping");
+    row(
+        "L1 I-cache",
+        format!("{} B, {}-way", c.l1i_size, c.l1i_assoc),
+        "4 kB 2-way",
+    );
+    row(
+        "L1 D-cache",
+        format!("{} B, {}-way", c.l1d_size, c.l1d_assoc),
+        "4 kB 2-way",
+    );
+    row(
+        "shared L2",
+        format!("{} B, {}-way", c.l2_size, c.l2_assoc),
+        "128 kB 4-way",
+    );
+    row(
+        "line size",
+        format!("{} B", c.line_size),
+        "(not stated; 32 B)",
+    );
+    row(
+        "coherence",
+        "MOESI snooping bus".into(),
+        "MOESI bus-based snooping",
+    );
     row(
         "direct network",
-        format!("{} cycle/hop{}", c.hop_latency, if c.direct_network { "" } else { " (DISABLED)" }),
+        format!(
+            "{} cycle/hop{}",
+            c.hop_latency,
+            if c.direct_network { "" } else { " (DISABLED)" }
+        ),
         "1 cycle per hop",
     );
     row(
@@ -26,15 +54,42 @@ fn main() {
         format!("{} + hops cycles", c.queue_overhead),
         "2 cycles + 1 per hop",
     );
-    row("send/recv queue depth", format!("{}", c.queue_depth), "(not stated; 16)");
-    row("L1 hit latency", format!("{} cycles", c.l1_hit_latency), "Itanium latencies");
-    row("L2 latency", format!("{} cycles", c.l2_latency), "(not stated)");
-    row("memory latency", format!("{} cycles", c.mem_latency), "(not stated)");
-    row("cache-to-cache", format!("{} cycles", c.c2c_latency), "(not stated)");
-    row("store buffer", format!("{} entries", c.store_buffer_entries), "(not stated)");
+    row(
+        "send/recv queue depth",
+        format!("{}", c.queue_depth),
+        "(not stated; 16)",
+    );
+    row(
+        "L1 hit latency",
+        format!("{} cycles", c.l1_hit_latency),
+        "Itanium latencies",
+    );
+    row(
+        "L2 latency",
+        format!("{} cycles", c.l2_latency),
+        "(not stated)",
+    );
+    row(
+        "memory latency",
+        format!("{} cycles", c.mem_latency),
+        "(not stated)",
+    );
+    row(
+        "cache-to-cache",
+        format!("{} cycles", c.c2c_latency),
+        "(not stated)",
+    );
+    row(
+        "store buffer",
+        format!("{} entries", c.store_buffer_entries),
+        "(not stated)",
+    );
     row(
         "TM commit cost",
-        format!("{} + {}/line cycles", c.tm_commit_base, c.tm_commit_per_line),
+        format!(
+            "{} + {}/line cycles",
+            c.tm_commit_base, c.tm_commit_per_line
+        ),
         "low-cost TM [7,14]",
     );
     println!("Table 1: simulated machine configuration (MachineConfig::paper)");

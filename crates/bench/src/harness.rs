@@ -3,8 +3,19 @@
 //! Every binary accepts `--test` to run the reduced-size inputs (the
 //! default is the full evaluation scale) and `--bench <name>` to restrict
 //! to one benchmark.
+//!
+//! Workloads are independent (each gets its own [`Experiment`]), so
+//! [`run_workloads`] fans them out across host threads and hands the
+//! caller per-workload results in deterministic workload order; the
+//! figure tables are assembled sequentially afterwards, so their output
+//! is byte-identical to a serial sweep. Each sweep also reports its
+//! simulation throughput (simulated cycles per host second, on stderr)
+//! and writes a machine-readable `BENCH_<binary>.json` sidecar.
 
-use voltron_core::report::{mean, speedup, Table};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use voltron_core::report::{mean, speedup, throughput, Json, Table};
 use voltron_core::{Experiment, RunResult, StallCategory, Strategy, SystemError};
 use voltron_workloads::{all, Scale, Workload};
 
@@ -45,54 +56,222 @@ impl HarnessArgs {
             None => ws,
         }
     }
-}
 
-/// Run `f` for every selected workload with a ready [`Experiment`].
-/// Failures are printed and skipped so one bad configuration cannot hide
-/// the rest of a figure.
-pub fn for_each_workload(
-    args: &HarnessArgs,
-    mut f: impl FnMut(&Workload, &mut Experiment<'_>) -> Result<(), SystemError>,
-) {
-    for w in args.workloads() {
-        match Experiment::new(&w.program) {
-            Ok(mut exp) => {
-                if let Err(e) = f(&w, &mut exp) {
-                    eprintln!("{}: {e}", w.name);
-                }
-            }
-            Err(e) => eprintln!("{}: baseline failed: {e}", w.name),
+    /// The scale as a lowercase label (for the JSON sidecar).
+    pub fn scale_name(&self) -> &'static str {
+        match self.scale {
+            Scale::Test => "test",
+            Scale::Full => "full",
         }
     }
 }
 
+/// One workload's run inventory, recorded in the `BENCH_*.json` sidecar.
+#[derive(Debug)]
+pub struct WorkloadSummary {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Serial 1-core cycles.
+    pub baseline_cycles: u64,
+    /// Total simulated cycles across the workload's runs.
+    pub simulated_cycles: u64,
+    /// (strategy, cores, cycles, speedup) per configuration run.
+    pub runs: Vec<(String, usize, u64, f64)>,
+}
+
+/// Snapshot an experiment's run inventory for the JSON sidecar.
+pub fn workload_summary(name: &'static str, exp: &Experiment<'_>) -> WorkloadSummary {
+    WorkloadSummary {
+        name,
+        baseline_cycles: exp.baseline_cycles(),
+        simulated_cycles: exp.simulated_cycles(),
+        runs: exp
+            .results()
+            .iter()
+            .map(|r| (r.strategy.to_string(), r.cores, r.cycles, r.speedup))
+            .collect(),
+    }
+}
+
+/// Build the `BENCH_*.json` document for a finished sweep.
+pub fn bench_json(
+    binary: &str,
+    scale: &str,
+    simulated_cycles: u64,
+    host_seconds: f64,
+    summaries: &[WorkloadSummary],
+) -> Json {
+    let workloads = summaries
+        .iter()
+        .map(|s| {
+            let runs = s
+                .runs
+                .iter()
+                .map(|(strategy, cores, cycles, sp)| {
+                    Json::Obj(vec![
+                        ("strategy".into(), Json::Str(strategy.clone())),
+                        ("cores".into(), Json::UInt(*cores as u64)),
+                        ("cycles".into(), Json::UInt(*cycles)),
+                        ("speedup".into(), Json::Num(*sp)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.into())),
+                ("baseline_cycles".into(), Json::UInt(s.baseline_cycles)),
+                ("simulated_cycles".into(), Json::UInt(s.simulated_cycles)),
+                ("runs".into(), Json::Arr(runs)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("binary".into(), Json::Str(binary.into())),
+        ("scale".into(), Json::Str(scale.into())),
+        ("host_seconds".into(), Json::Num(host_seconds)),
+        ("simulated_cycles".into(), Json::UInt(simulated_cycles)),
+        (
+            "cycles_per_host_second".into(),
+            Json::Num(simulated_cycles as f64 / host_seconds.max(1e-9)),
+        ),
+        ("workloads".into(), Json::Arr(workloads)),
+    ])
+}
+
+/// What a [`run_workloads`] sweep produced: the per-workload closure
+/// results (in workload order; failed workloads are reported on stderr
+/// and skipped) plus the aggregate throughput numbers.
+#[derive(Debug)]
+pub struct Harvest<R> {
+    /// Closure results per surviving workload, in workload order.
+    pub results: Vec<(Workload, R)>,
+    /// Run inventories per surviving workload (same order).
+    pub summaries: Vec<WorkloadSummary>,
+    /// Total simulated cycles across the sweep.
+    pub simulated_cycles: u64,
+    /// Wall-clock duration of the sweep.
+    pub host_seconds: f64,
+}
+
+impl<R> Harvest<R> {
+    /// Simulation throughput in simulated cycles per host second.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.simulated_cycles as f64 / self.host_seconds.max(1e-9)
+    }
+
+    /// Print the throughput line (stderr, keeping figure stdout clean)
+    /// and write the `BENCH_<binary>.json` sidecar to the working
+    /// directory.
+    pub fn report(&self, binary: &str, args: &HarnessArgs) {
+        eprintln!(
+            "[{binary}] {}",
+            throughput(self.simulated_cycles, self.host_seconds)
+        );
+        let doc = bench_json(
+            binary,
+            args.scale_name(),
+            self.simulated_cycles,
+            self.host_seconds,
+            &self.summaries,
+        );
+        let path = format!("BENCH_{binary}.json");
+        if let Err(e) = std::fs::write(&path, doc.render()) {
+            eprintln!("[{binary}] cannot write {path}: {e}");
+        }
+    }
+}
+
+/// Run `f` for every selected workload with a ready [`Experiment`],
+/// fanning the workloads out across host threads. Results come back in
+/// workload order regardless of completion order; failures are printed
+/// and skipped so one bad configuration cannot hide the rest of a
+/// figure.
+pub fn run_workloads<R: Send>(
+    args: &HarnessArgs,
+    f: impl Fn(&Workload, &mut Experiment<'_>) -> Result<R, SystemError> + Sync,
+) -> Harvest<R> {
+    let ws = args.workloads();
+    let n = ws.len();
+    let slots: Vec<Mutex<Option<(R, WorkloadSummary)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n.max(1));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let w = &ws[i];
+                match Experiment::new(&w.program) {
+                    Ok(mut exp) => match f(w, &mut exp) {
+                        Ok(r) => {
+                            let sm = workload_summary(w.name, &exp);
+                            *slots[i].lock().expect("result slot poisoned") = Some((r, sm));
+                        }
+                        Err(e) => eprintln!("{}: {e}", w.name),
+                    },
+                    Err(e) => eprintln!("{}: baseline failed: {e}", w.name),
+                }
+            });
+        }
+    });
+    let host_seconds = t0.elapsed().as_secs_f64();
+    let mut results = Vec::new();
+    let mut summaries = Vec::new();
+    let mut simulated_cycles = 0u64;
+    for (w, slot) in ws.into_iter().zip(slots) {
+        if let Some((r, sm)) = slot.into_inner().expect("result slot poisoned") {
+            simulated_cycles += sm.simulated_cycles;
+            summaries.push(sm);
+            results.push((w, r));
+        }
+    }
+    Harvest {
+        results,
+        summaries,
+        simulated_cycles,
+        host_seconds,
+    }
+}
+
 /// Render a per-benchmark speedup figure (Figs. 10/11/13 share this
-/// shape): one column per (label, strategy, cores).
+/// shape): one column per (label, strategy, cores). Returns the rendered
+/// figure and the sweep's [`Harvest`] so the binary can report
+/// throughput.
 pub fn speedup_figure(
     title: &str,
     args: &HarnessArgs,
     columns: &[(&str, Strategy, usize)],
-) -> String {
+) -> (String, Harvest<Vec<f64>>) {
     let mut headers: Vec<&str> = vec!["benchmark"];
     headers.extend(columns.iter().map(|(l, _, _)| *l));
     let mut table = Table::new(&headers);
+    let harvest = run_workloads(args, |_, exp| {
+        let mut vals = Vec::with_capacity(columns.len());
+        for &(_, strat, cores) in columns {
+            vals.push(exp.run(strat, cores)?.speedup);
+        }
+        Ok(vals)
+    });
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
-    for_each_workload(args, |w, exp| {
+    for (w, vals) in &harvest.results {
         let mut cells = vec![w.name.to_string()];
-        for (i, &(_, strat, cores)) in columns.iter().enumerate() {
-            let r = exp.run(strat, cores)?;
-            sums[i].push(r.speedup);
-            cells.push(speedup(r.speedup));
+        for (i, v) in vals.iter().enumerate() {
+            sums[i].push(*v);
+            cells.push(speedup(*v));
         }
         table.row(cells);
-        Ok(())
-    });
+    }
     let mut avg = vec!["average".to_string()];
     for col in &sums {
         avg.push(speedup(mean(col)));
     }
     table.row(avg);
-    format!("{title}\n{}", table.render())
+    (format!("{title}\n{}", table.render()), harvest)
 }
 
 /// Render the Fig. 12 stall-breakdown cells for one run.
@@ -109,20 +288,59 @@ mod tests {
 
     #[test]
     fn workload_filter_selects_one() {
-        let args = HarnessArgs { scale: Scale::Test, only: Some("164.gzip".into()) };
+        let args = HarnessArgs {
+            scale: Scale::Test,
+            only: Some("164.gzip".into()),
+        };
         let ws = args.workloads();
         assert_eq!(ws.len(), 1);
         assert_eq!(ws[0].name, "164.gzip");
-        let none = HarnessArgs { scale: Scale::Test, only: Some("nope".into()) };
+        let none = HarnessArgs {
+            scale: Scale::Test,
+            only: Some("nope".into()),
+        };
         assert!(none.workloads().is_empty());
     }
 
     #[test]
     fn speedup_figure_renders_rows_and_average() {
-        let args = HarnessArgs { scale: Scale::Test, only: Some("rawcaudio".into()) };
-        let out = speedup_figure("t", &args, &[("serial", Strategy::Serial, 1)]);
+        let args = HarnessArgs {
+            scale: Scale::Test,
+            only: Some("rawcaudio".into()),
+        };
+        let (out, harvest) = speedup_figure("t", &args, &[("serial", Strategy::Serial, 1)]);
         assert!(out.contains("rawcaudio"));
         assert!(out.contains("average"));
         assert!(out.contains("1.00"));
+        assert_eq!(harvest.results.len(), 1);
+        assert!(harvest.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn run_workloads_collects_summaries_and_json() {
+        let args = HarnessArgs {
+            scale: Scale::Test,
+            only: Some("rawcaudio".into()),
+        };
+        let h = run_workloads(&args, |w, exp| {
+            exp.run(Strategy::Serial, 1)?;
+            Ok(w.name)
+        });
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].1, "rawcaudio");
+        assert_eq!(h.summaries[0].name, "rawcaudio");
+        assert!(!h.summaries[0].runs.is_empty(), "run inventory captured");
+        assert!(h.cycles_per_second() > 0.0);
+        let doc = bench_json(
+            "t",
+            args.scale_name(),
+            h.simulated_cycles,
+            h.host_seconds,
+            &h.summaries,
+        );
+        let s = doc.render();
+        assert!(s.contains("\"binary\":\"t\""));
+        assert!(s.contains("\"name\":\"rawcaudio\""));
+        assert!(s.contains("\"strategy\":\"serial\""));
     }
 }

@@ -44,14 +44,10 @@ impl AliasAnalysis {
         let mut origins: HashMap<Reg, Origin> = HashMap::new();
         let symbol_of_addr = |v: i64| -> Origin {
             let addr = v as u64;
-            match program
-                .data
-                .symbols
-                .iter()
-                .position(|s| {
-                    let base = voltron_ir::DataSegment::BASE + s.offset;
-                    addr >= base && addr < base + s.size.max(1)
-                }) {
+            match program.data.symbols.iter().position(|s| {
+                let base = voltron_ir::DataSegment::BASE + s.offset;
+                addr >= base && addr < base + s.size.max(1)
+            }) {
                 Some(i) => Origin::Symbol(i),
                 None => Origin::Any,
             }

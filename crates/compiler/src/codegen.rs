@@ -20,9 +20,7 @@ use crate::error::CompileError;
 use crate::plan::{Plan, PlanInputs, Region, RegionKind};
 use crate::sched::schedule_coupled;
 use std::collections::HashMap;
-use voltron_ir::{
-    BlockId, ExecMode, Inst, Opcode, Operand, Reg, RegClass,
-};
+use voltron_ir::{BlockId, ExecMode, Inst, Opcode, Operand, Reg, RegClass};
 use voltron_sim::network::TAG_JOIN;
 use voltron_sim::{CoreImage, MBlock, MachineConfig, MachineProgram};
 
@@ -39,7 +37,11 @@ struct ImageBuilder {
 
 impl ImageBuilder {
     fn new(boot_sleep: bool) -> ImageBuilder {
-        let mut b = ImageBuilder { blocks: Vec::new(), bound: Vec::new(), orig_label: HashMap::new() };
+        let mut b = ImageBuilder {
+            blocks: Vec::new(),
+            bound: Vec::new(),
+            orig_label: HashMap::new(),
+        };
         if boot_sleep {
             let mut boot = MBlock::new("boot", voltron_sim::REGION_OUTSIDE);
             boot.insts.push(Inst::new(Opcode::Sleep, vec![]));
@@ -86,7 +88,9 @@ pub struct EmitOptions {
 
 impl Default for EmitOptions {
     fn default() -> EmitOptions {
-        EmitOptions { condition_replication: true }
+        EmitOptions {
+            condition_replication: true,
+        }
     }
 }
 
@@ -117,8 +121,7 @@ pub fn emit(
     let n = cfg.cores;
     let mut fresh = FreshRegs::for_function(inp.f);
     let mut tags = TagAlloc::default();
-    let mut imgs: Vec<ImageBuilder> =
-        (0..n).map(|k| ImageBuilder::new(k != 0)).collect();
+    let mut imgs: Vec<ImageBuilder> = (0..n).map(|k| ImageBuilder::new(k != 0)).collect();
 
     for region in &plan.regions {
         match &region.kind {
@@ -145,15 +148,9 @@ pub fn emit(
                 &mut tags,
                 opts,
             ),
-            RegionKind::Doall(info) => emit_doall(
-                inp,
-                region,
-                info,
-                cfg,
-                &mut imgs,
-                &mut fresh,
-                &mut tags,
-            ),
+            RegionKind::Doall(info) => {
+                emit_doall(inp, region, info, cfg, &mut imgs, &mut fresh, &mut tags)
+            }
         }
     }
 
@@ -166,9 +163,7 @@ pub fn emit(
             .copied()
             .flatten()
             .map(BlockId)
-            .ok_or_else(|| {
-                CompileError::Internal(format!("unbound label {l} in core {img} image"))
-            })
+            .ok_or_else(|| CompileError::Internal(format!("unbound label {l} in core {img} image")))
     };
     let mut cores: Vec<CoreImage> = Vec::with_capacity(n);
     for (ci, ib) in imgs.into_iter().enumerate() {
@@ -195,8 +190,16 @@ pub fn emit(
     machine.check().map_err(CompileError::Internal)?;
 
     let region_kinds = plan.regions.iter().map(|r| (r.id, r.kind.name())).collect();
-    let region_weights = plan.regions.iter().map(|r| (r.id, r.est_serial_cycles)).collect();
-    Ok(Compiled { machine, region_kinds, region_weights })
+    let region_weights = plan
+        .regions
+        .iter()
+        .map(|r| (r.id, r.est_serial_cycles))
+        .collect();
+    Ok(Compiled {
+        machine,
+        region_kinds,
+        region_weights,
+    })
 }
 
 /// Rewrite an instruction's block targets through `map`.
@@ -411,8 +414,7 @@ fn emit_parallel(
     }
 
     // Labels.
-    let worker_entry: Vec<MLabel> =
-        (0..n).map(|k| imgs[k].new_label()).collect();
+    let worker_entry: Vec<MLabel> = (0..n).map(|k| imgs[k].new_label()).collect();
     let worker_exit: Vec<MLabel> = (0..n).map(|k| imgs[k].new_label()).collect();
     let mut internal: HashMap<(BlockId, usize), MLabel> = HashMap::new();
     for b in region.blocks() {
@@ -444,17 +446,28 @@ fn emit_parallel(
     for &(r, h, tag) in &entry_xfers {
         imgs[0].push(Inst::new(
             Opcode::Send,
-            vec![r.into(), Operand::Core(h as u8), Operand::Imm(i64::from(tag))],
+            vec![
+                r.into(),
+                Operand::Core(h as u8),
+                Operand::Imm(i64::from(tag)),
+            ],
         ));
     }
     for &(r, c, tag, _) in &invariant_xfers {
         imgs[0].push(Inst::new(
             Opcode::Send,
-            vec![r.into(), Operand::Core(c as u8), Operand::Imm(i64::from(tag))],
+            vec![
+                r.into(),
+                Operand::Core(c as u8),
+                Operand::Imm(i64::from(tag)),
+            ],
         ));
     }
     if mode == ExecMode::Coupled {
-        imgs[0].push(Inst::new(Opcode::ModeSwitch, vec![Operand::Mode(ExecMode::Coupled)]));
+        imgs[0].push(Inst::new(
+            Opcode::ModeSwitch,
+            vec![Operand::Mode(ExecMode::Coupled)],
+        ));
     }
     // Falls through into the master's copy of the entry block.
 
@@ -610,7 +623,11 @@ fn emit_parallel(
         imgs[k].push(Inst::with_dst(Opcode::Ldi, token, vec![Operand::Imm(1)]));
         imgs[k].push(Inst::new(
             Opcode::Send,
-            vec![token.into(), Operand::Core(0), Operand::Imm(i64::from(TAG_JOIN))],
+            vec![
+                token.into(),
+                Operand::Core(0),
+                Operand::Imm(i64::from(TAG_JOIN)),
+            ],
         ));
         imgs[k].push(Inst::new(Opcode::Sleep, vec![]));
     }
@@ -644,7 +661,10 @@ fn emit_parallel(
             ));
         }
         let cont = imgs[0].label_for_orig(t);
-        imgs[0].push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(cont.0))]));
+        imgs[0].push(Inst::new(
+            Opcode::Jump,
+            vec![Operand::Block(BlockId(cont.0))],
+        ));
     }
 }
 
@@ -707,43 +727,107 @@ fn emit_doall(
     };
     let push0 = |imgs: &mut [ImageBuilder], i: Inst| imgs[0].push(i);
     let range = fresh.fresh(RegClass::Gpr);
-    push0(imgs, Inst::with_dst(Opcode::Sub, range, vec![bound_reg.into(), iv.into()]));
-    push0(imgs, Inst::with_dst(Opcode::Max, range, vec![range.into(), Operand::Imm(0)]));
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Sub, range, vec![bound_reg.into(), iv.into()]),
+    );
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Max, range, vec![range.into(), Operand::Imm(0)]),
+    );
     let trips = fresh.fresh(RegClass::Gpr);
-    push0(imgs, Inst::with_dst(Opcode::Add, trips, vec![range.into(), Operand::Imm(step - 1)]));
-    push0(imgs, Inst::with_dst(Opcode::Div, trips, vec![trips.into(), Operand::Imm(step)]));
+    push0(
+        imgs,
+        Inst::with_dst(
+            Opcode::Add,
+            trips,
+            vec![range.into(), Operand::Imm(step - 1)],
+        ),
+    );
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Div, trips, vec![trips.into(), Operand::Imm(step)]),
+    );
     let span = fresh.fresh(RegClass::Gpr);
-    push0(imgs, Inst::with_dst(Opcode::Add, span, vec![trips.into(), Operand::Imm(n as i64 - 1)]));
-    push0(imgs, Inst::with_dst(Opcode::Div, span, vec![span.into(), Operand::Imm(n as i64)]));
-    push0(imgs, Inst::with_dst(Opcode::Mul, span, vec![span.into(), Operand::Imm(step)]));
+    push0(
+        imgs,
+        Inst::with_dst(
+            Opcode::Add,
+            span,
+            vec![trips.into(), Operand::Imm(n as i64 - 1)],
+        ),
+    );
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Div, span, vec![span.into(), Operand::Imm(n as i64)]),
+    );
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Mul, span, vec![span.into(), Operand::Imm(step)]),
+    );
     // Final induction value for after the loop.
     let iv_final = fresh.fresh(RegClass::Gpr);
-    push0(imgs, Inst::with_dst(Opcode::Mul, iv_final, vec![trips.into(), Operand::Imm(step)]));
-    push0(imgs, Inst::with_dst(Opcode::Add, iv_final, vec![iv_final.into(), iv.into()]));
+    push0(
+        imgs,
+        Inst::with_dst(
+            Opcode::Mul,
+            iv_final,
+            vec![trips.into(), Operand::Imm(step)],
+        ),
+    );
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Add, iv_final, vec![iv_final.into(), iv.into()]),
+    );
     // Master chunk bound.
     let hi0 = fresh.fresh(RegClass::Gpr);
-    push0(imgs, Inst::with_dst(Opcode::Add, hi0, vec![iv.into(), span.into()]));
-    push0(imgs, Inst::with_dst(Opcode::Min, hi0, vec![hi0.into(), bound_reg.into()]));
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Add, hi0, vec![iv.into(), span.into()]),
+    );
+    push0(
+        imgs,
+        Inst::with_dst(Opcode::Min, hi0, vec![hi0.into(), bound_reg.into()]),
+    );
     // Speculation begins: master is chunk 0 (XBEGIN 0 resets the commit
     // token and precedes all spawns, see TxnManager::begin).
     push0(imgs, Inst::new(Opcode::Xbegin, vec![Operand::Imm(0)]));
     for k in 1..n {
         imgs[0].push(Inst::new(
             Opcode::Spawn,
-            vec![Operand::Core(k as u8), Operand::Block(BlockId(worker_entry[k].0))],
+            vec![
+                Operand::Core(k as u8),
+                Operand::Block(BlockId(worker_entry[k].0)),
+            ],
         ));
         // lo_k = iv + span * k ; hi_k = min(lo_k + span, bound)
         let lo = fresh.fresh(RegClass::Gpr);
-        push0(imgs, Inst::with_dst(Opcode::Mul, lo, vec![span.into(), Operand::Imm(k as i64)]));
-        push0(imgs, Inst::with_dst(Opcode::Add, lo, vec![lo.into(), iv.into()]));
+        push0(
+            imgs,
+            Inst::with_dst(Opcode::Mul, lo, vec![span.into(), Operand::Imm(k as i64)]),
+        );
+        push0(
+            imgs,
+            Inst::with_dst(Opcode::Add, lo, vec![lo.into(), iv.into()]),
+        );
         let hi = fresh.fresh(RegClass::Gpr);
-        push0(imgs, Inst::with_dst(Opcode::Add, hi, vec![lo.into(), span.into()]));
-        push0(imgs, Inst::with_dst(Opcode::Min, hi, vec![hi.into(), bound_reg.into()]));
+        push0(
+            imgs,
+            Inst::with_dst(Opcode::Add, hi, vec![lo.into(), span.into()]),
+        );
+        push0(
+            imgs,
+            Inst::with_dst(Opcode::Min, hi, vec![hi.into(), bound_reg.into()]),
+        );
         let mut t = param_tags[k].iter();
         let send = |imgs: &mut [ImageBuilder], r: Reg, tag: u32| {
             imgs[0].push(Inst::new(
                 Opcode::Send,
-                vec![r.into(), Operand::Core(k as u8), Operand::Imm(i64::from(tag))],
+                vec![
+                    r.into(),
+                    Operand::Core(k as u8),
+                    Operand::Imm(i64::from(tag)),
+                ],
             ));
         };
         send(imgs, lo, *t.next().expect("lo tag"));
@@ -767,7 +851,11 @@ fn emit_doall(
                 part,
                 vec![Operand::Core(k as u8), Operand::Imm(i64::from(tag))],
             ));
-            imgs[0].push(Inst::with_dst(red.op, red.reg, vec![red.reg.into(), part.into()]));
+            imgs[0].push(Inst::with_dst(
+                red.op,
+                red.reg,
+                vec![red.reg.into(), part.into()],
+            ));
         }
         let junk = fresh.fresh(RegClass::Gpr);
         imgs[0].push(Inst::with_dst(
@@ -777,7 +865,10 @@ fn emit_doall(
         ));
     }
     let cont = imgs[0].label_for_orig(info.exit_target);
-    imgs[0].push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(cont.0))]));
+    imgs[0].push(Inst::new(
+        Opcode::Jump,
+        vec![Operand::Block(BlockId(cont.0))],
+    ));
 
     // ---- workers ----
     for (k, wentry) in worker_entry.iter().enumerate().take(n).skip(1) {
@@ -814,14 +905,22 @@ fn emit_doall(
         for (red, &tag) in info.reductions.iter().zip(result_tags[k].iter()) {
             imgs[k].push(Inst::new(
                 Opcode::Send,
-                vec![red.reg.into(), Operand::Core(0), Operand::Imm(i64::from(tag))],
+                vec![
+                    red.reg.into(),
+                    Operand::Core(0),
+                    Operand::Imm(i64::from(tag)),
+                ],
             ));
         }
         let token = fresh.fresh(RegClass::Gpr);
         imgs[k].push(Inst::with_dst(Opcode::Ldi, token, vec![Operand::Imm(1)]));
         imgs[k].push(Inst::new(
             Opcode::Send,
-            vec![token.into(), Operand::Core(0), Operand::Imm(i64::from(TAG_JOIN))],
+            vec![
+                token.into(),
+                Operand::Core(0),
+                Operand::Imm(i64::from(TAG_JOIN)),
+            ],
         ));
         imgs[k].push(Inst::new(Opcode::Sleep, vec![]));
     }

@@ -16,9 +16,7 @@
 
 use crate::partition::Assignment;
 use std::collections::HashMap;
-use voltron_ir::{
-    BlockId, Dir, ExecMode, Function, Inst, Opcode, Operand, Reg, RegClass,
-};
+use voltron_ir::{BlockId, Dir, ExecMode, Function, Inst, Opcode, Operand, Reg, RegClass};
 use voltron_sim::MachineConfig;
 
 /// Fresh virtual-register allocator shared across a compilation.
@@ -30,7 +28,9 @@ pub struct FreshRegs {
 impl FreshRegs {
     /// Start above a function's existing registers.
     pub fn for_function(f: &Function) -> FreshRegs {
-        FreshRegs { next: f.reg_counts() }
+        FreshRegs {
+            next: f.reg_counts(),
+        }
     }
 
     /// Allocate a register of `class`.
@@ -119,9 +119,41 @@ fn pure_op(op: Opcode) -> bool {
     use Opcode::*;
     matches!(
         op,
-        Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar | Min | Max | Mov
-            | Ldi | Fldi | Cmp(_) | Fcmp(_) | Sel | Fsel | PAnd | POr | PNot | ItoF | FtoI
-            | PtoG | GtoP | Fadd | Fsub | Fmul | Fdiv | Fabs | Fneg | Fmin | Fmax | Fsqrt
+        Add | Sub
+            | Mul
+            | Div
+            | Rem
+            | And
+            | Or
+            | Xor
+            | Shl
+            | Shr
+            | Sar
+            | Min
+            | Max
+            | Mov
+            | Ldi
+            | Fldi
+            | Cmp(_)
+            | Fcmp(_)
+            | Sel
+            | Fsel
+            | PAnd
+            | POr
+            | PNot
+            | ItoF
+            | FtoI
+            | PtoG
+            | GtoP
+            | Fadd
+            | Fsub
+            | Fmul
+            | Fdiv
+            | Fabs
+            | Fneg
+            | Fmin
+            | Fmax
+            | Fsqrt
     )
 }
 
@@ -172,9 +204,7 @@ pub fn plan_replication(
                     && inst.guard.is_none()
                     && inst.srcs.iter().all(|sop| match sop {
                         Operand::Imm(_) | Operand::FImm(_) => true,
-                        Operand::Reg(x) => {
-                            x == r || invariant(x) || eligible.contains(x)
-                        }
+                        Operand::Reg(x) => x == r || invariant(x) || eligible.contains(x),
                         _ => false,
                     })
             });
@@ -328,7 +358,10 @@ impl<'a> RegionLowerer<'a> {
         to: usize,
         copy: Reg,
     ) {
-        self.loop_preloads.entry(preheader).or_default().push((src, home, to, copy));
+        self.loop_preloads
+            .entry(preheader)
+            .or_default()
+            .push((src, home, to, copy));
         self.scoped_copies.push((range, src, to, copy));
     }
 
@@ -365,7 +398,10 @@ impl<'a> RegionLowerer<'a> {
     pub fn lower_block(&mut self, b: BlockId) -> LoweredBlock {
         let n = self.cfg.cores;
         let insts = &self.f.block(b).insts;
-        let mut out = LoweredBlock { per_core: vec![Vec::new(); n], pair_edges: Vec::new() };
+        let mut out = LoweredBlock {
+            per_core: vec![Vec::new(); n],
+            pair_edges: Vec::new(),
+        };
         // Local copies of remote registers, valid until the source is
         // redefined.
         let mut cur_copy: HashMap<(Reg, usize), Reg> = HashMap::new();
@@ -392,7 +428,10 @@ impl<'a> RegionLowerer<'a> {
                             }
                         }
                     }
-                    out.per_core[c].push(CoreOp { inst: ni, orig: Some(i) });
+                    out.per_core[c].push(CoreOp {
+                        inst: ni,
+                        orig: Some(i),
+                    });
                 }
                 if let Some(d) = inst.def() {
                     cur_copy.retain(|(r, _), _| *r != d);
@@ -403,10 +442,10 @@ impl<'a> RegionLowerer<'a> {
             let mut ni = inst.clone();
             // Rewrite remote uses through transfers.
             let fix = |r: &mut Reg,
-                           lowerer: &mut RegionLowerer<'_>,
-                           out: &mut LoweredBlock,
-                           cur_copy: &mut HashMap<(Reg, usize), Reg>,
-                           last_get: &mut HashMap<(usize, Dir), (usize, usize)>| {
+                       lowerer: &mut RegionLowerer<'_>,
+                       out: &mut LoweredBlock,
+                       cur_copy: &mut HashMap<(Reg, usize), Reg>,
+                       last_get: &mut HashMap<(usize, Dir), (usize, usize)>| {
                 if r.class == RegClass::Btr {
                     return;
                 }
@@ -449,7 +488,10 @@ impl<'a> RegionLowerer<'a> {
             if let Some(g) = ni.guard.as_mut() {
                 fix(g, self, &mut out, &mut cur_copy, &mut last_get);
             }
-            out.per_core[c].push(CoreOp { inst: ni, orig: Some(i) });
+            out.per_core[c].push(CoreOp {
+                inst: ni,
+                orig: Some(i),
+            });
             if let Some(d) = inst.def() {
                 cur_copy.retain(|(r, _), _| *r != d);
             }
@@ -483,7 +525,11 @@ impl<'a> RegionLowerer<'a> {
                 out.per_core[h].push(CoreOp {
                     inst: Inst::new(
                         Opcode::Send,
-                        vec![src.into(), Operand::Core(c as u8), Operand::Imm(i64::from(tag))],
+                        vec![
+                            src.into(),
+                            Operand::Core(c as u8),
+                            Operand::Imm(i64::from(tag)),
+                        ],
                     ),
                     orig: None,
                 });
@@ -508,17 +554,29 @@ impl<'a> RegionLowerer<'a> {
                         inst: Inst::new(Opcode::Put, vec![carried.into(), Operand::Dir(d)]),
                         orig: None,
                     });
-                    let rdst = if nxt == c { dst } else { self.fresh.fresh(src.class) };
+                    let rdst = if nxt == c {
+                        dst
+                    } else {
+                        self.fresh.fresh(src.class)
+                    };
                     let get_at = (nxt, out.per_core[nxt].len());
                     out.per_core[nxt].push(CoreOp {
                         inst: Inst::with_dst(Opcode::Get, rdst, vec![Operand::Dir(d.opposite())]),
                         orig: None,
                     });
-                    out.pair_edges.push(PairEdge { from: put_at, to: get_at, latency: 1 });
+                    out.pair_edges.push(PairEdge {
+                        from: put_at,
+                        to: get_at,
+                        latency: 1,
+                    });
                     // Latch serialization: the previous GET on this link
                     // must have consumed before this PUT can issue.
                     if let Some(prev) = last_get.insert((a, d), get_at) {
-                        out.pair_edges.push(PairEdge { from: prev, to: put_at, latency: 1 });
+                        out.pair_edges.push(PairEdge {
+                            from: prev,
+                            to: put_at,
+                            latency: 1,
+                        });
                     }
                     carried = rdst;
                 }
@@ -746,7 +804,9 @@ mod tests {
                 Operand::Imm(t) => t,
                 _ => panic!("send without tag"),
             };
-            assert!(recvs.iter().any(|r| matches!(r.inst.srcs[1], Operand::Imm(t2) if t2 == tag)));
+            assert!(recvs
+                .iter()
+                .any(|r| matches!(r.inst.srcs[1], Operand::Imm(t2) if t2 == tag)));
         }
     }
 
@@ -801,8 +861,7 @@ mod tests {
         let cfg = MachineConfig::paper(4);
         let mut fresh = FreshRegs::for_function(f);
         let mut tags = TagAlloc::default();
-        let mut lw =
-            RegionLowerer::new(f, &asg, &cfg, ExecMode::Coupled, &mut fresh, &mut tags);
+        let mut lw = RegionLowerer::new(f, &asg, &cfg, ExecMode::Coupled, &mut fresh, &mut tags);
         let lb = lw.lower_block(BlockId(0));
         // Every core ends with PBR + BR.
         for ops in &lb.per_core {
@@ -882,8 +941,15 @@ mod replication_tests {
         // The induction variable must replicate, and the loop-exit
         // compare's predicate with it.
         let iv = voltron_ir::Reg::gpr(2); // ab, bb, then iv
-        assert!(plan.regs.contains(&iv), "iv not replicated: {:?}", plan.regs);
-        let has_pred = plan.regs.iter().any(|r| r.class == voltron_ir::RegClass::Pred);
+        assert!(
+            plan.regs.contains(&iv),
+            "iv not replicated: {:?}",
+            plan.regs
+        );
+        let has_pred = plan
+            .regs
+            .iter()
+            .any(|r| r.class == voltron_ir::RegClass::Pred);
         assert!(has_pred, "exit predicate not replicated");
         // Some instruction positions were marked for cloning.
         assert!(!plan.insts.is_empty());
@@ -963,6 +1029,9 @@ mod replication_tests {
         let asg = Assignment::default();
         let blocks: Vec<BlockId> = f.iter_blocks().map(|(bid, _)| bid).collect();
         let plan = plan_replication(f, &blocks, &asg, &[0, 1]);
-        assert!(!plan.regs.contains(&x), "guarded self-step must not replicate");
+        assert!(
+            !plan.regs.contains(&x),
+            "guarded self-step must not replicate"
+        );
     }
 }

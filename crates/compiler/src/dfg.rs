@@ -60,28 +60,33 @@ impl BlockDfg {
         let insts = &block.insts;
         let n = insts.len();
         let mut succs: Vec<Vec<DepEdge>> = vec![Vec::new(); n];
-        let add = |succs: &mut Vec<Vec<DepEdge>>, from: usize, to: usize, lat: u32, kind: DepKind| {
-            debug_assert!(from < to, "dependence edges must go forward");
-            // Keep one edge per (target, kind): kinds carry meaning for
-            // eBUG weighting even when another kind already subsumes the
-            // latency constraint.
-            let same_kind = |a: DepKind, b: DepKind| {
-                matches!(
-                    (a, b),
-                    (DepKind::Data(_), DepKind::Data(_))
-                        | (DepKind::Anti, DepKind::Anti)
-                        | (DepKind::Output, DepKind::Output)
-                        | (DepKind::Memory, DepKind::Memory)
-                        | (DepKind::Control, DepKind::Control)
-                )
+        let add =
+            |succs: &mut Vec<Vec<DepEdge>>, from: usize, to: usize, lat: u32, kind: DepKind| {
+                debug_assert!(from < to, "dependence edges must go forward");
+                // Keep one edge per (target, kind): kinds carry meaning for
+                // eBUG weighting even when another kind already subsumes the
+                // latency constraint.
+                let same_kind = |a: DepKind, b: DepKind| {
+                    matches!(
+                        (a, b),
+                        (DepKind::Data(_), DepKind::Data(_))
+                            | (DepKind::Anti, DepKind::Anti)
+                            | (DepKind::Output, DepKind::Output)
+                            | (DepKind::Memory, DepKind::Memory)
+                            | (DepKind::Control, DepKind::Control)
+                    )
+                };
+                if !succs[from]
+                    .iter()
+                    .any(|e| e.to == to && same_kind(e.kind, kind) && e.latency >= lat)
+                {
+                    succs[from].push(DepEdge {
+                        to,
+                        latency: lat,
+                        kind,
+                    });
+                }
             };
-            if !succs[from]
-                .iter()
-                .any(|e| e.to == to && same_kind(e.kind, kind) && e.latency >= lat)
-            {
-                succs[from].push(DepEdge { to, latency: lat, kind });
-            }
-        };
 
         let mut last_def: HashMap<Reg, usize> = HashMap::new();
         let mut uses_since_def: HashMap<Reg, Vec<usize>> = HashMap::new();
@@ -145,7 +150,12 @@ impl BlockDfg {
             }
             priority[i] = p;
         }
-        BlockDfg { n, succs, preds, priority }
+        BlockDfg {
+            n,
+            succs,
+            preds,
+            priority,
+        }
     }
 }
 
@@ -173,11 +183,7 @@ pub struct LoopGraph {
 }
 
 /// Build the loop graph over `blocks` of `f`.
-pub fn build_loop_graph(
-    f: &Function,
-    blocks: &[BlockId],
-    alias: &AliasAnalysis,
-) -> LoopGraph {
+pub fn build_loop_graph(f: &Function, blocks: &[BlockId], alias: &AliasAnalysis) -> LoopGraph {
     let mut nodes: Vec<LoopNode> = Vec::new();
     for &b in blocks {
         for i in 0..f.block(b).insts.len() {
@@ -254,7 +260,12 @@ pub fn build_loop_graph(
         .iter()
         .map(|&(b, i)| u64::from(f.block(b).insts[i].op.latency()))
         .collect();
-    LoopGraph { nodes, index, succs, weight }
+    LoopGraph {
+        nodes,
+        index,
+        succs,
+        weight,
+    }
 }
 
 /// Tarjan strongly-connected components; returns components in *reverse*
@@ -267,7 +278,14 @@ pub fn sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
         on_stack: bool,
     }
     let n = succs.len();
-    let mut st = vec![NodeState { index: -1, lowlink: -1, on_stack: false }; n];
+    let mut st = vec![
+        NodeState {
+            index: -1,
+            lowlink: -1,
+            on_stack: false
+        };
+        n
+    ];
     let mut stack: Vec<usize> = Vec::new();
     let mut out: Vec<Vec<usize>> = Vec::new();
     let mut counter: i64 = 0;
@@ -370,7 +388,9 @@ mod tests {
         // loads to different symbols have no memory edge between them.
         assert!(!dfg.succs[2].iter().any(|e| e.to == 3));
         // store to `a` has a memory edge from the load of `a`.
-        assert!(dfg.succs[2].iter().any(|e| e.to == 5 && e.kind == DepKind::Memory));
+        assert!(dfg.succs[2]
+            .iter()
+            .any(|e| e.to == 5 && e.kind == DepKind::Memory));
         // halt is ordered after everything.
         assert_eq!(dfg.preds[6].len(), 6);
         // priority decreases along the chain.
@@ -394,9 +414,15 @@ mod tests {
         let f = p.main_func();
         let alias = AliasAnalysis::analyze(&p, f);
         let dfg = BlockDfg::build(&f.blocks[0], &alias);
-        assert!(dfg.succs[1].iter().any(|e| e.to == 2 && e.kind == DepKind::Anti));
-        assert!(dfg.succs[0].iter().any(|e| e.to == 2 && e.kind == DepKind::Output));
-        assert!(dfg.succs[2].iter().any(|e| matches!(e.kind, DepKind::Data(_)) && e.to == 3));
+        assert!(dfg.succs[1]
+            .iter()
+            .any(|e| e.to == 2 && e.kind == DepKind::Anti));
+        assert!(dfg.succs[0]
+            .iter()
+            .any(|e| e.to == 2 && e.kind == DepKind::Output));
+        assert!(dfg.succs[2]
+            .iter()
+            .any(|e| matches!(e.kind, DepKind::Data(_)) && e.to == 3));
     }
 
     #[test]

@@ -25,9 +25,7 @@ use std::collections::HashSet;
 use voltron_ir::cfg::Cfg;
 use voltron_ir::loops::{LoopForest, LoopId};
 use voltron_ir::profile::Profile;
-use voltron_ir::{
-    BlockId, CmpCc, FuncId, Function, Opcode, Operand, Reg, RegClass,
-};
+use voltron_ir::{BlockId, CmpCc, FuncId, Function, Opcode, Operand, Reg, RegClass};
 
 /// A recognized reduction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,9 +174,7 @@ pub fn detect(
     // No machine-only ops, no calls/halts inside.
     for &b in &l.blocks {
         for inst in &f.block(b).insts {
-            if matches!(inst.op, Opcode::Call | Opcode::Ret | Opcode::Halt)
-                || inst.op.is_comm()
-            {
+            if matches!(inst.op, Opcode::Call | Opcode::Ret | Opcode::Halt) || inst.op.is_comm() {
                 return None;
             }
         }
@@ -220,7 +216,10 @@ pub fn detect(
                         .map(|s| s.as_reg() != Some(r))
                         .unwrap_or(false);
                     if red_op && self_first && operand_clean && inst.guard.is_none() {
-                        def = Some(Reduction { reg: r, op: inst.op });
+                        def = Some(Reduction {
+                            reg: r,
+                            op: inst.op,
+                        });
                     }
                     continue;
                 }
@@ -281,11 +280,7 @@ pub fn detect(
     })
 }
 
-fn defined_in_loop<'a>(
-    f: &Function,
-    blocks: impl Iterator<Item = &'a BlockId>,
-    r: Reg,
-) -> bool {
+fn defined_in_loop<'a>(f: &Function, blocks: impl Iterator<Item = &'a BlockId>, r: Reg) -> bool {
     for &b in blocks {
         for inst in &f.block(b).insts {
             if inst.def() == Some(r) {
@@ -311,11 +306,7 @@ fn count_defs<'a>(f: &Function, blocks: impl Iterator<Item = &'a BlockId>, r: Re
 /// Collect the live-in registers a chunk body needs from the master:
 /// everything live into the header that is *not* defined in the loop,
 /// excluding the induction variable (sent as the chunk's lower bound).
-pub fn chunk_live_ins(
-    f: &Function,
-    info: &DoallInfo,
-    liveness: &Liveness,
-) -> Vec<Reg> {
+pub fn chunk_live_ins(f: &Function, info: &DoallInfo, liveness: &Liveness) -> Vec<Reg> {
     let defined: HashSet<Reg> = info
         .blocks
         .iter()
@@ -333,10 +324,7 @@ pub fn chunk_live_ins(
         .iter()
         .copied()
         .filter(|r| {
-            *r != info.iv
-                && used.contains(r)
-                && !defined.contains(r)
-                && r.class != RegClass::Btr
+            *r != info.iv && used.contains(r) && !defined.contains(r) && r.class != RegClass::Btr
         })
         .collect();
     if let Operand::Reg(b) = info.bound {

@@ -43,7 +43,10 @@ fn find_call(f: &Function) -> Option<(usize, usize)> {
 }
 
 fn remap_reg(r: Reg, offsets: &[u32; 4]) -> Reg {
-    Reg { class: r.class, index: r.index + offsets[r.class.index()] }
+    Reg {
+        class: r.class,
+        index: r.index + offsets[r.class.index()],
+    }
 }
 
 fn remap_inst_regs(inst: &mut Inst, offsets: &[u32; 4]) {
@@ -79,7 +82,11 @@ fn inline_one(
     let call = f.blocks[bi].insts[ii].clone();
     let callee_id = match call.srcs[0] {
         Operand::Func(x) => x,
-        _ => return Err(CompileError::Internal("call without function operand".into())),
+        _ => {
+            return Err(CompileError::Internal(
+                "call without function operand".into(),
+            ))
+        }
     };
     let callee = program.func(callee_id);
     if callee.name == f.name {
@@ -89,7 +96,9 @@ fn inline_one(
         )));
     }
     if call.guard.is_some() {
-        return Err(CompileError::Unsupported("guarded calls are not supported".into()));
+        return Err(CompileError::Unsupported(
+            "guarded calls are not supported".into(),
+        ));
     }
 
     let offsets = f.reg_counts();
@@ -98,7 +107,9 @@ fn inline_one(
 
     // Pre block: instructions before the call plus parameter moves.
     let orig = std::mem::take(&mut f.blocks[bi]);
-    let mut pre = Block { insts: orig.insts[..ii].to_vec() };
+    let mut pre = Block {
+        insts: orig.insts[..ii].to_vec(),
+    };
     for (param, arg) in callee.params.iter().zip(call.srcs[1..].iter()) {
         let p = remap_reg(*param, &offsets);
         let op = match (p.class, arg) {
@@ -110,12 +121,20 @@ fn inline_one(
     }
 
     // Continuation block: the remainder of the original block.
-    let mut cont = Block { insts: orig.insts[ii + 1..].to_vec() };
+    let mut cont = Block {
+        insts: orig.insts[ii + 1..].to_vec(),
+    };
 
     // Remap targets in untouched caller blocks (and the continuation):
     // blocks after `bi` shift down by m + 1.
     let shift = (m + 1) as u32;
-    let map_caller = |t: BlockId| if t.idx() <= bi { t } else { BlockId(t.0 + shift) };
+    let map_caller = |t: BlockId| {
+        if t.idx() <= bi {
+            t
+        } else {
+            BlockId(t.0 + shift)
+        }
+    };
     shift_targets(&mut cont, map_caller);
     for b in f.blocks.iter_mut() {
         shift_targets(b, map_caller);
@@ -290,13 +309,9 @@ mod tests {
         let mut p = pb.finish();
         // Patch: main calls main.
         let main = p.main;
-        p.func_mut(main).blocks[0].insts.insert(
-            0,
-            Inst::new(Opcode::Call, vec![Operand::Func(main)]),
-        );
-        assert!(matches!(
-            inline_all(&p),
-            Err(CompileError::Unsupported(_))
-        ));
+        p.func_mut(main).blocks[0]
+            .insts
+            .insert(0, Inst::new(Opcode::Call, vec![Operand::Func(main)]));
+        assert!(matches!(inline_all(&p), Err(CompileError::Unsupported(_))));
     }
 }

@@ -85,33 +85,51 @@ impl Default for CompileOptions {
     }
 }
 
-/// Compile `program` for the machine in `mcfg` using `strategy`.
+/// The strategy-independent front half of [`compile`]: the inlined
+/// (and possibly unrolled) program plus its execution profile.
 ///
-/// # Errors
-/// Fails on malformed input, recursion, a failing profiling run, or an
-/// internal emission invariant violation.
-pub fn compile(
-    program: &Program,
-    strategy: Strategy,
-    mcfg: &MachineConfig,
-    opts: &CompileOptions,
-) -> Result<Compiled, CompileError> {
-    voltron_ir::verify::verify_program(program)?;
-    let flat = inline::inline_all(program)?;
-    let mut flat_program = Program {
-        name: program.name.clone(),
-        funcs: vec![flat],
-        main: FuncId(0),
-        data: program.data.clone(),
-    };
-    voltron_ir::verify::verify_program(&flat_program)?;
-    let mut prof = profile::profile(&flat_program, opts.profile_fuel)?;
+/// Profiling interprets the whole program, which dominates compile time,
+/// yet its result is identical for every configuration sharing the same
+/// [`FrontEnd::key`]. Harnesses that compile one program under many
+/// strategy/core combinations (the figure drivers) build at most two
+/// front ends per workload and feed them to [`compile_prepared`].
+#[derive(Debug)]
+pub struct FrontEnd {
+    flat_program: Program,
+    prof: profile::Profile,
+    unrolled: bool,
+}
 
-    // Unrolling (skipped for serial / single-core builds, and never for
-    // loops the DOALL selector could claim — their canonical shape must
-    // survive).
-    if let Some(uparams) = &opts.unroll {
-        if mcfg.cores > 1 && strategy != Strategy::Serial {
+impl FrontEnd {
+    /// Run the front end for the given configuration: verify, inline,
+    /// profile, and — when [`FrontEnd::key`] is true for it — unroll hot
+    /// loops and re-profile.
+    ///
+    /// # Errors
+    /// Fails on malformed input, recursion, or a failing profiling run.
+    pub fn new(
+        program: &Program,
+        strategy: Strategy,
+        mcfg: &MachineConfig,
+        opts: &CompileOptions,
+    ) -> Result<FrontEnd, CompileError> {
+        voltron_ir::verify::verify_program(program)?;
+        let flat = inline::inline_all(program)?;
+        let mut flat_program = Program {
+            name: program.name.clone(),
+            funcs: vec![flat],
+            main: FuncId(0),
+            data: program.data.clone(),
+        };
+        voltron_ir::verify::verify_program(&flat_program)?;
+        let mut prof = profile::profile(&flat_program, opts.profile_fuel)?;
+
+        // Unrolling (skipped for serial / single-core builds, and never
+        // for loops the DOALL selector could claim — their canonical
+        // shape must survive).
+        let unrolled = FrontEnd::key(strategy, mcfg, opts);
+        if unrolled {
+            let uparams = opts.unroll.as_ref().expect("key implies unroll");
             let exclude = {
                 let f = flat_program.main_func();
                 let cfg = Cfg::build(f);
@@ -121,8 +139,7 @@ pub fn compile(
                 let mut ex = std::collections::HashSet::new();
                 for li in 0..forest.loops.len() {
                     let lp = voltron_ir::loops::LoopId(li as u32);
-                    if doall::detect(f, flat_program.main, &forest, lp, &cfg, &lv, &prof)
-                        .is_some()
+                    if doall::detect(f, flat_program.main, &forest, lp, &cfg, &lv, &prof).is_some()
                     {
                         ex.insert(forest.get(lp).header);
                     }
@@ -142,14 +159,64 @@ pub fn compile(
                 prof = profile::profile(&flat_program, opts.profile_fuel)?;
             }
         }
+        Ok(FrontEnd {
+            flat_program,
+            prof,
+            unrolled,
+        })
     }
 
+    /// Whether the front end for this configuration includes the unroll
+    /// pass. Configurations with equal keys (for the same program and
+    /// options) share an identical front end and may reuse one
+    /// [`FrontEnd`] across [`compile_prepared`] calls.
+    pub fn key(strategy: Strategy, mcfg: &MachineConfig, opts: &CompileOptions) -> bool {
+        opts.unroll.is_some() && mcfg.cores > 1 && strategy != Strategy::Serial
+    }
+
+    /// Whether this front end applied the unroll pass.
+    pub fn unrolled(&self) -> bool {
+        self.unrolled
+    }
+}
+
+/// Compile `program` for the machine in `mcfg` using `strategy`.
+///
+/// # Errors
+/// Fails on malformed input, recursion, a failing profiling run, or an
+/// internal emission invariant violation.
+pub fn compile(
+    program: &Program,
+    strategy: Strategy,
+    mcfg: &MachineConfig,
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    let fe = FrontEnd::new(program, strategy, mcfg, opts)?;
+    compile_prepared(&fe, strategy, mcfg, opts)
+}
+
+/// Plan and emit for one configuration from a prepared [`FrontEnd`].
+///
+/// The caller must pass a front end whose [`FrontEnd::key`] matches this
+/// configuration; [`compile`] composes the two halves correctly and is
+/// the right entry point unless the front end is being reused.
+///
+/// # Errors
+/// Fails on an internal emission invariant violation.
+pub fn compile_prepared(
+    fe: &FrontEnd,
+    strategy: Strategy,
+    mcfg: &MachineConfig,
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    let flat_program = &fe.flat_program;
+    let prof = &fe.prof;
     let f = flat_program.main_func();
     let cfg = Cfg::build(f);
     let dom = Dominators::compute(&cfg);
     let forest = LoopForest::build(&cfg, &dom);
     let liveness = liveness::Liveness::compute(f, &cfg);
-    let alias = alias::AliasAnalysis::analyze(&flat_program, f);
+    let alias = alias::AliasAnalysis::analyze(flat_program, f);
 
     let inputs = plan::PlanInputs {
         f,
@@ -157,7 +224,7 @@ pub fn compile(
         cfg: &cfg,
         forest: &forest,
         liveness: &liveness,
-        profile: &prof,
+        profile: prof,
         alias: &alias,
     };
     let the_plan = plan::plan(&inputs, strategy, mcfg.cores, &opts.plan);
@@ -347,7 +414,9 @@ mod tests {
         let acc = f.ldi(0);
         f.counted_loop(0i64, 20i64, 1, |f, iv| {
             let one = f.ldi(1);
-            let v = f.call(gid, &[iv, one], Some(voltron_ir::RegClass::Gpr)).unwrap();
+            let v = f
+                .call(gid, &[iv, one], Some(voltron_ir::RegClass::Gpr))
+                .unwrap();
             let s = f.add(acc, v);
             f.mov_to(acc, s);
         });

@@ -117,7 +117,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
@@ -271,7 +273,11 @@ pub fn bug_partition(
                         // dependence across cores is expensive.
                         let pinst = &block.insts[p];
                         if pinst.op.is_load() {
-                            let lp = profile.load_profile(InstRef { func, block: b, index: p });
+                            let lp = profile.load_profile(InstRef {
+                                func,
+                                block: b,
+                                index: p,
+                            });
                             if lp.miss_rate() > params.miss_threshold {
                                 edge_cost += u64::from(params.miss_edge_weight);
                             }
@@ -286,8 +292,7 @@ pub fn bug_partition(
                     ready = ready.max(done[p] + edge_cost);
                 }
                 if inst.op.is_mem() && mem_count[c] >= mem_share {
-                    ready += u64::from(params.mem_balance_penalty)
-                        * (mem_count[c] - mem_share + 1);
+                    ready += u64::from(params.mem_balance_penalty) * (mem_count[c] - mem_share + 1);
                 }
                 ready
             };
@@ -430,7 +435,11 @@ pub fn dswp_partition(
             }
         }
     }
-    Some(DswpPartition { assignment: asg, est_speedup, stages })
+    Some(DswpPartition {
+        assignment: asg,
+        est_speedup,
+        stages,
+    })
 }
 
 #[cfg(test)]
@@ -488,7 +497,10 @@ mod tests {
             &HashMap::new(),
         );
         let counts = asg.per_core_counts(2);
-        assert!(counts[0] > 0 && counts[1] > 0, "both cores used: {counts:?}");
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "both cores used: {counts:?}"
+        );
     }
 
     #[test]

@@ -200,9 +200,11 @@ fn est_cycles(inp: &PlanInputs<'_>, first: u32, last: u32, mem_latency: u64) -> 
         for (i, inst) in inp.f.block(BlockId(b)).insts.iter().enumerate() {
             cycles += count * u64::from(inst.op.latency());
             if inst.op.is_load() {
-                let lp = inp
-                    .profile
-                    .load_profile(InstRef { func: inp.func, block: BlockId(b), index: i });
+                let lp = inp.profile.load_profile(InstRef {
+                    func: inp.func,
+                    block: BlockId(b),
+                    index: i,
+                });
                 miss_cycles += lp.misses * mem_latency;
             }
         }
@@ -264,12 +266,7 @@ fn range_parallelizable(inp: &PlanInputs<'_>, first: u32, last: u32) -> bool {
 }
 
 /// Build the plan for a strategy on `cores` cores.
-pub fn plan(
-    inp: &PlanInputs<'_>,
-    strategy: Strategy,
-    cores: usize,
-    params: &PlanParams,
-) -> Plan {
+pub fn plan(inp: &PlanInputs<'_>, strategy: Strategy, cores: usize, params: &PlanParams) -> Plan {
     let nblocks = inp.f.blocks.len() as u32;
     let mut regions: Vec<Region> = Vec::new();
     let mut next_id = 0u32;
@@ -318,7 +315,15 @@ pub fn plan(
         while let Some(lp) = stack.pop() {
             let range = loop_range(lp);
             let info = range.and_then(|_| {
-                doall::detect(inp.f, inp.func, inp.forest, lp, inp.cfg, inp.liveness, inp.profile)
+                doall::detect(
+                    inp.f,
+                    inp.func,
+                    inp.forest,
+                    lp,
+                    inp.cfg,
+                    inp.liveness,
+                    inp.profile,
+                )
             });
             match (range, info) {
                 (Some((first, last)), Some(info)) => {
@@ -384,7 +389,8 @@ pub fn plan(
                 end += 1;
             }
             let candidate_end = end.saturating_sub(1);
-            let parallel_ok = candidate_end >= start && range_parallelizable(inp, start, candidate_end);
+            let parallel_ok =
+                candidate_end >= start && range_parallelizable(inp, start, candidate_end);
             let (est, miss) = est_cycles(inp, start, candidate_end.max(start), 120);
             let hot = est >= params.hot_threshold;
             let ilp = est_ilp(inp, start, candidate_end.max(start));
@@ -413,13 +419,23 @@ pub fn plan(
                             None
                         }
                     }
-                    Strategy::FineGrainTlp => {
-                        Some(strands_kind(inp, start, candidate_end, cores, params.ebug_strands))
-                    }
+                    Strategy::FineGrainTlp => Some(strands_kind(
+                        inp,
+                        start,
+                        candidate_end,
+                        cores,
+                        params.ebug_strands,
+                    )),
                     Strategy::Hybrid => {
                         let miss_frac = miss as f64 / est.max(1) as f64;
                         if miss_frac > params.miss_fraction {
-                            Some(strands_kind(inp, start, candidate_end, cores, params.ebug_strands))
+                            Some(strands_kind(
+                                inp,
+                                start,
+                                candidate_end,
+                                cores,
+                                params.ebug_strands,
+                            ))
                         } else if ilp >= params.min_ilp {
                             Some(coupled_kind(inp))
                         } else {
@@ -469,7 +485,13 @@ pub fn plan(
             emit_gap(&mut regions, &mut next_id, cursor, first - 1);
         }
         let (est, _) = est_cycles(inp, first, last, 120);
-        regions.push(Region { id: next_id, first, last, kind, est_serial_cycles: est });
+        regions.push(Region {
+            id: next_id,
+            first,
+            last,
+            kind,
+            est_serial_cycles: est,
+        });
         next_id += 1;
         cursor = last + 1;
     }
@@ -487,14 +509,8 @@ fn strands_kind(
     ebug: bool,
 ) -> RegionKind {
     let blocks: Vec<BlockId> = (first..=last).map(BlockId).collect();
-    let pins = partition::pin_memory_classes(
-        inp.f,
-        &blocks,
-        inp.alias,
-        inp.profile,
-        inp.func,
-        cores,
-    );
+    let pins =
+        partition::pin_memory_classes(inp.f, &blocks, inp.alias, inp.profile, inp.func, cores);
     let params = if ebug {
         PartitionParams::ebug(cores)
     } else {
@@ -572,7 +588,10 @@ mod tests {
             alias: &alias,
         };
         let plan = plan(&inp, Strategy::Hybrid, 4, &PlanParams::default());
-        assert!(plan.regions.iter().any(|r| matches!(r.kind, RegionKind::Doall(_))));
+        assert!(plan
+            .regions
+            .iter()
+            .any(|r| matches!(r.kind, RegionKind::Doall(_))));
         // Plan covers every block exactly once, in order.
         let mut next = 0u32;
         for r in &plan.regions {
@@ -647,7 +666,10 @@ mod tests {
                 .map(|(id, _)| id)
                 .unwrap_or(last_block);
             let r = plan.region_of(halt_block);
-            assert!(matches!(r.kind, RegionKind::Serial), "{strat}: halt region not serial");
+            assert!(
+                matches!(r.kind, RegionKind::Serial),
+                "{strat}: halt region not serial"
+            );
         }
     }
 }

@@ -50,10 +50,7 @@ impl BlockSchedule {
 ///
 /// `alias` drives the cross-core memory-ordering edges (ops carry their
 /// original block index in [`CoreOp::orig`]).
-pub fn schedule_coupled(
-    lowered: &LoweredBlock,
-    alias: &AliasAnalysis,
-) -> BlockSchedule {
+pub fn schedule_coupled(lowered: &LoweredBlock, alias: &AliasAnalysis) -> BlockSchedule {
     let ncores = lowered.per_core.len();
     // Flat node ids: (core, idx) -> node.
     let base: Vec<usize> = {
@@ -80,7 +77,9 @@ pub fn schedule_coupled(
     let mut edges: Vec<(usize, usize, u32)> = Vec::new();
     // Intra-core edges via a per-core BlockDfg over the op list.
     for (c, ops) in lowered.per_core.iter().enumerate() {
-        let pseudo = Block { insts: ops.iter().map(|o| o.inst.clone()).collect() };
+        let pseudo = Block {
+            insts: ops.iter().map(|o| o.inst.clone()).collect(),
+        };
         let dfg = BlockDfg::build(&pseudo, alias);
         for (i, es) in dfg.succs.iter().enumerate() {
             for e in es {
@@ -104,8 +103,11 @@ pub fn schedule_coupled(
             }
             let (x, y) = (&inst_of[a].inst, &inst_of[b].inst);
             if (x.op.is_store() || y.op.is_store()) && alias.may_alias(x, y) {
-                let (first, second) =
-                    if inst_of[a].orig < inst_of[b].orig { (a, b) } else { (b, a) };
+                let (first, second) = if inst_of[a].orig < inst_of[b].orig {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 edges.push((first, second, 1));
             }
         }
@@ -166,7 +168,9 @@ pub fn schedule_coupled(
                     if is_branch(p) {
                         return false; // branches come last; nothing follows
                     }
-                    time[p].map(|tp| tp + u64::from(l) <= cycle).unwrap_or(false)
+                    time[p]
+                        .map(|tp| tp + u64::from(l) <= cycle)
+                        .unwrap_or(false)
                 });
                 if ready {
                     let pr = priority[n];
@@ -223,7 +227,12 @@ pub fn schedule_coupled(
         br_cycle + 1
     } else {
         // Longest occupied cycle + 1 (or 0 for an empty block).
-        time.iter().flatten().copied().max().map(|t| t + 1).unwrap_or(0)
+        time.iter()
+            .flatten()
+            .copied()
+            .max()
+            .map(|t| t + 1)
+            .unwrap_or(0)
     };
 
     let mut slots: Vec<Vec<Inst>> = vec![vec![Inst::nop(); len as usize]; ncores];
@@ -286,8 +295,7 @@ mod tests {
         let cfg = MachineConfig::paper(cores);
         let mut fresh = FreshRegs::for_function(f);
         let mut tags = TagAlloc::default();
-        let mut lw =
-            RegionLowerer::new(f, &asg, &cfg, ExecMode::Coupled, &mut fresh, &mut tags);
+        let mut lw = RegionLowerer::new(f, &asg, &cfg, ExecMode::Coupled, &mut fresh, &mut tags);
         let lb = lw.lower_block(BlockId(0));
         schedule_coupled(&lb, &alias)
     }
@@ -305,10 +313,12 @@ mod tests {
             for t in 0..len {
                 if s.slots[c][t].op == Opcode::Get {
                     // find some PUT before t anywhere
-                    let any_put_before = (0..s.slots.len()).any(|c2| {
-                        (0..t).any(|t2| s.slots[c2][t2].op == Opcode::Put)
-                    });
-                    assert!(any_put_before, "GET at cycle {t} core {c} with no earlier PUT");
+                    let any_put_before = (0..s.slots.len())
+                        .any(|c2| (0..t).any(|t2| s.slots[c2][t2].op == Opcode::Put));
+                    assert!(
+                        any_put_before,
+                        "GET at cycle {t} core {c} with no earlier PUT"
+                    );
                 }
             }
         }

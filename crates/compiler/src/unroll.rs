@@ -24,9 +24,7 @@ use std::collections::{HashMap, HashSet};
 use voltron_ir::cfg::Cfg;
 use voltron_ir::loops::{LoopForest, LoopId};
 use voltron_ir::profile::Profile;
-use voltron_ir::{
-    Block, BlockId, CmpCc, FuncId, Function, Inst, Opcode, Operand, Reg, RegClass,
-};
+use voltron_ir::{Block, BlockId, CmpCc, FuncId, Function, Inst, Opcode, Operand, Reg, RegClass};
 
 /// Unrolling thresholds.
 #[derive(Debug, Clone, Copy)]
@@ -159,8 +157,7 @@ fn candidate(
     if li < 2 {
         return None;
     }
-    if latch.insts[li - 1].op != Opcode::Jump
-        || latch.insts[li - 1].static_target() != Some(header)
+    if latch.insts[li - 1].op != Opcode::Jump || latch.insts[li - 1].static_target() != Some(header)
     {
         return None;
     }
@@ -186,8 +183,7 @@ fn candidate(
     let mut body_ops = 0usize;
     for &b in &l.blocks {
         for inst in &f.block(b).insts {
-            if matches!(inst.op, Opcode::Call | Opcode::Ret | Opcode::Halt) || inst.op.is_comm()
-            {
+            if matches!(inst.op, Opcode::Call | Opcode::Ret | Opcode::Halt) || inst.op.is_comm() {
                 return None;
             }
             body_ops += 1;
@@ -231,7 +227,12 @@ fn candidate(
     let mut est = 0u64;
     for &b in &l.blocks {
         let cnt = profile.block_count(func, b);
-        let lat: u64 = f.block(b).insts.iter().map(|i| u64::from(i.op.latency())).sum();
+        let lat: u64 = f
+            .block(b)
+            .insts
+            .iter()
+            .map(|i| u64::from(i.op.latency()))
+            .sum();
         est += cnt * lat;
     }
     if est < params.hot_threshold {
@@ -245,7 +246,15 @@ fn candidate(
     if factor < 2 {
         return None;
     }
-    Some(Candidate { header, first, last, iv, step, bound, factor })
+    Some(Candidate {
+        header,
+        first,
+        last,
+        iv,
+        step,
+        bound,
+        factor,
+    })
 }
 
 fn defined_in(f: &Function, blocks: &std::collections::BTreeSet<BlockId>, r: Reg) -> bool {
@@ -257,7 +266,13 @@ fn defined_in(f: &Function, blocks: &std::collections::BTreeSet<BlockId>, r: Reg
 fn count_defs(f: &Function, blocks: &std::collections::BTreeSet<BlockId>, r: Reg) -> usize {
     blocks
         .iter()
-        .map(|&b| f.block(b).insts.iter().filter(|i| i.def() == Some(r)).count())
+        .map(|&b| {
+            f.block(b)
+                .insts
+                .iter()
+                .filter(|i| i.def() == Some(r))
+                .count()
+        })
         .sum()
 }
 
@@ -304,9 +319,15 @@ fn apply(f: &mut Function, c: &Candidate, lv: &Liveness) {
 
     // Guard: pu = cmp.ge iv, ub ; br remainder_header, pu.
     // `ub` is computed in the preheader (spliced below); allocate it now.
-    let ub = Reg { class: RegClass::Gpr, index: next_reg[RegClass::Gpr.index()] };
+    let ub = Reg {
+        class: RegClass::Gpr,
+        index: next_reg[RegClass::Gpr.index()],
+    };
     next_reg[RegClass::Gpr.index()] += 1;
-    let pu = Reg { class: RegClass::Pred, index: next_reg[RegClass::Pred.index()] };
+    let pu = Reg {
+        class: RegClass::Pred,
+        index: next_reg[RegClass::Pred.index()],
+    };
     next_reg[RegClass::Pred.index()] += 1;
     // Sentinel ids: chunk-relative targets are encoded as u32::MAX - rel
     // so the splice can tell them apart from function-level ids.
@@ -318,9 +339,10 @@ fn apply(f: &mut Function, c: &Candidate, lv: &Liveness) {
         pu,
         vec![c.iv.into(), Operand::Reg(ub)],
     ));
-    guard
-        .insts
-        .push(Inst::new(Opcode::Br, vec![Operand::Block(rel(REMAINDER)), pu.into()]));
+    guard.insts.push(Inst::new(
+        Opcode::Br,
+        vec![Operand::Block(rel(REMAINDER)), pu.into()],
+    ));
     chunk.push(guard);
 
     for copy in 0..u {
@@ -329,7 +351,10 @@ fn apply(f: &mut Function, c: &Candidate, lv: &Liveness) {
         if copy > 0 {
             for &d in &defined {
                 if !carried.contains(&d) && d != c.iv {
-                    let nr = Reg { class: d.class, index: next_reg[d.class.index()] };
+                    let nr = Reg {
+                        class: d.class,
+                        index: next_reg[d.class.index()],
+                    };
                     next_reg[d.class.index()] += 1;
                     rename.insert(d, nr);
                 }
@@ -413,7 +438,10 @@ fn apply(f: &mut Function, c: &Candidate, lv: &Liveness) {
             let bound_reg = match c.bound {
                 Operand::Reg(r) => r,
                 Operand::Imm(v) => {
-                    let t = Reg { class: RegClass::Gpr, index: next_reg[0] };
+                    let t = Reg {
+                        class: RegClass::Gpr,
+                        index: next_reg[0],
+                    };
                     next_reg[0] += 1;
                     let at = prev
                         .insts
@@ -433,11 +461,7 @@ fn apply(f: &mut Function, c: &Candidate, lv: &Liveness) {
                 .unwrap_or(prev.insts.len());
             prev.insts.insert(
                 at,
-                Inst::with_dst(
-                    Opcode::Sub,
-                    ub,
-                    vec![bound_reg.into(), Operand::Imm(span)],
-                ),
+                Inst::with_dst(Opcode::Sub, ub, vec![bound_reg.into(), Operand::Imm(span)]),
             );
             let chunk_base = out.len() as u32;
             guard_id = Some(chunk_base);
@@ -509,7 +533,10 @@ mod tests {
     }
 
     fn test_params() -> UnrollParams {
-        UnrollParams { hot_threshold: 50, ..UnrollParams::default() }
+        UnrollParams {
+            hot_threshold: 50,
+            ..UnrollParams::default()
+        }
     }
 
     fn unroll_main(p: &mut Program) -> usize {
@@ -534,7 +561,12 @@ mod tests {
                 "n={n}"
             );
             // And the unrolled version executes fewer dynamic branches.
-            assert!(got.steps < golden.steps, "n={n}: {} !< {}", got.steps, golden.steps);
+            assert!(
+                got.steps < golden.steps,
+                "n={n}: {} !< {}",
+                got.steps,
+                golden.steps
+            );
         }
     }
 
@@ -555,7 +587,10 @@ mod tests {
         let dom = voltron_ir::cfg::Dominators::compute(&cfg);
         let forest = LoopForest::build(&cfg, &dom);
         let exclude: HashSet<BlockId> = forest.loops.iter().map(|l| l.header).collect();
-        assert_eq!(unroll_hot_loops(f, main, &prof, &exclude, &test_params()), 0);
+        assert_eq!(
+            unroll_hot_loops(f, main, &prof, &exclude, &test_params()),
+            0
+        );
     }
 
     #[test]
@@ -584,7 +619,9 @@ mod tests {
     #[test]
     fn branchy_body_unrolls_correctly() {
         let mut pb = ProgramBuilder::new("t");
-        let a = pb.data_mut().array_i64("a", &(0..120).map(|i| i * 7 % 23 - 11).collect::<Vec<_>>());
+        let a = pb
+            .data_mut()
+            .array_i64("a", &(0..120).map(|i| i * 7 % 23 - 11).collect::<Vec<_>>());
         let out = pb.data_mut().zeroed("out", 8);
         let mut fb = pb.function("main");
         let base = fb.ldi(a as i64);

@@ -184,7 +184,9 @@ fn decoupled_strands_use_tagged_queues_and_join_tokens() {
     let c = compile(&p, Strategy::FineGrainTlp, &cfg, &CompileOptions::default()).unwrap();
     let m = &c.machine;
     assert!(
-        c.region_kinds.values().any(|k| *k == "strands" || *k == "dswp"),
+        c.region_kinds
+            .values()
+            .any(|k| *k == "strands" || *k == "dswp"),
         "planner chose {:?}",
         c.region_kinds
     );
@@ -231,7 +233,10 @@ fn serial_strategy_uses_master_only() {
 fn unrolling_can_be_disabled() {
     let p = ilp_program();
     let cfg = MachineConfig::paper(2);
-    let no_unroll = CompileOptions { unroll: None, ..CompileOptions::default() };
+    let no_unroll = CompileOptions {
+        unroll: None,
+        ..CompileOptions::default()
+    };
     let a = compile(&p, Strategy::Ilp, &cfg, &no_unroll).unwrap();
     let b = compile(&p, Strategy::Ilp, &cfg, &CompileOptions::default()).unwrap();
     let static_a: usize = a.machine.cores.iter().map(|c| c.inst_count()).sum();

@@ -41,7 +41,7 @@ pub mod report;
 
 use std::collections::HashMap;
 use std::fmt;
-use voltron_compiler::{compile, CompileError, CompileOptions};
+use voltron_compiler::{compile_prepared, CompileError, CompileOptions, FrontEnd};
 use voltron_ir::{interp, Memory, Program};
 use voltron_sim::{Machine, MachineConfig, MachineStats, SimError, StallReason};
 
@@ -73,7 +73,11 @@ impl fmt::Display for SystemError {
             SystemError::Compile(e) => write!(f, "compile: {e}"),
             SystemError::Sim(e) => write!(f, "simulate: {e}"),
             SystemError::Golden(e) => write!(f, "golden run: {e}"),
-            SystemError::OutputMismatch { strategy, cores, addr } => write!(
+            SystemError::OutputMismatch {
+                strategy,
+                cores,
+                addr,
+            } => write!(
                 f,
                 "output mismatch under {strategy}/{cores} cores at {addr:#x}"
             ),
@@ -257,12 +261,33 @@ pub fn run_configuration(
 ) -> Result<RunResult, SystemError> {
     let mcfg = MachineConfig::paper(cores);
     let opts = CompileOptions::default();
-    let compiled = compile(program, strategy, &mcfg, &opts)?;
+    let fe = FrontEnd::new(program, strategy, &mcfg, &opts)?;
+    run_prepared(&fe, golden, strategy, cores, baseline_cycles)
+}
+
+/// [`run_configuration`] from a prepared compiler front end: profiling a
+/// program dominates compile time but is identical for every
+/// configuration with the same [`FrontEnd::key`], so [`Experiment`]
+/// builds at most two front ends per program and reuses them here.
+fn run_prepared(
+    fe: &FrontEnd,
+    golden: &Memory,
+    strategy: Strategy,
+    cores: usize,
+    baseline_cycles: u64,
+) -> Result<RunResult, SystemError> {
+    let mcfg = MachineConfig::paper(cores);
+    let opts = CompileOptions::default();
+    let compiled = compile_prepared(fe, strategy, &mcfg, &opts)?;
     let region_kinds = compiled.region_kinds.clone();
     let region_weights = compiled.region_weights.clone();
     let out = Machine::new(compiled.machine, &mcfg)?.run()?;
     if let Err(addr) = outputs_equivalent(golden, &out.memory) {
-        return Err(SystemError::OutputMismatch { strategy, cores, addr });
+        return Err(SystemError::OutputMismatch {
+            strategy,
+            cores,
+            addr,
+        });
     }
     let cycles = out.stats.cycles;
     Ok(RunResult {
@@ -283,6 +308,9 @@ pub struct Experiment<'a> {
     golden: Memory,
     baseline_cycles: u64,
     cache: HashMap<(Strategy, usize), RunResult>,
+    /// Compiler front ends, indexed by [`FrontEnd::key`].
+    front_ends: [Option<FrontEnd>; 2],
+    sim_cycles: u64,
 }
 
 impl<'a> Experiment<'a> {
@@ -292,18 +320,54 @@ impl<'a> Experiment<'a> {
     /// Fails if the reference run or the baseline build fails.
     pub fn new(program: &'a Program) -> Result<Experiment<'a>, SystemError> {
         let golden = run_reference(program)?.memory;
-        let base = run_configuration(program, &golden, Strategy::Serial, 1, 1)?;
-        Ok(Experiment {
+        let mut exp = Experiment {
             program,
             golden,
-            baseline_cycles: base.cycles,
+            baseline_cycles: 0,
             cache: HashMap::new(),
-        })
+            front_ends: [None, None],
+            sim_cycles: 0,
+        };
+        let idx = exp.ensure_front_end(Strategy::Serial, 1)?;
+        let fe = exp.front_ends[idx].as_ref().expect("just built");
+        let base = run_prepared(fe, &exp.golden, Strategy::Serial, 1, 1)?;
+        exp.baseline_cycles = base.cycles;
+        exp.sim_cycles = base.cycles;
+        Ok(exp)
     }
 
     /// Serial 1-core execution time in cycles.
     pub fn baseline_cycles(&self) -> u64 {
         self.baseline_cycles
+    }
+
+    /// Total simulated cycles across every configuration this experiment
+    /// has actually run (cache hits excluded), baseline included. The
+    /// harness divides the sum by host wall-clock for its
+    /// simulated-cycles-per-second throughput metric.
+    pub fn simulated_cycles(&self) -> u64 {
+        self.sim_cycles
+    }
+
+    /// Every cached configuration result, in deterministic
+    /// (strategy name, cores) order — the harness's `BENCH_*.json`
+    /// inventory.
+    pub fn results(&self) -> Vec<&RunResult> {
+        let mut v: Vec<&RunResult> = self.cache.values().collect();
+        v.sort_by_key(|r| (r.strategy.to_string(), r.cores));
+        v
+    }
+
+    /// Build (once) the front end whose [`FrontEnd::key`] matches this
+    /// configuration, returning its slot in `front_ends`.
+    fn ensure_front_end(&mut self, strategy: Strategy, cores: usize) -> Result<usize, SystemError> {
+        let mcfg = MachineConfig::paper(cores);
+        let opts = CompileOptions::default();
+        let idx = usize::from(FrontEnd::key(strategy, &mcfg, &opts));
+        if self.front_ends[idx].is_none() {
+            self.front_ends[idx] = Some(FrontEnd::new(self.program, strategy, &mcfg, &opts)?);
+        }
+        Ok(idx)
     }
 
     /// Run (or fetch the cached run of) a configuration.
@@ -312,13 +376,10 @@ impl<'a> Experiment<'a> {
     /// Propagates configuration failures.
     pub fn run(&mut self, strategy: Strategy, cores: usize) -> Result<&RunResult, SystemError> {
         if !self.cache.contains_key(&(strategy, cores)) {
-            let r = run_configuration(
-                self.program,
-                &self.golden,
-                strategy,
-                cores,
-                self.baseline_cycles,
-            )?;
+            let idx = self.ensure_front_end(strategy, cores)?;
+            let fe = self.front_ends[idx].as_ref().expect("just built");
+            let r = run_prepared(fe, &self.golden, strategy, cores, self.baseline_cycles)?;
+            self.sim_cycles += r.cycles;
             self.cache.insert((strategy, cores), r);
         }
         Ok(&self.cache[&(strategy, cores)])

@@ -1,4 +1,101 @@
-//! Plain-text table rendering for the figure harnesses.
+//! Plain-text table rendering and machine-readable output for the figure
+//! harnesses: fixed-width [`Table`]s for the human-facing figures, a
+//! dependency-free [`Json`] value for the `BENCH_*.json` sidecars, and
+//! the [`throughput`] line (simulated cycles per host second) the
+//! harness reports after every sweep.
+
+use std::fmt::Write as _;
+
+/// A JSON value, built by hand and rendered with [`Json::render`]. The
+/// harness emits small benchmark sidecars; a serialization dependency
+/// would be heavier than the minimal tree below.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// An unsigned integer (cycle counts; kept exact, not routed
+    /// through f64).
+    UInt(u64),
+    /// A float. Non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serialize to a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(kvs) => {
+                out.push('{');
+                for (i, (k, v)) in kvs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The harness's throughput line: how much simulation happened per host
+/// second of wall clock.
+pub fn throughput(simulated_cycles: u64, host_seconds: f64) -> String {
+    let cps = simulated_cycles as f64 / host_seconds.max(1e-9);
+    format!(
+        "{simulated_cycles} simulated cycles in {host_seconds:.3}s host \
+         = {:.2}M cycles/host-second",
+        cps / 1e6
+    )
+}
 
 /// A simple fixed-width table builder.
 #[derive(Debug, Default)]
@@ -10,7 +107,10 @@ pub struct Table {
 impl Table {
     /// Start a table with column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -121,5 +221,28 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::Str("a\"b\\c\n".into())),
+            ("cycles".into(), Json::UInt(u64::MAX)),
+            ("speedup".into(), Json::Num(1.5)),
+            ("bad".into(), Json::Num(f64::NAN)),
+            ("runs".into(), Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            "{\"name\":\"a\\\"b\\\\c\\u000a\",\"cycles\":18446744073709551615,\
+             \"speedup\":1.5,\"bad\":null,\"runs\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn throughput_line_mentions_cycles_and_rate() {
+        let s = throughput(2_000_000, 2.0);
+        assert!(s.contains("2000000 simulated cycles"));
+        assert!(s.contains("1.00M cycles/host-second"));
     }
 }

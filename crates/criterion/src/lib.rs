@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io access, so this workspace-local
+//! crate provides the API surface the benches use — [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], [`black_box`] — backed by a
+//! plain wall-clock harness: each benchmark is warmed up, then timed over
+//! enough iterations to fill a short measurement window, and the
+//! per-iteration mean is printed. No statistics, plots, or baselines;
+//! use `scripts/check.sh` + the `BENCH_*.json` records from the figure
+//! binaries for tracked performance numbers.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The per-iteration timer handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this measurement batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measurement batches per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target measurement time across all batches.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration: single iteration, to size the batches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let per_batch = self.measurement.as_nanos() / self.sample_size as u128;
+        let iters = (per_batch / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per_iter = b.elapsed / iters.max(1) as u32;
+            best = best.min(per_iter);
+            total += b.elapsed;
+            total_iters += iters;
+        }
+        let mean = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        println!(
+            "bench {name:<45} mean {:>12.1} ns/iter   best {:>12} ns/iter   ({} samples x {} iters)",
+            mean,
+            best.as_nanos(),
+            self.sample_size,
+            iters
+        );
+        self
+    }
+}
+
+/// Group benchmark functions under a named runner, mirroring criterion's
+/// two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0, "benchmark closure must have executed");
+    }
+
+    #[test]
+    fn black_box_passes_value_through() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+
+    criterion_group!(simple_group, simple_target);
+
+    fn simple_target(c: &mut Criterion) {
+        c.measurement = Duration::from_millis(5);
+        c.sample_size = 2;
+        c.bench_function("smoke/noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        simple_group();
+    }
+}

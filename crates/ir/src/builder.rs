@@ -69,17 +69,18 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if the label was already bound.
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.bound[label.0 as usize].is_none(),
-            "label bound twice"
-        );
+        assert!(self.bound[label.0 as usize].is_none(), "label bound twice");
         self.blocks.push(Block::default());
         self.bound[label.0 as usize] = Some(self.blocks.len() as u32 - 1);
     }
 
     /// Emit a raw instruction (escape hatch).
     pub fn emit(&mut self, inst: Inst) {
-        self.blocks.last_mut().expect("at least entry block").insts.push(inst);
+        self.blocks
+            .last_mut()
+            .expect("at least entry block")
+            .insts
+            .push(inst);
     }
 
     fn emit_val(&mut self, op: Opcode, class: RegClass, srcs: Vec<Operand>) -> Reg {
@@ -213,12 +214,20 @@ impl FunctionBuilder {
 
     /// `p ? a : b` over integers.
     pub fn sel(&mut self, p: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
-        self.emit_val(Opcode::Sel, RegClass::Gpr, vec![p.into(), a.into(), b.into()])
+        self.emit_val(
+            Opcode::Sel,
+            RegClass::Gpr,
+            vec![p.into(), a.into(), b.into()],
+        )
     }
 
     /// `p ? a : b` over floats.
     pub fn fsel(&mut self, p: Reg, a: Reg, b: Reg) -> Reg {
-        self.emit_val(Opcode::Fsel, RegClass::Fpr, vec![p.into(), a.into(), b.into()])
+        self.emit_val(
+            Opcode::Fsel,
+            RegClass::Fpr,
+            vec![p.into(), a.into(), b.into()],
+        )
     }
 
     /// Predicate and.
@@ -356,7 +365,11 @@ impl FunctionBuilder {
 
     /// Load an `f64`.
     pub fn fload(&mut self, base: Reg, off: i64) -> Reg {
-        self.emit_val(Opcode::Fload, RegClass::Fpr, vec![base.into(), Operand::Imm(off)])
+        self.emit_val(
+            Opcode::Fload,
+            RegClass::Fpr,
+            vec![base.into(), Operand::Imm(off)],
+        )
     }
 
     fn store(&mut self, w: MemWidth, base: Reg, off: i64, v: impl Into<Operand>) {
@@ -407,7 +420,10 @@ impl FunctionBuilder {
 
     /// Unconditional jump to `label`.
     pub fn jump(&mut self, label: Label) {
-        self.emit(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(label.0))]));
+        self.emit(Inst::new(
+            Opcode::Jump,
+            vec![Operand::Block(BlockId(label.0))],
+        ));
         self.blocks.push(Block::default());
     }
 
@@ -471,17 +487,29 @@ impl FunctionBuilder {
 
     /// `acc += v` over floats in the canonical reduction form.
     pub fn reduce_fadd(&mut self, acc: Reg, v: Reg) {
-        self.emit(Inst::with_dst(Opcode::Fadd, acc, vec![acc.into(), v.into()]));
+        self.emit(Inst::with_dst(
+            Opcode::Fadd,
+            acc,
+            vec![acc.into(), v.into()],
+        ));
     }
 
     /// `acc = fmin(acc, v)` in the canonical reduction form.
     pub fn reduce_fmin(&mut self, acc: Reg, v: Reg) {
-        self.emit(Inst::with_dst(Opcode::Fmin, acc, vec![acc.into(), v.into()]));
+        self.emit(Inst::with_dst(
+            Opcode::Fmin,
+            acc,
+            vec![acc.into(), v.into()],
+        ));
     }
 
     /// `acc = fmax(acc, v)` in the canonical reduction form.
     pub fn reduce_fmax(&mut self, acc: Reg, v: Reg) {
-        self.emit(Inst::with_dst(Opcode::Fmax, acc, vec![acc.into(), v.into()]));
+        self.emit(Inst::with_dst(
+            Opcode::Fmax,
+            acc,
+            vec![acc.into(), v.into()],
+        ));
     }
 
     // ---- structured loop helpers ----
@@ -560,7 +588,13 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if any referenced label was never bound.
     pub fn finish(self) -> Function {
-        let FunctionBuilder { name, params, mut blocks, bound, .. } = self;
+        let FunctionBuilder {
+            name,
+            params,
+            mut blocks,
+            bound,
+            ..
+        } = self;
         // Drop a trailing empty block (created by terminator helpers) if
         // nothing falls into it and no label points at it.
         let last_idx = blocks.len() - 1;
@@ -587,7 +621,11 @@ impl FunctionBuilder {
                 }
             }
         }
-        Function { name, params, blocks }
+        Function {
+            name,
+            params,
+            blocks,
+        }
     }
 }
 
@@ -602,7 +640,11 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Start a program with the given name.
     pub fn new(name: impl Into<String>) -> ProgramBuilder {
-        ProgramBuilder { name: name.into(), data: DataSegment::default(), funcs: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            data: DataSegment::default(),
+            funcs: Vec::new(),
+        }
     }
 
     /// Access the data segment for allocating globals.
@@ -638,7 +680,12 @@ impl ProgramBuilder {
             .iter()
             .position(|f| f.name == "main")
             .expect("program must define a function named `main`");
-        Program { name: self.name, funcs: self.funcs, main: FuncId(main as u32), data: self.data }
+        Program {
+            name: self.name,
+            funcs: self.funcs,
+            main: FuncId(main as u32),
+            data: self.data,
+        }
     }
 }
 
@@ -698,7 +745,15 @@ mod tests {
     fn if_then_else_joins() {
         let mut f = FunctionBuilder::new("main");
         let p = f.cmp(CmpCc::Lt, 1i64, 2i64);
-        f.if_then_else(p, |f| { f.ldi(10); }, |f| { f.ldi(20); });
+        f.if_then_else(
+            p,
+            |f| {
+                f.ldi(10);
+            },
+            |f| {
+                f.ldi(20);
+            },
+        );
         f.halt();
         let func = f.finish();
         assert!(func.blocks.len() >= 4);

@@ -74,7 +74,12 @@ impl Cfg {
         post.reverse();
         let rpo_index: HashMap<BlockId, usize> =
             post.iter().enumerate().map(|(i, b)| (*b, i)).collect();
-        Cfg { succs, preds, rpo: post, rpo_index }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_index,
+        }
     }
 
     /// Successors of a block.
@@ -179,10 +184,18 @@ mod tests {
     fn diamond() -> Function {
         // bb0 -> bb1, bb2 ; bb1 -> bb3 ; bb2 -> bb3 ; bb3 halt
         let mut f = Function::new("t");
-        f.blocks = vec![Block::default(), Block::default(), Block::default(), Block::default()];
+        f.blocks = vec![
+            Block::default(),
+            Block::default(),
+            Block::default(),
+            Block::default(),
+        ];
         f.blocks[0].insts.push(Inst::new(
             Opcode::Br,
-            vec![Operand::Block(BlockId(2)), Operand::Reg(crate::reg::Reg::pred(0))],
+            vec![
+                Operand::Block(BlockId(2)),
+                Operand::Reg(crate::reg::Reg::pred(0)),
+            ],
         ));
         f.blocks[1]
             .insts

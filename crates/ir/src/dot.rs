@@ -29,10 +29,7 @@ pub fn cfg_to_dot(f: &Function) -> String {
     for (bid, b) in f.iter_blocks() {
         let mut label = format!("{bid}\\l");
         for inst in &b.insts {
-            let text = inst
-                .to_string()
-                .replace('\\', "\\\\")
-                .replace('"', "\\\"");
+            let text = inst.to_string().replace('\\', "\\\\").replace('"', "\\\"");
             label.push_str(&text);
             label.push_str("\\l");
         }

@@ -105,12 +105,22 @@ pub struct Inst {
 impl Inst {
     /// Create an instruction with a destination.
     pub fn with_dst(op: Opcode, dst: Reg, srcs: Vec<Operand>) -> Inst {
-        Inst { op, dst: Some(dst), srcs, guard: None }
+        Inst {
+            op,
+            dst: Some(dst),
+            srcs,
+            guard: None,
+        }
     }
 
     /// Create an instruction without a destination.
     pub fn new(op: Opcode, srcs: Vec<Operand>) -> Inst {
-        Inst { op, dst: None, srcs, guard: None }
+        Inst {
+            op,
+            dst: None,
+            srcs,
+            guard: None,
+        }
     }
 
     /// A NOP.
@@ -126,11 +136,16 @@ impl Inst {
 
     /// All registers read by this instruction, including the guard.
     pub fn uses(&self) -> Vec<Reg> {
-        let mut out: Vec<Reg> = self.srcs.iter().filter_map(Operand::as_reg).collect();
-        if let Some(g) = self.guard {
-            out.push(g);
-        }
-        out
+        self.uses_iter().collect()
+    }
+
+    /// Allocation-free variant of [`Inst::uses`], for per-cycle paths
+    /// (the simulator's scoreboard checks every source every cycle).
+    pub fn uses_iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs
+            .iter()
+            .filter_map(Operand::as_reg)
+            .chain(self.guard)
     }
 
     /// The register written, if any.

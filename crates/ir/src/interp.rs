@@ -199,7 +199,11 @@ pub fn run_observed(
         }
         let inst = &blk.insts[index];
         steps += 1;
-        let at = InstRef { func: func_id, block, index };
+        let at = InstRef {
+            func: func_id,
+            block,
+            index,
+        };
 
         // Guard check: nullified instructions advance the pc and do nothing.
         if let Some(g) = inst.guard {
@@ -332,16 +336,25 @@ pub fn exec_inst(
         Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar | Min | Max => {
             let a = get(0, regs)?.as_int();
             let b = get(1, regs)?.as_int();
-            regs.write(inst.dst.expect("alu dst"), Value::Int(semantics::int_binop(inst.op, a, b)));
+            regs.write(
+                inst.dst.expect("alu dst"),
+                Value::Int(semantics::int_binop(inst.op, a, b)),
+            );
         }
         Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
             let a = get(0, regs)?.as_float();
             let b = get(1, regs)?.as_float();
-            regs.write(inst.dst.expect("fpu dst"), Value::Float(semantics::float_binop(inst.op, a, b)));
+            regs.write(
+                inst.dst.expect("fpu dst"),
+                Value::Float(semantics::float_binop(inst.op, a, b)),
+            );
         }
         Fabs | Fneg | Fsqrt => {
             let a = get(0, regs)?.as_float();
-            regs.write(inst.dst.expect("fpu dst"), Value::Float(semantics::float_unop(inst.op, a)));
+            regs.write(
+                inst.dst.expect("fpu dst"),
+                Value::Float(semantics::float_unop(inst.op, a)),
+            );
         }
         Mov => {
             let v = get(0, regs)?;
@@ -358,12 +371,18 @@ pub fn exec_inst(
         Cmp(cc) => {
             let a = get(0, regs)?.as_int();
             let b = get(1, regs)?.as_int();
-            regs.write(inst.dst.expect("cmp dst"), Value::Pred(semantics::int_cmp(cc, a, b)));
+            regs.write(
+                inst.dst.expect("cmp dst"),
+                Value::Pred(semantics::int_cmp(cc, a, b)),
+            );
         }
         Fcmp(cc) => {
             let a = get(0, regs)?.as_float();
             let b = get(1, regs)?.as_float();
-            regs.write(inst.dst.expect("fcmp dst"), Value::Pred(semantics::float_cmp(cc, a, b)));
+            regs.write(
+                inst.dst.expect("fcmp dst"),
+                Value::Pred(semantics::float_cmp(cc, a, b)),
+            );
         }
         Sel => {
             let p = get(0, regs)?.as_pred();
@@ -470,8 +489,8 @@ pub fn exec_inst(
         Br | Jump | Call | Ret | Halt => {
             unreachable!("control flow handled by the interpreter loop")
         }
-        Put | Get | Bcast | GetB | Send | Recv | Spawn | Sleep | ModeSwitch | Xbegin
-        | Xcommit | Xabort => {
+        Put | Get | Bcast | GetB | Send | Recv | Spawn | Sleep | ModeSwitch | Xbegin | Xcommit
+        | Xabort => {
             return Err(InterpError::BadProgram(format!(
                 "machine-only operation {} in interpreted IR",
                 inst.op
@@ -578,7 +597,10 @@ mod tests {
         f.halt();
         pb.finish_function(f);
         let p = pb.finish();
-        assert!(matches!(run(&p, 100), Err(InterpError::FuelExhausted { .. })));
+        assert!(matches!(
+            run(&p, 100),
+            Err(InterpError::FuelExhausted { .. })
+        ));
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub struct Memory {
 impl Memory {
     /// Materialize the data segment into runnable memory.
     pub fn from_data(data: &DataSegment) -> Memory {
-        Memory { bytes: data.bytes.clone() }
+        Memory {
+            bytes: data.bytes.clone(),
+        }
     }
 
     /// Size in bytes.
@@ -58,7 +60,11 @@ impl Memory {
     fn range(&self, addr: u64, size: u64, is_store: bool) -> Result<usize, MemError> {
         let base = DataSegment::BASE;
         if addr < base || addr + size > base + self.bytes.len() as u64 {
-            return Err(MemError { addr, size, is_store });
+            return Err(MemError {
+                addr,
+                size,
+                is_store,
+            });
         }
         Ok((addr - base) as usize)
     }

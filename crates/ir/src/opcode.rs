@@ -433,7 +433,11 @@ impl Opcode {
             Load(w, s) => format!(
                 "ld{}{}",
                 w.bytes(),
-                if matches!(s, Signedness::Unsigned) { "u" } else { "" }
+                if matches!(s, Signedness::Unsigned) {
+                    "u"
+                } else {
+                    ""
+                }
             ),
             Store(w) => format!("st{}", w.bytes()),
             Fload => "fld".into(),

@@ -165,11 +165,7 @@ struct Profiler<'a> {
 
 impl Profiler<'_> {
     fn pop_loop(&mut self, frame_func: FuncId, al: ActiveLoop) {
-        let entry = self
-            .profile
-            .loops
-            .entry((frame_func, al.id))
-            .or_default();
+        let entry = self.profile.loops.entry((frame_func, al.id)).or_default();
         entry.invocations += 1;
         entry.total_iters += al.iter + 1;
         entry.cross_iter_dep |= al.dep_found;
@@ -259,7 +255,10 @@ impl Observer for Profiler<'_> {
     }
 
     fn on_call(&mut self, func: FuncId) {
-        self.frames.push(FrameCtx { func, stack: Vec::new() });
+        self.frames.push(FrameCtx {
+            func,
+            stack: Vec::new(),
+        });
     }
 
     fn on_ret(&mut self, _func: FuncId) {

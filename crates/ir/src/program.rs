@@ -69,7 +69,11 @@ pub struct Function {
 impl Function {
     /// Create an empty function with one (empty) entry block.
     pub fn new(name: impl Into<String>) -> Function {
-        Function { name: name.into(), params: Vec::new(), blocks: vec![Block::default()] }
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            blocks: vec![Block::default()],
+        }
     }
 
     /// Entry block id (always `BlockId(0)`).
@@ -95,7 +99,10 @@ impl Function {
 
     /// Iterate over `(BlockId, &Block)` pairs in layout order.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Highest register index used per class, plus one (register file sizes).
@@ -130,7 +137,10 @@ impl Function {
     /// maximum index).
     pub fn fresh_reg(&mut self, class: RegClass) -> Reg {
         let counts = self.reg_counts();
-        Reg { class, index: counts[class.index()] }
+        Reg {
+            class,
+            index: counts[class.index()],
+        }
     }
 }
 
@@ -168,7 +178,11 @@ impl DataSegment {
         let mut off = self.bytes.len() as u64;
         off = (off + align - 1) & !(align - 1);
         self.bytes.resize((off + size) as usize, 0);
-        self.symbols.push(Symbol { name: name.into(), offset: off, size });
+        self.symbols.push(Symbol {
+            name: name.into(),
+            offset: off,
+            size,
+        });
         Self::BASE + off
     }
 
@@ -228,7 +242,10 @@ impl DataSegment {
 
     /// Look up a symbol's address by name.
     pub fn symbol_addr(&self, name: &str) -> Option<u64> {
-        self.symbols.iter().find(|s| s.name == name).map(|s| Self::BASE + s.offset)
+        self.symbols
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| Self::BASE + s.offset)
     }
 
     /// Total size in bytes.
@@ -243,7 +260,9 @@ impl DataSegment {
             return None;
         }
         let off = addr - Self::BASE;
-        self.symbols.iter().find(|s| off >= s.offset && off < s.offset + s.size)
+        self.symbols
+            .iter()
+            .find(|s| off >= s.offset && off < s.offset + s.size)
     }
 }
 

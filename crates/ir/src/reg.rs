@@ -72,22 +72,34 @@ pub struct Reg {
 impl Reg {
     /// Create a general-purpose register.
     pub fn gpr(index: u32) -> Reg {
-        Reg { class: RegClass::Gpr, index }
+        Reg {
+            class: RegClass::Gpr,
+            index,
+        }
     }
 
     /// Create a floating-point register.
     pub fn fpr(index: u32) -> Reg {
-        Reg { class: RegClass::Fpr, index }
+        Reg {
+            class: RegClass::Fpr,
+            index,
+        }
     }
 
     /// Create a predicate register.
     pub fn pred(index: u32) -> Reg {
-        Reg { class: RegClass::Pred, index }
+        Reg {
+            class: RegClass::Pred,
+            index,
+        }
     }
 
     /// Create a branch-target register.
     pub fn btr(index: u32) -> Reg {
-        Reg { class: RegClass::Btr, index }
+        Reg {
+            class: RegClass::Btr,
+            index,
+        }
     }
 }
 

@@ -147,7 +147,10 @@ mod tests {
         assert_eq!(extend_load(0xff, 1, Signedness::Signed), -1);
         assert_eq!(extend_load(0xff, 1, Signedness::Unsigned), 255);
         assert_eq!(extend_load(0x8000, 2, Signedness::Signed), -32768);
-        assert_eq!(extend_load(0xffff_ffff, 4, Signedness::Unsigned), 0xffff_ffff);
+        assert_eq!(
+            extend_load(0xffff_ffff, 4, Signedness::Unsigned),
+            0xffff_ffff
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub fn verify_function(
                 let rest = &b.insts[i + 1..];
                 let ok = rest.is_empty()
                     || (rest.len() == 1 && rest[0].op == Opcode::Jump)
-                    || rest.iter().all(|x| x.op == Opcode::Br || x.op == Opcode::Jump);
+                    || rest
+                        .iter()
+                        .all(|x| x.op == Opcode::Br || x.op == Opcode::Jump);
                 if !ok {
                     return Err(err(bid, i, "instructions after conditional branch".into()));
                 }
@@ -114,7 +116,12 @@ fn class_of(op: Operand, f: &Function) -> Option<RegClass> {
 
 fn expect_srcs(inst: &Inst, n: usize) -> Result<(), String> {
     if inst.srcs.len() != n {
-        return Err(format!("{} expects {} sources, found {}", inst.op, n, inst.srcs.len()));
+        return Err(format!(
+            "{} expects {} sources, found {}",
+            inst.op,
+            n,
+            inst.srcs.len()
+        ));
     }
     Ok(())
 }
@@ -122,7 +129,10 @@ fn expect_srcs(inst: &Inst, n: usize) -> Result<(), String> {
 fn expect_dst(inst: &Inst, class: RegClass) -> Result<(), String> {
     match inst.dst {
         Some(d) if d.class == class => Ok(()),
-        Some(d) => Err(format!("{} expects {class} destination, found {}", inst.op, d.class)),
+        Some(d) => Err(format!(
+            "{} expects {class} destination, found {}",
+            inst.op, d.class
+        )),
         None => Err(format!("{} requires a destination", inst.op)),
     }
 }

@@ -99,7 +99,16 @@ fn opcode_mnemonics_are_unique() {
         Opcode::Xcommit,
         Opcode::Xabort,
     ];
-    for cc in [CmpCc::Eq, CmpCc::Ne, CmpCc::Lt, CmpCc::Le, CmpCc::Gt, CmpCc::Ge, CmpCc::Ltu, CmpCc::Geu] {
+    for cc in [
+        CmpCc::Eq,
+        CmpCc::Ne,
+        CmpCc::Lt,
+        CmpCc::Le,
+        CmpCc::Gt,
+        CmpCc::Ge,
+        CmpCc::Ltu,
+        CmpCc::Geu,
+    ] {
         ops.push(Opcode::Cmp(cc));
         ops.push(Opcode::Fcmp(cc));
     }

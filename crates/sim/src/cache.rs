@@ -123,7 +123,9 @@ impl TagCache {
         let tag = addr >> self.line_shift;
         let set = self.set_of(addr);
         let ways = &mut self.sets[set];
-        ways.iter().position(|l| l.tag == tag).map(|pos| ways.remove(pos).state)
+        ways.iter()
+            .position(|l| l.tag == tag)
+            .map(|pos| ways.remove(pos).state)
     }
 
     /// The state the LRU victim would have if a fill happened now (for
@@ -162,7 +164,11 @@ impl TagCache {
             let v = ways.remove(pos);
             evicted = Some((v.tag << shift, v.state));
         }
-        ways.push(Line { tag, state, lru: tick });
+        ways.push(Line {
+            tag,
+            state,
+            lru: tick,
+        });
         evicted
     }
 

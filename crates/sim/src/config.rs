@@ -95,13 +95,21 @@ impl MachineConfig {
         }
     }
 
-    /// Mesh width (cores per row): 1, 2 or 2.
+    /// Mesh width (cores per row): the near-square factorization `w x h`
+    /// with `w >= h`, so 2 cores form a 2x1 row, 4 form 2x2, 8 form 4x2,
+    /// and 16 form 4x4 — not a 2-wide strip whose hop counts would grow
+    /// linearly with the core count.
     pub fn mesh_width(&self) -> usize {
-        if self.cores <= 1 {
-            1
-        } else {
-            2
+        let n = self.cores.max(1);
+        let mut h = 1;
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                h = d;
+            }
+            d += 1;
         }
+        n / h
     }
 
     /// Grid coordinates of a core.
@@ -185,5 +193,58 @@ mod tests {
     #[should_panic(expected = "1-, 2- or 4-core")]
     fn odd_core_counts_rejected() {
         MachineConfig::paper(3);
+    }
+
+    /// A scaling config beyond the paper's 4 cores (built by widening a
+    /// paper config, as the Fig. 13 scaling runs do).
+    fn scaled(cores: usize) -> MachineConfig {
+        MachineConfig {
+            cores,
+            ..MachineConfig::paper(4)
+        }
+    }
+
+    #[test]
+    fn eight_core_mesh_is_4x2() {
+        let c = scaled(8);
+        assert_eq!(c.mesh_width(), 4);
+        assert_eq!(c.coords(0), (0, 0));
+        assert_eq!(c.coords(3), (3, 0));
+        assert_eq!(c.coords(4), (0, 1));
+        assert_eq!(c.coords(7), (3, 1));
+        // Corner-to-corner: 3 across + 1 down, not the 2x4 strip's 1 + 3.
+        assert_eq!(c.hops(0, 7), 4);
+        assert_eq!(c.neighbor(0, Dir::East), Some(1));
+        assert_eq!(c.neighbor(0, Dir::South), Some(4));
+        assert_eq!(c.neighbor(3, Dir::East), None);
+        assert_eq!(c.neighbor(4, Dir::North), Some(0));
+    }
+
+    #[test]
+    fn sixteen_core_mesh_is_4x4() {
+        let c = scaled(16);
+        assert_eq!(c.mesh_width(), 4);
+        assert_eq!(c.coords(5), (1, 1));
+        assert_eq!(c.coords(15), (3, 3));
+        // Corner-to-corner is 6 hops on 4x4; the old 2x8 strip made it 8.
+        assert_eq!(c.hops(0, 15), 6);
+        // Mean pairwise distance must beat the strip layout's.
+        let total: u64 = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .map(|(a, b)| c.hops(a, b))
+            .sum();
+        assert!(total < 16 * 16 * 4, "4x4 mean hops should be well under 4");
+        assert_eq!(c.neighbor(3, Dir::South), Some(7));
+        assert_eq!(c.neighbor(12, Dir::East), Some(13));
+        assert_eq!(c.neighbor(12, Dir::South), None);
+    }
+
+    #[test]
+    fn paper_configs_keep_their_seed_layouts() {
+        // The rewrite must not disturb the 1/2/4-core geometries the
+        // whole golden matrix is calibrated against.
+        assert_eq!(MachineConfig::paper(1).mesh_width(), 1);
+        assert_eq!(MachineConfig::paper(2).mesh_width(), 2);
+        assert_eq!(MachineConfig::paper(4).mesh_width(), 2);
     }
 }

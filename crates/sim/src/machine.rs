@@ -162,13 +162,20 @@ pub struct Machine {
     cycle: u64,
     last_progress: u64,
     core_stats: Vec<CoreStats>,
-    region_cycles: std::collections::HashMap<RegionId, u64>,
+    /// Per-region cycle counters, indexed by region id with the last slot
+    /// standing in for [`REGION_OUTSIDE`]; flat so the per-cycle
+    /// attribution in [`Machine::tick`] is a single indexed add (the map
+    /// the stats report comes out of is built once at the end of `run`).
+    region_cycles: Vec<u64>,
     coupled_cycles: u64,
     decoupled_cycles: u64,
     spawns: u64,
     mode_switches: u64,
     dynamic_insts: u64,
     tracer: Option<Box<dyn Tracer>>,
+    /// Per-core issue decisions, reused across ticks to keep the cycle
+    /// loop allocation-free.
+    decisions: Vec<Decision>,
 }
 
 impl Machine {
@@ -188,9 +195,23 @@ impl Machine {
         program.check().map_err(SimError::Malformed)?;
         let memory = Memory::from_data(&program.data);
         let offsets: Vec<Vec<u64>> = program.cores.iter().map(|c| c.block_offsets()).collect();
-        let mut cores: Vec<Core> = program.cores.iter().map(|c| Core::new(c.reg_counts())).collect();
+        let mut cores: Vec<Core> = program
+            .cores
+            .iter()
+            .map(|c| Core::new(c.reg_counts()))
+            .collect();
         cores[0].state = CoreState::Running;
         let n = cfg.cores;
+        // Region attribution follows the master core, so only its region
+        // ids need slots (+1 for the REGION_OUTSIDE sentinel at the end).
+        let region_slots = program.cores[0]
+            .blocks
+            .iter()
+            .map(|b| b.region)
+            .filter(|&r| r != REGION_OUTSIDE)
+            .max()
+            .map_or(0, |r| r as usize + 1)
+            + 1;
         Ok(Machine {
             program: Arc::new(program),
             offsets,
@@ -203,13 +224,14 @@ impl Machine {
             cycle: 0,
             last_progress: 0,
             core_stats: vec![CoreStats::default(); n],
-            region_cycles: std::collections::HashMap::new(),
+            region_cycles: vec![0; region_slots],
             coupled_cycles: 0,
             decoupled_cycles: 0,
             spawns: 0,
             mode_switches: 0,
             dynamic_insts: 0,
             tracer: None,
+            decisions: Vec::with_capacity(n),
             cfg: cfg.clone(),
         })
     }
@@ -224,7 +246,7 @@ impl Machine {
         self.tracer.take()
     }
 
-    fn trace(&mut self, e: TraceEvent) {
+    fn trace(&mut self, e: TraceEvent<'_>) {
         if let Some(t) = self.tracer.as_mut() {
             t.event(e);
         }
@@ -261,16 +283,29 @@ impl Machine {
             .cores
             .iter()
             .enumerate()
-            .filter(|(_, c)| {
-                !matches!(c.state, CoreState::Halted | CoreState::Idle)
-            })
+            .filter(|(_, c)| !matches!(c.state, CoreState::Halted | CoreState::Idle))
             .map(|(i, _)| i)
+            .collect();
+        let outside_slot = self.region_cycles.len() - 1;
+        let region_cycles = self
+            .region_cycles
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(slot, &c)| {
+                let region = if slot == outside_slot {
+                    REGION_OUTSIDE
+                } else {
+                    slot as RegionId
+                };
+                (region, c)
+            })
             .collect();
         let stats = MachineStats {
             cycles: self.cycle,
             coupled_cycles: self.coupled_cycles,
             decoupled_cycles: self.decoupled_cycles,
-            region_cycles: self.region_cycles,
+            region_cycles,
             cores: self.core_stats,
             mem: self.memsys.stats(),
             net: self.net.stats(),
@@ -280,7 +315,12 @@ impl Machine {
             dynamic_insts: self.dynamic_insts,
         };
         let trace = self.tracer.as_ref().map(|t| t.render()).unwrap_or_default();
-        Ok(RunOutcome { memory: self.memory, stats, stragglers, trace })
+        Ok(RunOutcome {
+            memory: self.memory,
+            stats,
+            stragglers,
+            trace,
+        })
     }
 
     fn inst_addr(&self, core: usize) -> u64 {
@@ -334,16 +374,12 @@ impl Machine {
         let _ = writeln!(s, "mode: {}", self.mode);
         for (i, c) in self.cores.iter().enumerate() {
             let (b, sl) = c.pc;
-            let name = self
-                .program
-                .cores[i]
+            let name = self.program.cores[i]
                 .blocks
                 .get(b)
                 .map(|blk| blk.name.as_str())
                 .unwrap_or("?");
-            let inst = self
-                .program
-                .cores[i]
+            let inst = self.program.cores[i]
                 .blocks
                 .get(b)
                 .and_then(|blk| blk.insts.get(sl))
@@ -379,7 +415,10 @@ impl Machine {
         self.mode = m;
         self.mode_switches += 1;
         let cyc = self.cycle;
-        self.trace(TraceEvent::ModeSwitch { cycle: cyc, mode: m });
+        self.trace(TraceEvent::ModeSwitch {
+            cycle: cyc,
+            mode: m,
+        });
         for i in 0..self.cores.len() {
             self.cores[i].state = CoreState::Running;
             self.advance_pc(i)?;
@@ -405,9 +444,8 @@ impl Machine {
                     return Decision::Stall(StallReason::IFetch);
                 }
                 let core = &self.cores[i];
-                let program = Arc::clone(&self.program);
                 let (b, s) = core.pc;
-                let inst = &program.cores[i].blocks[b].insts[s];
+                let inst = &self.program.cores[i].blocks[b].insts[s];
                 // Scoreboard: sources, guard, and destination (WAW).
                 let mut pending = false;
                 let mut not_ready = false;
@@ -418,7 +456,7 @@ impl Machine {
                         not_ready = true;
                     }
                 };
-                for r in inst.uses() {
+                for r in inst.uses_iter() {
                     scan(core.ready_at(r));
                 }
                 if let Some(d) = inst.dst {
@@ -549,7 +587,13 @@ impl Machine {
         }
     }
 
-    fn functional_store(&mut self, i: usize, addr: u64, width: u64, v: u64) -> Result<(), SimError> {
+    fn functional_store(
+        &mut self,
+        i: usize,
+        addr: u64,
+        width: u64,
+        v: u64,
+    ) -> Result<(), SimError> {
         if self.tm.active(i) {
             // Validate the range without writing (faults surface now).
             self.memory.load_uint(addr, width)?;
@@ -572,10 +616,18 @@ impl Machine {
         } else {
             self.core_stats[i].issued += 1;
         }
-        if self.tracer.is_some() && inst.op != Opcode::Nop {
-            let block = self.program.cores[i].blocks[b].name.clone();
-            let rendered = inst.to_string();
-            self.trace(TraceEvent::Issue { cycle: now, core: i, block, inst: rendered });
+        if inst.op != Opcode::Nop {
+            // `program` is a local Arc clone, so the borrowed block name
+            // and instruction don't conflict with the tracer borrow.
+            if let Some(t) = self.tracer.as_mut() {
+                let block = program.cores[i].blocks[b].name.as_str();
+                t.event(TraceEvent::Issue {
+                    cycle: now,
+                    core: i,
+                    block,
+                    inst,
+                });
+            }
         }
 
         // Nullified by guard: slot consumed, no effects.
@@ -614,7 +666,10 @@ impl Machine {
             }
             Halt => {
                 self.cores[i].state = CoreState::Halted;
-                self.trace(TraceEvent::Halt { cycle: now, core: i });
+                self.trace(TraceEvent::Halt {
+                    cycle: now,
+                    core: i,
+                });
                 return Ok(());
             }
             Sleep => {
@@ -653,7 +708,9 @@ impl Machine {
                 let addr = base.wrapping_add(off as u64);
                 let raw = self.functional_load(i, addr, 8)?;
                 let dst = inst.dst.expect("verified fload dst");
-                self.cores[i].regs.write(dst, Value::Float(f64::from_bits(raw)));
+                self.cores[i]
+                    .regs
+                    .write(dst, Value::Float(f64::from_bits(raw)));
                 self.issue_load_timing(i, addr, dst);
             }
             Fload4 => {
@@ -753,7 +810,10 @@ impl Machine {
             // ---- transactional memory ----
             Xbegin => {
                 let order = self.eval(i, inst.srcs[0])?.as_int();
-                let snap = Snapshot { regs: self.cores[i].regs.clone(), pc: self.cores[i].pc };
+                let snap = Snapshot {
+                    regs: self.cores[i].regs.clone(),
+                    pc: self.cores[i].pc,
+                };
                 self.cores[i].snapshot = Some(snap);
                 self.tm.begin(i, order as u32);
             }
@@ -769,10 +829,17 @@ impl Machine {
                     return Err(SimError::Mem(e));
                 }
                 self.cores[i].snapshot = None;
-                self.trace(TraceEvent::TmCommit { cycle: now, core: i, lines: lines.len() });
+                self.trace(TraceEvent::TmCommit {
+                    cycle: now,
+                    core: i,
+                    lines: lines.len(),
+                });
                 for c in aborted {
                     self.restore_core(c);
-                    self.trace(TraceEvent::TmAbort { cycle: now, core: c });
+                    self.trace(TraceEvent::TmAbort {
+                        cycle: now,
+                        core: c,
+                    });
                 }
                 if !lines.is_empty() {
                     self.memsys.enqueue_tm_commit(i, lines);
@@ -877,7 +944,11 @@ impl Machine {
                 self.normalize_pc(i)?;
             }
         }
-        let decisions: Vec<Decision> = (0..n).map(|i| self.check_core(i)).collect();
+        // Reuse the decision buffer across ticks (taken out of `self` so
+        // filling it can call `check_core(&mut self)`).
+        let mut decisions = std::mem::take(&mut self.decisions);
+        decisions.clear();
+        decisions.extend((0..n).map(|i| self.check_core(i)));
         let mut progress = false;
 
         match self.mode {
@@ -952,15 +1023,20 @@ impl Machine {
             }
         }
 
+        self.decisions = decisions;
+
         // Region attribution follows the master core.
-        let region = self
-            .program
-            .cores[0]
+        let region = self.program.cores[0]
             .blocks
             .get(self.cores[0].pc.0)
             .map(|b| b.region)
             .unwrap_or(REGION_OUTSIDE);
-        *self.region_cycles.entry(region).or_insert(0) += 1;
+        let slot = if region == REGION_OUTSIDE {
+            self.region_cycles.len() - 1
+        } else {
+            region as usize
+        };
+        self.region_cycles[slot] += 1;
 
         if progress {
             self.last_progress = now;
@@ -970,7 +1046,10 @@ impl Machine {
                 .iter()
                 .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle));
             if anyone_active && now - self.last_progress > self.cfg.deadlock_window {
-                return Err(SimError::Deadlock { cycle: now, dump: self.dump() });
+                return Err(SimError::Deadlock {
+                    cycle: now,
+                    dump: self.dump(),
+                });
             }
         }
         self.cycle += 1;
@@ -996,7 +1075,11 @@ fn recv_tag(inst: &Inst) -> u32 {
 
 impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Machine(cycle {}, mode {}, {} cores)", self.cycle, self.mode, self.cfg.cores)
+        write!(
+            f,
+            "Machine(cycle {}, mode {}, {} cores)",
+            self.cycle, self.mode, self.cfg.cores
+        )
     }
 }
 
@@ -1009,7 +1092,10 @@ mod tests {
     fn mk_program(core_blocks: Vec<Vec<MBlock>>, data: DataSegment) -> MachineProgram {
         MachineProgram {
             name: "t".into(),
-            cores: core_blocks.into_iter().map(|blocks| CoreImage { blocks }).collect(),
+            cores: core_blocks
+                .into_iter()
+                .map(|blocks| CoreImage { blocks })
+                .collect(),
             data,
         }
     }
@@ -1023,10 +1109,20 @@ mod tests {
         let mut data = DataSegment::default();
         let out = data.zeroed("out", 8);
         let mut b = MBlock::new("entry", 0);
-        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(6)]));
-        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(7)]));
-        b.insts.push(Inst::with_dst(Opcode::Mul, gpr(2), vec![gpr(0).into(), gpr(1).into()]));
-        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(out as i64)]));
+        b.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(6)]));
+        b.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(7)]));
+        b.insts.push(Inst::with_dst(
+            Opcode::Mul,
+            gpr(2),
+            vec![gpr(0).into(), gpr(1).into()],
+        ));
+        b.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(3),
+            vec![Operand::Imm(out as i64)],
+        ));
         b.insts.push(Inst::new(
             Opcode::Store(voltron_ir::MemWidth::W8),
             vec![gpr(3).into(), Operand::Imm(0), gpr(2).into()],
@@ -1046,17 +1142,33 @@ mod tests {
         let mut data = DataSegment::default();
         let out = data.zeroed("out", 8);
         let mut b = MBlock::new("entry", 0);
-        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(5)]));
-        b.insts.push(Inst::with_dst(Opcode::Mul, gpr(1), vec![gpr(0).into(), gpr(0).into()]));
-        b.insts.push(Inst::with_dst(Opcode::Add, gpr(2), vec![gpr(1).into(), Operand::Imm(1)]));
-        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(out as i64)]));
+        b.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(5)]));
+        b.insts.push(Inst::with_dst(
+            Opcode::Mul,
+            gpr(1),
+            vec![gpr(0).into(), gpr(0).into()],
+        ));
+        b.insts.push(Inst::with_dst(
+            Opcode::Add,
+            gpr(2),
+            vec![gpr(1).into(), Operand::Imm(1)],
+        ));
+        b.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(3),
+            vec![Operand::Imm(out as i64)],
+        ));
         b.insts.push(Inst::new(
             Opcode::Store(voltron_ir::MemWidth::W8),
             vec![gpr(3).into(), Operand::Imm(0), gpr(2).into()],
         ));
         b.insts.push(Inst::new(Opcode::Halt, vec![]));
         let p = mk_program(vec![vec![b]], data);
-        let out_run = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+        let out_run = Machine::new(p, &MachineConfig::paper(1))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(out_run.memory.load_i64(out).unwrap(), 26);
         let interlock = out_run.stats.cores[0].stalls_for(StallReason::Interlock);
         assert!(interlock >= 2, "expected interlock stalls, got {interlock}");
@@ -1074,8 +1186,13 @@ mod tests {
             Opcode::Spawn,
             vec![Operand::Core(1), Operand::Block(BlockId(1))],
         ));
-        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(0), vec![Operand::Core(1)]));
-        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(out as i64)]));
+        c0.insts
+            .push(Inst::with_dst(Opcode::Recv, gpr(0), vec![Operand::Core(1)]));
+        c0.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(1),
+            vec![Operand::Imm(out as i64)],
+        ));
         c0.insts.push(Inst::new(
             Opcode::Store(voltron_ir::MemWidth::W8),
             vec![gpr(1).into(), Operand::Imm(0), gpr(0).into()],
@@ -1085,11 +1202,18 @@ mod tests {
         let mut c1_idle = MBlock::new("idle", 0);
         c1_idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let mut c1 = MBlock::new("worker", 0);
-        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(99)]));
-        c1.insts.push(Inst::new(Opcode::Send, vec![gpr(0).into(), Operand::Core(0)]));
+        c1.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(99)]));
+        c1.insts.push(Inst::new(
+            Opcode::Send,
+            vec![gpr(0).into(), Operand::Core(0)],
+        ));
         c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = mk_program(vec![vec![c0], vec![c1_idle, c1]], data);
-        let out_run = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap();
+        let out_run = Machine::new(p, &MachineConfig::paper(2))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(out_run.memory.load_i64(out).unwrap(), 99);
         assert_eq!(out_run.stats.spawns, 1);
         assert!(out_run.stats.cores[0].stalls_for(StallReason::RecvData) > 0);
@@ -1113,16 +1237,25 @@ mod tests {
             Opcode::ModeSwitch,
             vec![Operand::Mode(ExecMode::Coupled)],
         ));
-        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(7)]));
-        c0.insts.push(Inst::new(Opcode::Put, vec![gpr(0).into(), Operand::Dir(Dir::East)]));
+        c0.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(7)]));
+        c0.insts.push(Inst::new(
+            Opcode::Put,
+            vec![gpr(0).into(), Operand::Dir(Dir::East)],
+        ));
         c0.insts.push(Inst::nop());
         c0.insts.push(Inst::nop());
         c0.insts.push(Inst::new(
             Opcode::ModeSwitch,
             vec![Operand::Mode(ExecMode::Decoupled)],
         ));
-        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(1), vec![Operand::Core(1)]));
-        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(2), vec![Operand::Imm(out as i64)]));
+        c0.insts
+            .push(Inst::with_dst(Opcode::Recv, gpr(1), vec![Operand::Core(1)]));
+        c0.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(2),
+            vec![Operand::Imm(out as i64)],
+        ));
         c0.insts.push(Inst::new(
             Opcode::Store(voltron_ir::MemWidth::W8),
             vec![gpr(2).into(), Operand::Imm(0), gpr(1).into()],
@@ -1139,17 +1272,31 @@ mod tests {
         ));
         c1.insts.push(Inst::nop());
         c1.insts.push(Inst::nop());
-        c1.insts.push(Inst::with_dst(Opcode::Get, gpr(0), vec![Operand::Dir(Dir::West)]));
-        c1.insts.push(Inst::with_dst(Opcode::Add, gpr(1), vec![gpr(0).into(), gpr(0).into()]));
+        c1.insts.push(Inst::with_dst(
+            Opcode::Get,
+            gpr(0),
+            vec![Operand::Dir(Dir::West)],
+        ));
+        c1.insts.push(Inst::with_dst(
+            Opcode::Add,
+            gpr(1),
+            vec![gpr(0).into(), gpr(0).into()],
+        ));
         c1.insts.push(Inst::nop());
         c1.insts.push(Inst::new(
             Opcode::ModeSwitch,
             vec![Operand::Mode(ExecMode::Decoupled)],
         ));
-        c1.insts.push(Inst::new(Opcode::Send, vec![gpr(1).into(), Operand::Core(0)]));
+        c1.insts.push(Inst::new(
+            Opcode::Send,
+            vec![gpr(1).into(), Operand::Core(0)],
+        ));
         c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = mk_program(vec![vec![c0], vec![c1_idle, c1]], data);
-        let out_run = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap();
+        let out_run = Machine::new(p, &MachineConfig::paper(2))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(out_run.memory.load_i64(out).unwrap(), 14);
         assert_eq!(out_run.stats.mode_switches, 2);
         assert!(out_run.stats.coupled_cycles > 0);
@@ -1161,12 +1308,16 @@ mod tests {
         let mut data = DataSegment::default();
         data.zeroed("pad", 8);
         let mut c0 = MBlock::new("main", 0);
-        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(0), vec![Operand::Core(1)]));
+        c0.insts
+            .push(Inst::with_dst(Opcode::Recv, gpr(0), vec![Operand::Core(1)]));
         c0.insts.push(Inst::new(Opcode::Halt, vec![]));
         let mut c1 = MBlock::new("idle", 0);
         c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = mk_program(vec![vec![c0], vec![c1]], data);
-        let err = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap_err();
+        let err = Machine::new(p, &MachineConfig::paper(2))
+            .unwrap()
+            .run()
+            .unwrap_err();
         match err {
             SimError::Deadlock { dump, .. } => assert!(dump.contains("core 0")),
             other => panic!("expected deadlock, got {other}"),
@@ -1184,7 +1335,8 @@ mod tests {
         // store 100 to shared; xcommit; recv join; halt.
         let mut c0 = MBlock::new("main", 0);
         // Codegen contract: the master's XBEGIN 0 precedes worker spawns.
-        c0.insts.push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(0)]));
+        c0.insts
+            .push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(0)]));
         c0.insts.push(Inst::new(
             Opcode::Spawn,
             vec![Operand::Core(1), Operand::Block(BlockId(1))],
@@ -1192,14 +1344,20 @@ mod tests {
         for _ in 0..40 {
             c0.insts.push(Inst::nop());
         }
-        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(shared as i64)]));
-        c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(100)]));
+        c0.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(0),
+            vec![Operand::Imm(shared as i64)],
+        ));
+        c0.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(100)]));
         c0.insts.push(Inst::new(
             Opcode::Store(voltron_ir::MemWidth::W8),
             vec![gpr(0).into(), Operand::Imm(0), gpr(1).into()],
         ));
         c0.insts.push(Inst::new(Opcode::Xcommit, vec![]));
-        c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(2), vec![Operand::Core(1)]));
+        c0.insts
+            .push(Inst::with_dst(Opcode::Recv, gpr(2), vec![Operand::Core(1)]));
         c0.insts.push(Inst::new(Opcode::Halt, vec![]));
         // Core 1 (chunk 1): xbegin 1; read shared; store it to out;
         // xcommit; send join; sleep. It reads early (before core 0's
@@ -1207,27 +1365,50 @@ mod tests {
         let mut c1_idle = MBlock::new("idle", 0);
         c1_idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let mut c1 = MBlock::new("chunk1", 0);
-        c1.insts.push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(1)]));
-        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(shared as i64)]));
+        c1.insts
+            .push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(1)]));
+        c1.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(0),
+            vec![Operand::Imm(shared as i64)],
+        ));
         c1.insts.push(Inst::with_dst(
             Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
             gpr(1),
             vec![gpr(0).into(), Operand::Imm(0)],
         ));
-        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(2), vec![Operand::Imm(out as i64)]));
+        c1.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(2),
+            vec![Operand::Imm(out as i64)],
+        ));
         c1.insts.push(Inst::new(
             Opcode::Store(voltron_ir::MemWidth::W8),
             vec![gpr(2).into(), Operand::Imm(0), gpr(1).into()],
         ));
         c1.insts.push(Inst::new(Opcode::Xcommit, vec![]));
-        c1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(1)]));
-        c1.insts.push(Inst::new(Opcode::Send, vec![gpr(3).into(), Operand::Core(0)]));
+        c1.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(1)]));
+        c1.insts.push(Inst::new(
+            Opcode::Send,
+            vec![gpr(3).into(), Operand::Core(0)],
+        ));
         c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = mk_program(vec![vec![c0], vec![c1_idle, c1]], data);
-        let out_run = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap();
-        assert_eq!(out_run.memory.load_i64(out).unwrap(), 100, "sequential semantics");
+        let out_run = Machine::new(p, &MachineConfig::paper(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            out_run.memory.load_i64(out).unwrap(),
+            100,
+            "sequential semantics"
+        );
         assert!(out_run.stats.tm.aborts >= 1, "expected at least one abort");
-        assert_eq!(out_run.stats.tm.commits, 2 + out_run.stats.tm.aborts - out_run.stats.tm.aborts);
+        assert_eq!(
+            out_run.stats.tm.commits,
+            2 + out_run.stats.tm.aborts - out_run.stats.tm.aborts
+        );
     }
 
     #[test]
@@ -1236,23 +1417,41 @@ mod tests {
         let a = data.array_i64("a", &[11]);
         let out = data.zeroed("out", 8);
         let mut b = MBlock::new("entry", 0);
-        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(a as i64)]));
+        b.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(0),
+            vec![Operand::Imm(a as i64)],
+        ));
         b.insts.push(Inst::with_dst(
             Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
             gpr(1),
             vec![gpr(0).into(), Operand::Imm(0)],
         ));
-        b.insts.push(Inst::with_dst(Opcode::Add, gpr(2), vec![gpr(1).into(), Operand::Imm(1)]));
-        b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(out as i64)]));
+        b.insts.push(Inst::with_dst(
+            Opcode::Add,
+            gpr(2),
+            vec![gpr(1).into(), Operand::Imm(1)],
+        ));
+        b.insts.push(Inst::with_dst(
+            Opcode::Ldi,
+            gpr(3),
+            vec![Operand::Imm(out as i64)],
+        ));
         b.insts.push(Inst::new(
             Opcode::Store(voltron_ir::MemWidth::W8),
             vec![gpr(3).into(), Operand::Imm(0), gpr(2).into()],
         ));
         b.insts.push(Inst::new(Opcode::Halt, vec![]));
         let p = mk_program(vec![vec![b]], data);
-        let out_run = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+        let out_run = Machine::new(p, &MachineConfig::paper(1))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(out_run.memory.load_i64(out).unwrap(), 12);
         let dstalls = out_run.stats.cores[0].stalls_for(StallReason::DMiss);
-        assert!(dstalls > 50, "cold miss should stall ~memory latency, got {dstalls}");
+        assert!(
+            dstalls > 50,
+            "cold miss should stall ~memory latency, got {dstalls}"
+        );
     }
 }

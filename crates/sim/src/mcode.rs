@@ -28,7 +28,11 @@ pub struct MBlock {
 impl MBlock {
     /// An empty block with the given name and region.
     pub fn new(name: impl Into<String>, region: RegionId) -> MBlock {
-        MBlock { name: name.into(), insts: Vec::new(), region }
+        MBlock {
+            name: name.into(),
+            insts: Vec::new(),
+            region,
+        }
     }
 }
 
@@ -190,7 +194,11 @@ mod tests {
     fn check_catches_bad_target() {
         let mut img = halt_image();
         img.blocks[0].insts[0] = Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(7))]);
-        let p = MachineProgram { name: "t".into(), cores: vec![img], data: DataSegment::default() };
+        let p = MachineProgram {
+            name: "t".into(),
+            cores: vec![img],
+            data: DataSegment::default(),
+        };
         assert!(p.check().unwrap_err().contains("out of range"));
     }
 
@@ -198,7 +206,11 @@ mod tests {
     fn check_catches_fallthrough_off_image() {
         let mut img = halt_image();
         img.blocks[0].insts.pop();
-        let p = MachineProgram { name: "t".into(), cores: vec![img], data: DataSegment::default() };
+        let p = MachineProgram {
+            name: "t".into(),
+            cores: vec![img],
+            data: DataSegment::default(),
+        };
         assert!(p.check().unwrap_err().contains("falls off"));
     }
 

@@ -215,7 +215,11 @@ impl MemSys {
         }
         if self.ifill_pending[core].is_none() {
             self.ifill_pending[core] = Some(line);
-            self.queue.push_back(BusReq { core, line, kind: BusKind::IFill });
+            self.queue.push_back(BusReq {
+                core,
+                line,
+                kind: BusKind::IFill,
+            });
         }
         false
     }
@@ -242,8 +246,8 @@ impl MemSys {
                     .map(LineState::is_dirty)
                     .unwrap_or(false)
         });
-        let peers_any = (0..self.cfg.cores)
-            .any(|j| j != req.core && self.l1d[j].peek(req.line).is_some());
+        let peers_any =
+            (0..self.cfg.cores).any(|j| j != req.core && self.l1d[j].peek(req.line).is_some());
         let base = match &req.kind {
             BusKind::Upgrade => UPGRADE_LATENCY,
             BusKind::TmCommit { lines } => {
@@ -269,7 +273,10 @@ impl MemSys {
             }
         };
         let mut lat = base;
-        if matches!(req.kind, BusKind::ReadShared { .. } | BusKind::ReadExclusive) {
+        if matches!(
+            req.kind,
+            BusKind::ReadShared { .. } | BusKind::ReadExclusive
+        ) {
             if let Some(v) = self.l1d[req.core].victim_state(req.line) {
                 if v.is_dirty() {
                     lat += self.cfg.writeback_penalty;
@@ -324,7 +331,11 @@ impl MemSys {
                 }
                 let state = if shared { LineState::S } else { LineState::E };
                 self.fill_l1d(req.core, req.line, state);
-                out.push(Completion::LoadFill { core: req.core, dst, epoch });
+                out.push(Completion::LoadFill {
+                    core: req.core,
+                    dst,
+                    epoch,
+                });
             }
             BusKind::ReadExclusive => {
                 for j in 0..n {
@@ -399,11 +410,19 @@ impl MemSys {
                 }
                 Some(_) => {
                     // Shared or Owned: need exclusive ownership.
-                    self.queue.push_back(BusReq { core, line, kind: BusKind::Upgrade });
+                    self.queue.push_back(BusReq {
+                        core,
+                        line,
+                        kind: BusKind::Upgrade,
+                    });
                     self.sb_waiting[core] = true;
                 }
                 None => {
-                    self.queue.push_back(BusReq { core, line, kind: BusKind::ReadExclusive });
+                    self.queue.push_back(BusReq {
+                        core,
+                        line,
+                        kind: BusKind::ReadExclusive,
+                    });
                     self.sb_waiting[core] = true;
                 }
             }
@@ -425,7 +444,11 @@ impl MemSys {
             if let Some(req) = self.queue.pop_front() {
                 let (lat, others) = self.grant_latency(&req);
                 self.stats_busy += lat;
-                self.current = Some(InFlight { req, finish: now + lat, others_had_copy: others });
+                self.current = Some(InFlight {
+                    req,
+                    finish: now + lat,
+                    others_had_copy: others,
+                });
             }
         }
         self.drain_store_buffers();
@@ -473,7 +496,14 @@ mod tests {
         let mut m = sys();
         assert_eq!(m.load(0, 0x1_0000, r0(), 0), LoadOutcome::Miss);
         let (t, c) = run_until_completion(&mut m, 0, 1000);
-        assert_eq!(c, vec![Completion::LoadFill { core: 0, dst: r0(), epoch: 0 }]);
+        assert_eq!(
+            c,
+            vec![Completion::LoadFill {
+                core: 0,
+                dst: r0(),
+                epoch: 0
+            }]
+        );
         // Memory latency for a cold miss.
         assert!(t >= 120, "completed too fast at {t}");
         assert_eq!(m.load(0, 0x1_0008, r0(), 0), LoadOutcome::Hit);
@@ -486,7 +516,11 @@ mod tests {
         run_until_completion(&mut m, 0, 1000);
         m.load(1, 0x1_0000, r0(), 0);
         let (t0, _) = run_until_completion(&mut m, 200, 1000);
-        assert!(t0 - 200 < 120, "should be served by L2/peer, took {}", t0 - 200);
+        assert!(
+            t0 - 200 < 120,
+            "should be served by L2/peer, took {}",
+            t0 - 200
+        );
     }
 
     #[test]

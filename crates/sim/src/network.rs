@@ -12,9 +12,30 @@
 //!
 //! `SPAWN` rides the queue network as a control message carrying the
 //! thread's start block.
+//!
+//! # Hot-path layout
+//!
+//! This module sits on the simulator's innermost loop (`tick` runs every
+//! simulated cycle; the `can_*` probes run for every stalled instruction
+//! every cycle), so the state is laid out for O(1) access with no
+//! per-cycle allocation:
+//!
+//! * Directed-link state (`link_free`, the direct-mode latches, and the
+//!   neighbor table) lives in flat arrays indexed `core * 4 + direction`;
+//!   every core has at most four mesh links.
+//! * The receive CAM is a set of per-`(sender, tag)` FIFO buckets instead
+//!   of one linear-scanned vector. Within a bucket all messages cross the
+//!   same XY route, and link reservations only ever push later messages
+//!   further out, so delivery order equals availability order and the
+//!   bucket head is always the oldest matchable message — bucket lookup
+//!   is exact, not an approximation of the scan it replaced.
+//! * Spawn messages keep their own per-sender FIFOs plus a global
+//!   delivery sequence number; `take_spawn` picks the earliest-delivered
+//!   available head across senders, which is the same message the old
+//!   insertion-order scan found.
 
 use crate::config::MachineConfig;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use voltron_ir::{BlockId, Dir, Value};
 
 /// Message payload.
@@ -48,10 +69,43 @@ pub struct Message {
     pub payload: Payload,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Queued {
-    msg: Message,
-    available: u64,
+/// Links per core: one per [`Dir`].
+const LINKS: usize = 4;
+
+/// Flat index of a direction (E/W/S/N order is arbitrary but fixed).
+fn dir_index(d: Dir) -> usize {
+    match d {
+        Dir::East => 0,
+        Dir::West => 1,
+        Dir::South => 2,
+        Dir::North => 3,
+    }
+}
+
+/// One `(tag, messages)` bucket: `(value, available)` in delivery order,
+/// which per `(sender, tag)` is also availability order (see the module
+/// docs).
+type TagBucket = (u32, VecDeque<(Value, u64)>);
+
+/// Per-receiver CAM state.
+#[derive(Debug)]
+struct RecvSide {
+    /// `data[from]` is a small per-tag bucket list.
+    data: Vec<Vec<TagBucket>>,
+    /// `spawns[from]`: `(delivery sequence, start block, available)`.
+    spawns: Vec<VecDeque<(u64, BlockId, u64)>>,
+    /// Buffered messages across all buckets (data + spawns).
+    buffered: usize,
+}
+
+impl RecvSide {
+    fn new(cores: usize) -> RecvSide {
+        RecvSide {
+            data: (0..cores).map(|_| Vec::new()).collect(),
+            spawns: (0..cores).map(|_| VecDeque::new()).collect(),
+            buffered: 0,
+        }
+    }
 }
 
 /// Network statistics.
@@ -71,12 +125,19 @@ pub struct NetStats {
 #[derive(Debug)]
 pub struct OperandNetwork {
     cfg: MachineConfig,
+    /// Mesh width, cached off the config (it recomputes per call).
+    width: usize,
+    /// `neighbor[core * 4 + dir]`, cached off the config.
+    neighbor: Vec<Option<usize>>,
     send_q: Vec<VecDeque<(Message, u64)>>, // (message, enqueue cycle)
-    recv_q: Vec<Vec<Queued>>,
-    /// Next-free cycle per directed mesh link (from, to).
-    link_free: HashMap<(usize, usize), u64>,
-    /// Direct-mode latch at (receiver, direction-from-receiver).
-    direct: HashMap<(usize, Dir), (Value, u64)>,
+    recv: Vec<RecvSide>,
+    /// Monotone counter stamping queue-mode deliveries in order.
+    deliver_seq: u64,
+    /// Next-free cycle per directed mesh link, indexed by the link's
+    /// source core and direction.
+    link_free: Vec<u64>,
+    /// Direct-mode latch at `receiver * 4 + direction-from-receiver`.
+    direct: Vec<Option<(Value, u64)>>,
     /// Broadcast latch per receiving core.
     bcast: Vec<Option<(Value, u64)>>,
     stats: NetStats,
@@ -85,33 +146,25 @@ pub struct OperandNetwork {
 impl OperandNetwork {
     /// Build the network for a machine configuration.
     pub fn new(cfg: &MachineConfig) -> OperandNetwork {
+        let n = cfg.cores;
+        let mut neighbor = vec![None; n * LINKS];
+        for core in 0..n {
+            for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+                neighbor[core * LINKS + dir_index(d)] = cfg.neighbor(core, d);
+            }
+        }
         OperandNetwork {
-            send_q: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
-            recv_q: (0..cfg.cores).map(|_| Vec::new()).collect(),
-            link_free: HashMap::new(),
-            direct: HashMap::new(),
-            bcast: vec![None; cfg.cores],
+            width: cfg.mesh_width(),
+            neighbor,
+            send_q: (0..n).map(|_| VecDeque::new()).collect(),
+            recv: (0..n).map(|_| RecvSide::new(n)).collect(),
+            deliver_seq: 0,
+            link_free: vec![0; n * LINKS],
+            direct: vec![None; n * LINKS],
+            bcast: vec![None; n],
             cfg: cfg.clone(),
             stats: NetStats::default(),
         }
-    }
-
-    /// XY route: the sequence of cores from `from` to `to` (exclusive of
-    /// `from`).
-    fn route(&self, from: usize, to: usize) -> Vec<usize> {
-        let w = self.cfg.mesh_width();
-        let (mut x, mut y) = self.cfg.coords(from);
-        let (tx, ty) = self.cfg.coords(to);
-        let mut path = Vec::new();
-        while x != tx {
-            x = if x < tx { x + 1 } else { x - 1 };
-            path.push(y * w + x);
-        }
-        while y != ty {
-            y = if y < ty { y + 1 } else { y - 1 };
-            path.push(y * w + x);
-        }
-        path
     }
 
     // ---- queue mode ----
@@ -122,7 +175,15 @@ impl OperandNetwork {
         if self.send_q[from].len() >= self.cfg.queue_depth {
             return false;
         }
-        self.send_q[from].push_back((Message { from, to, tag, payload }, now));
+        self.send_q[from].push_back((
+            Message {
+                from,
+                to,
+                tag,
+                payload,
+            },
+            now,
+        ));
         true
     }
 
@@ -133,47 +194,50 @@ impl OperandNetwork {
 
     /// True if an available spawn message is waiting at `core`.
     pub fn has_spawn(&self, core: usize, now: u64) -> bool {
-        self.recv_q[core]
+        self.recv[core]
+            .spawns
             .iter()
-            .any(|q| q.available <= now && matches!(q.msg.payload, Payload::Spawn(_)))
+            .any(|q| q.front().is_some_and(|&(_, _, at)| at <= now))
     }
 
     /// True if a data message from `(from, tag)` is available at `core`.
     pub fn can_recv(&self, core: usize, from: usize, tag: u32, now: u64) -> bool {
-        self.recv_q[core].iter().any(|q| {
-            q.available <= now
-                && q.msg.from == from
-                && q.msg.tag == tag
-                && matches!(q.msg.payload, Payload::Data(_))
-        })
+        self.recv[core].data[from]
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .is_some_and(|(_, q)| q.front().is_some_and(|&(_, at)| at <= now))
     }
 
     /// Consume the oldest available data message from `(from, tag)` at
     /// `core`.
     pub fn recv(&mut self, core: usize, from: usize, tag: u32, now: u64) -> Option<Value> {
-        let pos = self.recv_q[core].iter().position(|q| {
-            q.available <= now
-                && q.msg.from == from
-                && q.msg.tag == tag
-                && matches!(q.msg.payload, Payload::Data(_))
-        })?;
-        let q = self.recv_q[core].remove(pos);
-        match q.msg.payload {
-            Payload::Data(v) => Some(v),
-            Payload::Spawn(_) => unreachable!("filtered above"),
+        let side = &mut self.recv[core];
+        let (_, q) = side.data[from].iter_mut().find(|(t, _)| *t == tag)?;
+        let &(v, at) = q.front()?;
+        if at > now {
+            return None;
         }
+        q.pop_front();
+        side.buffered -= 1;
+        Some(v)
     }
 
-    /// Consume the oldest available spawn message at an idle `core`.
+    /// Consume the oldest available spawn message at an idle `core`
+    /// (earliest-delivered across all senders, as the CAM scan found it).
     pub fn take_spawn(&mut self, core: usize, now: u64) -> Option<(usize, BlockId)> {
-        let pos = self.recv_q[core]
-            .iter()
-            .position(|q| q.available <= now && matches!(q.msg.payload, Payload::Spawn(_)));
-        let q = self.recv_q[core].remove(pos?);
-        match q.msg.payload {
-            Payload::Spawn(b) => Some((q.msg.from, b)),
-            Payload::Data(_) => unreachable!("filtered above"),
+        let side = &mut self.recv[core];
+        let mut best: Option<(u64, usize)> = None;
+        for (from, q) in side.spawns.iter().enumerate() {
+            if let Some(&(seq, _, at)) = q.front() {
+                if at <= now && best.is_none_or(|(s, _)| seq < s) {
+                    best = Some((seq, from));
+                }
+            }
         }
+        let (_, from) = best?;
+        let (_, blk, _) = side.spawns[from].pop_front().expect("head checked above");
+        side.buffered -= 1;
+        Some((from, blk))
     }
 
     /// Advance routing one cycle: each core may inject its send-queue head
@@ -192,19 +256,34 @@ impl OperandNetwork {
             let Some(&(msg, enq)) = self.send_q[core].front() else {
                 continue;
             };
-            // Reserve links along the XY path.
-            let path = self.route(msg.from, msg.to);
+            // Walk the XY route, reserving each directed link as it is
+            // crossed. A link appears at most once on an XY path, so
+            // committing reservations inline is the same as computing
+            // the whole path first.
+            let w = self.width;
+            let (mut x, mut y) = (msg.from % w, msg.from / w);
+            let (tx, ty) = (msg.to % w, msg.to / w);
             let mut t = now;
-            let mut hops_t = Vec::with_capacity(path.len());
             let mut prev = msg.from;
-            for &next in &path {
-                let free = self.link_free.get(&(prev, next)).copied().unwrap_or(0);
-                t = t.max(free + 1).max(t + self.cfg.hop_latency);
-                hops_t.push(((prev, next), t));
-                prev = next;
+            while x != tx {
+                let d = if x < tx { Dir::East } else { Dir::West };
+                x = if x < tx { x + 1 } else { x - 1 };
+                let slot = prev * LINKS + dir_index(d);
+                t = t
+                    .max(self.link_free[slot] + 1)
+                    .max(t + self.cfg.hop_latency);
+                self.link_free[slot] = t;
+                prev = y * w + x;
             }
-            for (link, at) in hops_t {
-                self.link_free.insert(link, at);
+            while y != ty {
+                let d = if y < ty { Dir::South } else { Dir::North };
+                y = if y < ty { y + 1 } else { y - 1 };
+                let slot = prev * LINKS + dir_index(d);
+                t = t
+                    .max(self.link_free[slot] + 1)
+                    .max(t + self.cfg.hop_latency);
+                self.link_free[slot] = t;
+                prev = y * w + x;
             }
             // +1: insertion into the receive queue (the second cycle of
             // the paper's 2-cycle fixed overhead; the first was the send
@@ -212,7 +291,25 @@ impl OperandNetwork {
             // the SEND executed).
             let available = t + self.cfg.queue_overhead - 1;
             self.send_q[core].pop_front();
-            self.recv_q[msg.to].push(Queued { msg, available });
+            let side = &mut self.recv[msg.to];
+            match msg.payload {
+                Payload::Data(v) => {
+                    let buckets = &mut side.data[msg.from];
+                    match buckets.iter_mut().find(|(t, _)| *t == msg.tag) {
+                        Some((_, q)) => q.push_back((v, available)),
+                        None => {
+                            let mut q = VecDeque::new();
+                            q.push_back((v, available));
+                            buckets.push((msg.tag, q));
+                        }
+                    }
+                }
+                Payload::Spawn(b) => {
+                    side.spawns[msg.from].push_back((self.deliver_seq, b, available));
+                }
+            }
+            side.buffered += 1;
+            self.deliver_seq += 1;
             self.stats.messages += 1;
             self.stats.total_latency += available.saturating_sub(enq);
         }
@@ -223,8 +320,8 @@ impl OperandNetwork {
     /// True when a `PUT` from `core` toward `d` would find its far latch
     /// free (off-mesh directions report false; the `put` itself errors).
     pub fn can_put(&self, core: usize, d: Dir) -> bool {
-        match self.cfg.neighbor(core, d) {
-            Some(to) => !self.direct.contains_key(&(to, d.opposite())),
+        match self.neighbor[core * LINKS + dir_index(d)] {
+            Some(to) => self.direct[to * LINKS + dir_index(d.opposite())].is_none(),
             None => false,
         }
     }
@@ -242,22 +339,20 @@ impl OperandNetwork {
     /// Returns a message naming the core and direction when no neighbor
     /// exists that way (a compiler bug).
     pub fn put(&mut self, from: usize, d: Dir, value: Value, now: u64) -> Result<bool, String> {
-        let to = self
-            .cfg
-            .neighbor(from, d)
+        let to = self.neighbor[from * LINKS + dir_index(d)]
             .ok_or_else(|| format!("core {from} has no neighbor to the {d}"))?;
-        let key = (to, d.opposite());
-        if self.direct.contains_key(&key) {
+        let slot = to * LINKS + dir_index(d.opposite());
+        if self.direct[slot].is_some() {
             return Ok(false);
         }
-        self.direct.insert(key, (value, now + self.cfg.hop_latency));
+        self.direct[slot] = Some((value, now + self.cfg.hop_latency));
         self.stats.direct_transfers += 1;
         Ok(true)
     }
 
     /// True when a `GET` from direction `d` at `core` would succeed now.
     pub fn can_get(&self, core: usize, d: Dir, now: u64) -> bool {
-        self.direct.get(&(core, d)).map(|(_, at)| *at <= now).unwrap_or(false)
+        self.direct[core * LINKS + dir_index(d)].is_some_and(|(_, at)| at <= now)
     }
 
     /// Consume the direct latch at (`core`, `d`).
@@ -265,7 +360,9 @@ impl OperandNetwork {
         if !self.can_get(core, d, now) {
             return None;
         }
-        self.direct.remove(&(core, d)).map(|(v, _)| v)
+        self.direct[core * LINKS + dir_index(d)]
+            .take()
+            .map(|(v, _)| v)
     }
 
     /// `BCAST`: deliver `value` to every other core's broadcast latch.
@@ -286,7 +383,7 @@ impl OperandNetwork {
 
     /// True when a `GETB` at `core` would succeed now.
     pub fn can_getb(&self, core: usize, now: u64) -> bool {
-        self.bcast[core].map(|(_, at)| at <= now).unwrap_or(false)
+        self.bcast[core].is_some_and(|(_, at)| at <= now)
     }
 
     /// Consume the broadcast latch at `core`.
@@ -297,10 +394,16 @@ impl OperandNetwork {
         self.bcast[core].take().map(|(v, _)| v)
     }
 
-    /// True when `core` has nothing buffered anywhere (used in debug
-    /// assertions at region boundaries).
+    /// True when `core` has nothing buffered anywhere — queues in either
+    /// direction, its inbound direct-mode latches, or its broadcast latch
+    /// (used in debug assertions at region boundaries).
     pub fn quiescent(&self, core: usize) -> bool {
-        self.send_q[core].is_empty() && self.recv_q[core].is_empty()
+        self.send_q[core].is_empty()
+            && self.recv[core].buffered == 0
+            && self.direct[core * LINKS..(core + 1) * LINKS]
+                .iter()
+                .all(Option::is_none)
+            && self.bcast[core].is_none()
     }
 
     /// Statistics snapshot.
@@ -387,6 +490,20 @@ mod tests {
     }
 
     #[test]
+    fn spawns_from_distinct_senders_arrive_in_delivery_order() {
+        let mut n = net(4);
+        // Core 2's spawn is enqueued first; both are delivered the same
+        // tick (core order), so core 2's delivery sequence is lower.
+        n.send(2, 3, 0, Payload::Spawn(BlockId(7)), 0);
+        n.send(1, 3, 0, Payload::Spawn(BlockId(5)), 0);
+        for t in 1..10 {
+            n.tick(t);
+        }
+        assert_eq!(n.take_spawn(3, 20), Some((1, BlockId(5))));
+        assert_eq!(n.take_spawn(3, 20), Some((2, BlockId(7))));
+    }
+
+    #[test]
     fn direct_put_get_one_cycle_per_hop() {
         let mut n = net(4);
         assert_eq!(n.put(0, Dir::East, Value::Int(42), 5), Ok(true));
@@ -442,5 +559,34 @@ mod tests {
         n.recv(1, 0, 0, 3);
         assert!(!n.can_recv(1, 0, 0, 3));
         assert!(n.can_recv(1, 0, 0, 4));
+    }
+
+    #[test]
+    fn quiescent_sees_queues_latches_and_broadcasts() {
+        let mut n = net(4);
+        assert!((0..4).all(|c| n.quiescent(c)));
+        // A queued (not yet delivered) message makes the sender busy.
+        n.send(0, 1, 0, Payload::Data(Value::Int(1)), 0);
+        assert!(!n.quiescent(0));
+        n.tick(1);
+        // Delivered but unconsumed: the receiver is busy, sender is clear.
+        assert!(n.quiescent(0));
+        assert!(!n.quiescent(1));
+        n.recv(1, 0, 0, 10);
+        assert!(n.quiescent(1));
+        // An occupied direct latch belongs to the receiving core.
+        n.put(0, Dir::East, Value::Int(9), 10).unwrap();
+        assert!(!n.quiescent(1));
+        assert!(n.quiescent(0));
+        n.get(1, Dir::West, 11);
+        assert!(n.quiescent(1));
+        // A pending broadcast marks every peer busy until consumed.
+        assert!(n.bcast(2, Value::Pred(true), 12));
+        assert!(n.quiescent(2));
+        assert!(!n.quiescent(0) && !n.quiescent(1) && !n.quiescent(3));
+        for c in [0, 1, 3] {
+            n.getb(c, 13);
+        }
+        assert!((0..4).all(|c| n.quiescent(c)));
     }
 }

@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn machine_stats_aggregate_across_cores() {
-        let mut m = MachineStats { cores: vec![CoreStats::default(); 4], ..Default::default() };
+        let mut m = MachineStats {
+            cores: vec![CoreStats::default(); 4],
+            ..Default::default()
+        };
         m.cores[0].stall(StallReason::RecvPred);
         m.cores[3].stall(StallReason::RecvPred);
         assert_eq!(m.total_stall(StallReason::RecvPred), 2);

@@ -45,9 +45,21 @@ pub struct TmStats {
 pub struct TxnManager {
     line_mask: u64,
     txns: Vec<Option<Txn>>,
+    /// Retired transactions, recycled by [`TxnManager::begin`] so their
+    /// hash containers keep their capacity (transactions are begun every
+    /// few hundred cycles on the DOALL path).
+    pool: Vec<Txn>,
     /// The commit token: the order the next commit must have.
     expected: u32,
     stats: TmStats,
+}
+
+/// Clear a retired transaction's sets (keeping capacity) for reuse.
+fn retire(mut txn: Txn) -> Txn {
+    txn.read_lines.clear();
+    txn.write_lines.clear();
+    txn.writes.clear();
+    txn
 }
 
 impl TxnManager {
@@ -58,6 +70,7 @@ impl TxnManager {
         TxnManager {
             line_mask: !(line_size - 1),
             txns: vec![None; cores],
+            pool: Vec::new(),
             expected: 0,
             stats: TmStats::default(),
         }
@@ -81,12 +94,14 @@ impl TxnManager {
         if order == 0 {
             self.expected = 0;
         }
-        self.txns[core] = Some(Txn {
-            order,
+        let mut txn = self.pool.pop().unwrap_or_else(|| Txn {
+            order: 0,
             read_lines: HashSet::new(),
             write_lines: HashSet::new(),
             writes: HashMap::new(),
         });
+        txn.order = order;
+        self.txns[core] = Some(txn);
     }
 
     /// Transactional read: merge the transaction's own buffered bytes over
@@ -95,9 +110,20 @@ impl TxnManager {
     /// `committed` supplies the committed value of the addressed bytes
     /// (little-endian, as [`voltron_ir::Memory::load_uint`] returns).
     pub fn read(&mut self, core: usize, addr: u64, width: u64, committed: u64) -> u64 {
-        let txn = self.txns[core].as_mut().expect("transactional read outside txn");
-        for b in 0..width {
-            txn.read_lines.insert((addr + b) & self.line_mask);
+        let txn = self.txns[core]
+            .as_mut()
+            .expect("transactional read outside txn");
+        // Insert per spanned line, not per byte (accesses are narrow, so
+        // this is one or two inserts instead of `width`).
+        let line_size = !self.line_mask + 1;
+        let last = (addr + width - 1) & self.line_mask;
+        let mut line = addr & self.line_mask;
+        loop {
+            txn.read_lines.insert(line);
+            if line == last {
+                break;
+            }
+            line += line_size;
         }
         let mut bytes = committed.to_le_bytes();
         for (i, byte) in bytes.iter_mut().enumerate().take(width as usize) {
@@ -110,10 +136,21 @@ impl TxnManager {
 
     /// Transactional write: buffer bytes, recording the write-set.
     pub fn write(&mut self, core: usize, addr: u64, width: u64, value: u64) {
-        let txn = self.txns[core].as_mut().expect("transactional write outside txn");
+        let txn = self.txns[core]
+            .as_mut()
+            .expect("transactional write outside txn");
         let bytes = value.to_le_bytes();
+        let line_size = !self.line_mask + 1;
+        let last = (addr + width - 1) & self.line_mask;
+        let mut line = addr & self.line_mask;
+        loop {
+            txn.write_lines.insert(line);
+            if line == last {
+                break;
+            }
+            line += line_size;
+        }
         for b in 0..width {
-            txn.write_lines.insert((addr + b) & self.line_mask);
             txn.writes.insert(addr + b, bytes[b as usize]);
         }
     }
@@ -147,10 +184,10 @@ impl TxnManager {
         let mut aborted = Vec::new();
         for (c, slot) in self.txns.iter_mut().enumerate() {
             if let Some(other) = slot {
-                let conflicts = other.order > txn.order
-                    && !other.read_lines.is_disjoint(&txn.write_lines);
+                let conflicts =
+                    other.order > txn.order && !other.read_lines.is_disjoint(&txn.write_lines);
                 if conflicts {
-                    *slot = None;
+                    self.pool.push(retire(slot.take().expect("just matched")));
                     aborted.push(c);
                     self.stats.aborts += 1;
                 }
@@ -158,14 +195,16 @@ impl TxnManager {
         }
         self.stats.commits += 1;
         self.stats.committed_lines += txn.write_lines.len() as u64;
-        let mut lines: Vec<u64> = txn.write_lines.into_iter().collect();
+        let mut lines: Vec<u64> = txn.write_lines.iter().copied().collect();
         lines.sort_unstable();
+        self.pool.push(retire(txn));
         (lines, aborted)
     }
 
     /// Explicitly abort `core`'s transaction (XABORT or machine-initiated).
     pub fn abort(&mut self, core: usize) {
-        if self.txns[core].take().is_some() {
+        if let Some(txn) = self.txns[core].take() {
+            self.pool.push(retire(txn));
             self.stats.aborts += 1;
         }
     }

@@ -5,13 +5,18 @@
 //! spawns, mode switches, transactional commits/aborts — as they happen.
 //! This is the debugging lens for compiler work: a deadlock dump tells
 //! you where the machine wedged; a trace tells you how it got there.
+//!
+//! Events borrow from the machine program (the block name and the issued
+//! instruction) so emitting them costs nothing on the simulation hot
+//! path; a tracer that wants to keep an event must render or copy what
+//! it needs inside [`Tracer::event`].
 
-use voltron_ir::ExecMode;
 use std::fmt::Write as _;
+use voltron_ir::{ExecMode, Inst};
 
 /// One trace event.
 #[derive(Debug, Clone, PartialEq)]
-pub enum TraceEvent {
+pub enum TraceEvent<'a> {
     /// A core issued an instruction.
     Issue {
         /// Cycle of issue.
@@ -19,9 +24,9 @@ pub enum TraceEvent {
         /// Issuing core.
         core: usize,
         /// Machine block name.
-        block: String,
-        /// Rendered instruction.
-        inst: String,
+        block: &'a str,
+        /// The issued instruction.
+        inst: &'a Inst,
     },
     /// An idle core picked up a spawned thread.
     ThreadStart {
@@ -67,7 +72,7 @@ pub enum TraceEvent {
 /// Receiver of trace events.
 pub trait Tracer {
     /// Called for every event, in cycle order.
-    fn event(&mut self, e: TraceEvent);
+    fn event(&mut self, e: TraceEvent<'_>);
 
     /// Render whatever was captured (returned in
     /// [`crate::machine::RunOutcome::trace`] after a traced run).
@@ -92,7 +97,11 @@ impl TextTracer {
     /// A tracer capturing up to `limit` events; `issues` selects whether
     /// per-instruction lines are included.
     pub fn new(limit: usize, issues: bool) -> TextTracer {
-        TextTracer { lines: Vec::new(), limit, issues }
+        TextTracer {
+            lines: Vec::new(),
+            limit,
+            issues,
+        }
     }
 
     /// The captured lines.
@@ -115,12 +124,17 @@ impl Tracer for TextTracer {
         TextTracer::render(self)
     }
 
-    fn event(&mut self, e: TraceEvent) {
+    fn event(&mut self, e: TraceEvent<'_>) {
         if self.lines.len() >= self.limit {
             return;
         }
         let line = match e {
-            TraceEvent::Issue { cycle, core, block, inst } => {
+            TraceEvent::Issue {
+                cycle,
+                core,
+                block,
+                inst,
+            } => {
                 if !self.issues {
                     return;
                 }
@@ -149,21 +163,40 @@ impl Tracer for TextTracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use voltron_ir::Opcode;
 
     #[test]
     fn text_tracer_respects_limit_and_issue_filter() {
+        let nop = Inst::new(Opcode::Nop, vec![]);
         let mut t = TextTracer::new(2, false);
         t.event(TraceEvent::Issue {
             cycle: 1,
             core: 0,
-            block: "b".into(),
-            inst: "nop".into(),
+            block: "b",
+            inst: &nop,
         });
         assert!(t.lines().is_empty(), "issues filtered out");
-        t.event(TraceEvent::ModeSwitch { cycle: 2, mode: ExecMode::Coupled });
+        t.event(TraceEvent::ModeSwitch {
+            cycle: 2,
+            mode: ExecMode::Coupled,
+        });
         t.event(TraceEvent::Halt { cycle: 3, core: 0 });
         t.event(TraceEvent::Halt { cycle: 4, core: 1 });
         assert_eq!(t.lines().len(), 2, "limit enforced");
         assert!(t.render().contains("MODE -> coupled"));
+    }
+
+    #[test]
+    fn issue_lines_render_the_borrowed_instruction() {
+        let nop = Inst::new(Opcode::Nop, vec![]);
+        let mut t = TextTracer::new(8, true);
+        t.event(TraceEvent::Issue {
+            cycle: 7,
+            core: 1,
+            block: "entry",
+            inst: &nop,
+        });
+        assert_eq!(t.lines().len(), 1);
+        assert!(t.lines()[0].contains("<entry>"));
     }
 }

@@ -2,9 +2,7 @@
 //! aborts, guard nullification of network operations, f32 memory ops,
 //! error paths, and the mode-switch barrier.
 
-use voltron_ir::{
-    BlockId, DataSegment, ExecMode, Inst, MemWidth, Opcode, Operand, Reg,
-};
+use voltron_ir::{BlockId, DataSegment, ExecMode, Inst, MemWidth, Opcode, Operand, Reg};
 use voltron_sim::{CoreImage, MBlock, Machine, MachineConfig, MachineProgram, SimError};
 
 fn gpr(i: u32) -> Reg {
@@ -14,7 +12,10 @@ fn gpr(i: u32) -> Reg {
 fn program(core_blocks: Vec<Vec<MBlock>>, data: DataSegment) -> MachineProgram {
     MachineProgram {
         name: "edge".into(),
-        cores: core_blocks.into_iter().map(|blocks| CoreImage { blocks }).collect(),
+        cores: core_blocks
+            .into_iter()
+            .map(|blocks| CoreImage { blocks })
+            .collect(),
         data,
     }
 }
@@ -50,15 +51,25 @@ fn explicit_xabort_reexecutes_from_xbegin() {
     // with the right result. Simpler: single core, xbegin; xcommit; then
     // xbegin; xabort is NOT taken (guarded false); store; xcommit.
     let mut b = MBlock::new("entry", 0);
-    b.insts.push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(0)]));
-    b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(flag as i64)]));
-    b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(7)]));
+    b.insts
+        .push(Inst::new(Opcode::Xbegin, vec![Operand::Imm(0)]));
+    b.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(0),
+        vec![Operand::Imm(flag as i64)],
+    ));
+    b.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(7)]));
     b.insts.push(Inst::new(
         Opcode::Store(MemWidth::W8),
         vec![gpr(0).into(), Operand::Imm(0), gpr(1).into()],
     ));
     b.insts.push(Inst::new(Opcode::Xcommit, vec![]));
-    b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(2), vec![Operand::Imm(out as i64)]));
+    b.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(2),
+        vec![Operand::Imm(out as i64)],
+    ));
     b.insts.push(Inst::with_dst(
         Opcode::Load(MemWidth::W8, voltron_ir::Signedness::Signed),
         gpr(3),
@@ -70,7 +81,10 @@ fn explicit_xabort_reexecutes_from_xbegin() {
     ));
     b.insts.push(Inst::new(Opcode::Halt, vec![]));
     let p = program(vec![vec![b]], data);
-    let outcome = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+    let outcome = Machine::new(p, &MachineConfig::paper(1))
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(outcome.memory.load_i64(out).unwrap(), 7);
     assert_eq!(outcome.stats.tm.commits, 1);
     assert_eq!(outcome.stats.tm.aborts, 0);
@@ -94,7 +108,8 @@ fn guarded_send_is_nullified() {
         Reg::pred(0),
         vec![Operand::Imm(1), Operand::Imm(2)],
     ));
-    c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(666)]));
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(666)]));
     c0.insts.push(
         Inst::new(
             Opcode::Send,
@@ -102,13 +117,22 @@ fn guarded_send_is_nullified() {
         )
         .guarded(Reg::pred(0)),
     );
-    c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(42)]));
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(42)]));
     c0.insts.push(Inst::new(
         Opcode::Send,
         vec![gpr(1).into(), Operand::Core(1), Operand::Imm(2)],
     ));
-    c0.insts.push(Inst::with_dst(Opcode::Recv, gpr(2), vec![Operand::Core(1), Operand::Imm(3)]));
-    c0.insts.push(Inst::with_dst(Opcode::Ldi, gpr(3), vec![Operand::Imm(out as i64)]));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Recv,
+        gpr(2),
+        vec![Operand::Core(1), Operand::Imm(3)],
+    ));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(3),
+        vec![Operand::Imm(out as i64)],
+    ));
     c0.insts.push(Inst::new(
         Opcode::Store(MemWidth::W8),
         vec![gpr(3).into(), Operand::Imm(0), gpr(2).into()],
@@ -117,14 +141,21 @@ fn guarded_send_is_nullified() {
     let mut idle = MBlock::new("idle", 0);
     idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
     let mut c1 = MBlock::new("worker", 0);
-    c1.insts.push(Inst::with_dst(Opcode::Recv, gpr(0), vec![Operand::Core(0), Operand::Imm(2)]));
+    c1.insts.push(Inst::with_dst(
+        Opcode::Recv,
+        gpr(0),
+        vec![Operand::Core(0), Operand::Imm(2)],
+    ));
     c1.insts.push(Inst::new(
         Opcode::Send,
         vec![gpr(0).into(), Operand::Core(0), Operand::Imm(3)],
     ));
     c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
     let p = program(vec![vec![c0], vec![idle, c1]], data);
-    let outcome = Machine::new(p, &MachineConfig::paper(2)).unwrap().run().unwrap();
+    let outcome = Machine::new(p, &MachineConfig::paper(2))
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(outcome.memory.load_i64(out).unwrap(), 42);
 }
 
@@ -133,23 +164,41 @@ fn f32_load_store_round_trip() {
     let mut data = DataSegment::default();
     let buf = data.zeroed("buf", 16);
     let mut b = MBlock::new("entry", 0);
-    b.insts.push(Inst::with_dst(Opcode::Fldi, Reg::fpr(0), vec![Operand::FImm(2.5)]));
-    b.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(buf as i64)]));
+    b.insts.push(Inst::with_dst(
+        Opcode::Fldi,
+        Reg::fpr(0),
+        vec![Operand::FImm(2.5)],
+    ));
+    b.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(0),
+        vec![Operand::Imm(buf as i64)],
+    ));
     b.insts.push(Inst::new(
         Opcode::Fstore4,
         vec![gpr(0).into(), Operand::Imm(0), Reg::fpr(0).into()],
     ));
-    b.insts.push(Inst::with_dst(Opcode::Fload4, Reg::fpr(1), vec![gpr(0).into(), Operand::Imm(0)]));
+    b.insts.push(Inst::with_dst(
+        Opcode::Fload4,
+        Reg::fpr(1),
+        vec![gpr(0).into(), Operand::Imm(0)],
+    ));
     b.insts.push(Inst::new(
         Opcode::Fstore,
         vec![gpr(0).into(), Operand::Imm(8), Reg::fpr(1).into()],
     ));
     b.insts.push(Inst::new(Opcode::Halt, vec![]));
     let p = program(vec![vec![b]], data);
-    let outcome = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+    let outcome = Machine::new(p, &MachineConfig::paper(1))
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(outcome.memory.load_f64(buf + 8).unwrap(), 2.5);
     // The f32 bit pattern of 2.5 sits in the first word.
-    assert_eq!(outcome.memory.load_uint(buf, 4).unwrap(), u64::from(2.5f32.to_bits()));
+    assert_eq!(
+        outcome.memory.load_uint(buf, 4).unwrap(),
+        u64::from(2.5f32.to_bits())
+    );
 }
 
 #[test]
@@ -157,7 +206,10 @@ fn residual_call_is_rejected() {
     let mut data = DataSegment::default();
     data.zeroed("pad", 8);
     let mut b = MBlock::new("entry", 0);
-    b.insts.push(Inst::new(Opcode::Call, vec![Operand::Func(voltron_ir::FuncId(0))]));
+    b.insts.push(Inst::new(
+        Opcode::Call,
+        vec![Operand::Func(voltron_ir::FuncId(0))],
+    ));
     b.insts.push(Inst::new(Opcode::Halt, vec![]));
     let p = program(vec![vec![b]], data);
     match Machine::new(p, &MachineConfig::paper(1)) {
@@ -172,7 +224,8 @@ fn max_cycles_is_enforced() {
     data.zeroed("pad", 8);
     // Infinite loop: jump to self.
     let mut b = MBlock::new("spin", 0);
-    b.insts.push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(0))]));
+    b.insts
+        .push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(0))]));
     let p = program(vec![vec![b]], data);
     let mut cfg = MachineConfig::paper(1);
     cfg.max_cycles = 5_000;
@@ -191,13 +244,19 @@ fn mode_switch_disagreement_is_detected() {
         Opcode::Spawn,
         vec![Operand::Core(1), Operand::Block(BlockId(1))],
     ));
-    c0.insts.push(Inst::new(Opcode::ModeSwitch, vec![Operand::Mode(ExecMode::Coupled)]));
+    c0.insts.push(Inst::new(
+        Opcode::ModeSwitch,
+        vec![Operand::Mode(ExecMode::Coupled)],
+    ));
     c0.insts.push(Inst::new(Opcode::Halt, vec![]));
     let mut idle = MBlock::new("idle", 0);
     idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
     let mut c1 = MBlock::new("worker", 0);
     // Worker switches to the *wrong* mode.
-    c1.insts.push(Inst::new(Opcode::ModeSwitch, vec![Operand::Mode(ExecMode::Decoupled)]));
+    c1.insts.push(Inst::new(
+        Opcode::ModeSwitch,
+        vec![Operand::Mode(ExecMode::Decoupled)],
+    ));
     c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
     let p = program(vec![vec![c0], vec![idle, c1]], data);
     match Machine::new(p, &MachineConfig::paper(2)).unwrap().run() {
@@ -211,21 +270,35 @@ fn branch_through_btr_register() {
     let mut data = DataSegment::default();
     let out = data.zeroed("out", 8);
     let mut b0 = MBlock::new("entry", 0);
-    b0.insts.push(Inst::with_dst(Opcode::Pbr, Reg::btr(0), vec![Operand::Block(BlockId(2))]));
-    b0.insts.push(Inst::new(Opcode::Jump, vec![Reg::btr(0).into()]));
+    b0.insts.push(Inst::with_dst(
+        Opcode::Pbr,
+        Reg::btr(0),
+        vec![Operand::Block(BlockId(2))],
+    ));
+    b0.insts
+        .push(Inst::new(Opcode::Jump, vec![Reg::btr(0).into()]));
     let mut b1 = MBlock::new("skipped", 0);
-    b1.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(666)]));
+    b1.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(666)]));
     b1.insts.push(Inst::new(Opcode::Halt, vec![]));
     let mut b2 = MBlock::new("target", 0);
-    b2.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(out as i64)]));
-    b2.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(1)]));
+    b2.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(0),
+        vec![Operand::Imm(out as i64)],
+    ));
+    b2.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(1)]));
     b2.insts.push(Inst::new(
         Opcode::Store(MemWidth::W8),
         vec![gpr(0).into(), Operand::Imm(0), gpr(1).into()],
     ));
     b2.insts.push(Inst::new(Opcode::Halt, vec![]));
     let p = program(vec![vec![b0, b1, b2]], data);
-    let outcome = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+    let outcome = Machine::new(p, &MachineConfig::paper(1))
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(outcome.memory.load_i64(out).unwrap(), 1);
 }
 
@@ -234,17 +307,26 @@ fn empty_branch_target_blocks_are_skipped() {
     let mut data = DataSegment::default();
     let out = data.zeroed("out", 8);
     let mut b0 = MBlock::new("entry", 0);
-    b0.insts.push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(1))]));
+    b0.insts
+        .push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(1))]));
     let empty = MBlock::new("empty", 0); // legally empty: falls through
     let mut b2 = MBlock::new("work", 0);
-    b2.insts.push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(out as i64)]));
-    b2.insts.push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(9)]));
+    b2.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(0),
+        vec![Operand::Imm(out as i64)],
+    ));
+    b2.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(9)]));
     b2.insts.push(Inst::new(
         Opcode::Store(MemWidth::W8),
         vec![gpr(0).into(), Operand::Imm(0), gpr(1).into()],
     ));
     b2.insts.push(Inst::new(Opcode::Halt, vec![]));
     let p = program(vec![vec![b0, empty, b2]], data);
-    let outcome = Machine::new(p, &MachineConfig::paper(1)).unwrap().run().unwrap();
+    let outcome = Machine::new(p, &MachineConfig::paper(1))
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(outcome.memory.load_i64(out).unwrap(), 9);
 }

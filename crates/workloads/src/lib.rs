@@ -161,7 +161,12 @@ mod tests {
                 "{} is nondeterministic",
                 w.name
             );
-            assert!(a.steps > 1_000, "{} is trivially small ({} steps)", w.name, a.steps);
+            assert!(
+                a.steps > 1_000,
+                "{} is trivially small ({} steps)",
+                w.name,
+                a.steps
+            );
         }
     }
 
@@ -170,8 +175,12 @@ mod tests {
         for name in ["171.swim", "164.gzip", "gsmdecode"] {
             let t = by_name(name, Scale::Test).unwrap();
             let f = by_name(name, Scale::Full).unwrap();
-            let ts = voltron_ir::interp::run(&t.program, 2_000_000_000).unwrap().steps;
-            let fs = voltron_ir::interp::run(&f.program, 2_000_000_000).unwrap().steps;
+            let ts = voltron_ir::interp::run(&t.program, 2_000_000_000)
+                .unwrap()
+                .steps;
+            let fs = voltron_ir::interp::run(&f.program, 2_000_000_000)
+                .unwrap()
+                .steps;
             assert!(fs > ts * 2, "{name}: full {fs} vs test {ts}");
         }
     }

@@ -126,7 +126,12 @@ pub fn cjpeg(scale: Scale) -> Workload {
     });
     f.halt();
     pb.finish_function(f);
-    Workload { name: "cjpeg", suite: Suite::MediaBench, expected: Expected::Mixed, program: pb.finish() }
+    Workload {
+        name: "cjpeg",
+        suite: Suite::MediaBench,
+        expected: Expected::Mixed,
+        program: pb.finish(),
+    }
 }
 
 /// `djpeg` — JPEG decompression: blocked IDCT (LLP) and a 2x horizontal
@@ -136,9 +141,10 @@ pub fn djpeg(scale: Scale) -> Workload {
     let blocks = scale.of(16, 72);
     let pixels = blocks * 32;
     let mut pb = ProgramBuilder::new("djpeg");
-    let coeffs = pb
-        .data_mut()
-        .array_i32("coeffs", &rand_i32s(&mut rng, (blocks * 64) as usize, -512, 512));
+    let coeffs = pb.data_mut().array_i32(
+        "coeffs",
+        &rand_i32s(&mut rng, (blocks * 64) as usize, -512, 512),
+    );
     let image = pb.data_mut().zeroed("image", (blocks * 64 * 4) as u64);
     let upsampled = pb.data_mut().zeroed("upsampled", (pixels * 2 * 4) as u64);
     let state_sym = pb.data_mut().zeroed("state", 8);
@@ -207,7 +213,12 @@ pub fn djpeg(scale: Scale) -> Workload {
     });
     f.halt();
     pb.finish_function(f);
-    Workload { name: "djpeg", suite: Suite::MediaBench, expected: Expected::Mixed, program: pb.finish() }
+    Workload {
+        name: "djpeg",
+        suite: Suite::MediaBench,
+        expected: Expected::Mixed,
+        program: pb.finish(),
+    }
 }
 
 /// `epic` — image-pyramid coder: a wavelet averaging level (statistical
@@ -217,7 +228,9 @@ pub fn epic(scale: Scale) -> Workload {
     let mut rng = rng_for("epic");
     let n = scale.of(768, 3072);
     let mut pb = ProgramBuilder::new("epic");
-    let img = pb.data_mut().array_i32("img", &rand_i32s(&mut rng, n as usize, 0, 64));
+    let img = pb
+        .data_mut()
+        .array_i32("img", &rand_i32s(&mut rng, n as usize, 0, 64));
     let half = pb.data_mut().zeroed("half", (n / 2 * 4) as u64);
     let runs = pb.data_mut().zeroed("runs", (n * 8) as u64);
     let emitted_sym = pb.data_mut().zeroed("emitted", 8);
@@ -344,7 +357,12 @@ fn g721(name: &'static str, encode: bool, scale: Scale) -> Workload {
     f.store8(st_b, 8, step);
     f.halt();
     pb.finish_function(f);
-    Workload { name, suite: Suite::MediaBench, expected: Expected::Ilp, program: pb.finish() }
+    Workload {
+        name,
+        suite: Suite::MediaBench,
+        expected: Expected::Ilp,
+        program: pb.finish(),
+    }
 }
 
 /// `g721decode` — ADPCM decoder: a tight serial predictor recurrence
@@ -365,15 +383,21 @@ pub fn gsmdecode(scale: Scale) -> Workload {
     let frames = scale.of(6, 20);
     let subsamples = 64i64;
     let mut pb = ProgramBuilder::new("gsmdecode");
-    let u = pb
-        .data_mut()
-        .array_i64("u", &rand_i64s(&mut rng, (frames * subsamples) as usize, -8000, 8000));
-    let rp = pb
-        .data_mut()
-        .array_i64("rp", &rand_i64s(&mut rng, (frames * subsamples) as usize, -8000, 8000));
+    let u = pb.data_mut().array_i64(
+        "u",
+        &rand_i64s(&mut rng, (frames * subsamples) as usize, -8000, 8000),
+    );
+    let rp = pb.data_mut().array_i64(
+        "rp",
+        &rand_i64s(&mut rng, (frames * subsamples) as usize, -8000, 8000),
+    );
     let uf = pb.data_mut().zeroed("uf", (frames * subsamples * 8) as u64);
-    let rpf = pb.data_mut().zeroed("rpf", (frames * subsamples * 8) as u64);
-    let rrp = pb.data_mut().array_i64("rrp", &rand_i64s(&mut rng, 8, -16000, 16000));
+    let rpf = pb
+        .data_mut()
+        .zeroed("rpf", (frames * subsamples * 8) as u64);
+    let rrp = pb
+        .data_mut()
+        .array_i64("rrp", &rand_i64s(&mut rng, 8, -16000, 16000));
     let v = pb.data_mut().zeroed("v", 9 * 8);
     let sri_sym = pb.data_mut().zeroed("sri", 8);
 
@@ -427,9 +451,10 @@ pub fn gsmencode(scale: Scale) -> Workload {
     let samples = scale.of(512, 2048);
     let lags = 16i64;
     let mut pb = ProgramBuilder::new("gsmencode");
-    let s = pb
-        .data_mut()
-        .array_i64("s", &rand_i64s(&mut rng, (samples + lags) as usize, -4000, 4000));
+    let s = pb.data_mut().array_i64(
+        "s",
+        &rand_i64s(&mut rng, (samples + lags) as usize, -4000, 4000),
+    );
     let acf = pb.data_mut().zeroed("acf", (lags * 8) as u64);
     let pre = pb.data_mut().zeroed("pre", (samples * 8) as u64);
 
@@ -486,8 +511,12 @@ pub fn mpeg2dec(scale: Scale) -> Workload {
     let blocks = scale.of(20, 80);
     let n = blocks * 64;
     let mut pb = ProgramBuilder::new("mpeg2dec");
-    let coeff = pb.data_mut().array_i32("coeff", &rand_i32s(&mut rng, n as usize, -256, 256));
-    let refframe = pb.data_mut().array_i32("ref", &rand_i32s(&mut rng, (n + 64) as usize, 0, 255));
+    let coeff = pb
+        .data_mut()
+        .array_i32("coeff", &rand_i32s(&mut rng, n as usize, -256, 256));
+    let refframe = pb
+        .data_mut()
+        .array_i32("ref", &rand_i32s(&mut rng, (n + 64) as usize, 0, 255));
     let out = pb.data_mut().zeroed("out", (n * 4) as u64);
 
     let mut f = pb.function("main");
@@ -533,7 +562,9 @@ pub fn mpeg2enc(scale: Scale) -> Workload {
     let candidates = scale.of(24, 96);
     let blocksz = 64i64;
     let mut pb = ProgramBuilder::new("mpeg2enc");
-    let cur = pb.data_mut().array_i32("cur", &rand_i32s(&mut rng, blocksz as usize, 0, 255));
+    let cur = pb
+        .data_mut()
+        .array_i32("cur", &rand_i32s(&mut rng, blocksz as usize, 0, 255));
     let refw = pb.data_mut().array_i32(
         "refw",
         &rand_i32s(&mut rng, (candidates + blocksz) as usize, 0, 255),
@@ -647,7 +678,12 @@ fn rawaudio(name: &'static str, encode: bool, scale: Scale) -> Workload {
     f.store8(st_b, 8, index);
     f.halt();
     pb.finish_function(f);
-    Workload { name, suite: Suite::MediaBench, expected: Expected::Ilp, program: pb.finish() }
+    Workload {
+        name,
+        suite: Suite::MediaBench,
+        expected: Expected::Ilp,
+        program: pb.finish(),
+    }
 }
 
 /// `rawcaudio` — IMA-ADPCM encoder recurrence (ILP).

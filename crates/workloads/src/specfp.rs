@@ -15,11 +15,16 @@ pub fn alvinn(scale: Scale) -> Workload {
     let ni = scale.of(24, 48); // inputs
     let nh = scale.of(16, 48); // hidden units
     let mut pb = ProgramBuilder::new("052.alvinn");
-    let input = pb.data_mut().array_f64("input", &rand_f64s(&mut rng, ni as usize, -1.0, 1.0));
-    let weights = pb
+    let input = pb
         .data_mut()
-        .array_f64("weights", &rand_f64s(&mut rng, (ni * nh) as usize, -0.5, 0.5));
-    let err = pb.data_mut().array_f64("err", &rand_f64s(&mut rng, nh as usize, -0.2, 0.2));
+        .array_f64("input", &rand_f64s(&mut rng, ni as usize, -1.0, 1.0));
+    let weights = pb.data_mut().array_f64(
+        "weights",
+        &rand_f64s(&mut rng, (ni * nh) as usize, -0.5, 0.5),
+    );
+    let err = pb
+        .data_mut()
+        .array_f64("err", &rand_f64s(&mut rng, nh as usize, -0.2, 0.2));
     let hidden = pb.data_mut().zeroed("hidden", (nh * 8) as u64);
 
     let mut f = pb.function("main");
@@ -72,7 +77,12 @@ pub fn alvinn(scale: Scale) -> Workload {
     });
     f.halt();
     pb.finish_function(f);
-    Workload { name: "052.alvinn", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+    Workload {
+        name: "052.alvinn",
+        suite: Suite::SpecFp,
+        expected: Expected::Llp,
+        program: pb.finish(),
+    }
 }
 
 /// `056.ear` — cochlea filter bank: one IIR recurrence per channel
@@ -83,9 +93,15 @@ pub fn ear(scale: Scale) -> Workload {
     let channels = scale.of(12, 32);
     let samples = scale.of(96, 256);
     let mut pb = ProgramBuilder::new("056.ear");
-    let x = pb.data_mut().array_f64("x", &rand_f64s(&mut rng, samples as usize, -1.0, 1.0));
-    let coef_a = pb.data_mut().array_f64("coef_a", &rand_f64s(&mut rng, channels as usize, 0.1, 0.9));
-    let coef_b = pb.data_mut().array_f64("coef_b", &rand_f64s(&mut rng, channels as usize, 0.05, 0.5));
+    let x = pb
+        .data_mut()
+        .array_f64("x", &rand_f64s(&mut rng, samples as usize, -1.0, 1.0));
+    let coef_a = pb
+        .data_mut()
+        .array_f64("coef_a", &rand_f64s(&mut rng, channels as usize, 0.1, 0.9));
+    let coef_b = pb
+        .data_mut()
+        .array_f64("coef_b", &rand_f64s(&mut rng, channels as usize, 0.05, 0.5));
     let energy = pb.data_mut().zeroed("energy", (channels * 8) as u64);
 
     let mut f = pb.function("main");
@@ -117,7 +133,12 @@ pub fn ear(scale: Scale) -> Workload {
     });
     f.halt();
     pb.finish_function(f);
-    Workload { name: "056.ear", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+    Workload {
+        name: "056.ear",
+        suite: Suite::SpecFp,
+        expected: Expected::Llp,
+        program: pb.finish(),
+    }
 }
 
 /// `171.swim` — shallow-water 2-D stencil sweep plus a checksum
@@ -128,7 +149,9 @@ pub fn swim(scale: Scale) -> Workload {
     let cols = scale.of(24, 48);
     let n = (rows * cols) as usize;
     let mut pb = ProgramBuilder::new("171.swim");
-    let v = pb.data_mut().array_f64("v", &rand_f64s(&mut rng, n, -2.0, 2.0));
+    let v = pb
+        .data_mut()
+        .array_f64("v", &rand_f64s(&mut rng, n, -2.0, 2.0));
     let u = pb.data_mut().zeroed("u", (n * 8) as u64);
     let sum = pb.data_mut().zeroed("sum", 8);
 
@@ -168,7 +191,12 @@ pub fn swim(scale: Scale) -> Workload {
     f.fstore(s_b, 0, acc);
     f.halt();
     pb.finish_function(f);
-    Workload { name: "171.swim", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+    Workload {
+        name: "171.swim",
+        suite: Suite::SpecFp,
+        expected: Expected::Llp,
+        program: pb.finish(),
+    }
 }
 
 /// `172.mgrid` — multigrid-style relaxation: two strided smoothing sweeps
@@ -178,7 +206,9 @@ pub fn mgrid(scale: Scale) -> Workload {
     let plane = scale.of(20, 40);
     let n = (plane * plane) as usize;
     let mut pb = ProgramBuilder::new("172.mgrid");
-    let a = pb.data_mut().array_f64("a", &rand_f64s(&mut rng, n, -1.0, 1.0));
+    let a = pb
+        .data_mut()
+        .array_f64("a", &rand_f64s(&mut rng, n, -1.0, 1.0));
     let b = pb.data_mut().zeroed("b", (n * 8) as u64);
     let resid = pb.data_mut().zeroed("resid", 8);
 
@@ -232,7 +262,12 @@ pub fn mgrid(scale: Scale) -> Workload {
     f.fstore(r_b, 0, acc);
     f.halt();
     pb.finish_function(f);
-    Workload { name: "172.mgrid", suite: Suite::SpecFp, expected: Expected::Llp, program: pb.finish() }
+    Workload {
+        name: "172.mgrid",
+        suite: Suite::SpecFp,
+        expected: Expected::Llp,
+        program: pb.finish(),
+    }
 }
 
 /// `177.mesa` — vertex pipeline: a 4x4 transform per vertex with a
@@ -245,7 +280,9 @@ pub fn mesa(scale: Scale) -> Workload {
     let verts = pb
         .data_mut()
         .array_f64("verts", &rand_f64s(&mut rng, (nv * 4) as usize, -4.0, 4.0));
-    let mat = pb.data_mut().array_f64("mat", &rand_f64s(&mut rng, 16, -1.0, 1.0));
+    let mat = pb
+        .data_mut()
+        .array_f64("mat", &rand_f64s(&mut rng, 16, -1.0, 1.0));
     let out = pb.data_mut().zeroed("out", (nv * 4 * 8) as u64);
     let count = pb.data_mut().zeroed("count", 8);
 
@@ -292,7 +329,12 @@ pub fn mesa(scale: Scale) -> Workload {
     f.store8(c_b, 0, cursor);
     f.halt();
     pb.finish_function(f);
-    Workload { name: "177.mesa", suite: Suite::SpecFp, expected: Expected::Ilp, program: pb.finish() }
+    Workload {
+        name: "177.mesa",
+        suite: Suite::SpecFp,
+        expected: Expected::Ilp,
+        program: pb.finish(),
+    }
 }
 
 /// `179.art` — neural match over a large weight store with a serial
@@ -309,7 +351,9 @@ pub fn art(scale: Scale) -> Workload {
     let stream = pb
         .data_mut()
         .array_f64("stream", &rand_f64s(&mut rng, steps as usize, 0.0, 1.0));
-    let next = pb.data_mut().array_i32("next", &chase_ring(&mut rng, nodes as usize));
+    let next = pb
+        .data_mut()
+        .array_i32("next", &chase_ring(&mut rng, nodes as usize));
     let outp = pb.data_mut().zeroed("out", 16);
 
     let mut f = pb.function("main");
@@ -374,7 +418,9 @@ pub fn equake(scale: Scale) -> Workload {
     let rp = pb.data_mut().array_i32("rowptr", &rowptr);
     let ci = pb.data_mut().array_i32("col", &cols);
     let av = pb.data_mut().array_f64("a", &vals);
-    let x = pb.data_mut().array_f64("x", &rand_f64s(&mut rng, rows as usize, -1.0, 1.0));
+    let x = pb
+        .data_mut()
+        .array_f64("x", &rand_f64s(&mut rng, rows as usize, -1.0, 1.0));
     let y = pb.data_mut().zeroed("y", (rows * 8) as u64);
 
     let mut f = pb.function("main");

@@ -13,9 +13,13 @@ pub fn ijpeg(scale: Scale) -> Workload {
     let blocks = scale.of(24, 96);
     let n = (blocks * 64) as usize;
     let mut pb = ProgramBuilder::new("132.ijpeg");
-    let src = pb.data_mut().array_i32("src", &rand_i32s(&mut rng, n, -128, 128));
+    let src = pb
+        .data_mut()
+        .array_i32("src", &rand_i32s(&mut rng, n, -128, 128));
     let dst = pb.data_mut().zeroed("dst", (n * 4) as u64);
-    let quant = pb.data_mut().array_i32("quant", &rand_i32s(&mut rng, 64, 1, 32));
+    let quant = pb
+        .data_mut()
+        .array_i32("quant", &rand_i32s(&mut rng, 64, 1, 32));
 
     let mut f = pb.function("main");
     let s_b = f.ldi(src as i64);
@@ -79,7 +83,12 @@ pub fn ijpeg(scale: Scale) -> Workload {
     });
     f.halt();
     pb.finish_function(f);
-    Workload { name: "132.ijpeg", suite: Suite::SpecInt, expected: Expected::Llp, program: pb.finish() }
+    Workload {
+        name: "132.ijpeg",
+        suite: Suite::SpecInt,
+        expected: Expected::Llp,
+        program: pb.finish(),
+    }
 }
 
 /// `164.gzip` — the paper's Fig. 8 strand loop: longest-match string
@@ -101,9 +110,10 @@ pub fn gzip(scale: Scale) -> Workload {
         }
     }
     let win = pb.data_mut().array_u8("window", &window);
-    let starts = pb
-        .data_mut()
-        .array_i32("starts", &rand_indices(&mut rng, tries as usize, (len / 2) as usize));
+    let starts = pb.data_mut().array_i32(
+        "starts",
+        &rand_indices(&mut rng, tries as usize, (len / 2) as usize),
+    );
     let lens = pb.data_mut().zeroed("lens", (tries * 8) as u64);
     let best_sym = pb.data_mut().zeroed("best", 8);
 
@@ -176,11 +186,16 @@ pub fn vpr(scale: Scale) -> Workload {
     let nets = scale.of(96, 320);
     let cells = scale.of(128, 512);
     let mut pb = ProgramBuilder::new("175.vpr");
-    let xs = pb.data_mut().array_i32("xs", &rand_i32s(&mut rng, cells as usize, 0, 100));
-    let ys = pb.data_mut().array_i32("ys", &rand_i32s(&mut rng, cells as usize, 0, 100));
-    let pins = pb
+    let xs = pb
         .data_mut()
-        .array_i32("pins", &rand_indices(&mut rng, (nets * 4) as usize, cells as usize));
+        .array_i32("xs", &rand_i32s(&mut rng, cells as usize, 0, 100));
+    let ys = pb
+        .data_mut()
+        .array_i32("ys", &rand_i32s(&mut rng, cells as usize, 0, 100));
+    let pins = pb.data_mut().array_i32(
+        "pins",
+        &rand_indices(&mut rng, (nets * 4) as usize, cells as usize),
+    );
     let cost = pb.data_mut().zeroed("cost", (nets * 8) as u64);
     let total_sym = pb.data_mut().zeroed("total", 16);
 
@@ -242,7 +257,12 @@ pub fn vpr(scale: Scale) -> Workload {
     f.store8(t_b, 8, accepted);
     f.halt();
     pb.finish_function(f);
-    Workload { name: "175.vpr", suite: Suite::SpecInt, expected: Expected::Mixed, program: pb.finish() }
+    Workload {
+        name: "175.vpr",
+        suite: Suite::SpecInt,
+        expected: Expected::Mixed,
+        program: pb.finish(),
+    }
 }
 
 /// `197.parser` — dictionary lookup over hash chains: pointer chasing
@@ -273,8 +293,9 @@ pub fn parser(scale: Scale) -> Workload {
     let heads_a = pb.data_mut().array_i32("heads", &heads);
     let next_a = pb.data_mut().array_i32("next", &next);
     let keys_a = pb.data_mut().array_i32("keys", &keys);
-    let queries =
-        pb.data_mut().array_i32("queries", &rand_i32s(&mut rng, words as usize, 0, 100_000));
+    let queries = pb
+        .data_mut()
+        .array_i32("queries", &rand_i32s(&mut rng, words as usize, 0, 100_000));
     let steps_a = pb.data_mut().zeroed("steps", (words * 8) as u64);
 
     let mut f = pb.function("main");
@@ -332,10 +353,13 @@ pub fn vortex(scale: Scale) -> Workload {
         "store",
         &rand_i64s(&mut rng, (records * rec_words) as usize, 0, 1 << 40),
     );
-    let picks = pb
+    let picks = pb.data_mut().array_i32(
+        "picks",
+        &rand_indices(&mut rng, txns as usize, records as usize),
+    );
+    let staging = pb
         .data_mut()
-        .array_i32("picks", &rand_indices(&mut rng, txns as usize, records as usize));
-    let staging = pb.data_mut().zeroed("staging", (txns * rec_words * 8) as u64);
+        .zeroed("staging", (txns * rec_words * 8) as u64);
     let digest_sym = pb.data_mut().zeroed("digest", 16);
 
     let mut f = pb.function("main");
@@ -385,7 +409,9 @@ pub fn bzip2(scale: Scale) -> Workload {
     let mut rng = rng_for("bzip2");
     let n = scale.of(2048, 8192);
     let mut pb = ProgramBuilder::new("256.bzip2");
-    let data = pb.data_mut().array_u8("data", &rand_bytes(&mut rng, n as usize));
+    let data = pb
+        .data_mut()
+        .array_u8("data", &rand_bytes(&mut rng, n as usize));
     let hist = pb.data_mut().zeroed("hist", 256 * 8);
     let cumsum = pb.data_mut().zeroed("cumsum", 256 * 8);
     let sorted = pb.data_mut().zeroed("sorted", n as u64);

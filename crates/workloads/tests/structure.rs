@@ -2,8 +2,8 @@
 //! instruction mix its original is known for (the property the planner's
 //! choices depend on).
 
-use voltron_workloads::{all, by_name, Expected, Scale, Suite};
 use voltron_ir::{Opcode, Program};
+use voltron_workloads::{all, by_name, Expected, Scale, Suite};
 
 fn count(p: &Program, pred: impl Fn(&Opcode) -> bool) -> usize {
     p.funcs
@@ -16,11 +16,22 @@ fn count(p: &Program, pred: impl Fn(&Opcode) -> bool) -> usize {
 
 #[test]
 fn fp_benchmarks_use_floating_point() {
-    for name in ["052.alvinn", "056.ear", "171.swim", "172.mgrid", "177.mesa", "179.art", "183.equake"] {
+    for name in [
+        "052.alvinn",
+        "056.ear",
+        "171.swim",
+        "172.mgrid",
+        "177.mesa",
+        "179.art",
+        "183.equake",
+    ] {
         let w = by_name(name, Scale::Test).unwrap();
         assert_eq!(w.suite, Suite::SpecFp);
         let fp = count(&w.program, |o| {
-            matches!(o, Opcode::Fadd | Opcode::Fmul | Opcode::Fload | Opcode::Fstore)
+            matches!(
+                o,
+                Opcode::Fadd | Opcode::Fmul | Opcode::Fload | Opcode::Fstore
+            )
         });
         assert!(fp > 3, "{name}: only {fp} FP ops");
     }
@@ -28,9 +39,17 @@ fn fp_benchmarks_use_floating_point() {
 
 #[test]
 fn integer_benchmarks_avoid_floating_point() {
-    for name in ["164.gzip", "197.parser", "256.bzip2", "g721decode", "rawcaudio"] {
+    for name in [
+        "164.gzip",
+        "197.parser",
+        "256.bzip2",
+        "g721decode",
+        "rawcaudio",
+    ] {
         let w = by_name(name, Scale::Test).unwrap();
-        let fp = count(&w.program, |o| matches!(o, Opcode::Fadd | Opcode::Fmul | Opcode::Fdiv));
+        let fp = count(&w.program, |o| {
+            matches!(o, Opcode::Fadd | Opcode::Fmul | Opcode::Fdiv)
+        });
         assert_eq!(fp, 0, "{name} should be integer-only");
     }
 }
@@ -61,9 +80,15 @@ fn gsmdecode_contains_the_fig9_filter() {
 fn gzip_compares_four_shorts_per_iteration() {
     let w = by_name("164.gzip", Scale::Test).unwrap();
     let short_loads = count(&w.program, |o| {
-        matches!(o, Opcode::Load(voltron_ir::MemWidth::W2, voltron_ir::Signedness::Unsigned))
+        matches!(
+            o,
+            Opcode::Load(voltron_ir::MemWidth::W2, voltron_ir::Signedness::Unsigned)
+        )
     });
-    assert!(short_loads >= 8, "Fig. 8 loads 4 shorts per side, found {short_loads}");
+    assert!(
+        short_loads >= 8,
+        "Fig. 8 loads 4 shorts per side, found {short_loads}"
+    );
 }
 
 #[test]
@@ -90,7 +115,12 @@ fn every_workload_writes_results_to_memory() {
 #[test]
 fn expected_classes_cover_all_variants() {
     let ws = all(Scale::Test);
-    for e in [Expected::Ilp, Expected::FineGrainTlp, Expected::Llp, Expected::Mixed] {
+    for e in [
+        Expected::Ilp,
+        Expected::FineGrainTlp,
+        Expected::Llp,
+        Expected::Mixed,
+    ] {
         assert!(
             ws.iter().any(|w| w.expected == e),
             "no benchmark expects {e:?}"

@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example doall_stencil`
 
-use voltron::ir::builder::ProgramBuilder;
-use voltron::system::{outputs_equivalent, run_reference, Strategy};
 use voltron::compiler::{compile, CompileOptions};
+use voltron::ir::builder::ProgramBuilder;
 use voltron::sim::{Machine, MachineConfig};
+use voltron::system::{outputs_equivalent, run_reference, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3990 elements: chunks of ceil(3990/4) = 998 elements are not
@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "transactions: {} committed, {} aborted-and-replayed, {} lines broadcast",
         out.stats.tm.commits, out.stats.tm.aborts, out.stats.tm.committed_lines
     );
-    println!("spawns: {}   (chunks handed to worker cores per invocation)", out.stats.spawns);
+    println!(
+        "spawns: {}   (chunks handed to worker cores per invocation)",
+        out.stats.spawns
+    );
     println!("output equals the sequential interpreter exactly — speculation is transparent");
     Ok(())
 }

@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Baseline: 1-core serial machine.
     let base_cfg = MachineConfig::paper(1);
-    let base = compile(&program, Strategy::Serial, &base_cfg, &CompileOptions::default())?;
+    let base = compile(
+        &program,
+        Strategy::Serial,
+        &base_cfg,
+        &CompileOptions::default(),
+    )?;
     let base_out = Machine::new(base.machine, &base_cfg)?.run()?;
     println!("1-core serial: {} cycles", base_out.stats.cycles);
 
@@ -51,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MachineConfig::paper(4);
     let compiled = compile(&program, Strategy::Hybrid, &cfg, &CompileOptions::default())?;
     let out = Machine::new(compiled.machine, &cfg)?.run()?;
-    println!("4-core hybrid: {} cycles ({})", out.stats.cycles, out.stats.summary());
+    println!(
+        "4-core hybrid: {} cycles ({})",
+        out.stats.cycles,
+        out.stats.summary()
+    );
     println!(
         "speedup: {:.2}x",
         base_out.stats.cycles as f64 / out.stats.cycles as f64

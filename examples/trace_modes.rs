@@ -12,7 +12,12 @@ use voltron::workloads::{by_name, Scale};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = by_name("g721decode", Scale::Test).expect("registered");
     let cfg = MachineConfig::paper(4);
-    let compiled = compile(&w.program, Strategy::Hybrid, &cfg, &CompileOptions::default())?;
+    let compiled = compile(
+        &w.program,
+        Strategy::Hybrid,
+        &cfg,
+        &CompileOptions::default(),
+    )?;
     let mut machine = Machine::new(compiled.machine, &cfg)?;
     machine.set_tracer(Box::new(TextTracer::new(64, false)));
     let outcome = machine.run()?;

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Local pre-commit gate: formatting, lints, and the tier-1 suite.
+# Mirrors what CI runs; keep it fast enough to run on every commit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== tier-1: release build + tests"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests (release)"
+cargo test --workspace --release -q
+
+echo "all checks passed"

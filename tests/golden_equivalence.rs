@@ -54,8 +54,7 @@ macro_rules! golden {
     ($test:ident, $bench:expr) => {
         #[test]
         fn $test() {
-            let w = voltron_workloads::by_name($bench, Scale::Test)
-                .expect("benchmark registered");
+            let w = voltron_workloads::by_name($bench, Scale::Test).expect("benchmark registered");
             check(&w.program, w.name, &ALL_STRATEGIES, &[1, 2, 4]);
         }
     };

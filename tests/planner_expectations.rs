@@ -37,7 +37,10 @@ fn recurrence_codecs_get_coupled_ilp_regions() {
     for bench in ["rawcaudio", "rawdaudio", "g721encode"] {
         let kinds = kinds_of(bench, Strategy::Hybrid);
         assert!(kinds.contains("ilp"), "{bench}: hybrid kinds {kinds:?}");
-        assert!(!kinds.contains("doall"), "{bench}: recurrences must not chunk");
+        assert!(
+            !kinds.contains("doall"),
+            "{bench}: recurrences must not chunk"
+        );
     }
 }
 
@@ -76,11 +79,7 @@ fn hybrid_mixes_techniques_on_mixed_benchmarks() {
     // The paper's cjpeg discussion: part LLP, part something else.
     for bench in ["cjpeg", "256.bzip2"] {
         let kinds = kinds_of(bench, Strategy::Hybrid);
-        let parallel: Vec<&str> = kinds
-            .iter()
-            .copied()
-            .filter(|k| *k != "serial")
-            .collect();
+        let parallel: Vec<&str> = kinds.iter().copied().filter(|k| *k != "serial").collect();
         assert!(
             parallel.len() >= 2,
             "{bench}: expected a technique mix, got {kinds:?}"

@@ -46,8 +46,7 @@ fn gen_op() -> impl Strategy<Value = GenOp> {
         (any::<u8>(), any::<u8>()).prop_map(|(i, v)| GenOp::StoreA(i, v)),
         (any::<u8>(), any::<u8>()).prop_map(|(i, v)| GenOp::StoreB(i, v)),
         (any::<u8>(), any::<u8>()).prop_map(|(a, b)| GenOp::Fma(a, b)),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(i, v, g)| GenOp::GuardedStoreB(i, v, g)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(i, v, g)| GenOp::GuardedStoreB(i, v, g)),
     ]
 }
 
