@@ -70,6 +70,7 @@ fn main() {
         exp.simulated_cycles(),
         secs,
         &[summary],
+        &[],
     );
     if let Err(e) = std::fs::write("BENCH_bench_one.json", doc.render()) {
         eprintln!("[bench_one] cannot write BENCH_bench_one.json: {e}");

@@ -35,5 +35,6 @@ fn main() {
     println!("Figure 3: parallelism breakdown, 4 cores (planner attribution)");
     println!("{}", table.render());
     println!("paper: averages 30% ILP / 32% fine-grain TLP / 31% LLP / 7% single core");
+    print!("{}", harvest.failure_section());
     harvest.report("fig03", &args);
 }

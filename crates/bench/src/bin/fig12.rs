@@ -29,5 +29,6 @@ fn main() {
     println!("Figure 12: per-core-average stall cycles / serial cycles, 4 cores");
     println!("{}", table.render());
     println!("paper: decoupled halves cache-miss stalls vs coupled but adds receive/sync stalls");
+    print!("{}", harvest.failure_section());
     harvest.report("fig12", &args);
 }

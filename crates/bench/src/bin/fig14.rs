@@ -27,5 +27,6 @@ fn main() {
     println!("Figure 14: fraction of hybrid execution time per mode, 4 cores");
     println!("{}", table.render());
     println!("paper: significant time in both modes; memory-bound programs mostly decoupled");
+    print!("{}", harvest.failure_section());
     harvest.report("fig14", &args);
 }

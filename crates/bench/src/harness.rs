@@ -11,7 +11,18 @@
 //! is byte-identical to a serial sweep. Each sweep also reports its
 //! simulation throughput (simulated cycles per host second, on stderr)
 //! and writes a machine-readable `BENCH_<binary>.json` sidecar.
+//!
+//! Workloads are fault-isolated: each one runs under `catch_unwind` with
+//! an optional per-workload simulated-cycle budget (`--budget-cycles`),
+//! so a panicking, wedged, or miscompiled workload becomes a
+//! [`WorkloadFailure`] row in the [`Harvest`] — printed only when
+//! something actually failed — while every other workload's figures and
+//! sidecar entries are still produced. Wall clock is bounded through the
+//! same budget: simulation time is the only unbounded work a workload
+//! does, and the machine's own deadlock/livelock watchdogs catch wedges
+//! long before the cycle cap.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -26,6 +37,10 @@ pub struct HarnessArgs {
     pub scale: Scale,
     /// Restrict to one benchmark, when set.
     pub only: Option<String>,
+    /// Per-workload simulated-cycle budget, when set: a workload whose
+    /// runs exceed it fails with `MaxCycles` and is reported as a
+    /// [`WorkloadFailure`] instead of holding a host thread.
+    pub budget_cycles: Option<u64>,
 }
 
 impl HarnessArgs {
@@ -33,19 +48,36 @@ impl HarnessArgs {
     pub fn parse() -> HarnessArgs {
         let mut scale = Scale::Full;
         let mut only = None;
+        let mut budget_cycles = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--test" => scale = Scale::Test,
                 "--full" => scale = Scale::Full,
                 "--bench" => only = args.next(),
+                "--budget-cycles" => {
+                    budget_cycles = match args.next().map(|v| v.parse::<u64>()) {
+                        Some(Ok(n)) => Some(n),
+                        _ => {
+                            eprintln!("--budget-cycles requires an integer cycle count");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 other => {
-                    eprintln!("unknown argument {other} (expected --test/--full/--bench NAME)");
+                    eprintln!(
+                        "unknown argument {other} \
+                         (expected --test/--full/--bench NAME/--budget-cycles N)"
+                    );
                     std::process::exit(2);
                 }
             }
         }
-        HarnessArgs { scale, only }
+        HarnessArgs {
+            scale,
+            only,
+            budget_cycles,
+        }
     }
 
     /// The selected workloads.
@@ -100,6 +132,7 @@ pub fn bench_json(
     simulated_cycles: u64,
     host_seconds: f64,
     summaries: &[WorkloadSummary],
+    failures: &[WorkloadFailure],
 ) -> Json {
     let workloads = summaries
         .iter()
@@ -134,18 +167,44 @@ pub fn bench_json(
             Json::Num(simulated_cycles as f64 / host_seconds.max(1e-9)),
         ),
         ("workloads".into(), Json::Arr(workloads)),
+        (
+            "failures".into(),
+            Json::Arr(
+                failures
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(f.name.into())),
+                            ("reason".into(), Json::Str(f.reason.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
+/// A workload that did not survive its sweep: it panicked, exceeded its
+/// cycle budget, or failed to compile, simulate, or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadFailure {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Human-readable cause (panic message or typed-error rendering).
+    pub reason: String,
+}
+
 /// What a [`run_workloads`] sweep produced: the per-workload closure
-/// results (in workload order; failed workloads are reported on stderr
-/// and skipped) plus the aggregate throughput numbers.
+/// results (in workload order), the failures (also in workload order),
+/// plus the aggregate throughput numbers.
 #[derive(Debug)]
 pub struct Harvest<R> {
     /// Closure results per surviving workload, in workload order.
     pub results: Vec<(Workload, R)>,
     /// Run inventories per surviving workload (same order).
     pub summaries: Vec<WorkloadSummary>,
+    /// Workloads that panicked or returned an error, in workload order.
+    pub failures: Vec<WorkloadFailure>,
     /// Total simulated cycles across the sweep.
     pub simulated_cycles: u64,
     /// Wall-clock duration of the sweep.
@@ -158,6 +217,20 @@ impl<R> Harvest<R> {
         self.simulated_cycles as f64 / self.host_seconds.max(1e-9)
     }
 
+    /// A rendered "failed workloads" section for figure stdout — empty
+    /// when every workload survived, so clean sweeps stay byte-identical
+    /// to a harness without fault isolation.
+    pub fn failure_section(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut s = String::from("== Failed workloads ==\n");
+        for f in &self.failures {
+            s.push_str(&format!("{}: FAILED: {}\n", f.name, f.reason));
+        }
+        s
+    }
+
     /// Print the throughput line (stderr, keeping figure stdout clean)
     /// and write the `BENCH_<binary>.json` sidecar to the working
     /// directory.
@@ -166,12 +239,16 @@ impl<R> Harvest<R> {
             "[{binary}] {}",
             throughput(self.simulated_cycles, self.host_seconds)
         );
+        for f in &self.failures {
+            eprintln!("[{binary}] {} FAILED: {}", f.name, f.reason);
+        }
         let doc = bench_json(
             binary,
             args.scale_name(),
             self.simulated_cycles,
             self.host_seconds,
             &self.summaries,
+            &self.failures,
         );
         let path = format!("BENCH_{binary}.json");
         if let Err(e) = std::fs::write(&path, doc.render()) {
@@ -180,19 +257,38 @@ impl<R> Harvest<R> {
     }
 }
 
+/// Render the panic payload `catch_unwind` hands back.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 /// Run `f` for every selected workload with a ready [`Experiment`],
 /// fanning the workloads out across host threads. Results come back in
-/// workload order regardless of completion order; failures are printed
-/// and skipped so one bad configuration cannot hide the rest of a
-/// figure.
+/// workload order regardless of completion order; a workload that
+/// panics, blows its cycle budget, or returns an error becomes a
+/// [`Harvest::failures`] entry (also echoed on stderr), so one poisoned
+/// workload cannot sink the rest of a figure.
 pub fn run_workloads<R: Send>(
     args: &HarnessArgs,
     f: impl Fn(&Workload, &mut Experiment<'_>) -> Result<R, SystemError> + Sync,
 ) -> Harvest<R> {
-    let ws = args.workloads();
+    run_workloads_on(args.workloads(), args.budget_cycles, f)
+}
+
+/// [`run_workloads`] on an explicit workload list and budget — the seam
+/// the fault-isolation tests inject through.
+pub fn run_workloads_on<R: Send>(
+    ws: Vec<Workload>,
+    budget_cycles: Option<u64>,
+    f: impl Fn(&Workload, &mut Experiment<'_>) -> Result<R, SystemError> + Sync,
+) -> Harvest<R> {
     let n = ws.len();
-    let slots: Vec<Mutex<Option<(R, WorkloadSummary)>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    type Slot<R> = Mutex<Option<Result<(R, WorkloadSummary), String>>>;
+    let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let threads = std::thread::available_parallelism()
         .map_or(1, |p| p.get())
@@ -206,33 +302,52 @@ pub fn run_workloads<R: Send>(
                     break;
                 }
                 let w = &ws[i];
-                match Experiment::new(&w.program) {
-                    Ok(mut exp) => match f(w, &mut exp) {
-                        Ok(r) => {
-                            let sm = workload_summary(w.name, &exp);
-                            *slots[i].lock().expect("result slot poisoned") = Some((r, sm));
-                        }
-                        Err(e) => eprintln!("{}: {e}", w.name),
-                    },
-                    Err(e) => eprintln!("{}: baseline failed: {e}", w.name),
+                // AssertUnwindSafe: on panic the closure's experiment is
+                // dropped whole and its slot stays None-turned-Err, so no
+                // half-updated state survives into the harvest.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut exp = Experiment::with_cycle_budget(&w.program, budget_cycles)?;
+                    let r = f(w, &mut exp)?;
+                    Ok::<_, SystemError>((r, workload_summary(w.name, &exp)))
+                }));
+                let res = match outcome {
+                    Ok(Ok(pair)) => Ok(pair),
+                    Ok(Err(e)) => Err(e.to_string()),
+                    Err(payload) => Err(format!("panicked: {}", panic_message(&*payload))),
+                };
+                if let Err(reason) = &res {
+                    eprintln!("{}: {reason}", w.name);
                 }
+                *slots[i].lock().expect("result slot poisoned") = Some(res);
             });
         }
     });
     let host_seconds = t0.elapsed().as_secs_f64();
     let mut results = Vec::new();
     let mut summaries = Vec::new();
+    let mut failures = Vec::new();
     let mut simulated_cycles = 0u64;
     for (w, slot) in ws.into_iter().zip(slots) {
-        if let Some((r, sm)) = slot.into_inner().expect("result slot poisoned") {
-            simulated_cycles += sm.simulated_cycles;
-            summaries.push(sm);
-            results.push((w, r));
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok((r, sm))) => {
+                simulated_cycles += sm.simulated_cycles;
+                summaries.push(sm);
+                results.push((w, r));
+            }
+            Some(Err(reason)) => failures.push(WorkloadFailure {
+                name: w.name,
+                reason,
+            }),
+            None => failures.push(WorkloadFailure {
+                name: w.name,
+                reason: "workload was never run".into(),
+            }),
         }
     }
     Harvest {
         results,
         summaries,
+        failures,
         simulated_cycles,
         host_seconds,
     }
@@ -271,7 +386,14 @@ pub fn speedup_figure(
         avg.push(speedup(mean(col)));
     }
     table.row(avg);
-    (format!("{title}\n{}", table.render()), harvest)
+    let mut out = format!("{title}\n{}", table.render());
+    // Gated on failure, so clean sweeps render byte-identically.
+    let fails = harvest.failure_section();
+    if !fails.is_empty() {
+        out.push('\n');
+        out.push_str(&fails);
+    }
+    (out, harvest)
 }
 
 /// Render the Fig. 12 stall-breakdown cells for one run.
@@ -291,6 +413,7 @@ mod tests {
         let args = HarnessArgs {
             scale: Scale::Test,
             only: Some("164.gzip".into()),
+            budget_cycles: None,
         };
         let ws = args.workloads();
         assert_eq!(ws.len(), 1);
@@ -298,6 +421,7 @@ mod tests {
         let none = HarnessArgs {
             scale: Scale::Test,
             only: Some("nope".into()),
+            budget_cycles: None,
         };
         assert!(none.workloads().is_empty());
     }
@@ -307,6 +431,7 @@ mod tests {
         let args = HarnessArgs {
             scale: Scale::Test,
             only: Some("rawcaudio".into()),
+            budget_cycles: None,
         };
         let (out, harvest) = speedup_figure("t", &args, &[("serial", Strategy::Serial, 1)]);
         assert!(out.contains("rawcaudio"));
@@ -321,6 +446,7 @@ mod tests {
         let args = HarnessArgs {
             scale: Scale::Test,
             only: Some("rawcaudio".into()),
+            budget_cycles: None,
         };
         let h = run_workloads(&args, |w, exp| {
             exp.run(Strategy::Serial, 1)?;
@@ -330,6 +456,8 @@ mod tests {
         assert_eq!(h.results[0].1, "rawcaudio");
         assert_eq!(h.summaries[0].name, "rawcaudio");
         assert!(!h.summaries[0].runs.is_empty(), "run inventory captured");
+        assert!(h.failures.is_empty());
+        assert_eq!(h.failure_section(), "");
         assert!(h.cycles_per_second() > 0.0);
         let doc = bench_json(
             "t",
@@ -337,10 +465,73 @@ mod tests {
             h.simulated_cycles,
             h.host_seconds,
             &h.summaries,
+            &h.failures,
         );
         let s = doc.render();
         assert!(s.contains("\"binary\":\"t\""));
         assert!(s.contains("\"name\":\"rawcaudio\""));
         assert!(s.contains("\"strategy\":\"serial\""));
+        assert!(s.contains("\"failures\":[]"));
+    }
+
+    /// A deliberately panicking workload must become a marked-failed row
+    /// while the other workloads' results are still produced.
+    #[test]
+    fn panicking_workload_is_isolated() {
+        let ws: Vec<Workload> = all(Scale::Test)
+            .into_iter()
+            .filter(|w| w.name == "rawcaudio" || w.name == "164.gzip")
+            .collect();
+        assert_eq!(ws.len(), 2);
+        let h = run_workloads_on(ws, None, |w, exp| {
+            if w.name == "164.gzip" {
+                panic!("injected fault in {}", w.name);
+            }
+            exp.run(Strategy::Serial, 1)?;
+            Ok(w.name)
+        });
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].1, "rawcaudio");
+        assert_eq!(h.summaries.len(), 1);
+        assert_eq!(h.failures.len(), 1);
+        assert_eq!(h.failures[0].name, "164.gzip");
+        assert!(
+            h.failures[0].reason.contains("injected fault in 164.gzip"),
+            "{}",
+            h.failures[0].reason
+        );
+        let section = h.failure_section();
+        assert!(section.contains("== Failed workloads =="));
+        assert!(section.contains("164.gzip: FAILED:"));
+        let doc = bench_json(
+            "t",
+            "test",
+            h.simulated_cycles,
+            1.0,
+            &h.summaries,
+            &h.failures,
+        );
+        assert!(doc.render().contains("injected fault"));
+    }
+
+    /// A workload that exceeds its simulated-cycle budget fails with
+    /// `MaxCycles` instead of holding its host thread.
+    #[test]
+    fn budget_overrun_is_a_marked_failure() {
+        let ws: Vec<Workload> = all(Scale::Test)
+            .into_iter()
+            .filter(|w| w.name == "rawcaudio")
+            .collect();
+        let h = run_workloads_on(ws, Some(10), |w, exp| {
+            exp.run(Strategy::Serial, 1)?;
+            Ok(w.name)
+        });
+        assert!(h.results.is_empty());
+        assert_eq!(h.failures.len(), 1);
+        assert!(
+            h.failures[0].reason.contains("max cycles"),
+            "{}",
+            h.failures[0].reason
+        );
     }
 }

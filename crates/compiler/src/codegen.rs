@@ -73,7 +73,13 @@ impl ImageBuilder {
     }
 
     fn push(&mut self, inst: Inst) {
-        self.blocks.last_mut().expect("block open").insts.push(inst);
+        // Invariant: every emitter calls begin() before its first push,
+        // so an image never receives instructions without an open block.
+        self.blocks
+            .last_mut()
+            .expect("begin() opened a block")
+            .insts
+            .push(inst);
     }
 }
 
@@ -171,7 +177,10 @@ pub fn emit(
         for b in &mut blocks {
             for inst in &mut b.insts {
                 if inst.op == Opcode::Spawn {
-                    let target_core = inst.srcs[0].as_core().expect("spawn core") as usize;
+                    // Invariant: spawns are emitted only by this module,
+                    // always with a Core operand in slot 0.
+                    let target_core =
+                        inst.srcs[0].as_core().expect("codegen emits Core spawns") as usize;
                     if let Operand::Block(BlockId(l)) = inst.srcs[1] {
                         inst.srcs[1] = Operand::Block(resolve(target_core, l)?);
                     }
@@ -515,7 +524,9 @@ fn emit_parallel(
         for l in &inp.forest.loops {
             let mut lblocks: Vec<u32> = l.blocks.iter().map(|b| b.0).collect();
             lblocks.sort_unstable();
-            let (lf, ll) = (lblocks[0], *lblocks.last().expect("non-empty"));
+            // Invariant: the loop forest never records an empty loop —
+            // every Loop owns at least its header block.
+            let (lf, ll) = (lblocks[0], *lblocks.last().expect("loops have a header"));
             let contiguous = ll - lf + 1 == lblocks.len() as u32;
             let inside = lf > region.first && ll <= region.last;
             if !contiguous || !inside {
@@ -830,6 +841,8 @@ fn emit_doall(
                 ],
             ));
         };
+        // Invariant: param_tags[k] was allocated above with exactly
+        // 2 + live_ins.len() entries (lo, hi, then one per live-in).
         send(imgs, lo, *t.next().expect("lo tag"));
         send(imgs, hi, *t.next().expect("hi tag"));
         for &r in &live_ins {
@@ -881,6 +894,8 @@ fn emit_doall(
                 vec![Operand::Core(0), Operand::Imm(i64::from(tag))],
             ));
         };
+        // Invariant: mirrors the master's sends — param_tags[k] holds
+        // exactly 2 + live_ins.len() entries in the same order.
         recv(imgs, iv, *t.next().expect("lo tag"));
         let hb = fresh.fresh(RegClass::Gpr);
         recv(imgs, hb, *t.next().expect("hi tag"));

@@ -598,12 +598,17 @@ impl<'a> RegionLowerer<'a> {
         for inst in &insts[term_start..] {
             match inst.op {
                 Opcode::Jump => {
+                    // Invariant: Program::verify admits only Block (or
+                    // Btr) jump targets, and comm runs on verified IR
+                    // before any Btr rewriting exists.
                     let t = inst.srcs[0].as_block().expect("IR jump targets a block");
                     for &k in &parts {
                         self.emit_jump(k, t, out);
                     }
                 }
                 Opcode::Br => {
+                    // Invariant: same verified-IR grammar — Br is
+                    // (block target, predicate register).
                     let t = inst.srcs[0].as_block().expect("IR branch targets a block");
                     let p = inst.srcs[1].as_reg().expect("branch predicate");
                     let hp = self.asg.home_of(p);

@@ -190,6 +190,8 @@ pub fn pin_memory_classes(
     let mut load = vec![0u64; cores];
     let mut out: HashMap<(BlockId, usize), usize> = HashMap::new();
     for (root, w) in classes {
+        // Invariant: MachineConfig::paper rejects 0-core machines, so
+        // the min over 0..cores always exists.
         let core = (0..cores).min_by_key(|&c| (load[c], c)).expect("cores > 0");
         load[core] += w;
         for &m in &class_members[&root] {
@@ -298,6 +300,8 @@ pub fn bug_partition(
             };
             let core = match must {
                 Some(c) => c,
+                // Invariant: n comes from a validated MachineConfig and
+                // is never 0, so the min always exists.
                 None => (0..n)
                     .min_by_key(|&c| (choose(c, &asg), core_free[c], c))
                     .expect("cores > 0"),

@@ -262,7 +262,7 @@ pub fn run_configuration(
     let mcfg = MachineConfig::paper(cores);
     let opts = CompileOptions::default();
     let fe = FrontEnd::new(program, strategy, &mcfg, &opts)?;
-    run_prepared(&fe, golden, strategy, cores, baseline_cycles)
+    run_prepared(&fe, golden, strategy, cores, baseline_cycles, None)
 }
 
 /// [`run_configuration`] from a prepared compiler front end: profiling a
@@ -275,13 +275,20 @@ fn run_prepared(
     strategy: Strategy,
     cores: usize,
     baseline_cycles: u64,
+    cycle_budget: Option<u64>,
 ) -> Result<RunResult, SystemError> {
     let mcfg = MachineConfig::paper(cores);
     let opts = CompileOptions::default();
     let compiled = compile_prepared(fe, strategy, &mcfg, &opts)?;
     let region_kinds = compiled.region_kinds.clone();
     let region_weights = compiled.region_weights.clone();
-    let out = Machine::new(compiled.machine, &mcfg)?.run()?;
+    // The budget caps simulation only; the compiler must see the pristine
+    // paper config so budgeted and unbudgeted builds stay identical.
+    let mut sim_cfg = mcfg;
+    if let Some(budget) = cycle_budget {
+        sim_cfg.max_cycles = sim_cfg.max_cycles.min(budget);
+    }
+    let out = Machine::new(compiled.machine, &sim_cfg)?.run()?;
     if let Err(addr) = outputs_equivalent(golden, &out.memory) {
         return Err(SystemError::OutputMismatch {
             strategy,
@@ -311,6 +318,7 @@ pub struct Experiment<'a> {
     /// Compiler front ends, indexed by [`FrontEnd::key`].
     front_ends: [Option<FrontEnd>; 2],
     sim_cycles: u64,
+    cycle_budget: Option<u64>,
 }
 
 impl<'a> Experiment<'a> {
@@ -319,6 +327,19 @@ impl<'a> Experiment<'a> {
     /// # Errors
     /// Fails if the reference run or the baseline build fails.
     pub fn new(program: &'a Program) -> Result<Experiment<'a>, SystemError> {
+        Experiment::with_cycle_budget(program, None)
+    }
+
+    /// [`Experiment::new`] with a per-run simulated-cycle budget that
+    /// also covers the baseline run, so a hanging program cannot hold
+    /// the constructor either (see [`Experiment::set_cycle_budget`]).
+    ///
+    /// # Errors
+    /// Fails if the reference run or the baseline build fails.
+    pub fn with_cycle_budget(
+        program: &'a Program,
+        budget: Option<u64>,
+    ) -> Result<Experiment<'a>, SystemError> {
         let golden = run_reference(program)?.memory;
         let mut exp = Experiment {
             program,
@@ -327,10 +348,11 @@ impl<'a> Experiment<'a> {
             cache: HashMap::new(),
             front_ends: [None, None],
             sim_cycles: 0,
+            cycle_budget: budget,
         };
         let idx = exp.ensure_front_end(Strategy::Serial, 1)?;
         let fe = exp.front_ends[idx].as_ref().expect("just built");
-        let base = run_prepared(fe, &exp.golden, Strategy::Serial, 1, 1)?;
+        let base = run_prepared(fe, &exp.golden, Strategy::Serial, 1, 1, budget)?;
         exp.baseline_cycles = base.cycles;
         exp.sim_cycles = base.cycles;
         Ok(exp)
@@ -339,6 +361,15 @@ impl<'a> Experiment<'a> {
     /// Serial 1-core execution time in cycles.
     pub fn baseline_cycles(&self) -> u64 {
         self.baseline_cycles
+    }
+
+    /// Cap every *subsequent* [`Experiment::run`] at `budget` simulated
+    /// cycles (never raising the machine's own `max_cycles`). A run that
+    /// exhausts the budget fails with `SimError::MaxCycles`, so a
+    /// harness can bound how long one workload may hold a host thread.
+    /// `None` removes the cap.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.cycle_budget = budget;
     }
 
     /// Total simulated cycles across every configuration this experiment
@@ -378,7 +409,14 @@ impl<'a> Experiment<'a> {
         if !self.cache.contains_key(&(strategy, cores)) {
             let idx = self.ensure_front_end(strategy, cores)?;
             let fe = self.front_ends[idx].as_ref().expect("just built");
-            let r = run_prepared(fe, &self.golden, strategy, cores, self.baseline_cycles)?;
+            let r = run_prepared(
+                fe,
+                &self.golden,
+                strategy,
+                cores,
+                self.baseline_cycles,
+                self.cycle_budget,
+            )?;
             self.sim_cycles += r.cycles;
             self.cache.insert((strategy, cores), r);
         }
@@ -473,6 +511,20 @@ mod tests {
         a.store_uint(base + 8, 8, 41).unwrap();
         b.store_uint(base + 8, 8, 42).unwrap();
         assert!(outputs_equivalent(&a, &b).is_err());
+    }
+
+    #[test]
+    fn cycle_budget_bounds_a_run() {
+        let p = doall_program();
+        let mut exp = Experiment::new(&p).unwrap();
+        exp.set_cycle_budget(Some(10));
+        match exp.run(Strategy::Serial, 1) {
+            Err(SystemError::Sim(voltron_sim::SimError::MaxCycles(10))) => {}
+            other => panic!("expected a budget overrun, got {other:?}"),
+        }
+        // A failed run is not cached; lifting the budget recovers.
+        exp.set_cycle_budget(None);
+        assert!(exp.run(Strategy::Serial, 1).is_ok());
     }
 
     #[test]

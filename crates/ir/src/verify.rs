@@ -85,7 +85,7 @@ pub fn verify_function(
                     return Err(err(bid, i, "instructions after conditional branch".into()));
                 }
             }
-            check_inst(inst, f, program).map_err(|m| err(bid, i, m))?;
+            check_inst(inst, program).map_err(|m| err(bid, i, m))?;
             // Branch targets in range.
             if let Some(t) = inst.static_target() {
                 if t.idx() >= nblocks {
@@ -101,16 +101,25 @@ pub fn verify_function(
     Ok(())
 }
 
-fn class_of(op: Operand, f: &Function) -> Option<RegClass> {
+/// Per-instruction shape and register-class check with no surrounding
+/// function or program context: exactly the subset of the grammar that is
+/// meaningful for lowered machine code, where calls are gone and branch
+/// targets are core-image block indices checked elsewhere. The simulator's
+/// mcode validator reuses this so the opcode grammar lives in one place.
+///
+/// # Errors
+/// Returns a description of the first shape or class violation.
+pub fn check_mcode_inst(inst: &Inst) -> Result<(), String> {
+    check_inst(inst, None)
+}
+
+fn class_of(op: Operand) -> Option<RegClass> {
     match op {
         Operand::Reg(r) => Some(r.class),
         Operand::Imm(_) => Some(RegClass::Gpr),
         Operand::FImm(_) => Some(RegClass::Fpr),
         Operand::Block(_) => Some(RegClass::Btr),
-        _ => {
-            let _ = f;
-            None
-        }
+        _ => None,
     }
 }
 
@@ -137,8 +146,8 @@ fn expect_dst(inst: &Inst, class: RegClass) -> Result<(), String> {
     }
 }
 
-fn expect_src_class(inst: &Inst, i: usize, class: RegClass, f: &Function) -> Result<(), String> {
-    match class_of(inst.srcs[i], f) {
+fn expect_src_class(inst: &Inst, i: usize, class: RegClass) -> Result<(), String> {
+    match class_of(inst.srcs[i]) {
         Some(c) if c == class => Ok(()),
         other => Err(format!(
             "{} source {i} must be {class}, found {other:?}",
@@ -147,7 +156,7 @@ fn expect_src_class(inst: &Inst, i: usize, class: RegClass, f: &Function) -> Res
     }
 }
 
-fn check_inst(inst: &Inst, f: &Function, program: Option<&Program>) -> Result<(), String> {
+fn check_inst(inst: &Inst, program: Option<&Program>) -> Result<(), String> {
     use Opcode::*;
     if let Some(g) = inst.guard {
         if g.class != RegClass::Pred {
@@ -158,24 +167,24 @@ fn check_inst(inst: &Inst, f: &Function, program: Option<&Program>) -> Result<()
         Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar | Min | Max => {
             expect_srcs(inst, 2)?;
             expect_dst(inst, RegClass::Gpr)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
-            expect_src_class(inst, 1, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
+            expect_src_class(inst, 1, RegClass::Gpr)?;
         }
         Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
             expect_srcs(inst, 2)?;
             expect_dst(inst, RegClass::Fpr)?;
-            expect_src_class(inst, 0, RegClass::Fpr, f)?;
-            expect_src_class(inst, 1, RegClass::Fpr, f)?;
+            expect_src_class(inst, 0, RegClass::Fpr)?;
+            expect_src_class(inst, 1, RegClass::Fpr)?;
         }
         Fabs | Fneg | Fsqrt => {
             expect_srcs(inst, 1)?;
             expect_dst(inst, RegClass::Fpr)?;
-            expect_src_class(inst, 0, RegClass::Fpr, f)?;
+            expect_src_class(inst, 0, RegClass::Fpr)?;
         }
         Mov => {
             expect_srcs(inst, 1)?;
             let d = inst.dst.ok_or("mov requires a destination")?;
-            expect_src_class(inst, 0, d.class, f)?;
+            expect_src_class(inst, 0, d.class)?;
         }
         Ldi => {
             expect_srcs(inst, 1)?;
@@ -194,91 +203,91 @@ fn check_inst(inst: &Inst, f: &Function, program: Option<&Program>) -> Result<()
         Cmp(_) => {
             expect_srcs(inst, 2)?;
             expect_dst(inst, RegClass::Pred)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
-            expect_src_class(inst, 1, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
+            expect_src_class(inst, 1, RegClass::Gpr)?;
         }
         Fcmp(_) => {
             expect_srcs(inst, 2)?;
             expect_dst(inst, RegClass::Pred)?;
-            expect_src_class(inst, 0, RegClass::Fpr, f)?;
-            expect_src_class(inst, 1, RegClass::Fpr, f)?;
+            expect_src_class(inst, 0, RegClass::Fpr)?;
+            expect_src_class(inst, 1, RegClass::Fpr)?;
         }
         Sel => {
             expect_srcs(inst, 3)?;
             expect_dst(inst, RegClass::Gpr)?;
-            expect_src_class(inst, 0, RegClass::Pred, f)?;
-            expect_src_class(inst, 1, RegClass::Gpr, f)?;
-            expect_src_class(inst, 2, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Pred)?;
+            expect_src_class(inst, 1, RegClass::Gpr)?;
+            expect_src_class(inst, 2, RegClass::Gpr)?;
         }
         Fsel => {
             expect_srcs(inst, 3)?;
             expect_dst(inst, RegClass::Fpr)?;
-            expect_src_class(inst, 0, RegClass::Pred, f)?;
-            expect_src_class(inst, 1, RegClass::Fpr, f)?;
-            expect_src_class(inst, 2, RegClass::Fpr, f)?;
+            expect_src_class(inst, 0, RegClass::Pred)?;
+            expect_src_class(inst, 1, RegClass::Fpr)?;
+            expect_src_class(inst, 2, RegClass::Fpr)?;
         }
         PAnd | POr => {
             expect_srcs(inst, 2)?;
             expect_dst(inst, RegClass::Pred)?;
-            expect_src_class(inst, 0, RegClass::Pred, f)?;
-            expect_src_class(inst, 1, RegClass::Pred, f)?;
+            expect_src_class(inst, 0, RegClass::Pred)?;
+            expect_src_class(inst, 1, RegClass::Pred)?;
         }
         PNot => {
             expect_srcs(inst, 1)?;
             expect_dst(inst, RegClass::Pred)?;
-            expect_src_class(inst, 0, RegClass::Pred, f)?;
+            expect_src_class(inst, 0, RegClass::Pred)?;
         }
         ItoF => {
             expect_srcs(inst, 1)?;
             expect_dst(inst, RegClass::Fpr)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
         }
         FtoI => {
             expect_srcs(inst, 1)?;
             expect_dst(inst, RegClass::Gpr)?;
-            expect_src_class(inst, 0, RegClass::Fpr, f)?;
+            expect_src_class(inst, 0, RegClass::Fpr)?;
         }
         PtoG => {
             expect_srcs(inst, 1)?;
             expect_dst(inst, RegClass::Gpr)?;
-            expect_src_class(inst, 0, RegClass::Pred, f)?;
+            expect_src_class(inst, 0, RegClass::Pred)?;
         }
         GtoP => {
             expect_srcs(inst, 1)?;
             expect_dst(inst, RegClass::Pred)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
         }
         Load(..) => {
             expect_srcs(inst, 2)?;
             expect_dst(inst, RegClass::Gpr)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
             if !matches!(inst.srcs[1], Operand::Imm(_)) {
                 return Err("load offset must be an immediate".into());
             }
         }
         Store(_) => {
             expect_srcs(inst, 3)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
             if !matches!(inst.srcs[1], Operand::Imm(_)) {
                 return Err("store offset must be an immediate".into());
             }
-            expect_src_class(inst, 2, RegClass::Gpr, f)?;
+            expect_src_class(inst, 2, RegClass::Gpr)?;
         }
         Fload | Fload4 => {
             expect_srcs(inst, 2)?;
             expect_dst(inst, RegClass::Fpr)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
             if !matches!(inst.srcs[1], Operand::Imm(_)) {
                 return Err("load offset must be an immediate".into());
             }
         }
         Fstore | Fstore4 => {
             expect_srcs(inst, 3)?;
-            expect_src_class(inst, 0, RegClass::Gpr, f)?;
+            expect_src_class(inst, 0, RegClass::Gpr)?;
             if !matches!(inst.srcs[1], Operand::Imm(_)) {
                 return Err("store offset must be an immediate".into());
             }
-            expect_src_class(inst, 2, RegClass::Fpr, f)?;
+            expect_src_class(inst, 2, RegClass::Fpr)?;
         }
         Pbr => {
             expect_srcs(inst, 1)?;
@@ -294,7 +303,7 @@ fn check_inst(inst: &Inst, f: &Function, program: Option<&Program>) -> Result<()
                 Operand::Reg(r) if r.class == RegClass::Btr => {}
                 _ => return Err("br target must be a block or btr".into()),
             }
-            expect_src_class(inst, 1, RegClass::Pred, f)?;
+            expect_src_class(inst, 1, RegClass::Pred)?;
         }
         Jump => {
             expect_srcs(inst, 1)?;
@@ -326,7 +335,7 @@ fn check_inst(inst: &Inst, f: &Function, program: Option<&Program>) -> Result<()
                     ));
                 }
                 for (param, arg) in callee.params.iter().zip(inst.srcs[1..].iter()) {
-                    match class_of(*arg, f) {
+                    match class_of(*arg) {
                         Some(c) if c == param.class => {}
                         other => {
                             return Err(format!(
@@ -411,6 +420,8 @@ fn check_inst(inst: &Inst, f: &Function, program: Option<&Program>) -> Result<()
         }
         Xbegin => {
             expect_srcs(inst, 1)?;
+            // The chunk order is an integer (immediate or GPR).
+            expect_src_class(inst, 0, RegClass::Gpr)?;
         }
     }
     Ok(())

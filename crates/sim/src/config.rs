@@ -55,6 +55,11 @@ pub struct MachineConfig {
     /// Cycles without any core issuing before the machine declares
     /// deadlock.
     pub deadlock_window: u64,
+    /// Cycles without any *architectural* state change (register write,
+    /// memory write, network traffic, thread or mode event) before the
+    /// machine declares livelock: cores are issuing — so the deadlock
+    /// window never closes — but only spinning on control flow.
+    pub livelock_window: u64,
     /// Hard cap on simulated cycles.
     pub max_cycles: u64,
 }
@@ -91,6 +96,7 @@ impl MachineConfig {
             tm_commit_base: 6,
             tm_commit_per_line: 1,
             deadlock_window: 50_000,
+            livelock_window: 1_000_000,
             max_cycles: 2_000_000_000,
         }
     }

@@ -46,8 +46,10 @@ pub mod network;
 pub mod stats;
 pub mod tm;
 pub mod trace;
+pub mod validate;
 
 pub use config::MachineConfig;
-pub use machine::{Machine, RunOutcome, SimError};
+pub use machine::{CoreWait, Machine, RunOutcome, SimError, WaitCause};
 pub use mcode::{CoreImage, MBlock, MachineProgram, RegionId, REGION_OUTSIDE};
 pub use stats::{CoreStats, MachineStats, StallReason};
+pub use validate::{Site, ValidateError};

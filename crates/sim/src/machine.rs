@@ -15,21 +15,197 @@ use crate::network::{OperandNetwork, Payload};
 use crate::stats::{CoreStats, MachineStats, StallReason};
 use crate::tm::TxnManager;
 use crate::trace::{TraceEvent, Tracer};
+use crate::validate::ValidateError;
 use std::fmt;
 use std::sync::Arc;
 use voltron_ir::interp::{eval_operand, RegFile};
 use voltron_ir::{
-    semantics, BlockId, ExecMode, Inst, MemError, Memory, Opcode, Operand, Reg, RegClass, Value,
+    semantics, BlockId, Dir, ExecMode, Inst, MemError, Memory, Opcode, Operand, Reg, RegClass,
+    Value,
 };
+
+/// What a blocked core is waiting on: one edge annotation of the
+/// wait-for graph built when the machine wedges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaitCause {
+    /// `RECV` on a `(sender, tag)` stream with nothing available;
+    /// `buffered` counts messages delivered into that CAM bucket but not
+    /// yet consumable this cycle (0 means the sender never sent).
+    Recv {
+        /// Sender core named by the receive.
+        from: usize,
+        /// CAM tag of the stream.
+        tag: u32,
+        /// Messages sitting in the bucket.
+        buffered: usize,
+    },
+    /// `GET` on an empty direct-mode latch (only `from` can fill it).
+    GetLatch {
+        /// The neighbor that should `PUT`.
+        from: usize,
+        /// Latch direction as seen from the waiting core.
+        dir: Dir,
+    },
+    /// `PUT` toward a far latch that `to` has not drained.
+    PutLatch {
+        /// The neighbor holding the occupied latch.
+        to: usize,
+        /// Link direction as seen from the waiting core.
+        dir: Dir,
+    },
+    /// `BCAST` blocked by peers that have not drained their broadcast
+    /// latches.
+    Bcast {
+        /// Cores with an occupied broadcast latch.
+        blockers: Vec<usize>,
+    },
+    /// `GETB` on an empty broadcast latch (no peer has broadcast).
+    GetBcast,
+    /// `SEND`/`SPAWN` into a full send queue; routing toward the head's
+    /// destination is what must drain first.
+    SendQueue {
+        /// Destination of the queue head.
+        to: Option<usize>,
+        /// Send-queue occupancy.
+        queued: usize,
+    },
+    /// Waiting at a mode-switch barrier for cores that never arrive.
+    ModeBarrier {
+        /// The switch target.
+        mode: ExecMode,
+        /// Cores not at the barrier (a halted/idle core here means the
+        /// barrier can never form).
+        absent: Vec<usize>,
+    },
+    /// `XCOMMIT` without the commit token.
+    CommitToken {
+        /// The waiting transaction's chunk order.
+        order: Option<u32>,
+        /// The order the token is at.
+        expected: u32,
+        /// The core whose live transaction holds the expected order.
+        holder: Option<usize>,
+    },
+    /// Waiting on the memory system (ifetch, load miss, store buffer, or
+    /// a bus broadcast).
+    Memory,
+    /// A lock-step member stalled only by the 1-bit stall bus; the
+    /// `blockers` are the group members with a stall of their own.
+    StallBus {
+        /// Coupled-group members whose own stall wedges the group.
+        blockers: Vec<usize>,
+    },
+    /// Any other stall (e.g. a scoreboard interlock).
+    Other(StallReason),
+}
+
+impl fmt::Display for WaitCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitCause::Recv {
+                from,
+                tag,
+                buffered,
+            } => write!(f, "RECV from core {from} tag {tag} ({buffered} buffered)"),
+            WaitCause::GetLatch { from, dir } => {
+                write!(f, "GET on empty {dir} latch (fed by core {from})")
+            }
+            WaitCause::PutLatch { to, dir } => {
+                write!(f, "PUT {dir} blocked: core {to} has not drained the latch")
+            }
+            WaitCause::Bcast { blockers } => {
+                write!(
+                    f,
+                    "BCAST blocked by undrained latches at cores {blockers:?}"
+                )
+            }
+            WaitCause::GetBcast => write!(f, "GETB on empty broadcast latch"),
+            WaitCause::SendQueue { to, queued } => match to {
+                Some(to) => write!(f, "send queue full ({queued} queued, head to core {to})"),
+                None => write!(f, "send queue full ({queued} queued)"),
+            },
+            WaitCause::ModeBarrier { mode, absent } => {
+                write!(
+                    f,
+                    "mode-switch barrier to {mode}; cores {absent:?} not at it"
+                )
+            }
+            WaitCause::CommitToken {
+                order,
+                expected,
+                holder,
+            } => {
+                write!(
+                    f,
+                    "XCOMMIT of chunk {order:?} waits for token at {expected}"
+                )?;
+                match holder {
+                    Some(h) => write!(f, " (held by core {h})"),
+                    None => write!(f, " (no live transaction holds it)"),
+                }
+            }
+            WaitCause::Memory => write!(f, "memory system"),
+            WaitCause::StallBus { blockers } => {
+                write!(f, "stall bus (group stalled by cores {blockers:?})")
+            }
+            WaitCause::Other(r) => write!(f, "{r:?} stall"),
+        }
+    }
+}
+
+/// One node of the wait-for graph: a live core, where it is, and what
+/// blocks it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreWait {
+    /// The blocked core.
+    pub core: usize,
+    /// Its current block index.
+    pub block: usize,
+    /// Its current block's debug label.
+    pub block_name: String,
+    /// Instruction slot within the block.
+    pub pc: usize,
+    /// What it is waiting on.
+    pub cause: WaitCause,
+}
+
+impl fmt::Display for CoreWait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {} at bb{}[{}] <{}>: {}",
+            self.core, self.block, self.pc, self.block_name, self.cause
+        )
+    }
+}
 
 /// Simulation failure.
 #[derive(Debug)]
 pub enum SimError {
-    /// No core made progress for the deadlock window; carries a state
-    /// dump for diagnosis.
+    /// The machine code failed static cross-core validation.
+    Validate(ValidateError),
+    /// No core made progress for the deadlock window; carries the
+    /// wait-for graph, the cycle through it (when one exists), and a
+    /// state dump.
     Deadlock {
         /// The cycle at which deadlock was declared.
         cycle: u64,
+        /// What each live core is blocked on.
+        waits: Vec<CoreWait>,
+        /// A cycle in the wait-for graph, as core ids with the first
+        /// repeated at the end (`None` when the hang is acyclic, e.g.
+        /// everyone waits on a core that slept).
+        cycle_path: Option<Vec<usize>>,
+        /// Human-readable machine state.
+        dump: String,
+    },
+    /// Cores kept issuing but no architectural state changed for the
+    /// livelock window (e.g. a control-flow spin).
+    Livelock {
+        /// The cycle at which livelock was declared.
+        cycle: u64,
+        /// The configured watchdog window.
+        window: u64,
         /// Human-readable machine state.
         dump: String,
     },
@@ -37,6 +213,9 @@ pub enum SimError {
     MaxCycles(u64),
     /// A memory access faulted.
     Mem(MemError),
+    /// The memory hierarchy made no forward progress (see
+    /// [`crate::memsys::BusTimeout`]).
+    Bus(crate::memsys::BusTimeout),
     /// The machine code is malformed.
     Malformed(String),
     /// An illegal network operation (e.g. PUT off the mesh).
@@ -46,11 +225,34 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle, dump } => {
-                write!(f, "deadlock at cycle {cycle}:\n{dump}")
+            SimError::Validate(e) => write!(f, "invalid machine code: {e}"),
+            SimError::Deadlock {
+                cycle,
+                waits,
+                cycle_path,
+                dump,
+            } => {
+                writeln!(f, "deadlock at cycle {cycle}:")?;
+                for w in waits {
+                    writeln!(f, "  {w}")?;
+                }
+                if let Some(path) = cycle_path {
+                    let path: Vec<String> = path.iter().map(|c| format!("core {c}")).collect();
+                    writeln!(f, "  wait cycle: {}", path.join(" -> "))?;
+                }
+                write!(f, "{dump}")
             }
+            SimError::Livelock {
+                cycle,
+                window,
+                dump,
+            } => write!(
+                f,
+                "livelock at cycle {cycle}: no architectural change for {window} cycles:\n{dump}"
+            ),
             SimError::MaxCycles(c) => write!(f, "exceeded max cycles ({c})"),
             SimError::Mem(e) => write!(f, "memory fault: {e}"),
+            SimError::Bus(e) => write!(f, "bus timeout: {e}"),
             SimError::Malformed(m) => write!(f, "malformed machine code: {m}"),
             SimError::Network(m) => write!(f, "network error: {m}"),
         }
@@ -62,6 +264,18 @@ impl std::error::Error for SimError {}
 impl From<MemError> for SimError {
     fn from(e: MemError) -> SimError {
         SimError::Mem(e)
+    }
+}
+
+impl From<ValidateError> for SimError {
+    fn from(e: ValidateError) -> SimError {
+        SimError::Validate(e)
+    }
+}
+
+impl From<crate::memsys::BusTimeout> for SimError {
+    fn from(e: crate::memsys::BusTimeout) -> SimError {
+        SimError::Bus(e)
     }
 }
 
@@ -161,6 +375,9 @@ pub struct Machine {
     mode: ExecMode,
     cycle: u64,
     last_progress: u64,
+    /// Cycle of the last architectural state change (anything beyond
+    /// pure control flow); drives the livelock watchdog.
+    last_arch_change: u64,
     core_stats: Vec<CoreStats>,
     /// Per-region cycle counters, indexed by region id with the last slot
     /// standing in for [`REGION_OUTSIDE`]; flat so the per-cycle
@@ -183,7 +400,9 @@ impl Machine {
     ///
     /// # Errors
     /// Returns [`SimError::Malformed`] when the image count mismatches the
-    /// configuration or the machine code fails its structural check.
+    /// configuration or the machine code fails its structural check, and
+    /// [`SimError::Validate`] when the images fail the static cross-core
+    /// consistency pass ([`MachineProgram::validate`]).
     pub fn new(program: MachineProgram, cfg: &MachineConfig) -> Result<Machine, SimError> {
         if program.cores.len() != cfg.cores {
             return Err(SimError::Malformed(format!(
@@ -193,6 +412,7 @@ impl Machine {
             )));
         }
         program.check().map_err(SimError::Malformed)?;
+        program.validate(cfg)?;
         let memory = Memory::from_data(&program.data);
         let offsets: Vec<Vec<u64>> = program.cores.iter().map(|c| c.block_offsets()).collect();
         let mut cores: Vec<Core> = program
@@ -223,6 +443,7 @@ impl Machine {
             mode: ExecMode::Decoupled,
             cycle: 0,
             last_progress: 0,
+            last_arch_change: 0,
             core_stats: vec![CoreStats::default(); n],
             region_cycles: vec![0; region_slots],
             coupled_cycles: 0,
@@ -395,6 +616,115 @@ impl Machine {
         s
     }
 
+    /// What core `i` is waiting on right now, or `None` when it is not
+    /// part of the hang (halted or idle).
+    fn wait_cause(&self, i: usize) -> Option<WaitCause> {
+        match self.cores[i].state {
+            CoreState::Halted | CoreState::Idle => None,
+            CoreState::AtSwitch(mode) => {
+                let absent = (0..self.cores.len())
+                    .filter(|&c| !matches!(self.cores[c].state, CoreState::AtSwitch(_)))
+                    .collect();
+                Some(WaitCause::ModeBarrier { mode, absent })
+            }
+            CoreState::WaitBus => Some(WaitCause::Memory),
+            CoreState::Running => {
+                let reason = match self.decisions.get(i) {
+                    Some(Decision::Stall(r)) => *r,
+                    // A coupled-group member ready to issue but wedged by
+                    // the stall bus: the stalling members are the cause.
+                    Some(Decision::Issue) if self.mode == ExecMode::Coupled => {
+                        let blockers: Vec<usize> = (0..self.cores.len())
+                            .filter(|&c| {
+                                c != i
+                                    && self.cores[c].state == CoreState::Running
+                                    && matches!(self.decisions.get(c), Some(Decision::Stall(_)))
+                            })
+                            .collect();
+                        return Some(WaitCause::StallBus { blockers });
+                    }
+                    _ => return None,
+                };
+                let (b, s) = self.cores[i].pc;
+                let inst = &self.program.cores[i].blocks[b].insts[s];
+                let cause = match reason {
+                    StallReason::IFetch | StallReason::DMiss | StallReason::StoreBuf => {
+                        WaitCause::Memory
+                    }
+                    StallReason::Interlock => WaitCause::Other(reason),
+                    _ => match inst.op {
+                        Opcode::Recv => {
+                            let from = inst.srcs[0].as_core().unwrap_or(0) as usize;
+                            let tag = recv_tag(inst);
+                            WaitCause::Recv {
+                                from,
+                                tag,
+                                buffered: self.net.buffered_from(i, from, tag),
+                            }
+                        }
+                        Opcode::Get => match inst.srcs[0] {
+                            Operand::Dir(d) => match self.cfg.neighbor(i, d) {
+                                Some(from) => WaitCause::GetLatch { from, dir: d },
+                                None => WaitCause::Other(reason),
+                            },
+                            _ => WaitCause::Other(reason),
+                        },
+                        Opcode::Put => match inst.srcs[1] {
+                            Operand::Dir(d) => match self.cfg.neighbor(i, d) {
+                                Some(to) => WaitCause::PutLatch { to, dir: d },
+                                None => WaitCause::Other(reason),
+                            },
+                            _ => WaitCause::Other(reason),
+                        },
+                        Opcode::Bcast => WaitCause::Bcast {
+                            blockers: self.net.bcast_blockers(i),
+                        },
+                        Opcode::GetB => WaitCause::GetBcast,
+                        Opcode::Send | Opcode::Spawn => {
+                            let (to, queued) = self.net.send_queue(i);
+                            WaitCause::SendQueue { to, queued }
+                        }
+                        Opcode::Xcommit => {
+                            let expected = self.tm.expected();
+                            WaitCause::CommitToken {
+                                order: self.tm.order_of(i),
+                                expected,
+                                holder: self.tm.holder_of(expected),
+                            }
+                        }
+                        _ => WaitCause::Other(reason),
+                    },
+                };
+                Some(cause)
+            }
+        }
+    }
+
+    /// Build the wait-for graph over all non-halted, non-idle cores and
+    /// detect a cycle through it (the classic deadlock witness).
+    fn diagnose(&self) -> (Vec<CoreWait>, Option<Vec<usize>>) {
+        let mut waits = Vec::new();
+        for i in 0..self.cores.len() {
+            if let Some(cause) = self.wait_cause(i) {
+                let (b, s) = self.cores[i].pc;
+                let block_name = self.program.cores[i]
+                    .blocks
+                    .get(b)
+                    .map(|blk| blk.name.clone())
+                    .unwrap_or_else(|| "?".into());
+                waits.push(CoreWait {
+                    core: i,
+                    block: b,
+                    block_name,
+                    pc: s,
+                    cause,
+                });
+            }
+        }
+        let cycle_path = find_wait_cycle(&waits);
+        (waits, cycle_path)
+    }
+
     fn try_mode_switch(&mut self) -> Result<(), SimError> {
         let mut target: Option<ExecMode> = None;
         for c in &self.cores {
@@ -414,6 +744,7 @@ impl Machine {
         let m = target.expect("at least one core");
         self.mode = m;
         self.mode_switches += 1;
+        self.last_arch_change = self.cycle;
         let cyc = self.cycle;
         self.trace(TraceEvent::ModeSwitch {
             cycle: cyc,
@@ -533,6 +864,8 @@ impl Machine {
                         }
                     }
                     Opcode::Recv => {
+                        // Invariant: `MachineProgram::validate` shape-checked
+                        // srcs[0] as an in-range core operand.
                         let from = inst.srcs[0].as_core().unwrap_or(0) as usize;
                         let tag = recv_tag(inst);
                         if self.net.can_recv(i, from, tag, now) {
@@ -637,6 +970,13 @@ impl Machine {
             }
         }
 
+        // Everything below except pure control flow changes architectural
+        // state (registers, memory, network, core/transaction state);
+        // feed the livelock watchdog.
+        if !matches!(inst.op, Opcode::Nop | Opcode::Br | Opcode::Jump) {
+            self.last_arch_change = now;
+        }
+
         use Opcode::*;
         match inst.op {
             // ---- control ----
@@ -644,7 +984,9 @@ impl Machine {
                 let taken = if inst.op == Jump {
                     true
                 } else {
-                    let p = inst.srcs[1].as_reg().expect("verified br predicate");
+                    let p = inst.srcs[1]
+                        .as_reg()
+                        .expect("br predicate: guaranteed by MachineProgram::validate shape check");
                     self.cores[i].regs.read(p).as_pred()
                 };
                 if taken {
@@ -697,7 +1039,9 @@ impl Machine {
                 let off = self.eval(i, inst.srcs[1])?.as_int();
                 let addr = base.wrapping_add(off as u64);
                 let raw = self.functional_load(i, addr, w.bytes())?;
-                let dst = inst.dst.expect("verified load dst");
+                let dst = inst
+                    .dst
+                    .expect("load dst: guaranteed by MachineProgram::validate shape check");
                 let val = semantics::extend_load(raw, w.bytes(), sgn);
                 self.cores[i].regs.write(dst, Value::Int(val));
                 self.issue_load_timing(i, addr, dst);
@@ -707,7 +1051,9 @@ impl Machine {
                 let off = self.eval(i, inst.srcs[1])?.as_int();
                 let addr = base.wrapping_add(off as u64);
                 let raw = self.functional_load(i, addr, 8)?;
-                let dst = inst.dst.expect("verified fload dst");
+                let dst = inst
+                    .dst
+                    .expect("fload dst: guaranteed by MachineProgram::validate shape check");
                 self.cores[i]
                     .regs
                     .write(dst, Value::Float(f64::from_bits(raw)));
@@ -718,7 +1064,9 @@ impl Machine {
                 let off = self.eval(i, inst.srcs[1])?.as_int();
                 let addr = base.wrapping_add(off as u64);
                 let raw = self.functional_load(i, addr, 4)? as u32;
-                let dst = inst.dst.expect("verified fload4 dst");
+                let dst = inst
+                    .dst
+                    .expect("fload4 dst: guaranteed by MachineProgram::validate shape check");
                 self.cores[i]
                     .regs
                     .write(dst, Value::Float(f64::from(f32::from_bits(raw))));
@@ -768,7 +1116,9 @@ impl Machine {
                     .net
                     .get(i, d, now)
                     .ok_or_else(|| SimError::Network(format!("core {i}: GET on empty latch")))?;
-                let dst = inst.dst.expect("verified get dst");
+                let dst = inst
+                    .dst
+                    .expect("get dst: guaranteed by MachineProgram::validate shape check");
                 self.write_value(i, dst, v, now + 1)?;
             }
             Bcast => {
@@ -781,28 +1131,43 @@ impl Machine {
                     .net
                     .getb(i, now)
                     .ok_or_else(|| SimError::Network(format!("core {i}: GETB on empty latch")))?;
-                let dst = inst.dst.expect("verified getb dst");
+                let dst = inst
+                    .dst
+                    .expect("getb dst: guaranteed by MachineProgram::validate shape check");
                 self.write_value(i, dst, v, now + 1)?;
             }
             Send => {
                 let v = self.eval(i, inst.srcs[0])?;
-                let to = inst.srcs[1].as_core().expect("verified send target") as usize;
+                let to = inst.srcs[1]
+                    .as_core()
+                    .expect("send target: guaranteed by MachineProgram::validate shape check")
+                    as usize;
                 let tag = send_tag(inst);
                 let ok = self.net.send(i, to, tag, Payload::Data(v), now);
                 debug_assert!(ok, "checked can_send before issue");
             }
             Recv => {
-                let from = inst.srcs[0].as_core().expect("verified recv source") as usize;
+                let from = inst.srcs[0]
+                    .as_core()
+                    .expect("recv source: guaranteed by MachineProgram::validate shape check")
+                    as usize;
                 let tag = recv_tag(inst);
                 let v = self.net.recv(i, from, tag, now).ok_or_else(|| {
                     SimError::Network(format!("core {i}: RECV raced an empty queue"))
                 })?;
-                let dst = inst.dst.expect("verified recv dst");
+                let dst = inst
+                    .dst
+                    .expect("recv dst: guaranteed by MachineProgram::validate shape check");
                 self.write_value(i, dst, v, now + 1)?;
             }
             Spawn => {
-                let to = inst.srcs[0].as_core().expect("verified spawn target") as usize;
-                let blk = inst.srcs[1].as_block().expect("verified spawn block");
+                let to = inst.srcs[0]
+                    .as_core()
+                    .expect("spawn target: guaranteed by MachineProgram::validate shape check")
+                    as usize;
+                let blk = inst.srcs[1]
+                    .as_block()
+                    .expect("spawn block: guaranteed by MachineProgram::validate shape check");
                 let ok = self.net.send(i, to, 0, Payload::Spawn(blk), now);
                 debug_assert!(ok, "checked can_send before issue");
             }
@@ -1009,6 +1374,7 @@ impl Machine {
                             self.cores[i].pc = (blk.idx(), 0);
                             self.cores[i].state = CoreState::Running;
                             self.spawns += 1;
+                            self.last_arch_change = now;
                             self.trace(TraceEvent::ThreadStart {
                                 cycle: now,
                                 core: i,
@@ -1046,15 +1412,104 @@ impl Machine {
                 .iter()
                 .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle));
             if anyone_active && now - self.last_progress > self.cfg.deadlock_window {
+                let (waits, cycle_path) = self.diagnose();
                 return Err(SimError::Deadlock {
                     cycle: now,
+                    waits,
+                    cycle_path,
                     dump: self.dump(),
                 });
             }
         }
+        // Livelock watchdog: cores issue (so the deadlock window keeps
+        // resetting) but nothing architectural changes — a control-flow
+        // spin. The window comparison is a single branch on the hot path;
+        // the core scan only runs once the window has actually lapsed.
+        if now - self.last_arch_change > self.cfg.livelock_window
+            && self
+                .cores
+                .iter()
+                .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle))
+        {
+            return Err(SimError::Livelock {
+                cycle: now,
+                window: self.cfg.livelock_window,
+                dump: self.dump(),
+            });
+        }
         self.cycle += 1;
         Ok(())
     }
+}
+
+/// The cores a wait cause points at: the wait-for-graph edges.
+fn wait_edges(cause: &WaitCause) -> Vec<usize> {
+    match cause {
+        WaitCause::Recv { from, .. } | WaitCause::GetLatch { from, .. } => vec![*from],
+        WaitCause::PutLatch { to, .. } => vec![*to],
+        WaitCause::Bcast { blockers } | WaitCause::StallBus { blockers } => blockers.clone(),
+        WaitCause::SendQueue { to, .. } => to.iter().copied().collect(),
+        WaitCause::ModeBarrier { absent, .. } => absent.clone(),
+        WaitCause::CommitToken { holder, .. } => holder.iter().copied().collect(),
+        WaitCause::GetBcast | WaitCause::Memory | WaitCause::Other(_) => Vec::new(),
+    }
+}
+
+/// Find a cycle in the wait-for graph, returned as core ids with the
+/// first repeated at the end. Depth-first search over at most
+/// `cores` nodes; explored in core order so the witness is deterministic.
+fn find_wait_cycle(waits: &[CoreWait]) -> Option<Vec<usize>> {
+    use std::collections::HashMap;
+    let edges: HashMap<usize, Vec<usize>> = waits
+        .iter()
+        .map(|w| (w.core, wait_edges(&w.cause)))
+        .collect();
+
+    const ON_STACK: u8 = 1;
+    const DONE: u8 = 2;
+    fn dfs(
+        v: usize,
+        edges: &HashMap<usize, Vec<usize>>,
+        state: &mut HashMap<usize, u8>,
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        state.insert(v, ON_STACK);
+        stack.push(v);
+        for &u in edges.get(&v).into_iter().flatten() {
+            match state.get(&u).copied() {
+                Some(ON_STACK) => {
+                    let start = stack
+                        .iter()
+                        .position(|&x| x == u)
+                        .expect("u is on the stack");
+                    let mut path = stack[start..].to_vec();
+                    path.push(u);
+                    return Some(path);
+                }
+                Some(_) => {}
+                None if edges.contains_key(&u) => {
+                    if let Some(p) = dfs(u, edges, state, stack) {
+                        return Some(p);
+                    }
+                }
+                None => {}
+            }
+        }
+        stack.pop();
+        state.insert(v, DONE);
+        None
+    }
+
+    let mut state = HashMap::new();
+    let mut stack = Vec::new();
+    for w in waits {
+        if !state.contains_key(&w.core) {
+            if let Some(p) = dfs(w.core, &edges, &mut state, &mut stack) {
+                return Some(p);
+            }
+        }
+    }
+    None
 }
 
 /// The CAM tag of a SEND (optional third operand).
@@ -1303,8 +1758,10 @@ mod tests {
         assert!(out_run.stats.net.direct_transfers >= 1);
     }
 
+    /// A RECV whose stream no SEND feeds is caught statically, before
+    /// the cycle loop ever runs.
     #[test]
-    fn deadlocked_recv_is_reported() {
+    fn orphan_recv_is_rejected_statically() {
         let mut data = DataSegment::default();
         data.zeroed("pad", 8);
         let mut c0 = MBlock::new("main", 0);
@@ -1314,13 +1771,116 @@ mod tests {
         let mut c1 = MBlock::new("idle", 0);
         c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = mk_program(vec![vec![c0], vec![c1]], data);
+        let err = Machine::new(p, &MachineConfig::paper(2)).unwrap_err();
+        match err {
+            SimError::Validate(crate::validate::ValidateError::OrphanRecv { site, from, tag }) => {
+                assert_eq!(site.core, 0);
+                assert_eq!(site.block, 0);
+                assert_eq!(from, 1);
+                assert_eq!(tag, 0);
+            }
+            other => panic!("expected orphan-recv rejection, got {other}"),
+        }
+    }
+
+    /// A statically valid program whose two cores each RECV what the
+    /// other sends *afterwards*: a genuine runtime wait cycle. The
+    /// forensics must name both waits and the 0 -> 1 -> 0 cycle.
+    #[test]
+    fn deadlocked_recv_is_reported() {
+        let mut data = DataSegment::default();
+        data.zeroed("pad", 8);
+        // Core 0: recv from core 1 (tag 0) *before* sending tag 1.
+        let mut c0 = MBlock::new("main", 0);
+        c0.insts.push(Inst::new(
+            Opcode::Spawn,
+            vec![Operand::Core(1), Operand::Block(BlockId(1))],
+        ));
+        c0.insts.push(Inst::with_dst(
+            Opcode::Recv,
+            gpr(0),
+            vec![Operand::Core(1), Operand::Imm(0)],
+        ));
+        c0.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(1), vec![Operand::Imm(5)]));
+        c0.insts.push(Inst::new(
+            Opcode::Send,
+            vec![gpr(1).into(), Operand::Core(1), Operand::Imm(1)],
+        ));
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        // Core 1: recv from core 0 (tag 1) *before* sending tag 0.
+        let mut c1_idle = MBlock::new("idle", 0);
+        c1_idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let mut c1 = MBlock::new("worker", 0);
+        c1.insts
+            .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(7)]));
+        c1.insts.push(Inst::with_dst(
+            Opcode::Recv,
+            gpr(1),
+            vec![Operand::Core(0), Operand::Imm(1)],
+        ));
+        c1.insts.push(Inst::new(
+            Opcode::Send,
+            vec![gpr(0).into(), Operand::Core(0), Operand::Imm(0)],
+        ));
+        c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = mk_program(vec![vec![c0], vec![c1_idle, c1]], data);
         let err = Machine::new(p, &MachineConfig::paper(2))
             .unwrap()
             .run()
             .unwrap_err();
         match err {
-            SimError::Deadlock { dump, .. } => assert!(dump.contains("core 0")),
+            SimError::Deadlock {
+                waits, cycle_path, ..
+            } => {
+                let w0 = waits.iter().find(|w| w.core == 0).expect("core 0 waits");
+                assert_eq!(
+                    w0.cause,
+                    WaitCause::Recv {
+                        from: 1,
+                        tag: 0,
+                        buffered: 0
+                    }
+                );
+                let w1 = waits.iter().find(|w| w.core == 1).expect("core 1 waits");
+                assert_eq!(w1.block_name, "worker");
+                assert_eq!(
+                    w1.cause,
+                    WaitCause::Recv {
+                        from: 0,
+                        tag: 1,
+                        buffered: 0
+                    }
+                );
+                let path = cycle_path.expect("cross-recv hang is a cycle");
+                assert_eq!(path, vec![0, 1, 0]);
+            }
             other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    /// A jump-to-self spin issues every cycle (so the deadlock window
+    /// keeps resetting) but never changes architectural state: the
+    /// livelock watchdog, not `MaxCycles`, must call it.
+    #[test]
+    fn control_spin_is_diagnosed_as_livelock() {
+        let mut data = DataSegment::default();
+        data.zeroed("pad", 8);
+        let mut b = MBlock::new("spin", 0);
+        b.insts
+            .push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(0))]));
+        let p = mk_program(vec![vec![b]], data);
+        let cfg = MachineConfig {
+            livelock_window: 2_000,
+            ..MachineConfig::paper(1)
+        };
+        let err = Machine::new(p, &cfg).unwrap().run().unwrap_err();
+        match err {
+            SimError::Livelock { cycle, window, .. } => {
+                assert_eq!(window, 2_000);
+                assert!(cycle >= 2_000);
+            }
+            other => panic!("expected livelock, got {other}"),
         }
     }
 

@@ -9,6 +9,7 @@
 use crate::cache::{LineState, TagCache};
 use crate::config::MachineConfig;
 use std::collections::VecDeque;
+use std::fmt;
 use voltron_ir::Reg;
 
 /// Bus occupancy of an ownership upgrade (S -> M invalidation round).
@@ -77,6 +78,40 @@ pub enum LoadOutcome {
     /// pending until the fill completes.
     Miss,
 }
+
+/// The bus produced no completion within an observation window: the
+/// typed snapshot of everything still pending (in place of the panic
+/// this condition used to raise), so a wedged hierarchy is diagnosable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusTimeout {
+    /// First cycle of the observation window.
+    pub start: u64,
+    /// Cycles observed.
+    pub window: u64,
+    /// The transaction occupying the bus, if any.
+    pub in_flight: Option<BusReq>,
+    /// Requests still queued behind it.
+    pub queued: Vec<BusReq>,
+    /// Store-buffer occupancy per core.
+    pub store_buffered: Vec<usize>,
+}
+
+impl fmt::Display for BusTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no bus completion within {} cycles from {}: in-flight {:?}, {} queued, \
+             store buffers {:?}",
+            self.window,
+            self.start,
+            self.in_flight,
+            self.queued.len(),
+            self.store_buffered
+        )
+    }
+}
+
+impl std::error::Error for BusTimeout {}
 
 #[derive(Debug, Clone, Copy)]
 struct StoreEntry {
@@ -455,6 +490,34 @@ impl MemSys {
         out
     }
 
+    /// Tick from `start` until a completion arrives, returning the cycle
+    /// it arrived at and the completions. Intended for tests and drivers
+    /// that step the hierarchy in isolation; the machine's cycle loop
+    /// calls [`MemSys::tick`] directly and never blocks on the bus.
+    ///
+    /// # Errors
+    /// Returns a [`BusTimeout`] carrying the pending-request state when
+    /// `window` cycles pass without a completion.
+    pub fn run_until_completion(
+        &mut self,
+        start: u64,
+        window: u64,
+    ) -> Result<(u64, Vec<Completion>), BusTimeout> {
+        for t in start..start + window {
+            let c = self.tick(t);
+            if !c.is_empty() {
+                return Ok((t, c));
+            }
+        }
+        Err(BusTimeout {
+            start,
+            window,
+            in_flight: self.current.as_ref().map(|c| c.req.clone()),
+            queued: self.queue.iter().cloned().collect(),
+            store_buffered: self.store_bufs.iter().map(VecDeque::len).collect(),
+        })
+    }
+
     /// Snapshot the statistics.
     pub fn stats(&self) -> MemStats {
         MemStats {
@@ -480,15 +543,29 @@ mod tests {
         Reg::gpr(0)
     }
 
-    /// Run ticks until a completion arrives (or panic after `cap`).
+    /// Run ticks until a completion arrives (the typed path asserts one
+    /// comes within `cap` cycles).
     fn run_until_completion(m: &mut MemSys, start: u64, cap: u64) -> (u64, Vec<Completion>) {
-        for t in start..start + cap {
-            let c = m.tick(t);
-            if !c.is_empty() {
-                return (t, c);
-            }
-        }
-        panic!("no completion within {cap} cycles");
+        m.run_until_completion(start, cap)
+            .expect("a completion within the window")
+    }
+
+    #[test]
+    fn quiet_bus_times_out_with_pending_state() {
+        let mut m = sys();
+        // Nothing enqueued: the window lapses and the snapshot is empty.
+        let err = m.run_until_completion(0, 50).unwrap_err();
+        assert_eq!(err.start, 0);
+        assert_eq!(err.window, 50);
+        assert_eq!(err.in_flight, None);
+        assert!(err.queued.is_empty());
+        assert_eq!(err.store_buffered, vec![0; 4]);
+        // A buffered store that cannot complete in one cycle shows up in
+        // the snapshot instead of a bare panic message.
+        assert!(m.store(2, 0x1_0000, 8));
+        let err = m.run_until_completion(100, 1).unwrap_err();
+        assert_eq!(err.store_buffered[2], 1);
+        assert!(err.in_flight.is_some() || !err.queued.is_empty());
     }
 
     #[test]

@@ -406,6 +406,36 @@ impl OperandNetwork {
             && self.bcast[core].is_none()
     }
 
+    // ---- forensics ----
+    //
+    // Read-only introspection used by the machine's deadlock diagnosis to
+    // annotate wait-for-graph edges with queue occupancies.
+
+    /// Messages buffered at `core` from `(from, tag)` — delivered into the
+    /// CAM, whether or not available yet this cycle.
+    pub fn buffered_from(&self, core: usize, from: usize, tag: u32) -> usize {
+        self.recv[core].data[from]
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map_or(0, |(_, q)| q.len())
+    }
+
+    /// `core`'s send-queue head destination (if any) and total occupancy.
+    pub fn send_queue(&self, core: usize) -> (Option<usize>, usize) {
+        (
+            self.send_q[core].front().map(|(m, _)| m.to),
+            self.send_q[core].len(),
+        )
+    }
+
+    /// Peers whose broadcast latch is still occupied, blocking the next
+    /// `BCAST` from `from` until they drain it.
+    pub fn bcast_blockers(&self, from: usize) -> Vec<usize> {
+        (0..self.cfg.cores)
+            .filter(|&c| c != from && self.bcast[c].is_some())
+            .collect()
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> NetStats {
         self.stats

@@ -201,6 +201,24 @@ impl TxnManager {
         (lines, aborted)
     }
 
+    /// The order the next commit must have (the commit-token position).
+    pub fn expected(&self) -> u32 {
+        self.expected
+    }
+
+    /// The chunk order of `core`'s live transaction, if any.
+    pub fn order_of(&self, core: usize) -> Option<u32> {
+        self.txns[core].as_ref().map(|t| t.order)
+    }
+
+    /// The core whose live transaction has chunk `order`, if any (used by
+    /// deadlock forensics to point at the commit-token holder).
+    pub fn holder_of(&self, order: u32) -> Option<usize> {
+        self.txns
+            .iter()
+            .position(|t| t.as_ref().is_some_and(|t| t.order == order))
+    }
+
     /// Explicitly abort `core`'s transaction (XABORT or machine-initiated).
     pub fn abort(&mut self, core: usize) {
         if let Some(txn) = self.txns[core].take() {

@@ -3,7 +3,9 @@
 //! error paths, and the mode-switch barrier.
 
 use voltron_ir::{BlockId, DataSegment, ExecMode, Inst, MemWidth, Opcode, Operand, Reg};
-use voltron_sim::{CoreImage, MBlock, Machine, MachineConfig, MachineProgram, SimError};
+use voltron_sim::{
+    CoreImage, MBlock, Machine, MachineConfig, MachineProgram, SimError, ValidateError,
+};
 
 fn gpr(i: u32) -> Reg {
     Reg::gpr(i)
@@ -235,6 +237,8 @@ fn max_cycles_is_enforced() {
     }
 }
 
+/// One core only switches to Coupled and the other only to Decoupled:
+/// the validator sees the structural misalignment before the run.
 #[test]
 fn mode_switch_disagreement_is_detected() {
     let mut data = DataSegment::default();
@@ -256,6 +260,54 @@ fn mode_switch_disagreement_is_detected() {
     c1.insts.push(Inst::new(
         Opcode::ModeSwitch,
         vec![Operand::Mode(ExecMode::Decoupled)],
+    ));
+    c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    let p = program(vec![vec![c0], vec![idle, c1]], data);
+    match Machine::new(p, &MachineConfig::paper(2)) {
+        Err(SimError::Validate(ValidateError::SwitchMissing {
+            region, core, mode, ..
+        })) => {
+            assert_eq!(region, 0);
+            assert_eq!(core, 1);
+            assert_eq!(mode, ExecMode::Coupled);
+        }
+        other => panic!("expected switch-missing rejection, got {other:?}"),
+    }
+}
+
+/// Both cores have both switch kinds (so the static existence check
+/// passes) but arrive at the barrier with different targets at runtime:
+/// the dynamic disagreement check still fires.
+#[test]
+fn runtime_mode_switch_disagreement_is_detected() {
+    let mut data = DataSegment::default();
+    data.zeroed("pad", 8);
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::new(
+        Opcode::Spawn,
+        vec![Operand::Core(1), Operand::Block(BlockId(1))],
+    ));
+    c0.insts.push(Inst::new(
+        Opcode::ModeSwitch,
+        vec![Operand::Mode(ExecMode::Coupled)],
+    ));
+    c0.insts.push(Inst::new(
+        Opcode::ModeSwitch,
+        vec![Operand::Mode(ExecMode::Decoupled)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut idle = MBlock::new("idle", 0);
+    idle.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    let mut c1 = MBlock::new("worker", 0);
+    // Same switch kinds, opposite order: statically aligned, dynamically
+    // crossed.
+    c1.insts.push(Inst::new(
+        Opcode::ModeSwitch,
+        vec![Operand::Mode(ExecMode::Decoupled)],
+    ));
+    c1.insts.push(Inst::new(
+        Opcode::ModeSwitch,
+        vec![Operand::Mode(ExecMode::Coupled)],
     ));
     c1.insts.push(Inst::new(Opcode::Sleep, vec![]));
     let p = program(vec![vec![c0], vec![idle, c1]], data);

@@ -1,0 +1,562 @@
+//! Seeded-broken-program corpus for the static validator and the
+//! deadlock forensics.
+//!
+//! Each test corrupts a well-formed dual-core program in exactly one way
+//! and asserts that [`MachineProgram::validate`] (via [`Machine::new`])
+//! rejects it with the right [`ValidateError`] variant *and* the right
+//! coordinates — core, block, instruction slot, and stream tag where
+//! applicable. A final proptest smoke drives random small programs
+//! through `validate()` + `Machine::run` and asserts the pipeline only
+//! ever produces typed results, never panics.
+
+use proptest::prelude::*;
+use voltron_ir::{BlockId, CmpCc, DataSegment, Dir, ExecMode, Inst, Opcode, Operand, Reg};
+use voltron_sim::{
+    CoreImage, MBlock, Machine, MachineConfig, MachineProgram, SimError, ValidateError, WaitCause,
+};
+
+fn gpr(i: u32) -> Reg {
+    Reg::gpr(i)
+}
+
+fn program(core_blocks: Vec<Vec<MBlock>>, data: DataSegment) -> MachineProgram {
+    MachineProgram {
+        name: "corpus".into(),
+        cores: core_blocks
+            .into_iter()
+            .map(|blocks| CoreImage { blocks })
+            .collect(),
+        data,
+    }
+}
+
+fn data() -> DataSegment {
+    let mut d = DataSegment::default();
+    d.zeroed("pad", 8);
+    d
+}
+
+/// Build the rejection for a program on a `cores`-core paper machine.
+fn reject(p: MachineProgram, cores: usize) -> ValidateError {
+    match Machine::new(p, &MachineConfig::paper(cores)) {
+        Err(SimError::Validate(e)) => e,
+        Ok(_) => panic!("corrupted program was accepted"),
+        Err(other) => panic!("expected a validation error, got {other:?}"),
+    }
+}
+
+/// A worker image whose block 0 is the usual sleep stub.
+fn sleep_stub() -> MBlock {
+    let mut b = MBlock::new("idle", 0);
+    b.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    b
+}
+
+#[test]
+fn orphan_recv_names_core_block_and_tag() {
+    // Core 0 receives tag 7 from core 1, but core 1 never sends it.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::new(
+        Opcode::Spawn,
+        vec![Operand::Core(1), Operand::Block(BlockId(1))],
+    ));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Recv,
+        gpr(0),
+        vec![Operand::Core(1), Operand::Imm(7)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub(), sleep_stub()]], data());
+    match reject(p, 2) {
+        ValidateError::OrphanRecv { site, from, tag } => {
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 1));
+            assert_eq!(site.block_name, "main");
+            assert_eq!(from, 1);
+            assert_eq!(tag, 7);
+        }
+        other => panic!("expected OrphanRecv, got {other:?}"),
+    }
+}
+
+#[test]
+fn orphan_send_names_core_block_and_tag() {
+    // Core 1 sends tag 5 to core 0, but core 0 never receives it.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::new(
+        Opcode::Spawn,
+        vec![Operand::Core(1), Operand::Block(BlockId(1))],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut w = MBlock::new("worker", 0);
+    w.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(3)]));
+    w.insts.push(Inst::new(
+        Opcode::Send,
+        vec![gpr(0).into(), Operand::Core(0), Operand::Imm(5)],
+    ));
+    w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub(), w]], data());
+    match reject(p, 2) {
+        ValidateError::OrphanSend { site, to, tag } => {
+            assert_eq!((site.core, site.block, site.inst), (1, 1, 1));
+            assert_eq!(site.block_name, "worker");
+            assert_eq!(to, 0);
+            assert_eq!(tag, 5);
+        }
+        other => panic!("expected OrphanSend, got {other:?}"),
+    }
+}
+
+#[test]
+fn put_without_get_is_a_latch_imbalance() {
+    // Region 3: core 0 PUTs east but core 1 never GETs west. The latch
+    // belongs to core 1 (its west side).
+    let mut c0 = MBlock::new("main", 3);
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(1)]));
+    c0.insts.push(Inst::new(
+        Opcode::Put,
+        vec![gpr(0).into(), Operand::Dir(Dir::East)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub()]], data());
+    match reject(p, 2) {
+        ValidateError::LatchImbalance {
+            region,
+            owner,
+            dir,
+            puts,
+            gets,
+            site,
+        } => {
+            assert_eq!(region, 3);
+            assert_eq!(owner, 1);
+            assert_eq!(dir, Dir::West);
+            assert_eq!((puts, gets), (1, 0));
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 1));
+        }
+        other => panic!("expected LatchImbalance, got {other:?}"),
+    }
+}
+
+#[test]
+fn extra_get_is_a_latch_imbalance_too() {
+    // Balanced pair plus one stray GET on the same latch: 1 put, 2 gets.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(1)]));
+    c0.insts.push(Inst::new(
+        Opcode::Put,
+        vec![gpr(0).into(), Operand::Dir(Dir::East)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut w = MBlock::new("worker", 0);
+    w.insts.push(Inst::with_dst(
+        Opcode::Get,
+        gpr(0),
+        vec![Operand::Dir(Dir::West)],
+    ));
+    w.insts.push(Inst::with_dst(
+        Opcode::Get,
+        gpr(1),
+        vec![Operand::Dir(Dir::West)],
+    ));
+    w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    let p = program(vec![vec![c0], vec![w]], data());
+    match reject(p, 2) {
+        ValidateError::LatchImbalance {
+            owner, puts, gets, ..
+        } => {
+            assert_eq!(owner, 1);
+            assert_eq!((puts, gets), (1, 2));
+        }
+        other => panic!("expected LatchImbalance, got {other:?}"),
+    }
+}
+
+#[test]
+fn put_off_the_mesh_is_rejected() {
+    // On a 2x1 mesh nothing lies to the north.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(1)]));
+    c0.insts.push(Inst::new(
+        Opcode::Put,
+        vec![gpr(0).into(), Operand::Dir(Dir::North)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub()]], data());
+    match reject(p, 2) {
+        ValidateError::OffMesh { site, dir } => {
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 1));
+            assert_eq!(dir, Dir::North);
+        }
+        other => panic!("expected OffMesh, got {other:?}"),
+    }
+}
+
+#[test]
+fn self_spawn_is_rejected() {
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::new(
+        Opcode::Spawn,
+        vec![Operand::Core(0), Operand::Block(BlockId(0))],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub()]], data());
+    match reject(p, 2) {
+        ValidateError::SelfSpawn { site } => {
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 0));
+        }
+        other => panic!("expected SelfSpawn, got {other:?}"),
+    }
+}
+
+#[test]
+fn spawn_into_a_missing_block_is_rejected() {
+    // Core 1's image has one block; the spawn targets bb4.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::new(
+        Opcode::Spawn,
+        vec![Operand::Core(1), Operand::Block(BlockId(4))],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub()]], data());
+    match reject(p, 2) {
+        ValidateError::SpawnBadBlock {
+            site,
+            target_core,
+            block,
+            blocks,
+        } => {
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 0));
+            assert_eq!(target_core, 1);
+            assert_eq!(block, 4);
+            assert_eq!(blocks, 1);
+        }
+        other => panic!("expected SpawnBadBlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn send_to_a_core_off_the_machine_is_rejected() {
+    // A 4-core image dropped onto a machine... no — the image itself
+    // names core 7, which no paper machine has.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(1)]));
+    c0.insts.push(Inst::new(
+        Opcode::Send,
+        vec![gpr(0).into(), Operand::Core(7), Operand::Imm(0)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub()]], data());
+    match reject(p, 2) {
+        ValidateError::CoreOutOfRange {
+            site,
+            target,
+            cores,
+        } => {
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 1));
+            assert_eq!(target, 7);
+            assert_eq!(cores, 2);
+        }
+        other => panic!("expected CoreOutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn undrained_broadcast_is_rejected() {
+    // Region 2: core 0 broadcasts once; core 1 has a block in the region
+    // but no GETB to drain its latch.
+    let mut c0 = MBlock::new("main", 2);
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(1)]));
+    c0.insts.push(Inst::new(Opcode::Bcast, vec![gpr(0).into()]));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut w = MBlock::new("worker", 2);
+    w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    let p = program(vec![vec![c0], vec![w]], data());
+    match reject(p, 2) {
+        ValidateError::BcastImbalance {
+            region,
+            core,
+            expected,
+            getbs,
+            site,
+        } => {
+            assert_eq!(region, 2);
+            assert_eq!(core, 1);
+            assert_eq!((expected, getbs), (1, 0));
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 1));
+        }
+        other => panic!("expected BcastImbalance, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_operand_shape_is_rejected_with_coordinates() {
+    // A RECV whose "core" operand is an immediate: pure shape violation.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::with_dst(
+        Opcode::Recv,
+        gpr(0),
+        vec![Operand::Imm(1), Operand::Imm(0)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0]], data());
+    match Machine::new(p, &MachineConfig::paper(1)) {
+        Err(SimError::Validate(ValidateError::Shape { site, message })) => {
+            assert_eq!((site.core, site.block, site.inst), (0, 0, 0));
+            assert!(message.contains("core operand"), "{message}");
+        }
+        other => panic!("expected Shape rejection, got {other:?}"),
+    }
+}
+
+/// Statically balanced streams that cross at runtime: the forensics name
+/// both blocked cores, their blocks, and the tags they wait on.
+#[test]
+fn runtime_cross_recv_reports_a_wait_cycle() {
+    // Core 0 waits for tag 0 from core 1 before sending tag 1; core 1
+    // waits for tag 1 from core 0 before sending tag 0.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::new(
+        Opcode::Spawn,
+        vec![Operand::Core(1), Operand::Block(BlockId(1))],
+    ));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Recv,
+        gpr(0),
+        vec![Operand::Core(1), Operand::Imm(0)],
+    ));
+    c0.insts.push(Inst::new(
+        Opcode::Send,
+        vec![gpr(0).into(), Operand::Core(1), Operand::Imm(1)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut w = MBlock::new("worker", 0);
+    w.insts.push(Inst::with_dst(
+        Opcode::Recv,
+        gpr(0),
+        vec![Operand::Core(0), Operand::Imm(1)],
+    ));
+    w.insts.push(Inst::new(
+        Opcode::Send,
+        vec![gpr(0).into(), Operand::Core(0), Operand::Imm(0)],
+    ));
+    w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub(), w]], data());
+    let mut cfg = MachineConfig::paper(2);
+    cfg.deadlock_window = 2_000;
+    match Machine::new(p, &cfg).unwrap().run() {
+        Err(SimError::Deadlock {
+            waits, cycle_path, ..
+        }) => {
+            assert_eq!(waits.len(), 2);
+            assert_eq!(waits[0].core, 0);
+            assert_eq!(waits[0].block_name, "main");
+            assert_eq!(
+                waits[0].cause,
+                WaitCause::Recv {
+                    from: 1,
+                    tag: 0,
+                    buffered: 0
+                }
+            );
+            assert_eq!(waits[1].core, 1);
+            assert_eq!(waits[1].block_name, "worker");
+            assert_eq!(
+                waits[1].cause,
+                WaitCause::Recv {
+                    from: 0,
+                    tag: 1,
+                    buffered: 0
+                }
+            );
+            assert_eq!(cycle_path, Some(vec![0, 1, 0]));
+        }
+        other => panic!("expected deadlock forensics, got {other:?}"),
+    }
+}
+
+// ---------- proptest fuzz smoke ----------
+
+/// The fuzz generator's instruction alphabet. Operand ranges straddle
+/// the valid space on purpose: cores up to 3 on a 2-core machine, blocks
+/// up to 3 on 2-block images, all four mesh directions on a 2x1 mesh.
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Ldi(u8, i8),
+    Add(u8, u8, u8),
+    Cmp(u8, u8),
+    Send(u8, u8, u8),
+    Recv(u8, u8, u8),
+    Spawn(u8, u8),
+    Put(u8, u8),
+    Get(u8, u8),
+    Bcast(u8),
+    GetB(u8),
+    ModeSwitch(bool),
+    Jump(u8),
+    Br(u8),
+    Store(u8, u8),
+    Load(u8, u8),
+}
+
+fn fuzz_op() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        (0..4u8, any::<i8>()).prop_map(|(d, v)| FuzzOp::Ldi(d, v)),
+        (0..4u8, 0..4u8, 0..4u8).prop_map(|(d, a, b)| FuzzOp::Add(d, a, b)),
+        (0..4u8, 0..4u8).prop_map(|(a, b)| FuzzOp::Cmp(a, b)),
+        (0..4u8, 0..4u8, 0..3u8).prop_map(|(v, c, t)| FuzzOp::Send(v, c, t)),
+        (0..4u8, 0..4u8, 0..3u8).prop_map(|(d, c, t)| FuzzOp::Recv(d, c, t)),
+        (0..4u8, 0..4u8).prop_map(|(c, b)| FuzzOp::Spawn(c, b)),
+        (0..4u8, 0..4u8).prop_map(|(v, d)| FuzzOp::Put(v, d)),
+        (0..4u8, 0..4u8).prop_map(|(r, d)| FuzzOp::Get(r, d)),
+        (0..4u8).prop_map(FuzzOp::Bcast),
+        (0..4u8).prop_map(FuzzOp::GetB),
+        any::<bool>().prop_map(FuzzOp::ModeSwitch),
+        (0..4u8).prop_map(FuzzOp::Jump),
+        (0..4u8).prop_map(FuzzOp::Br),
+        (0..4u8, 0..4u8).prop_map(|(a, v)| FuzzOp::Store(a, v)),
+        (0..4u8, 0..4u8).prop_map(|(d, a)| FuzzOp::Load(d, a)),
+    ]
+}
+
+const FUZZ_DIRS: [Dir; 4] = [Dir::East, Dir::West, Dir::South, Dir::North];
+
+fn lower_fuzz(ops: &[FuzzOp], base: i64) -> Vec<Inst> {
+    let mut insts = Vec::with_capacity(ops.len() + 1);
+    for op in ops {
+        let inst = match *op {
+            FuzzOp::Ldi(d, v) => {
+                Inst::with_dst(Opcode::Ldi, gpr(d as u32), vec![Operand::Imm(i64::from(v))])
+            }
+            FuzzOp::Add(d, a, b) => Inst::with_dst(
+                Opcode::Add,
+                gpr(d as u32),
+                vec![gpr(a as u32).into(), gpr(b as u32).into()],
+            ),
+            FuzzOp::Cmp(a, b) => Inst::with_dst(
+                Opcode::Cmp(CmpCc::Lt),
+                Reg::pred(0),
+                vec![gpr(a as u32).into(), gpr(b as u32).into()],
+            ),
+            FuzzOp::Send(v, c, t) => Inst::new(
+                Opcode::Send,
+                vec![
+                    gpr(v as u32).into(),
+                    Operand::Core(c),
+                    Operand::Imm(i64::from(t)),
+                ],
+            ),
+            FuzzOp::Recv(d, c, t) => Inst::with_dst(
+                Opcode::Recv,
+                gpr(d as u32),
+                vec![Operand::Core(c), Operand::Imm(i64::from(t))],
+            ),
+            FuzzOp::Spawn(c, b) => Inst::new(
+                Opcode::Spawn,
+                vec![Operand::Core(c), Operand::Block(BlockId(b as u32))],
+            ),
+            FuzzOp::Put(v, d) => Inst::new(
+                Opcode::Put,
+                vec![
+                    gpr(v as u32).into(),
+                    Operand::Dir(FUZZ_DIRS[d as usize % 4]),
+                ],
+            ),
+            FuzzOp::Get(r, d) => Inst::with_dst(
+                Opcode::Get,
+                gpr(r as u32),
+                vec![Operand::Dir(FUZZ_DIRS[d as usize % 4])],
+            ),
+            FuzzOp::Bcast(v) => Inst::new(Opcode::Bcast, vec![gpr(v as u32).into()]),
+            FuzzOp::GetB(d) => Inst::with_dst(Opcode::GetB, gpr(d as u32), vec![]),
+            FuzzOp::ModeSwitch(coupled) => Inst::new(
+                Opcode::ModeSwitch,
+                vec![Operand::Mode(if coupled {
+                    ExecMode::Coupled
+                } else {
+                    ExecMode::Decoupled
+                })],
+            ),
+            FuzzOp::Jump(b) => Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(b as u32))]),
+            FuzzOp::Br(b) => Inst::new(
+                Opcode::Br,
+                vec![Operand::Block(BlockId(b as u32)), Reg::pred(0).into()],
+            ),
+            FuzzOp::Store(a, v) => {
+                insts.push(Inst::with_dst(
+                    Opcode::Ldi,
+                    gpr(3),
+                    vec![Operand::Imm(base + i64::from(a) * 8)],
+                ));
+                Inst::new(
+                    Opcode::Store(voltron_ir::MemWidth::W8),
+                    vec![gpr(3).into(), Operand::Imm(0), gpr(v as u32).into()],
+                )
+            }
+            FuzzOp::Load(d, a) => {
+                insts.push(Inst::with_dst(
+                    Opcode::Ldi,
+                    gpr(3),
+                    vec![Operand::Imm(base + i64::from(a) * 8)],
+                ));
+                Inst::with_dst(
+                    Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
+                    gpr(d as u32),
+                    vec![gpr(3).into(), Operand::Imm(0)],
+                )
+            }
+        };
+        insts.push(inst);
+    }
+    insts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, ..ProptestConfig::default()
+    })]
+
+    /// Random small two-core programs — most of them garbage — must be
+    /// either rejected with a typed error or simulated to a typed
+    /// outcome. Nothing in `validate()`, `Machine::new`, or the cycle
+    /// loop (including the deadlock/livelock forensics most of these
+    /// programs will hit) may panic.
+    #[test]
+    fn random_programs_never_panic(
+        main_ops in proptest::collection::vec(fuzz_op(), 0..12),
+        spin_ops in proptest::collection::vec(fuzz_op(), 0..8),
+        worker_ops in proptest::collection::vec(fuzz_op(), 0..8),
+    ) {
+        let mut data = DataSegment::default();
+        let base = data.zeroed("buf", 64) as i64;
+        let mut c0 = MBlock::new("main", 0);
+        c0.insts = lower_fuzz(&main_ops, base);
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let mut c0b = MBlock::new("spin", 1);
+        c0b.insts = lower_fuzz(&spin_ops, base);
+        c0b.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let mut w = MBlock::new("worker", 0);
+        w.insts = lower_fuzz(&worker_ops, base);
+        w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = program(vec![vec![c0, c0b], vec![sleep_stub(), w]], data);
+        let mut cfg = MachineConfig::paper(2);
+        cfg.deadlock_window = 500;
+        cfg.livelock_window = 2_000;
+        cfg.max_cycles = 20_000;
+        // Both arms are typed; reaching either (or a clean run) is a
+        // pass. A panic anywhere in the pipeline fails the property.
+        match Machine::new(p, &cfg) {
+            Ok(m) => {
+                let _ = m.run();
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}

@@ -11,6 +11,11 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, all targets)"
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+echo "== validator self-check: seeded-broken-program corpus"
+# Every seeded corruption must be rejected with coordinates; a validator
+# regression that starts accepting broken images fails here first.
+cargo test --release -q -p voltron-sim --test validate
+
 echo "== tier-1: release build + tests"
 cargo build --release
 cargo test -q
