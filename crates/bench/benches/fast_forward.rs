@@ -1,0 +1,52 @@
+//! Fast-forward microbenchmark: the same compiled program simulated
+//! tick-by-tick (`fast_forward = false`) and with the event-driven
+//! skip engine on. The ratio is the host-side payoff of skipping
+//! fully-blocked cycles; `tests/cycle_golden.rs` (run both ways by
+//! scripts/check.sh) pins that the architectural results agree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use voltron_compiler::{compile, CompileOptions, Strategy};
+use voltron_sim::{Machine, MachineConfig, MachineProgram};
+use voltron_workloads::{by_name, Scale};
+
+/// Compile `bench` for `strategy` on a 4-core paper machine.
+fn prepare(bench: &str, strategy: Strategy) -> (MachineProgram, MachineConfig) {
+    let w = by_name(bench, Scale::Test).unwrap();
+    let cfg = MachineConfig::paper(4);
+    let compiled = compile(&w.program, strategy, &cfg, &CompileOptions::default()).unwrap();
+    (compiled.machine, cfg)
+}
+
+fn bench_modes(c: &mut Criterion, bench: &str, strategy: Strategy, tag: &str) {
+    let (program, base_cfg) = prepare(bench, strategy);
+    for (mode, ff) in [("tick", false), ("ff", true)] {
+        let mut cfg = base_cfg.clone();
+        cfg.fast_forward = ff;
+        let program = program.clone();
+        c.bench_function(&format!("fast_forward/{tag}/{mode}"), |b| {
+            b.iter(|| {
+                Machine::new(program.clone(), &cfg)
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .stats
+                    .cycles
+            });
+        });
+    }
+}
+
+fn bench_fast_forward(c: &mut Criterion) {
+    // Fine-grain TLP is the stall-heaviest strategy (send/recv waits),
+    // so it bounds the best case; hybrid is the shipping configuration.
+    bench_modes(c, "164.gzip", Strategy::FineGrainTlp, "gzip_ftlp4");
+    bench_modes(c, "epic", Strategy::FineGrainTlp, "epic_ftlp4");
+    bench_modes(c, "rawcaudio", Strategy::Hybrid, "rawcaudio_hybrid4");
+}
+
+criterion_group! {
+    name = fast_forward;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fast_forward
+}
+criterion_main!(fast_forward);

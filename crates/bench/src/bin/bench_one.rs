@@ -32,13 +32,18 @@ fn main() {
         "{} ({:?}): serial baseline {base} cycles",
         w.name, w.expected
     );
-    for (s, c) in [
+    let configs = [
         (Strategy::Ilp, 4),
         (Strategy::FineGrainTlp, 4),
         (Strategy::Llp, 4),
         (Strategy::Hybrid, 2),
         (Strategy::Hybrid, 4),
-    ] {
+    ];
+    if let Err(e) = exp.run_all(&configs) {
+        // Per-config errors are reported in the loop below.
+        eprintln!("[bench_one] sweep: {e}");
+    }
+    for (s, c) in configs {
         match exp.run(s, c) {
             Ok(r) => {
                 let mut kinds: Vec<_> = r.region_kinds.values().collect();
@@ -63,11 +68,12 @@ fn main() {
     let secs = t0.elapsed().as_secs_f64();
     eprintln!("[bench_one] {}", throughput(exp.simulated_cycles(), secs));
     let scale_name = if scale == Scale::Full { "full" } else { "test" };
-    let summary = workload_summary(w.name, &exp);
+    let summary = workload_summary(w.name, &exp, secs);
     let doc = bench_json(
         "bench_one",
         scale_name,
         exp.simulated_cycles(),
+        exp.ticked_cycles(),
         secs,
         &[summary],
         &[],

@@ -11,6 +11,7 @@ fn main() {
     let args = HarnessArgs::parse();
     let harvest = run_workloads(&args, |_, exp| {
         let base = exp.baseline_cycles();
+        exp.run_all(&[(Strategy::Ilp, 4), (Strategy::FineGrainTlp, 4)])?;
         let coupled = stall_row(exp.run(Strategy::Ilp, 4)?, base);
         let decoupled = stall_row(exp.run(Strategy::FineGrainTlp, 4)?, base);
         Ok((coupled, decoupled))

@@ -30,6 +30,18 @@ fn main() {
     let harvest = run_workloads(&args, |_, exp| {
         let base = exp.baseline_cycles();
         let techniques = [Strategy::Ilp, Strategy::FineGrainTlp, Strategy::Llp];
+        // Simulate every configuration the figures below read, fanned out
+        // across host threads; the `exp.run` calls then hit the cache.
+        exp.run_all(&[
+            (Strategy::Ilp, 2),
+            (Strategy::Ilp, 4),
+            (Strategy::FineGrainTlp, 2),
+            (Strategy::FineGrainTlp, 4),
+            (Strategy::Llp, 2),
+            (Strategy::Llp, 4),
+            (Strategy::Hybrid, 2),
+            (Strategy::Hybrid, 4),
+        ])?;
         let mut t2 = [0f64; 3];
         let mut t4 = [0f64; 3];
         for (i, &t) in techniques.iter().enumerate() {

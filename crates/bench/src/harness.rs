@@ -107,16 +107,29 @@ pub struct WorkloadSummary {
     pub baseline_cycles: u64,
     /// Total simulated cycles across the workload's runs.
     pub simulated_cycles: u64,
+    /// Cycles the simulator actually ticked for them (the rest were
+    /// fast-forwarded; see `voltron_sim::MachineConfig::fast_forward`).
+    pub ticked_cycles: u64,
+    /// Host wall-clock this workload's sweep took, in seconds.
+    pub host_seconds: f64,
     /// (strategy, cores, cycles, speedup) per configuration run.
     pub runs: Vec<(String, usize, u64, f64)>,
 }
 
 /// Snapshot an experiment's run inventory for the JSON sidecar.
-pub fn workload_summary(name: &'static str, exp: &Experiment<'_>) -> WorkloadSummary {
+/// `host_seconds` is the wall-clock the caller measured around the
+/// workload's runs.
+pub fn workload_summary(
+    name: &'static str,
+    exp: &Experiment<'_>,
+    host_seconds: f64,
+) -> WorkloadSummary {
     WorkloadSummary {
         name,
         baseline_cycles: exp.baseline_cycles(),
         simulated_cycles: exp.simulated_cycles(),
+        ticked_cycles: exp.ticked_cycles(),
+        host_seconds,
         runs: exp
             .results()
             .iter()
@@ -125,11 +138,20 @@ pub fn workload_summary(name: &'static str, exp: &Experiment<'_>) -> WorkloadSum
     }
 }
 
+/// Skip-efficiency: the fraction of simulated cycles the simulator had
+/// to tick (1.0 = fast-forward never skipped; smaller is better). The
+/// ratio can exceed 1.0 slightly: the post-halt grace drain ticks a few
+/// cycles past the reported execution time.
+pub fn skip_efficiency(ticked: u64, simulated: u64) -> f64 {
+    ticked as f64 / simulated.max(1) as f64
+}
+
 /// Build the `BENCH_*.json` document for a finished sweep.
 pub fn bench_json(
     binary: &str,
     scale: &str,
     simulated_cycles: u64,
+    ticked_cycles: u64,
     host_seconds: f64,
     summaries: &[WorkloadSummary],
     failures: &[WorkloadFailure],
@@ -153,6 +175,12 @@ pub fn bench_json(
                 ("name".into(), Json::Str(s.name.into())),
                 ("baseline_cycles".into(), Json::UInt(s.baseline_cycles)),
                 ("simulated_cycles".into(), Json::UInt(s.simulated_cycles)),
+                ("ticked_cycles".into(), Json::UInt(s.ticked_cycles)),
+                (
+                    "skip_efficiency".into(),
+                    Json::Num(skip_efficiency(s.ticked_cycles, s.simulated_cycles)),
+                ),
+                ("host_seconds".into(), Json::Num(s.host_seconds)),
                 ("runs".into(), Json::Arr(runs)),
             ])
         })
@@ -162,6 +190,11 @@ pub fn bench_json(
         ("scale".into(), Json::Str(scale.into())),
         ("host_seconds".into(), Json::Num(host_seconds)),
         ("simulated_cycles".into(), Json::UInt(simulated_cycles)),
+        ("ticked_cycles".into(), Json::UInt(ticked_cycles)),
+        (
+            "skip_efficiency".into(),
+            Json::Num(skip_efficiency(ticked_cycles, simulated_cycles)),
+        ),
         (
             "cycles_per_host_second".into(),
             Json::Num(simulated_cycles as f64 / host_seconds.max(1e-9)),
@@ -207,6 +240,8 @@ pub struct Harvest<R> {
     pub failures: Vec<WorkloadFailure>,
     /// Total simulated cycles across the sweep.
     pub simulated_cycles: u64,
+    /// Total cycles the simulator actually ticked for them.
+    pub ticked_cycles: u64,
     /// Wall-clock duration of the sweep.
     pub host_seconds: f64,
 }
@@ -246,6 +281,7 @@ impl<R> Harvest<R> {
             binary,
             args.scale_name(),
             self.simulated_cycles,
+            self.ticked_cycles,
             self.host_seconds,
             &self.summaries,
             &self.failures,
@@ -305,10 +341,12 @@ pub fn run_workloads_on<R: Send>(
                 // AssertUnwindSafe: on panic the closure's experiment is
                 // dropped whole and its slot stays None-turned-Err, so no
                 // half-updated state survives into the harvest.
+                let w0 = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     let mut exp = Experiment::with_cycle_budget(&w.program, budget_cycles)?;
                     let r = f(w, &mut exp)?;
-                    Ok::<_, SystemError>((r, workload_summary(w.name, &exp)))
+                    let elapsed = w0.elapsed().as_secs_f64();
+                    Ok::<_, SystemError>((r, workload_summary(w.name, &exp, elapsed)))
                 }));
                 let res = match outcome {
                     Ok(Ok(pair)) => Ok(pair),
@@ -327,10 +365,12 @@ pub fn run_workloads_on<R: Send>(
     let mut summaries = Vec::new();
     let mut failures = Vec::new();
     let mut simulated_cycles = 0u64;
+    let mut ticked_cycles = 0u64;
     for (w, slot) in ws.into_iter().zip(slots) {
         match slot.into_inner().expect("result slot poisoned") {
             Some(Ok((r, sm))) => {
                 simulated_cycles += sm.simulated_cycles;
+                ticked_cycles += sm.ticked_cycles;
                 summaries.push(sm);
                 results.push((w, r));
             }
@@ -349,6 +389,7 @@ pub fn run_workloads_on<R: Send>(
         summaries,
         failures,
         simulated_cycles,
+        ticked_cycles,
         host_seconds,
     }
 }
@@ -366,6 +407,13 @@ pub fn speedup_figure(
     headers.extend(columns.iter().map(|(l, _, _)| *l));
     let mut table = Table::new(&headers);
     let harvest = run_workloads(args, |_, exp| {
+        // Fan the column configurations out across host threads first;
+        // the reads below all hit the cache.
+        let configs: Vec<(Strategy, usize)> = columns
+            .iter()
+            .map(|&(_, strat, cores)| (strat, cores))
+            .collect();
+        exp.run_all(&configs)?;
         let mut vals = Vec::with_capacity(columns.len());
         for &(_, strat, cores) in columns {
             vals.push(exp.run(strat, cores)?.speedup);
@@ -463,6 +511,7 @@ mod tests {
             "t",
             args.scale_name(),
             h.simulated_cycles,
+            h.ticked_cycles,
             h.host_seconds,
             &h.summaries,
             &h.failures,
@@ -472,6 +521,9 @@ mod tests {
         assert!(s.contains("\"name\":\"rawcaudio\""));
         assert!(s.contains("\"strategy\":\"serial\""));
         assert!(s.contains("\"failures\":[]"));
+        assert!(s.contains("\"ticked_cycles\""));
+        assert!(s.contains("\"skip_efficiency\""));
+        assert!(s.contains("\"host_seconds\""));
     }
 
     /// A deliberately panicking workload must become a marked-failed row
@@ -507,6 +559,7 @@ mod tests {
             "t",
             "test",
             h.simulated_cycles,
+            h.ticked_cycles,
             1.0,
             &h.summaries,
             &h.failures,

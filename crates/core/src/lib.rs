@@ -150,6 +150,9 @@ pub struct RunResult {
     pub cores: usize,
     /// Execution time in simulated cycles.
     pub cycles: u64,
+    /// Cycles the simulator actually ticked (fast-forward skips the
+    /// rest; see `voltron_sim::RunOutcome::ticked_cycles`).
+    pub ticked_cycles: u64,
     /// Speedup over the serial baseline.
     pub speedup: f64,
     /// Full machine statistics.
@@ -301,6 +304,7 @@ fn run_prepared(
         strategy,
         cores,
         cycles,
+        ticked_cycles: out.ticked_cycles,
         speedup: baseline_cycles as f64 / cycles.max(1) as f64,
         stats: out.stats,
         region_kinds,
@@ -318,6 +322,7 @@ pub struct Experiment<'a> {
     /// Compiler front ends, indexed by [`FrontEnd::key`].
     front_ends: [Option<FrontEnd>; 2],
     sim_cycles: u64,
+    ticked_cycles: u64,
     cycle_budget: Option<u64>,
 }
 
@@ -348,6 +353,7 @@ impl<'a> Experiment<'a> {
             cache: HashMap::new(),
             front_ends: [None, None],
             sim_cycles: 0,
+            ticked_cycles: 0,
             cycle_budget: budget,
         };
         let idx = exp.ensure_front_end(Strategy::Serial, 1)?;
@@ -355,6 +361,7 @@ impl<'a> Experiment<'a> {
         let base = run_prepared(fe, &exp.golden, Strategy::Serial, 1, 1, budget)?;
         exp.baseline_cycles = base.cycles;
         exp.sim_cycles = base.cycles;
+        exp.ticked_cycles = base.ticked_cycles;
         Ok(exp)
     }
 
@@ -378,6 +385,14 @@ impl<'a> Experiment<'a> {
     /// simulated-cycles-per-second throughput metric.
     pub fn simulated_cycles(&self) -> u64 {
         self.sim_cycles
+    }
+
+    /// Total cycles the simulator actually ticked across those runs.
+    /// `simulated_cycles / ticked_cycles` is the fast-forward
+    /// skip-efficiency the harness reports (1.0 means no cycle was
+    /// skippable).
+    pub fn ticked_cycles(&self) -> u64 {
+        self.ticked_cycles
     }
 
     /// Every cached configuration result, in deterministic
@@ -418,9 +433,71 @@ impl<'a> Experiment<'a> {
                 self.cycle_budget,
             )?;
             self.sim_cycles += r.cycles;
+            self.ticked_cycles += r.ticked_cycles;
             self.cache.insert((strategy, cores), r);
         }
         Ok(&self.cache[&(strategy, cores)])
+    }
+
+    /// Run every not-yet-cached configuration in `configs` across host
+    /// threads. Configurations are independent simulations sharing only
+    /// the immutable front ends and the golden memory, so a workload's
+    /// whole sweep finishes in the wall-clock of its slowest member
+    /// instead of their sum. Results land in the cache exactly as a
+    /// sequence of [`Experiment::run`] calls would have left them: they
+    /// are committed in `configs` order up to the first failure, whose
+    /// error is returned (later successes are discarded, as a sequential
+    /// sweep would never have run them).
+    ///
+    /// # Errors
+    /// The first (in `configs` order) configuration failure.
+    pub fn run_all(&mut self, configs: &[(Strategy, usize)]) -> Result<(), SystemError> {
+        let missing: Vec<(Strategy, usize)> = {
+            let mut seen = Vec::new();
+            configs
+                .iter()
+                .copied()
+                .filter(|c| {
+                    !self.cache.contains_key(c) && !seen.contains(c) && {
+                        seen.push(*c);
+                        true
+                    }
+                })
+                .collect()
+        };
+        // Front ends are shared mutable state: build them up front,
+        // serially (at most two exist per program).
+        let mut slots = Vec::with_capacity(missing.len());
+        for &(strategy, cores) in &missing {
+            slots.push(self.ensure_front_end(strategy, cores)?);
+        }
+        let front_ends = &self.front_ends;
+        let golden = &self.golden;
+        let baseline = self.baseline_cycles;
+        let budget = self.cycle_budget;
+        let outcomes: Vec<Result<RunResult, SystemError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = missing
+                .iter()
+                .zip(&slots)
+                .map(|(&(strategy, cores), &idx)| {
+                    scope.spawn(move || {
+                        let fe = front_ends[idx].as_ref().expect("built above");
+                        run_prepared(fe, golden, strategy, cores, baseline, budget)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("config runner panicked"))
+                .collect()
+        });
+        for (key, outcome) in missing.into_iter().zip(outcomes) {
+            let r = outcome?;
+            self.sim_cycles += r.cycles;
+            self.ticked_cycles += r.ticked_cycles;
+            self.cache.insert(key, r);
+        }
+        Ok(())
     }
 
     /// Fig. 3-style attribution: the fraction of (estimated serial)

@@ -176,6 +176,15 @@ impl TagCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Credit `n` repeat hits without touching LRU state. Used by the
+    /// fast-forward engine to replay a blocked core's per-cycle refetch
+    /// of its current instruction: the last real [`TagCache::access`]
+    /// already made that line MRU, so `n` further touches would not
+    /// change the eviction order, only this counter.
+    pub fn credit_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
 }
 
 #[cfg(test)]

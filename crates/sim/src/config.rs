@@ -62,6 +62,14 @@ pub struct MachineConfig {
     pub livelock_window: u64,
     /// Hard cap on simulated cycles.
     pub max_cycles: u64,
+    /// Event-driven fast-forward: when every core is blocked and no
+    /// same-cycle event is due, jump `cycle` straight to the earliest
+    /// subsystem wake time instead of ticking the identity transition
+    /// once per cycle. Statistics are bulk-accounted over the skipped
+    /// span, so every reported number is identical either way (see
+    /// DESIGN.md §6); the toggle exists so that equivalence can be
+    /// tested in-process.
+    pub fast_forward: bool,
 }
 
 impl MachineConfig {
@@ -98,6 +106,7 @@ impl MachineConfig {
             deadlock_window: 50_000,
             livelock_window: 1_000_000,
             max_cycles: 2_000_000_000,
+            fast_forward: true,
         }
     }
 

@@ -291,6 +291,13 @@ pub struct RunOutcome {
     pub stragglers: Vec<usize>,
     /// The installed tracer's rendering (empty string without one).
     pub trace: String,
+    /// Cycles actually executed by [`Machine::tick`] (including the
+    /// post-halt grace drain). With fast-forward on this is the host
+    /// work actually done; `stats.cycles / ticked_cycles` is the
+    /// skip-efficiency the bench harness reports. Deliberately *not*
+    /// part of [`MachineStats`]: the architectural numbers must be
+    /// identical with fast-forward on and off, and this one is not.
+    pub ticked_cycles: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -393,6 +400,13 @@ pub struct Machine {
     /// Per-core issue decisions, reused across ticks to keep the cycle
     /// loop allocation-free.
     decisions: Vec<Decision>,
+    /// Cycles actually executed by [`Machine::tick`].
+    ticked: u64,
+    /// Set by [`Machine::tick`] when the cycle it just executed made no
+    /// progress and the next tick cannot resolve a mode-switch barrier:
+    /// the machine is fully blocked and [`Machine::fast_forward`] may
+    /// jump time to the next subsystem event.
+    ff_eligible: bool,
 }
 
 impl Machine {
@@ -453,6 +467,8 @@ impl Machine {
             dynamic_insts: 0,
             tracer: None,
             decisions: Vec::with_capacity(n),
+            ticked: 0,
+            ff_eligible: false,
             cfg: cfg.clone(),
         })
     }
@@ -483,11 +499,17 @@ impl Machine {
                 return Err(SimError::MaxCycles(self.cfg.max_cycles));
             }
             self.tick()?;
+            if self.cfg.fast_forward && self.ff_eligible {
+                self.fast_forward();
+            }
         }
         // Execution time is the master's halt cycle; workers may still be
         // a few instructions from their SLEEP (the master does not wait
         // for the final join-token-to-sleep race). Drain briefly so the
-        // straggler check only flags genuinely stuck cores.
+        // straggler check only flags genuinely stuck cores. The drain
+        // still counts against the cycle cap — a straggler that pushes
+        // past `max_cycles` here is over budget, not a clean finish —
+        // and is short enough that it is never worth fast-forwarding.
         let exec_cycles = self.cycle;
         let mut grace = 0u32;
         while grace < 2_000
@@ -496,6 +518,9 @@ impl Machine {
                 .iter()
                 .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle))
         {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::MaxCycles(self.cfg.max_cycles));
+            }
             self.tick()?;
             grace += 1;
         }
@@ -541,6 +566,7 @@ impl Machine {
             stats,
             stragglers,
             trace,
+            ticked_cycles: self.ticked,
         })
     }
 
@@ -1297,6 +1323,8 @@ impl Machine {
     /// See [`SimError`].
     pub fn tick(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
+        self.ticked += 1;
+        self.ff_eligible = false;
         for c in self.memsys.tick(now) {
             self.dispatch(c);
         }
@@ -1437,8 +1465,172 @@ impl Machine {
                 dump: self.dump(),
             });
         }
+        // Fast-forward is legal from here iff nothing issued (so every
+        // core's decision is frozen until an external event) and the next
+        // tick's `try_mode_switch` cannot fire (it fires only when *all*
+        // cores sit at the barrier — that tick is not the identity).
+        self.ff_eligible = !progress
+            && !self
+                .cores
+                .iter()
+                .all(|c| matches!(c.state, CoreState::AtSwitch(_)));
         self.cycle += 1;
         Ok(())
+    }
+
+    /// The cycle at which a [`StallReason::Interlock`]-stalled core's
+    /// scoreboard clears: the latest ready-time over the instruction's
+    /// sources, guard, and destination. All of them are finite — a
+    /// pending (`u64::MAX`) register classifies the stall as
+    /// [`StallReason::DMiss`] instead.
+    fn interlock_wake(&self, i: usize) -> u64 {
+        let core = &self.cores[i];
+        let (b, s) = core.pc;
+        let inst = &self.program.cores[i].blocks[b].insts[s];
+        let mut wake = 0;
+        for r in inst.uses_iter() {
+            wake = wake.max(core.ready_at(r));
+        }
+        if let Some(d) = inst.dst {
+            wake = wake.max(core.ready_at(d));
+        }
+        wake
+    }
+
+    /// Event-driven fast-forward (see DESIGN.md §6 for the equivalence
+    /// argument). Called after a tick that made no progress: every core
+    /// is blocked, so until some subsystem event lands, each following
+    /// tick is the identity transition plus counters. Jump `cycle`
+    /// straight to the earliest such event — an in-flight bus
+    /// completion, a network arrival, or a scoreboard interlock
+    /// clearing — bulk-accounting the skipped span, and capped so the
+    /// deadlock/livelock watchdogs and the `max_cycles` cap fire at
+    /// exactly the cycle a tick-by-tick run fires them.
+    fn fast_forward(&mut self) {
+        // The cycle whose (cached) decisions describe the blocked state;
+        // `self.cycle` is already the next tick's cycle.
+        let prev = self.cycle - 1;
+        let mut wake = u64::MAX;
+        if let Some(t) = self.memsys.next_event(prev) {
+            wake = wake.min(t);
+        }
+        if let Some(t) = self.net.next_event(prev) {
+            wake = wake.min(t);
+        }
+        if let Some(t) = self.tm.next_event() {
+            wake = wake.min(t);
+        }
+        for i in 0..self.cores.len() {
+            if self.cores[i].state == CoreState::Running
+                && self.decisions[i] == Decision::Stall(StallReason::Interlock)
+            {
+                wake = wake.min(self.interlock_wake(i));
+            }
+        }
+        // Watchdogs: a tick-by-tick run would declare deadlock/livelock
+        // on the first cycle past its window, so never jump beyond it —
+        // the real tick executed there raises the identical error.
+        let anyone_active = self
+            .cores
+            .iter()
+            .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle));
+        if anyone_active {
+            let deadlock_at = self
+                .last_progress
+                .saturating_add(self.cfg.deadlock_window)
+                .saturating_add(1);
+            let livelock_at = self
+                .last_arch_change
+                .saturating_add(self.cfg.livelock_window)
+                .saturating_add(1);
+            wake = wake.min(deadlock_at).min(livelock_at);
+        }
+        // An all-idle machine has no watchdog (nothing is "active"), so
+        // the run loop's cap is the only exit; land exactly on it.
+        wake = wake.min(self.cfg.max_cycles);
+        if wake <= self.cycle {
+            return;
+        }
+        let n = wake - self.cycle;
+        self.account_blocked(n);
+        self.cycle = wake;
+    }
+
+    /// Account `n` fully-blocked cycles exactly as `n` executions of the
+    /// corresponding arm of [`Machine::tick`] would, from the decisions
+    /// cached by the last executed tick (which fast-forward guarantees
+    /// stay constant over the span).
+    fn account_blocked(&mut self, n: u64) {
+        let ncores = self.cores.len();
+        match self.mode {
+            ExecMode::Coupled => {
+                let group_stall = (0..ncores).find_map(|i| match self.decisions[i] {
+                    Decision::Stall(r) if self.cores[i].state == CoreState::Running => Some(r),
+                    _ => None,
+                });
+                match group_stall {
+                    Some(r) => {
+                        for i in 0..ncores {
+                            match self.decisions[i] {
+                                Decision::Stall(own) => {
+                                    self.core_stats[i].stalls[own.index()] += n;
+                                }
+                                _ => self.core_stats[i].stalls[r.index()] += n,
+                            }
+                        }
+                    }
+                    None => {
+                        // No running member stalls and yet nothing issued:
+                        // only barrier/bus waiters (their own reason) and
+                        // quiet cores remain.
+                        for i in 0..ncores {
+                            match self.decisions[i] {
+                                Decision::Stall(own) => {
+                                    self.core_stats[i].stalls[own.index()] += n;
+                                }
+                                Decision::Quiet => self.core_stats[i].idle += n,
+                                Decision::Issue | Decision::StartThread => {}
+                            }
+                        }
+                    }
+                }
+                self.coupled_cycles += n;
+            }
+            ExecMode::Decoupled => {
+                for i in 0..ncores {
+                    match self.decisions[i] {
+                        Decision::Stall(r) => self.core_stats[i].stalls[r.index()] += n,
+                        Decision::Quiet => self.core_stats[i].idle += n,
+                        // Issue/StartThread imply progress, which a
+                        // fast-forwarded tick never made.
+                        Decision::Issue | Decision::StartThread => {}
+                    }
+                }
+                self.decoupled_cycles += n;
+            }
+        }
+        let region = self.program.cores[0]
+            .blocks
+            .get(self.cores[0].pc.0)
+            .map(|b| b.region)
+            .unwrap_or(REGION_OUTSIDE);
+        let slot = if region == REGION_OUTSIDE {
+            self.region_cycles.len() - 1
+        } else {
+            region as usize
+        };
+        self.region_cycles[slot] += n;
+        // Each skipped cycle, a running core re-fetches its current
+        // instruction; unless it is the fetch itself that stalls (the
+        // pending-fill guard in `MemSys::ifetch` counts nothing on
+        // those), that is one L1I hit per cycle.
+        for i in 0..ncores {
+            if self.cores[i].state == CoreState::Running
+                && self.decisions[i] != Decision::Stall(StallReason::IFetch)
+            {
+                self.memsys.credit_ifetch_hits(i, n);
+            }
+        }
     }
 }
 

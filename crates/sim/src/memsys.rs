@@ -129,7 +129,7 @@ struct InFlight {
 }
 
 /// Memory-system statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Completed bus transactions.
     pub bus_transactions: u64,
@@ -257,6 +257,13 @@ impl MemSys {
             });
         }
         false
+    }
+
+    /// Credit `n` repeat instruction-fetch hits on `core`'s L1I, for
+    /// the fast-forward engine: every skipped cycle, a running core
+    /// would have re-fetched its current (cached) instruction.
+    pub fn credit_ifetch_hits(&mut self, core: usize, n: u64) {
+        self.l1i[core].credit_hits(n);
     }
 
     /// Enqueue a transactional-commit broadcast of `lines`.
@@ -488,6 +495,25 @@ impl MemSys {
         }
         self.drain_store_buffers();
         out
+    }
+
+    /// Earliest future cycle at which [`MemSys::tick`] would do anything
+    /// beyond the identity transition, for the machine's fast-forward
+    /// engine. `Some(now)` means the very next tick has work (queued
+    /// requests can be granted, or an unblocked store buffer has a head
+    /// to drain — both happen at grant/drain time, not at a known future
+    /// cycle); `Some(t)` with `t > now` is the in-flight transaction's
+    /// completion; `None` means the hierarchy is fully quiescent.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let sb_busy = self
+            .store_bufs
+            .iter()
+            .zip(&self.sb_waiting)
+            .any(|(q, &w)| !q.is_empty() && !w);
+        if sb_busy || (self.current.is_none() && !self.queue.is_empty()) {
+            return Some(now);
+        }
+        self.current.as_ref().map(|c| c.finish)
     }
 
     /// Tick from `start` until a completion arrives, returning the cycle

@@ -440,6 +440,49 @@ impl OperandNetwork {
     pub fn stats(&self) -> NetStats {
         self.stats
     }
+
+    /// Earliest future cycle at which the network's observable state can
+    /// change on its own, for the machine's fast-forward engine.
+    ///
+    /// `Some(now)` whenever any send queue holds a message: injection
+    /// happens inside `tick` and depends on link reservations, so the
+    /// next tick is not the identity. Otherwise the network is purely a
+    /// set of parked values with availability times, and the answer is
+    /// the minimum `at > now` across direct latches, broadcast latches,
+    /// CAM bucket heads and spawn heads (an already-available value stays
+    /// available forever, so it never constitutes a *future* event).
+    /// Over-reporting is safe — the machine just ticks one identity cycle
+    /// and skips again — and heads suffice because every bucket is in
+    /// availability order.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.send_q.iter().any(|q| !q.is_empty()) {
+            return Some(now);
+        }
+        let mut wake: Option<u64> = None;
+        let mut consider = |at: u64| {
+            if at > now && wake.is_none_or(|w| at < w) {
+                wake = Some(at);
+            }
+        };
+        for (_, at) in self.direct.iter().chain(self.bcast.iter()).flatten() {
+            consider(*at);
+        }
+        for side in &self.recv {
+            for buckets in &side.data {
+                for (_, q) in buckets {
+                    if let Some(&(_, at)) = q.front() {
+                        consider(at);
+                    }
+                }
+            }
+            for q in &side.spawns {
+                if let Some(&(_, _, at)) = q.front() {
+                    consider(at);
+                }
+            }
+        }
+        wake
+    }
 }
 
 #[cfg(test)]

@@ -115,7 +115,11 @@ impl CoreStats {
 }
 
 /// Whole-machine statistics for one run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is derived so the fast-forward equivalence tests can
+/// assert that an event-skipping run reports *exactly* the numbers a
+/// tick-by-tick run does.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
     /// Total simulated cycles.
     pub cycles: u64,

@@ -231,6 +231,21 @@ impl TxnManager {
     pub fn stats(&self) -> TmStats {
         self.stats
     }
+
+    /// Earliest future cycle at which the TM's state can change on its
+    /// own, for the machine's fast-forward engine: always `None`.
+    ///
+    /// Every TM transition is progress-driven, never time-driven. The
+    /// commit token advances only when a core executes `XEND` (an issue,
+    /// so the machine is not fully blocked), the commit's bus broadcast
+    /// latency is owned by [`crate::memsys::MemSys`] and surfaces through
+    /// its `next_event`, and aborts happen synchronously inside
+    /// [`TxnManager::commit`]. A machine whose cores are all blocked can
+    /// therefore never be woken *by* the TM, only by the bus completion
+    /// that lets a committer finish.
+    pub fn next_event(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

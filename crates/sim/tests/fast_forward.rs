@@ -1,0 +1,339 @@
+//! Fast-forward equivalence: the event-driven skip engine must be
+//! architecturally invisible (DESIGN.md §6).
+//!
+//! The property: for any program, running with `fast_forward` on and
+//! off produces the *same* [`voltron_sim::MachineStats`] field by
+//! field, the same final memory, the same stragglers — or the same
+//! typed error at the same cycle. Only `ticked_cycles` (host work) may
+//! differ. The proptest drives the same random-program generator as
+//! the validator fuzz smoke, which hits deadlocks, livelocks, send/recv
+//! waits, mode barriers, and cycle-cap overruns — exactly the blocked
+//! shapes fast-forward skips over.
+
+use proptest::prelude::*;
+use voltron_ir::{BlockId, CmpCc, DataSegment, Dir, ExecMode, Inst, Opcode, Operand, Reg};
+use voltron_sim::{
+    CoreImage, MBlock, Machine, MachineConfig, MachineProgram, RunOutcome, SimError,
+};
+
+fn gpr(i: u32) -> Reg {
+    Reg::gpr(i)
+}
+
+fn program(core_blocks: Vec<Vec<MBlock>>, data: DataSegment) -> MachineProgram {
+    MachineProgram {
+        name: "ff-corpus".into(),
+        cores: core_blocks
+            .into_iter()
+            .map(|blocks| CoreImage { blocks })
+            .collect(),
+        data,
+    }
+}
+
+/// A worker image whose block 0 is the usual sleep stub.
+fn sleep_stub() -> MBlock {
+    let mut b = MBlock::new("idle", 0);
+    b.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    b
+}
+
+/// Run `p` with fast-forward forced to `ff`, everything else per `cfg`.
+fn run_with(p: &MachineProgram, cfg: &MachineConfig, ff: bool) -> Result<RunOutcome, SimError> {
+    let mut cfg = cfg.clone();
+    cfg.fast_forward = ff;
+    Machine::new(p.clone(), &cfg)?.run()
+}
+
+/// Assert the two outcomes are architecturally identical, stats field
+/// by field so a regression names the counter that diverged.
+fn assert_equivalent(off: &RunOutcome, on: &RunOutcome) {
+    let (a, b) = (&off.stats, &on.stats);
+    assert_eq!(a.cycles, b.cycles, "cycles");
+    assert_eq!(a.coupled_cycles, b.coupled_cycles, "coupled_cycles");
+    assert_eq!(a.decoupled_cycles, b.decoupled_cycles, "decoupled_cycles");
+    assert_eq!(a.region_cycles, b.region_cycles, "region_cycles");
+    assert_eq!(a.cores, b.cores, "per-core stats");
+    assert_eq!(a.mem, b.mem, "memory-system stats");
+    assert_eq!(a.net, b.net, "network stats");
+    assert_eq!(a.tm, b.tm, "TM stats");
+    assert_eq!(a.spawns, b.spawns, "spawns");
+    assert_eq!(a.mode_switches, b.mode_switches, "mode_switches");
+    assert_eq!(a.dynamic_insts, b.dynamic_insts, "dynamic_insts");
+    // Belt and braces: the whole struct, in case a field is added
+    // without extending the list above.
+    assert_eq!(a, b, "MachineStats");
+    assert_eq!(off.memory, on.memory, "final data memory");
+    assert_eq!(off.stragglers, on.stragglers, "stragglers");
+    assert!(
+        on.ticked_cycles <= off.ticked_cycles,
+        "fast-forward ticked more ({}) than tick-by-tick ({})",
+        on.ticked_cycles,
+        off.ticked_cycles
+    );
+}
+
+/// All cores blocked at once: the master takes a cold load miss
+/// (`mem_latency` = 120 cycles on the paper machine) while the worker
+/// sleeps. Fast-forward must skip inside the miss window without
+/// moving a single counter.
+#[test]
+fn cold_miss_with_sleeping_worker_skips_and_matches() {
+    let mut data = DataSegment::default();
+    let base = data.zeroed("buf", 64) as i64;
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(0),
+        vec![Operand::Imm(base)],
+    ));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
+        gpr(1),
+        vec![gpr(0).into(), Operand::Imm(0)],
+    ));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Add,
+        gpr(2),
+        vec![gpr(1).into(), gpr(1).into()],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub()]], data);
+    let cfg = MachineConfig::paper(2);
+    let off = run_with(&p, &cfg, false).expect("tick-by-tick run failed");
+    let on = run_with(&p, &cfg, true).expect("fast-forwarded run failed");
+    assert_equivalent(&off, &on);
+    assert!(
+        on.ticked_cycles < on.stats.cycles,
+        "no cycles were skipped: ticked {} of {}",
+        on.ticked_cycles,
+        on.stats.cycles
+    );
+}
+
+/// A RECV that waits on a slow sender: the receiver blocks on the CAM
+/// bucket, the sender blocks on a cold miss, and the skip has to chain
+/// bus completion -> send -> network delivery without disturbing the
+/// delivery cycle.
+#[test]
+fn recv_across_cold_miss_matches() {
+    let mut data = DataSegment::default();
+    let base = data.zeroed("buf", 64) as i64;
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::new(
+        Opcode::Spawn,
+        vec![Operand::Core(1), Operand::Block(BlockId(1))],
+    ));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Recv,
+        gpr(0),
+        vec![Operand::Core(1), Operand::Imm(1)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut w = MBlock::new("worker", 0);
+    w.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(0),
+        vec![Operand::Imm(base)],
+    ));
+    w.insts.push(Inst::with_dst(
+        Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
+        gpr(1),
+        vec![gpr(0).into(), Operand::Imm(0)],
+    ));
+    w.insts.push(Inst::new(
+        Opcode::Send,
+        vec![gpr(1).into(), Operand::Core(0), Operand::Imm(1)],
+    ));
+    w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub(), w]], data);
+    let cfg = MachineConfig::paper(2);
+    let off = run_with(&p, &cfg, false).expect("tick-by-tick run failed");
+    let on = run_with(&p, &cfg, true).expect("fast-forwarded run failed");
+    assert_equivalent(&off, &on);
+    assert!(on.ticked_cycles < on.stats.cycles);
+}
+
+// ---------- proptest equivalence over random programs ----------
+//
+// The generator below is the validator fuzz alphabet (integration
+// tests cannot share code, so the small helpers are duplicated from
+// `tests/validate.rs`). Most generated programs wedge; the property
+// checks that the deadlock/livelock watchdogs fire at the *same cycle*
+// with fast-forward on, and that clean runs match stat for stat.
+
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Ldi(u8, i8),
+    Add(u8, u8, u8),
+    Cmp(u8, u8),
+    Send(u8, u8, u8),
+    Recv(u8, u8, u8),
+    Spawn(u8, u8),
+    Put(u8, u8),
+    Get(u8, u8),
+    Bcast(u8),
+    GetB(u8),
+    ModeSwitch(bool),
+    Jump(u8),
+    Br(u8),
+    Store(u8, u8),
+    Load(u8, u8),
+}
+
+fn fuzz_op() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        (0..4u8, any::<i8>()).prop_map(|(d, v)| FuzzOp::Ldi(d, v)),
+        (0..4u8, 0..4u8, 0..4u8).prop_map(|(d, a, b)| FuzzOp::Add(d, a, b)),
+        (0..4u8, 0..4u8).prop_map(|(a, b)| FuzzOp::Cmp(a, b)),
+        (0..4u8, 0..4u8, 0..3u8).prop_map(|(v, c, t)| FuzzOp::Send(v, c, t)),
+        (0..4u8, 0..4u8, 0..3u8).prop_map(|(d, c, t)| FuzzOp::Recv(d, c, t)),
+        (0..4u8, 0..4u8).prop_map(|(c, b)| FuzzOp::Spawn(c, b)),
+        (0..4u8, 0..4u8).prop_map(|(v, d)| FuzzOp::Put(v, d)),
+        (0..4u8, 0..4u8).prop_map(|(r, d)| FuzzOp::Get(r, d)),
+        (0..4u8).prop_map(FuzzOp::Bcast),
+        (0..4u8).prop_map(FuzzOp::GetB),
+        any::<bool>().prop_map(FuzzOp::ModeSwitch),
+        (0..4u8).prop_map(FuzzOp::Jump),
+        (0..4u8).prop_map(FuzzOp::Br),
+        (0..4u8, 0..4u8).prop_map(|(a, v)| FuzzOp::Store(a, v)),
+        (0..4u8, 0..4u8).prop_map(|(d, a)| FuzzOp::Load(d, a)),
+    ]
+}
+
+const FUZZ_DIRS: [Dir; 4] = [Dir::East, Dir::West, Dir::South, Dir::North];
+
+fn lower_fuzz(ops: &[FuzzOp], base: i64) -> Vec<Inst> {
+    let mut insts = Vec::with_capacity(ops.len() + 1);
+    for op in ops {
+        let inst = match *op {
+            FuzzOp::Ldi(d, v) => {
+                Inst::with_dst(Opcode::Ldi, gpr(d as u32), vec![Operand::Imm(i64::from(v))])
+            }
+            FuzzOp::Add(d, a, b) => Inst::with_dst(
+                Opcode::Add,
+                gpr(d as u32),
+                vec![gpr(a as u32).into(), gpr(b as u32).into()],
+            ),
+            FuzzOp::Cmp(a, b) => Inst::with_dst(
+                Opcode::Cmp(CmpCc::Lt),
+                Reg::pred(0),
+                vec![gpr(a as u32).into(), gpr(b as u32).into()],
+            ),
+            FuzzOp::Send(v, c, t) => Inst::new(
+                Opcode::Send,
+                vec![
+                    gpr(v as u32).into(),
+                    Operand::Core(c),
+                    Operand::Imm(i64::from(t)),
+                ],
+            ),
+            FuzzOp::Recv(d, c, t) => Inst::with_dst(
+                Opcode::Recv,
+                gpr(d as u32),
+                vec![Operand::Core(c), Operand::Imm(i64::from(t))],
+            ),
+            FuzzOp::Spawn(c, b) => Inst::new(
+                Opcode::Spawn,
+                vec![Operand::Core(c), Operand::Block(BlockId(b as u32))],
+            ),
+            FuzzOp::Put(v, d) => Inst::new(
+                Opcode::Put,
+                vec![
+                    gpr(v as u32).into(),
+                    Operand::Dir(FUZZ_DIRS[d as usize % 4]),
+                ],
+            ),
+            FuzzOp::Get(r, d) => Inst::with_dst(
+                Opcode::Get,
+                gpr(r as u32),
+                vec![Operand::Dir(FUZZ_DIRS[d as usize % 4])],
+            ),
+            FuzzOp::Bcast(v) => Inst::new(Opcode::Bcast, vec![gpr(v as u32).into()]),
+            FuzzOp::GetB(d) => Inst::with_dst(Opcode::GetB, gpr(d as u32), vec![]),
+            FuzzOp::ModeSwitch(coupled) => Inst::new(
+                Opcode::ModeSwitch,
+                vec![Operand::Mode(if coupled {
+                    ExecMode::Coupled
+                } else {
+                    ExecMode::Decoupled
+                })],
+            ),
+            FuzzOp::Jump(b) => Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(b as u32))]),
+            FuzzOp::Br(b) => Inst::new(
+                Opcode::Br,
+                vec![Operand::Block(BlockId(b as u32)), Reg::pred(0).into()],
+            ),
+            FuzzOp::Store(a, v) => {
+                insts.push(Inst::with_dst(
+                    Opcode::Ldi,
+                    gpr(3),
+                    vec![Operand::Imm(base + i64::from(a) * 8)],
+                ));
+                Inst::new(
+                    Opcode::Store(voltron_ir::MemWidth::W8),
+                    vec![gpr(3).into(), Operand::Imm(0), gpr(v as u32).into()],
+                )
+            }
+            FuzzOp::Load(d, a) => {
+                insts.push(Inst::with_dst(
+                    Opcode::Ldi,
+                    gpr(3),
+                    vec![Operand::Imm(base + i64::from(a) * 8)],
+                ));
+                Inst::with_dst(
+                    Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
+                    gpr(d as u32),
+                    vec![gpr(3).into(), Operand::Imm(0)],
+                )
+            }
+        };
+        insts.push(inst);
+    }
+    insts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48, ..ProptestConfig::default()
+    })]
+
+    /// Fast-forward on vs. off over random two-core programs: same
+    /// stats, same memory, same stragglers — or the same error
+    /// rendered the same way (deadlock/livelock reports carry the
+    /// firing cycle and the full wait-for graph, so a skip landing one
+    /// cycle off shows up as a text diff here).
+    #[test]
+    fn fast_forward_is_invisible(
+        main_ops in proptest::collection::vec(fuzz_op(), 0..12),
+        spin_ops in proptest::collection::vec(fuzz_op(), 0..8),
+        worker_ops in proptest::collection::vec(fuzz_op(), 0..8),
+    ) {
+        let mut data = DataSegment::default();
+        let base = data.zeroed("buf", 64) as i64;
+        let mut c0 = MBlock::new("main", 0);
+        c0.insts = lower_fuzz(&main_ops, base);
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let mut c0b = MBlock::new("spin", 1);
+        c0b.insts = lower_fuzz(&spin_ops, base);
+        c0b.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let mut w = MBlock::new("worker", 0);
+        w.insts = lower_fuzz(&worker_ops, base);
+        w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = program(vec![vec![c0, c0b], vec![sleep_stub(), w]], data);
+        let mut cfg = MachineConfig::paper(2);
+        cfg.deadlock_window = 500;
+        cfg.livelock_window = 2_000;
+        cfg.max_cycles = 20_000;
+        match (run_with(&p, &cfg, false), run_with(&p, &cfg, true)) {
+            (Ok(off), Ok(on)) => assert_equivalent(&off, &on),
+            (Err(off), Err(on)) => prop_assert_eq!(
+                format!("{off:?}"),
+                format!("{on:?}"),
+                "errors diverged"
+            ),
+            (Ok(_), Err(on)) => prop_assert!(false, "only fast-forward failed: {on:?}"),
+            (Err(off), Ok(_)) => prop_assert!(false, "only tick-by-tick failed: {off:?}"),
+        }
+    }
+}

@@ -20,6 +20,12 @@ echo "== tier-1: release build + tests"
 cargo build --release
 cargo test -q
 
+echo "== cycle-golden matrix with fast-forward disabled"
+# The pinned fingerprints must be identical with the skip engine off;
+# together with the default (fast-forward on) run above, this is the
+# end-to-end equivalence check of DESIGN.md §6.
+CYCLE_GOLDEN_FF=off cargo test --release -q --test cycle_golden
+
 echo "== workspace tests (release)"
 cargo test --workspace --release -q
 

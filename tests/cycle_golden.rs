@@ -10,6 +10,11 @@
 //!
 //! Regenerate the table with:
 //! `CYCLE_GOLDEN_PRINT=1 cargo test --test cycle_golden -- --nocapture`
+//!
+//! `CYCLE_GOLDEN_FF=off` runs the same matrix with the event-driven
+//! fast-forward disabled. The pinned fingerprints must hold either
+//! way — scripts/check.sh runs both, which is the end-to-end proof
+//! that the skip engine is architecturally invisible (DESIGN.md §6).
 
 use voltron_compiler::{compile, CompileOptions};
 use voltron_core::Strategy;
@@ -186,7 +191,10 @@ const GOLDEN: &[(&str, Strategy, usize, &str)] = &[
 
 fn fingerprint(bench: &str, strategy: Strategy, cores: usize) -> String {
     let w = by_name(bench, Scale::Test).expect("benchmark registered");
-    let cfg = MachineConfig::paper(cores);
+    let mut cfg = MachineConfig::paper(cores);
+    if std::env::var("CYCLE_GOLDEN_FF").as_deref() == Ok("off") {
+        cfg.fast_forward = false;
+    }
     let compiled = compile(&w.program, strategy, &cfg, &CompileOptions::default())
         .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}: compile: {e}"));
     let out = Machine::new(compiled.machine, &cfg)
