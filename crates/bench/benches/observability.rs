@@ -1,0 +1,59 @@
+//! Observability overhead microbenchmark: the same compiled program
+//! simulated bare, with the ChromeTracer attached, and with interval
+//! probes sampling — plus the all-instruments-on combination. The
+//! "off" variants quantify the zero-overhead-when-off claim of
+//! DESIGN.md §8 (no tracer, no probes: the hot path only pays a
+//! `tracer.is_some()` test per tick); the "on" variants price the
+//! instruments themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use voltron_compiler::{compile, CompileOptions, Strategy};
+use voltron_sim::{ChromeTracer, Machine, MachineConfig, MachineProgram};
+use voltron_workloads::{by_name, Scale};
+
+/// Compile `bench` for `strategy` on a 4-core paper machine.
+fn prepare(bench: &str, strategy: Strategy) -> (MachineProgram, MachineConfig) {
+    let w = by_name(bench, Scale::Test).unwrap();
+    let cfg = MachineConfig::paper(4);
+    let compiled = compile(&w.program, strategy, &cfg, &CompileOptions::default()).unwrap();
+    (compiled.machine, cfg)
+}
+
+fn bench_instruments(c: &mut Criterion, bench: &str, strategy: Strategy, tag: &str) {
+    let (program, base_cfg) = prepare(bench, strategy);
+    let variants: [(&str, bool, Option<u64>); 4] = [
+        ("off", false, None),
+        ("trace", true, None),
+        ("probes", false, Some(256)),
+        ("all", true, Some(256)),
+    ];
+    for (mode, trace, probe_period) in variants {
+        let mut cfg = base_cfg.clone();
+        cfg.probe_period = probe_period;
+        let program = program.clone();
+        c.bench_function(&format!("observability/{tag}/{mode}"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(program.clone(), &cfg).unwrap();
+                if trace {
+                    m.set_tracer(Box::new(ChromeTracer::new()));
+                }
+                let out = m.run().unwrap();
+                (out.stats.cycles, out.trace.len())
+            });
+        });
+    }
+}
+
+fn bench_observability(c: &mut Criterion) {
+    // Fine-grain TLP generates the densest span stream (send/recv
+    // edges plus constant stall churn); hybrid adds TM spans.
+    bench_instruments(c, "164.gzip", Strategy::FineGrainTlp, "gzip_ftlp4");
+    bench_instruments(c, "164.gzip", Strategy::Hybrid, "gzip_hybrid4");
+}
+
+criterion_group! {
+    name = observability;
+    config = Criterion::default().sample_size(20);
+    targets = bench_observability
+}
+criterion_main!(observability);

@@ -1,27 +1,40 @@
 //! Deep-dive one benchmark: every strategy's cycles, speedup, stall
 //! breakdown, and region plan.
-//! `cargo run -p voltron-bench --bin bench_one -- <benchmark> [--full]`
+//! `cargo run -p voltron-bench --bin bench_one -- <benchmark> [--full]
+//!  [--trace-out FILE] [--probes-out FILE]`
+//!
+//! With `--trace-out`/`--probes-out` the 4-core hybrid configuration is
+//! re-run with observability attached: a Chrome trace-event timeline
+//! (open the file in <https://ui.perfetto.dev>) and/or an interval probe
+//! series, whose summary also lands in `BENCH_bench_one.json`.
 
-use voltron_bench::harness::{bench_json, workload_summary};
+use voltron_bench::harness::{bench_json, workload_summary, DEFAULT_PROBE_PERIOD};
 use voltron_core::report::throughput;
-use voltron_core::{Experiment, StallCategory, Strategy};
+use voltron_core::{Experiment, ObsRequest, StallCategory, Strategy};
 use voltron_workloads::{by_name, Scale};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_one <benchmark> [--full] [--trace-out FILE] [--probes-out FILE]");
+    std::process::exit(2);
+}
 
 fn main() {
     let t0 = std::time::Instant::now();
     let mut bench = None;
     let mut scale = Scale::Test;
-    for a in std::env::args().skip(1) {
+    let mut trace_out: Option<String> = None;
+    let mut probes_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
             "--test" => scale = Scale::Test,
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--probes-out" => probes_out = Some(args.next().unwrap_or_else(|| usage())),
             other => bench = Some(other.to_string()),
         }
     }
-    let bench = bench.unwrap_or_else(|| {
-        eprintln!("usage: bench_one <benchmark> [--full]");
-        std::process::exit(2);
-    });
+    let bench = bench.unwrap_or_else(|| usage());
     let w = by_name(&bench, scale).unwrap_or_else(|| {
         eprintln!("unknown benchmark {bench}");
         std::process::exit(2);
@@ -65,10 +78,39 @@ fn main() {
             Err(e) => println!("{s:>15}/{c}: ERROR {e}"),
         }
     }
+    // Observability pass: re-run the 4-core hybrid with the requested
+    // instruments attached. The architectural result is identical (the
+    // observer-effect tests pin this); only the artifacts are new.
+    let mut probe_summary = None;
+    if trace_out.is_some() || probes_out.is_some() {
+        let req = ObsRequest {
+            chrome_trace: trace_out.is_some(),
+            probe_period: probes_out.as_ref().map(|_| DEFAULT_PROBE_PERIOD),
+        };
+        match exp.run_observed(Strategy::Hybrid, 4, &req) {
+            Ok(o) => {
+                if let Some(path) = &trace_out {
+                    match std::fs::write(path, &o.trace_json) {
+                        Ok(()) => eprintln!("[bench_one] wrote {path}"),
+                        Err(e) => eprintln!("[bench_one] cannot write {path}: {e}"),
+                    }
+                }
+                if let (Some(path), Some(series)) = (&probes_out, &o.probes) {
+                    match std::fs::write(path, series.render_json()) {
+                        Ok(()) => eprintln!("[bench_one] wrote {path}"),
+                        Err(e) => eprintln!("[bench_one] cannot write {path}: {e}"),
+                    }
+                }
+                probe_summary = o.probes.as_ref().map(|s| s.summary());
+            }
+            Err(e) => eprintln!("[bench_one] observed run failed: {e}"),
+        }
+    }
     let secs = t0.elapsed().as_secs_f64();
     eprintln!("[bench_one] {}", throughput(exp.simulated_cycles(), secs));
     let scale_name = if scale == Scale::Full { "full" } else { "test" };
-    let summary = workload_summary(w.name, &exp, secs);
+    let mut summary = workload_summary(w.name, &exp, secs);
+    summary.probes = probe_summary;
     let doc = bench_json(
         "bench_one",
         scale_name,

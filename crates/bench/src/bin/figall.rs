@@ -6,7 +6,7 @@
 
 use voltron_bench::harness::{run_workloads, stall_row, HarnessArgs};
 use voltron_core::report::{mean, pct, speedup, Table};
-use voltron_core::{StallCategory, Strategy};
+use voltron_core::{ProbeSummary, StallCategory, Strategy};
 
 /// Everything one workload contributes across the six figures.
 struct Row {
@@ -23,11 +23,14 @@ struct Row {
     coupled: f64,
     /// Planner attribution fractions (Fig. 3).
     frac: [f64; 4],
+    /// Probe summary of the observed 4-core hybrid run, with
+    /// `--probes-out` (lands in the JSON sidecar).
+    probes: Option<ProbeSummary>,
 }
 
 fn main() {
     let args = HarnessArgs::parse();
-    let harvest = run_workloads(&args, |_, exp| {
+    let mut harvest = run_workloads(&args, |w, exp| {
         let base = exp.baseline_cycles();
         let techniques = [Strategy::Ilp, Strategy::FineGrainTlp, Strategy::Llp];
         // Simulate every configuration the figures below read, fanned out
@@ -54,6 +57,28 @@ fn main() {
         let h4 = exp.run(Strategy::Hybrid, 4)?.speedup;
         let coupled = exp.run(Strategy::Hybrid, 4)?.coupled_fraction();
         let frac = exp.parallelism_breakdown(4)?;
+        // Observability pass (only with --trace-out/--probes-out): re-run
+        // the 4-core hybrid instrumented and write this workload's
+        // artifacts. Figure stdout is untouched; files and stderr only.
+        let mut probes = None;
+        if args.wants_observation() {
+            let o = exp.run_observed(Strategy::Hybrid, 4, &args.obs_request())?;
+            if let Some(base) = &args.trace_out {
+                let path = args.artifact_path(base, w.name);
+                match std::fs::write(&path, &o.trace_json) {
+                    Ok(()) => eprintln!("[figall] wrote {path}"),
+                    Err(e) => eprintln!("[figall] cannot write {path}: {e}"),
+                }
+            }
+            if let (Some(base), Some(series)) = (&args.probes_out, &o.probes) {
+                let path = args.artifact_path(base, w.name);
+                match std::fs::write(&path, series.render_json()) {
+                    Ok(()) => eprintln!("[figall] wrote {path}"),
+                    Err(e) => eprintln!("[figall] cannot write {path}: {e}"),
+                }
+            }
+            probes = o.probes.as_ref().map(|s| s.summary());
+        }
         Ok(Row {
             t2,
             t4,
@@ -63,6 +88,7 @@ fn main() {
             h4,
             coupled,
             frac,
+            probes,
         })
     });
 
@@ -179,5 +205,11 @@ fn main() {
     // Rendered only when a workload actually failed, so clean sweeps
     // stay byte-identical to a harness without fault isolation.
     print!("{}", harvest.failure_section());
+    // Surviving results and summaries are aligned (both in workload
+    // order, failures excluded from each), so zip attaches each
+    // workload's probe summary to its sidecar entry.
+    for (summary, (_, row)) in harvest.summaries.iter_mut().zip(&harvest.results) {
+        summary.probes = row.probes.clone();
+    }
     harvest.report("figall", &args);
 }

@@ -1,19 +1,41 @@
-//! Inspect the machine code a benchmark compiles to:
-//! `cargo run -p voltron-bench --bin inspect -- <benchmark> [strategy] [cores]`
+//! Inspect the machine code a benchmark compiles to, then run it once
+//! and break its cycles down per planner region:
+//! `cargo run -p voltron-bench --bin inspect -- <benchmark> [strategy]
+//!  [cores] [--trace-out FILE] [--probes-out FILE]`
 //!
 //! Strategies: serial | ilp | ftlp | llp | hybrid (default hybrid).
+//! `--trace-out` writes the run's Chrome trace-event timeline (open it
+//! in <https://ui.perfetto.dev>), `--probes-out` its interval probe
+//! series.
 
+use voltron_bench::harness::DEFAULT_PROBE_PERIOD;
 use voltron_compiler::{compile, CompileOptions, Strategy};
-use voltron_sim::MachineConfig;
+use voltron_sim::{ChromeTracer, Machine, MachineConfig, StallReason, REGION_OUTSIDE};
 use voltron_workloads::{by_name, Scale};
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: inspect <benchmark> [serial|ilp|ftlp|llp|hybrid] [cores] \
+         [--trace-out FILE] [--probes-out FILE]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
+    let mut positional = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut probes_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let bench = args.next().unwrap_or_else(|| {
-        eprintln!("usage: inspect <benchmark> [serial|ilp|ftlp|llp|hybrid] [cores]");
-        std::process::exit(2);
-    });
-    let strategy = match args.next().as_deref() {
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--probes-out" => probes_out = Some(args.next().unwrap_or_else(|| usage())),
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let bench = positional.next().unwrap_or_else(|| usage());
+    let strategy = match positional.next().as_deref() {
         None | Some("hybrid") => Strategy::Hybrid,
         Some("serial") => Strategy::Serial,
         Some("ilp") => Strategy::Ilp,
@@ -24,12 +46,15 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let cores: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let cores: usize = positional.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let w = by_name(&bench, Scale::Test).unwrap_or_else(|| {
         eprintln!("unknown benchmark {bench}");
         std::process::exit(2);
     });
-    let cfg = MachineConfig::paper(cores);
+    let mut cfg = MachineConfig::paper(cores);
+    if probes_out.is_some() {
+        cfg.probe_period = Some(DEFAULT_PROBE_PERIOD);
+    }
     let c = compile(&w.program, strategy, &cfg, &CompileOptions::default())
         .unwrap_or_else(|e| panic!("{e}"));
     println!("== {} / {strategy} / {cores} cores ==", w.name);
@@ -38,5 +63,72 @@ fn main() {
     println!("regions: {kinds:?}\n");
     for k in 0..cores {
         println!("{}", c.machine.dump_core(k));
+    }
+
+    // Run it once and attribute the cycles.
+    let region_kinds = c.region_kinds.clone();
+    let mut machine = Machine::new(c.machine, &cfg).unwrap_or_else(|e| panic!("{e}"));
+    if trace_out.is_some() {
+        machine.set_tracer(Box::new(ChromeTracer::new()));
+    }
+    let out = machine.run().unwrap_or_else(|e| panic!("{e}"));
+    println!("== run ==");
+    println!("{}", out.stats.summary());
+
+    // Per-region occupancy: largest first, "outside" covering the code
+    // between planned regions.
+    let mut regions: Vec<_> = out.stats.regions.iter().collect();
+    regions.sort_by_key(|(id, rb)| (std::cmp::Reverse(rb.cycles), **id));
+    if !regions.is_empty() {
+        println!("\n== per-region breakdown ==");
+    }
+    for (&id, rb) in regions {
+        let name = if id == REGION_OUTSIDE {
+            "outside".to_string()
+        } else {
+            format!("r{id}")
+        };
+        let kind = if id == REGION_OUTSIDE {
+            "-"
+        } else {
+            region_kinds.get(&id).copied().unwrap_or("?")
+        };
+        let share = 100.0 * rb.cycles as f64 / out.stats.cycles.max(1) as f64;
+        let mut stalls: Vec<(StallReason, u64)> = StallReason::ALL
+            .iter()
+            .map(|&r| (r, rb.stalls[r.index()]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        stalls.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let top = if stalls.is_empty() {
+            "none".to_string()
+        } else {
+            stalls
+                .iter()
+                .take(3)
+                .map(|(r, n)| format!("{r} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "{name:>8} {kind:<10} {:>9} cycles ({share:>5.1}%)  issued {:>9}  idle {:>8}  stalls: {top}",
+            rb.cycles, rb.issued, rb.idle
+        );
+    }
+
+    if let Some(path) = &trace_out {
+        match std::fs::write(path, &out.trace) {
+            Ok(()) => eprintln!("[inspect] wrote {path}"),
+            Err(e) => eprintln!("[inspect] cannot write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &probes_out {
+        match &out.probes {
+            Some(series) => match std::fs::write(path, series.render_json()) {
+                Ok(()) => eprintln!("[inspect] wrote {path}"),
+                Err(e) => eprintln!("[inspect] cannot write {path}: {e}"),
+            },
+            None => eprintln!("[inspect] no probe series was recorded"),
+        }
     }
 }

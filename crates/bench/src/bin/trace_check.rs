@@ -1,0 +1,64 @@
+//! Validate a Chrome trace-event JSON file the harness emitted:
+//! `cargo run -p voltron-bench --bin trace_check -- <file> [min_cores]`
+//!
+//! Exits non-zero unless the file parses as JSON, has a non-empty
+//! `traceEvents` array, and at least `min_cores` distinct per-core
+//! tracks (tid below the machine-wide track ids) each carry a real
+//! event (not just `M` metadata). check.sh runs this against a traced
+//! smoke run so a malformed tracer can't land.
+
+use voltron_bench::jsonv::{parse, JValue};
+
+/// Per-core tracks live below the machine-wide tids
+/// (`voltron_sim::obs`: regions=90, mode=91, bus=92, tm=100+core).
+const FIRST_SPECIAL_TID: f64 = 90.0;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: trace_check <trace.json> [min_cores]");
+        std::process::exit(2);
+    });
+    let min_cores: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace_check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = parse(&src).unwrap_or_else(|e| {
+        eprintln!("trace_check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let events = doc
+        .get("traceEvents")
+        .and_then(JValue::as_arr)
+        .unwrap_or_else(|| {
+            eprintln!("trace_check: {path} has no traceEvents array");
+            std::process::exit(1);
+        });
+    if events.is_empty() {
+        eprintln!("trace_check: {path} has an empty traceEvents array");
+        std::process::exit(1);
+    }
+    let mut live_cores = std::collections::BTreeSet::new();
+    for e in events {
+        let is_meta = e.get("ph").and_then(JValue::as_str) == Some("M");
+        let tid = e.get("tid").and_then(JValue::as_num);
+        if let Some(tid) = tid {
+            if !is_meta && tid < FIRST_SPECIAL_TID {
+                live_cores.insert(tid as u64);
+            }
+        }
+    }
+    if live_cores.len() < min_cores {
+        eprintln!(
+            "trace_check: {path} has events on {} core track(s), expected >= {min_cores}",
+            live_cores.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "trace_check: {path} OK ({} events, {} live core tracks)",
+        events.len(),
+        live_cores.len()
+    );
+}

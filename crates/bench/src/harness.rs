@@ -27,8 +27,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use voltron_core::report::{mean, speedup, throughput, Json, Table};
-use voltron_core::{Experiment, RunResult, StallCategory, Strategy, SystemError};
+use voltron_core::{
+    Experiment, ObsRequest, ProbeSummary, RunResult, StallCategory, Strategy, SystemError,
+};
+use voltron_sim::StallReason;
 use voltron_workloads::{all, Scale, Workload};
+
+/// Sampling period `--probes-out` uses, in cycles. Dense enough to
+/// resolve mode phases on the test-scale inputs, sparse enough that a
+/// full-scale series stays small.
+pub const DEFAULT_PROBE_PERIOD: u64 = 256;
 
 /// Command-line options common to the figure binaries.
 #[derive(Debug, Clone)]
@@ -41,6 +49,11 @@ pub struct HarnessArgs {
     /// runs exceed it fails with `MaxCycles` and is reported as a
     /// [`WorkloadFailure`] instead of holding a host thread.
     pub budget_cycles: Option<u64>,
+    /// Write a Chrome trace-event JSON per workload to this path
+    /// (see [`HarnessArgs::artifact_path`] for multi-workload naming).
+    pub trace_out: Option<String>,
+    /// Write the interval probe series per workload to this path.
+    pub probes_out: Option<String>,
 }
 
 impl HarnessArgs {
@@ -49,15 +62,26 @@ impl HarnessArgs {
         let mut scale = Scale::Full;
         let mut only = None;
         let mut budget_cycles = None;
+        let mut trace_out = None;
+        let mut probes_out = None;
         let mut args = std::env::args().skip(1);
+        let take = |flag: &str, args: &mut dyn Iterator<Item = String>| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            }
+        };
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--test" => scale = Scale::Test,
                 "--full" => scale = Scale::Full,
                 "--bench" => only = args.next(),
+                "--trace-out" => trace_out = Some(take("--trace-out", &mut args)),
+                "--probes-out" => probes_out = Some(take("--probes-out", &mut args)),
                 "--budget-cycles" => {
-                    budget_cycles = match args.next().map(|v| v.parse::<u64>()) {
-                        Some(Ok(n)) => Some(n),
+                    budget_cycles = match take("--budget-cycles", &mut args).parse::<u64>() {
+                        Ok(n) => Some(n),
                         _ => {
                             eprintln!("--budget-cycles requires an integer cycle count");
                             std::process::exit(2);
@@ -67,7 +91,8 @@ impl HarnessArgs {
                 other => {
                     eprintln!(
                         "unknown argument {other} \
-                         (expected --test/--full/--bench NAME/--budget-cycles N)"
+                         (expected --test/--full/--bench NAME/--budget-cycles N\
+                         /--trace-out FILE/--probes-out FILE)"
                     );
                     std::process::exit(2);
                 }
@@ -77,6 +102,38 @@ impl HarnessArgs {
             scale,
             only,
             budget_cycles,
+            trace_out,
+            probes_out,
+        }
+    }
+
+    /// Whether any observability output was requested.
+    pub fn wants_observation(&self) -> bool {
+        self.trace_out.is_some() || self.probes_out.is_some()
+    }
+
+    /// The observability request the flags imply: a Chrome trace when
+    /// `--trace-out` was given, interval probes (at
+    /// [`DEFAULT_PROBE_PERIOD`]) when `--probes-out` was.
+    pub fn obs_request(&self) -> ObsRequest {
+        ObsRequest {
+            chrome_trace: self.trace_out.is_some(),
+            probe_period: self.probes_out.as_ref().map(|_| DEFAULT_PROBE_PERIOD),
+        }
+    }
+
+    /// Where to write an observability artifact for `workload`. With a
+    /// single selected workload (`--bench`) the path is used verbatim;
+    /// in a sweep the workload name is spliced in before the extension
+    /// (`trace.json` → `trace.164.gzip.json`) so workloads don't
+    /// clobber each other.
+    pub fn artifact_path(&self, base: &str, workload: &str) -> String {
+        if self.only.is_some() {
+            return base.to_string();
+        }
+        match base.rsplit_once('.') {
+            Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{workload}.{ext}"),
+            _ => format!("{base}.{workload}"),
         }
     }
 
@@ -114,6 +171,8 @@ pub struct WorkloadSummary {
     pub host_seconds: f64,
     /// (strategy, cores, cycles, speedup) per configuration run.
     pub runs: Vec<(String, usize, u64, f64)>,
+    /// Interval probe summary, when the sweep ran with `--probes-out`.
+    pub probes: Option<ProbeSummary>,
 }
 
 /// Snapshot an experiment's run inventory for the JSON sidecar.
@@ -135,7 +194,38 @@ pub fn workload_summary(
             .iter()
             .map(|r| (r.strategy.to_string(), r.cores, r.cycles, r.speedup))
             .collect(),
+        probes: None,
     }
+}
+
+/// Render a probe summary for the JSON sidecar. The stall-phase
+/// histogram is keyed by stall-reason label ([`StallReason`] display
+/// names), zero-count reasons omitted.
+pub fn probe_summary_json(p: &ProbeSummary) -> Json {
+    let hist = StallReason::ALL
+        .iter()
+        .filter(|r| p.stall_phase_hist[r.index()] > 0)
+        .map(|r| (r.to_string(), Json::UInt(p.stall_phase_hist[r.index()])))
+        .collect();
+    Json::Obj(vec![
+        ("period".into(), Json::UInt(p.period)),
+        ("samples".into(), Json::UInt(p.samples as u64)),
+        (
+            "peak_send_queue".into(),
+            Json::UInt(p.peak_send_queue as u64),
+        ),
+        (
+            "peak_recv_buffered".into(),
+            Json::UInt(p.peak_recv_buffered as u64),
+        ),
+        (
+            "peak_tm_write_set".into(),
+            Json::UInt(p.peak_tm_write_set as u64),
+        ),
+        ("bus_utilization".into(), Json::Num(p.bus_utilization)),
+        ("quiet_intervals".into(), Json::UInt(p.quiet_intervals)),
+        ("stall_phase_histogram".into(), Json::Obj(hist)),
+    ])
 }
 
 /// Skip-efficiency: the fraction of simulated cycles the simulator had
@@ -171,7 +261,7 @@ pub fn bench_json(
                     ])
                 })
                 .collect();
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("name".into(), Json::Str(s.name.into())),
                 ("baseline_cycles".into(), Json::UInt(s.baseline_cycles)),
                 ("simulated_cycles".into(), Json::UInt(s.simulated_cycles)),
@@ -182,7 +272,11 @@ pub fn bench_json(
                 ),
                 ("host_seconds".into(), Json::Num(s.host_seconds)),
                 ("runs".into(), Json::Arr(runs)),
-            ])
+            ];
+            if let Some(p) = &s.probes {
+                fields.push(("probes".into(), probe_summary_json(p)));
+            }
+            Json::Obj(fields)
         })
         .collect();
     Json::Obj(vec![
@@ -462,6 +556,8 @@ mod tests {
             scale: Scale::Test,
             only: Some("164.gzip".into()),
             budget_cycles: None,
+            trace_out: None,
+            probes_out: None,
         };
         let ws = args.workloads();
         assert_eq!(ws.len(), 1);
@@ -470,6 +566,8 @@ mod tests {
             scale: Scale::Test,
             only: Some("nope".into()),
             budget_cycles: None,
+            trace_out: None,
+            probes_out: None,
         };
         assert!(none.workloads().is_empty());
     }
@@ -480,6 +578,8 @@ mod tests {
             scale: Scale::Test,
             only: Some("rawcaudio".into()),
             budget_cycles: None,
+            trace_out: None,
+            probes_out: None,
         };
         let (out, harvest) = speedup_figure("t", &args, &[("serial", Strategy::Serial, 1)]);
         assert!(out.contains("rawcaudio"));
@@ -495,6 +595,8 @@ mod tests {
             scale: Scale::Test,
             only: Some("rawcaudio".into()),
             budget_cycles: None,
+            trace_out: None,
+            probes_out: None,
         };
         let h = run_workloads(&args, |w, exp| {
             exp.run(Strategy::Serial, 1)?;

@@ -2,3 +2,4 @@
 //! Criterion benches (see `src/bin/fig*.rs`).
 
 pub mod harness;
+pub mod jsonv;

@@ -1,0 +1,55 @@
+//! Observer-effect freedom: attaching the ChromeTracer and interval
+//! probes must not change a single architectural number. This compares
+//! full `MachineStats` (cycles, per-core stall breakdowns, region
+//! attribution, memory/network/TM counters — everything `PartialEq`
+//! covers) between a plain run and an instrumented run of the same
+//! configuration.
+//!
+//! The full 28-config matrix gets the same treatment in
+//! `tests/cycle_golden.rs` under `CYCLE_GOLDEN_OBS=1` (check.sh runs
+//! it); this subset keeps the property in the default `cargo test`
+//! sweep.
+
+use voltron_core::{Experiment, ObsRequest, Strategy};
+use voltron_workloads::{by_name, Scale};
+
+const CONFIGS: &[(Strategy, usize)] = &[
+    (Strategy::Ilp, 4),
+    (Strategy::FineGrainTlp, 4),
+    (Strategy::Llp, 4),
+    (Strategy::Hybrid, 2),
+    (Strategy::Hybrid, 4),
+];
+
+#[test]
+fn observed_runs_report_identical_stats() {
+    for bench in ["164.gzip", "rawcaudio"] {
+        let w = by_name(bench, Scale::Test).expect("benchmark registered");
+        let mut exp = Experiment::new(&w.program).expect("experiment");
+        let req = ObsRequest {
+            chrome_trace: true,
+            probe_period: Some(64),
+        };
+        for &(strategy, cores) in CONFIGS {
+            let plain = exp.run(strategy, cores).expect("plain run").stats.clone();
+            let observed = exp
+                .run_observed(strategy, cores, &req)
+                .expect("observed run");
+            assert_eq!(
+                plain, observed.run.stats,
+                "{bench} {strategy}/{cores}: observation changed the architectural stats"
+            );
+            assert!(
+                !observed.trace_json.is_empty(),
+                "{bench} {strategy}/{cores}: no trace collected"
+            );
+            assert!(
+                observed
+                    .probes
+                    .as_ref()
+                    .is_some_and(|p| !p.samples.is_empty()),
+                "{bench} {strategy}/{cores}: no probe samples collected"
+            );
+        }
+    }
+}

@@ -43,9 +43,10 @@ use std::collections::HashMap;
 use std::fmt;
 use voltron_compiler::{compile_prepared, CompileError, CompileOptions, FrontEnd};
 use voltron_ir::{interp, Memory, Program};
-use voltron_sim::{Machine, MachineConfig, MachineStats, SimError, StallReason};
+use voltron_sim::{ChromeTracer, Machine, MachineConfig, MachineStats, SimError, StallReason};
 
 pub use voltron_compiler::Strategy;
+pub use voltron_sim::{ProbeSeries, ProbeSummary};
 
 /// A system-level failure (compilation, simulation, or validation).
 #[derive(Debug)]
@@ -268,6 +269,30 @@ pub fn run_configuration(
     run_prepared(&fe, golden, strategy, cores, baseline_cycles, None)
 }
 
+/// What to observe during a run (see `voltron_sim::obs`). The default
+/// observes nothing, which is also what every cached/figure run uses —
+/// observation never perturbs the architectural results (pinned by the
+/// observer-effect tests), but the artifacts are only collected on
+/// request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsRequest {
+    /// Attach a `ChromeTracer` and return its rendered JSON.
+    pub chrome_trace: bool,
+    /// Sample interval probes with this period (cycles).
+    pub probe_period: Option<u64>,
+}
+
+/// A run's result plus the observability artifacts requested for it.
+#[derive(Debug)]
+pub struct Observed {
+    /// The architectural result (identical to an unobserved run).
+    pub run: RunResult,
+    /// Chrome trace-event JSON (empty string unless requested).
+    pub trace_json: String,
+    /// The interval probe series, when a period was requested.
+    pub probes: Option<ProbeSeries>,
+}
+
 /// [`run_configuration`] from a prepared compiler front end: profiling a
 /// program dominates compile time but is identical for every
 /// configuration with the same [`FrontEnd::key`], so [`Experiment`]
@@ -280,6 +305,30 @@ fn run_prepared(
     baseline_cycles: u64,
     cycle_budget: Option<u64>,
 ) -> Result<RunResult, SystemError> {
+    run_prepared_obs(
+        fe,
+        golden,
+        strategy,
+        cores,
+        baseline_cycles,
+        cycle_budget,
+        &ObsRequest::default(),
+    )
+    .map(|o| o.run)
+}
+
+/// [`run_prepared`], optionally with a Chrome tracer and/or interval
+/// probes attached per `obs`.
+#[allow(clippy::too_many_arguments)]
+fn run_prepared_obs(
+    fe: &FrontEnd,
+    golden: &Memory,
+    strategy: Strategy,
+    cores: usize,
+    baseline_cycles: u64,
+    cycle_budget: Option<u64>,
+    obs: &ObsRequest,
+) -> Result<Observed, SystemError> {
     let mcfg = MachineConfig::paper(cores);
     let opts = CompileOptions::default();
     let compiled = compile_prepared(fe, strategy, &mcfg, &opts)?;
@@ -291,7 +340,12 @@ fn run_prepared(
     if let Some(budget) = cycle_budget {
         sim_cfg.max_cycles = sim_cfg.max_cycles.min(budget);
     }
-    let out = Machine::new(compiled.machine, &sim_cfg)?.run()?;
+    sim_cfg.probe_period = obs.probe_period;
+    let mut machine = Machine::new(compiled.machine, &sim_cfg)?;
+    if obs.chrome_trace {
+        machine.set_tracer(Box::new(ChromeTracer::new()));
+    }
+    let out = machine.run()?;
     if let Err(addr) = outputs_equivalent(golden, &out.memory) {
         return Err(SystemError::OutputMismatch {
             strategy,
@@ -300,15 +354,19 @@ fn run_prepared(
         });
     }
     let cycles = out.stats.cycles;
-    Ok(RunResult {
-        strategy,
-        cores,
-        cycles,
-        ticked_cycles: out.ticked_cycles,
-        speedup: baseline_cycles as f64 / cycles.max(1) as f64,
-        stats: out.stats,
-        region_kinds,
-        region_weights,
+    Ok(Observed {
+        run: RunResult {
+            strategy,
+            cores,
+            cycles,
+            ticked_cycles: out.ticked_cycles,
+            speedup: baseline_cycles as f64 / cycles.max(1) as f64,
+            stats: out.stats,
+            region_kinds,
+            region_weights,
+        },
+        trace_json: out.trace,
+        probes: out.probes,
     })
 }
 
@@ -437,6 +495,37 @@ impl<'a> Experiment<'a> {
             self.cache.insert((strategy, cores), r);
         }
         Ok(&self.cache[&(strategy, cores)])
+    }
+
+    /// Run a configuration with observability attached, returning the
+    /// trace/probe artifacts alongside the result. Always simulates
+    /// fresh (never serves or fills the cache: an observed run is asked
+    /// for because its artifacts are wanted, and the cache must keep the
+    /// exact object an unobserved sweep produced); the simulated cycles
+    /// still count toward the throughput totals.
+    ///
+    /// # Errors
+    /// Propagates configuration failures.
+    pub fn run_observed(
+        &mut self,
+        strategy: Strategy,
+        cores: usize,
+        obs: &ObsRequest,
+    ) -> Result<Observed, SystemError> {
+        let idx = self.ensure_front_end(strategy, cores)?;
+        let fe = self.front_ends[idx].as_ref().expect("just built");
+        let o = run_prepared_obs(
+            fe,
+            &self.golden,
+            strategy,
+            cores,
+            self.baseline_cycles,
+            self.cycle_budget,
+            obs,
+        )?;
+        self.sim_cycles += o.run.cycles;
+        self.ticked_cycles += o.run.ticked_cycles;
+        Ok(o)
     }
 
     /// Run every not-yet-cached configuration in `configs` across host

@@ -70,6 +70,13 @@ pub struct MachineConfig {
     /// DESIGN.md §6); the toggle exists so that equivalence can be
     /// tested in-process.
     pub fast_forward: bool,
+    /// Interval probe sampling period in cycles: `Some(p)` records a
+    /// [`crate::obs::ProbeSample`] every `p` cycles (returned in
+    /// [`crate::machine::RunOutcome::probes`]). `None` (the default)
+    /// records nothing and costs one branch per tick. The sampled series
+    /// is bit-identical with `fast_forward` on or off: skipped spans are
+    /// split at period boundaries and bulk-filled (see DESIGN.md §8).
+    pub probe_period: Option<u64>,
 }
 
 impl MachineConfig {
@@ -107,6 +114,7 @@ impl MachineConfig {
             livelock_window: 1_000_000,
             max_cycles: 2_000_000_000,
             fast_forward: true,
+            probe_period: None,
         }
     }
 

@@ -43,6 +43,7 @@ pub mod machine;
 pub mod mcode;
 pub mod memsys;
 pub mod network;
+pub mod obs;
 pub mod stats;
 pub mod tm;
 pub mod trace;
@@ -51,5 +52,6 @@ pub mod validate;
 pub use config::MachineConfig;
 pub use machine::{CoreWait, Machine, RunOutcome, SimError, WaitCause};
 pub use mcode::{CoreImage, MBlock, MachineProgram, RegionId, REGION_OUTSIDE};
-pub use stats::{CoreStats, MachineStats, StallReason};
+pub use obs::{ChromeTracer, ProbeSample, ProbeSeries, ProbeSummary};
+pub use stats::{CoreStats, MachineStats, RegionBreakdown, StallReason};
 pub use validate::{Site, ValidateError};

@@ -12,7 +12,8 @@ use crate::config::MachineConfig;
 use crate::mcode::{MachineProgram, RegionId, REGION_OUTSIDE};
 use crate::memsys::{Completion, LoadOutcome, MemSys};
 use crate::network::{OperandNetwork, Payload};
-use crate::stats::{CoreStats, MachineStats, StallReason};
+use crate::obs::{ProbeSample, ProbeSeries};
+use crate::stats::{CoreStats, MachineStats, RegionBreakdown, StallReason};
 use crate::tm::TxnManager;
 use crate::trace::{TraceEvent, Tracer};
 use crate::validate::ValidateError;
@@ -298,6 +299,11 @@ pub struct RunOutcome {
     /// part of [`MachineStats`]: the architectural numbers must be
     /// identical with fast-forward on and off, and this one is not.
     pub ticked_cycles: u64,
+    /// The interval time series recorded when
+    /// [`MachineConfig::probe_period`] was set (`None` otherwise). Like
+    /// everything in [`MachineStats`], bit-identical with fast-forward
+    /// on or off.
+    pub probes: Option<ProbeSeries>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -386,11 +392,15 @@ pub struct Machine {
     /// pure control flow); drives the livelock watchdog.
     last_arch_change: u64,
     core_stats: Vec<CoreStats>,
-    /// Per-region cycle counters, indexed by region id with the last slot
-    /// standing in for [`REGION_OUTSIDE`]; flat so the per-cycle
-    /// attribution in [`Machine::tick`] is a single indexed add (the map
-    /// the stats report comes out of is built once at the end of `run`).
-    region_cycles: Vec<u64>,
+    /// Per-region attribution table, indexed by region id with the last
+    /// slot standing in for [`REGION_OUTSIDE`]; flat so the per-cycle
+    /// attribution in [`Machine::tick`] is indexed adds (the maps the
+    /// stats report comes out of are built once at the end of `run`).
+    region_table: Vec<RegionBreakdown>,
+    /// The coupled stall bus of the last executed tick: the group-wide
+    /// stall reason, if any running member stalled (always `None` in
+    /// decoupled mode). Cached for region attribution and span tracing.
+    group_stall: Option<StallReason>,
     coupled_cycles: u64,
     decoupled_cycles: u64,
     spawns: u64,
@@ -407,6 +417,15 @@ pub struct Machine {
     /// the machine is fully blocked and [`Machine::fast_forward`] may
     /// jump time to the next subsystem event.
     ff_eligible: bool,
+    /// Interval probe series being recorded, when
+    /// [`MachineConfig::probe_period`] is set.
+    probes: Option<ProbeSeries>,
+    /// Tracer-only: the stall reason each core's open stall span carries
+    /// (`None` when no span is open). Maintained only while a tracer is
+    /// installed, so span events are emitted on transitions alone.
+    obs_stall: Vec<Option<StallReason>>,
+    /// Tracer-only: the region whose span is currently open.
+    obs_region: Option<RegionId>,
 }
 
 impl Machine {
@@ -459,7 +478,8 @@ impl Machine {
             last_progress: 0,
             last_arch_change: 0,
             core_stats: vec![CoreStats::default(); n],
-            region_cycles: vec![0; region_slots],
+            region_table: vec![RegionBreakdown::default(); region_slots],
+            group_stall: None,
             coupled_cycles: 0,
             decoupled_cycles: 0,
             spawns: 0,
@@ -469,6 +489,12 @@ impl Machine {
             decisions: Vec::with_capacity(n),
             ticked: 0,
             ff_eligible: false,
+            probes: cfg
+                .probe_period
+                .filter(|&p| p > 0)
+                .map(|p| ProbeSeries::new(p, n)),
+            obs_stall: vec![None; n],
+            obs_region: None,
             cfg: cfg.clone(),
         })
     }
@@ -532,26 +558,34 @@ impl Machine {
             .filter(|(_, c)| !matches!(c.state, CoreState::Halted | CoreState::Idle))
             .map(|(i, _)| i)
             .collect();
-        let outside_slot = self.region_cycles.len() - 1;
+        let outside_slot = self.region_table.len() - 1;
+        let slot_region = |slot: usize| {
+            if slot == outside_slot {
+                REGION_OUTSIDE
+            } else {
+                slot as RegionId
+            }
+        };
         let region_cycles = self
-            .region_cycles
+            .region_table
             .iter()
             .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(slot, &c)| {
-                let region = if slot == outside_slot {
-                    REGION_OUTSIDE
-                } else {
-                    slot as RegionId
-                };
-                (region, c)
-            })
+            .filter(|(_, rb)| rb.cycles > 0)
+            .map(|(slot, rb)| (slot_region(slot), rb.cycles))
+            .collect();
+        let regions = self
+            .region_table
+            .iter()
+            .enumerate()
+            .filter(|(_, rb)| rb.cycles > 0)
+            .map(|(slot, rb)| (slot_region(slot), rb.clone()))
             .collect();
         let stats = MachineStats {
             cycles: self.cycle,
             coupled_cycles: self.coupled_cycles,
             decoupled_cycles: self.decoupled_cycles,
             region_cycles,
+            regions,
             cores: self.core_stats,
             mem: self.memsys.stats(),
             net: self.net.stats(),
@@ -567,6 +601,7 @@ impl Machine {
             stragglers,
             trace,
             ticked_cycles: self.ticked,
+            probes: self.probes,
         })
     }
 
@@ -1050,6 +1085,11 @@ impl Machine {
                     _ => return Err(SimError::Malformed("mode switch without mode".into())),
                 };
                 self.cores[i].state = CoreState::AtSwitch(m);
+                self.trace(TraceEvent::BarrierWait {
+                    cycle: now,
+                    core: i,
+                    mode: m,
+                });
                 return Ok(()); // pc advances when the barrier resolves
             }
             Call | Ret => {
@@ -1171,6 +1211,12 @@ impl Machine {
                 let tag = send_tag(inst);
                 let ok = self.net.send(i, to, tag, Payload::Data(v), now);
                 debug_assert!(ok, "checked can_send before issue");
+                self.trace(TraceEvent::MsgSend {
+                    cycle: now,
+                    from: i,
+                    to,
+                    tag,
+                });
             }
             Recv => {
                 let from = inst.srcs[0]
@@ -1185,6 +1231,12 @@ impl Machine {
                     .dst
                     .expect("recv dst: guaranteed by MachineProgram::validate shape check");
                 self.write_value(i, dst, v, now + 1)?;
+                self.trace(TraceEvent::MsgRecv {
+                    cycle: now,
+                    core: i,
+                    from,
+                    tag,
+                });
             }
             Spawn => {
                 let to = inst.srcs[0]
@@ -1207,6 +1259,11 @@ impl Machine {
                 };
                 self.cores[i].snapshot = Some(snap);
                 self.tm.begin(i, order as u32);
+                self.trace(TraceEvent::TmBegin {
+                    cycle: now,
+                    core: i,
+                    order: order as u32,
+                });
             }
             Xcommit => {
                 let mut fault: Option<MemError> = None;
@@ -1328,6 +1385,17 @@ impl Machine {
         for c in self.memsys.tick(now) {
             self.dispatch(c);
         }
+        if self.tracer.is_some() {
+            // At most one bus grant per tick, so draining here sees all.
+            if let Some((core, kind, start, finish)) = self.memsys.take_last_grant() {
+                self.trace(TraceEvent::Bus {
+                    start,
+                    finish,
+                    core,
+                    kind,
+                });
+            }
+        }
         self.net.tick(now);
         self.try_mode_switch()?;
 
@@ -1355,6 +1423,7 @@ impl Machine {
                     Decision::Stall(r) if self.cores[i].state == CoreState::Running => Some(r),
                     _ => None,
                 });
+                self.group_stall = group_stall;
                 match group_stall {
                     Some(r) => {
                         for (i, d) in decisions.iter().enumerate() {
@@ -1387,6 +1456,7 @@ impl Machine {
                 self.coupled_cycles += 1;
             }
             ExecMode::Decoupled => {
+                self.group_stall = None;
                 for (i, d) in decisions.iter().enumerate() {
                     match d {
                         Decision::Issue => {
@@ -1426,11 +1496,14 @@ impl Machine {
             .map(|b| b.region)
             .unwrap_or(REGION_OUTSIDE);
         let slot = if region == REGION_OUTSIDE {
-            self.region_cycles.len() - 1
+            self.region_table.len() - 1
         } else {
             region as usize
         };
-        self.region_cycles[slot] += 1;
+        self.attribute_region(slot, 1);
+        if self.tracer.is_some() {
+            self.emit_spans(now, region);
+        }
 
         if progress {
             self.last_progress = now;
@@ -1475,7 +1548,142 @@ impl Machine {
                 .iter()
                 .all(|c| matches!(c.state, CoreState::AtSwitch(_)));
         self.cycle += 1;
+        if let Some(period) = self.probes.as_ref().map(|p| p.period) {
+            if self.cycle.is_multiple_of(period) {
+                self.sample_probes();
+            }
+        }
         Ok(())
+    }
+
+    /// Attribute `n` cycles of whole-machine occupancy to region `slot`,
+    /// classifying each core exactly as the accounting arms of
+    /// [`Machine::tick`] / [`Machine::account_blocked`] classified it
+    /// (from the decisions and stall bus of the tick being attributed).
+    fn attribute_region(&mut self, slot: usize, n: u64) {
+        let rb = &mut self.region_table[slot];
+        rb.cycles += n;
+        match self.mode {
+            ExecMode::Coupled => match self.group_stall {
+                Some(r) => {
+                    for d in &self.decisions {
+                        match d {
+                            Decision::Stall(own) => rb.stalls[own.index()] += n,
+                            _ => rb.stalls[r.index()] += n,
+                        }
+                    }
+                }
+                None => {
+                    for d in &self.decisions {
+                        match d {
+                            Decision::Issue => rb.issued += n,
+                            Decision::Stall(own) => rb.stalls[own.index()] += n,
+                            Decision::Quiet => rb.idle += n,
+                            Decision::StartThread => {}
+                        }
+                    }
+                }
+            },
+            ExecMode::Decoupled => {
+                for d in &self.decisions {
+                    match d {
+                        Decision::Issue => rb.issued += n,
+                        Decision::Stall(r) => rb.stalls[r.index()] += n,
+                        Decision::Quiet => rb.idle += n,
+                        Decision::StartThread => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// The stall reason core `i`'s cycle was charged with by the last
+    /// tick's accounting, if any — the coupled stall bus makes this the
+    /// group reason for members without a stall of their own.
+    fn effective_stall(&self, i: usize) -> Option<StallReason> {
+        match (self.mode, self.group_stall) {
+            (ExecMode::Coupled, Some(r)) => Some(match self.decisions[i] {
+                Decision::Stall(own) => own,
+                _ => r,
+            }),
+            _ => match self.decisions[i] {
+                Decision::Stall(r) => Some(r),
+                _ => None,
+            },
+        }
+    }
+
+    /// Emit stall-span and region-span transitions for the tick at `now`
+    /// (tracer installed). Only transitions produce events, so a long
+    /// stall is two events and fast-forwarded spans need none: the
+    /// decisions they replay are frozen, so no transition occurs there.
+    fn emit_spans(&mut self, now: u64, region: RegionId) {
+        for i in 0..self.cfg.cores {
+            let eff = self.effective_stall(i);
+            if eff != self.obs_stall[i] {
+                if self.obs_stall[i].is_some() {
+                    self.trace(TraceEvent::StallEnd {
+                        cycle: now,
+                        core: i,
+                    });
+                }
+                if let Some(reason) = eff {
+                    self.trace(TraceEvent::StallBegin {
+                        cycle: now,
+                        core: i,
+                        reason,
+                    });
+                }
+                self.obs_stall[i] = eff;
+            }
+        }
+        if self.obs_region != Some(region) {
+            if let Some(old) = self.obs_region {
+                self.trace(TraceEvent::RegionExit {
+                    cycle: now,
+                    region: old,
+                });
+            }
+            self.trace(TraceEvent::RegionEnter { cycle: now, region });
+            self.obs_region = Some(region);
+        }
+    }
+
+    /// Record one interval sample. Both callers — the tick path and the
+    /// fast-forward bulk-fill — invoke this with `self.cycle` sitting
+    /// exactly on a period boundary and all counters covering cycles
+    /// `0..self.cycle`, which is what makes the series bit-identical
+    /// with fast-forward on or off.
+    fn sample_probes(&mut self) {
+        let cycle = self.cycle;
+        let n = self.cfg.cores;
+        let bus_busy = self.memsys.bus_busy_cycles();
+        let Some(series) = self.probes.as_mut() else {
+            return;
+        };
+        let mut sample = ProbeSample {
+            cycle,
+            issued: Vec::with_capacity(n),
+            idle: Vec::with_capacity(n),
+            stalls: Vec::with_capacity(n),
+            send_queue: Vec::with_capacity(n),
+            recv_buffered: Vec::with_capacity(n),
+            tm_read_set: Vec::with_capacity(n),
+            tm_write_set: Vec::with_capacity(n),
+            bus_busy,
+        };
+        for i in 0..n {
+            let cs = &self.core_stats[i];
+            sample.issued.push(cs.issued + cs.nops);
+            sample.idle.push(cs.idle);
+            sample.stalls.push(cs.stalls);
+            sample.send_queue.push(self.net.send_queue(i).1);
+            sample.recv_buffered.push(self.net.recv_buffered(i));
+            let (r, w) = self.tm.set_sizes(i);
+            sample.tm_read_set.push(r);
+            sample.tm_write_set.push(w);
+        }
+        series.samples.push(sample);
     }
 
     /// The cycle at which a [`StallReason::Interlock`]-stalled core's
@@ -1551,9 +1759,24 @@ impl Machine {
         if wake <= self.cycle {
             return;
         }
-        let n = wake - self.cycle;
-        self.account_blocked(n);
-        self.cycle = wake;
+        // Interval probes: split the skip at sampling boundaries and
+        // bulk-fill up to each one, so every sample is taken with exactly
+        // the counters a tick-by-tick run would have at that boundary
+        // (the instantaneous gauges are frozen across a blocked span by
+        // the same argument that makes the skip itself legal).
+        if let Some(period) = self.probes.as_ref().map(|p| p.period) {
+            let mut next = (self.cycle / period + 1) * period;
+            while next <= wake {
+                self.account_blocked(next - self.cycle);
+                self.cycle = next;
+                self.sample_probes();
+                next += period;
+            }
+        }
+        if wake > self.cycle {
+            self.account_blocked(wake - self.cycle);
+            self.cycle = wake;
+        }
     }
 
     /// Account `n` fully-blocked cycles exactly as `n` executions of the
@@ -1615,11 +1838,11 @@ impl Machine {
             .map(|b| b.region)
             .unwrap_or(REGION_OUTSIDE);
         let slot = if region == REGION_OUTSIDE {
-            self.region_cycles.len() - 1
+            self.region_table.len() - 1
         } else {
             region as usize
         };
-        self.region_cycles[slot] += n;
+        self.attribute_region(slot, n);
         // Each skipped cycle, a running core re-fetches its current
         // instruction; unless it is the fetch itself that stalls (the
         // pending-fill guard in `MemSys::ifetch` counts nothing on

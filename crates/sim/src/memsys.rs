@@ -38,6 +38,19 @@ pub enum BusKind {
     },
 }
 
+impl BusKind {
+    /// Short label for trace tracks.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BusKind::ReadShared { .. } => "read-shared",
+            BusKind::ReadExclusive => "read-exclusive",
+            BusKind::Upgrade => "upgrade",
+            BusKind::IFill => "i-fill",
+            BusKind::TmCommit { .. } => "tm-commit",
+        }
+    }
+}
+
 /// A queued bus request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BusReq {
@@ -163,6 +176,11 @@ pub struct MemSys {
     stats_busy: u64,
     stats_c2c: u64,
     stats_mem: u64,
+    /// The most recent bus grant `(core, kind label, start, finish)`,
+    /// for the machine's trace path (drained via
+    /// [`MemSys::take_last_grant`]; overwritten untaken when no tracer
+    /// is installed).
+    last_grant: Option<(usize, &'static str, u64, u64)>,
 }
 
 impl MemSys {
@@ -187,6 +205,7 @@ impl MemSys {
             stats_busy: 0,
             stats_c2c: 0,
             stats_mem: 0,
+            last_grant: None,
         }
     }
 
@@ -486,6 +505,7 @@ impl MemSys {
             if let Some(req) = self.queue.pop_front() {
                 let (lat, others) = self.grant_latency(&req);
                 self.stats_busy += lat;
+                self.last_grant = Some((req.core, req.kind.label(), now, now + lat));
                 self.current = Some(InFlight {
                     req,
                     finish: now + lat,
@@ -542,6 +562,19 @@ impl MemSys {
             queued: self.queue.iter().cloned().collect(),
             store_buffered: self.store_bufs.iter().map(VecDeque::len).collect(),
         })
+    }
+
+    /// The bus grant made by the last [`MemSys::tick`], if any — at most
+    /// one grant happens per tick, so draining this after each tick sees
+    /// every grant.
+    pub fn take_last_grant(&mut self) -> Option<(usize, &'static str, u64, u64)> {
+        self.last_grant.take()
+    }
+
+    /// Cumulative bus-busy cycles so far (the interval probes' bus
+    /// utilization counter; also in [`MemStats::bus_busy_cycles`]).
+    pub fn bus_busy_cycles(&self) -> u64 {
+        self.stats_busy
     }
 
     /// Snapshot the statistics.

@@ -420,6 +420,12 @@ impl OperandNetwork {
             .map_or(0, |(_, q)| q.len())
     }
 
+    /// Total messages buffered in `core`'s receive CAM, across all
+    /// senders and tags (the interval probes' receive-bucket depth).
+    pub fn recv_buffered(&self, core: usize) -> usize {
+        self.recv[core].buffered
+    }
+
     /// `core`'s send-queue head destination (if any) and total occupancy.
     pub fn send_queue(&self, core: usize) -> (Option<usize>, usize) {
         (

@@ -114,6 +114,41 @@ impl CoreStats {
     }
 }
 
+/// Per-region occupancy attribution: where every core-cycle spent while
+/// the master core was inside the region went.
+///
+/// Classification matches [`CoreStats`] accounting exactly — the same
+/// coupled stall-bus grouping, the same idle/issue arms — so summing a
+/// field over all regions reproduces the machine-wide total.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionBreakdown {
+    /// Cycles the master core spent inside the region.
+    pub cycles: u64,
+    /// Core-cycles that issued (useful ops and NOPs alike).
+    pub issued: u64,
+    /// Core-cycles spent idle awaiting a spawn.
+    pub idle: u64,
+    /// Core-cycles stalled, indexed by [`StallReason::index`].
+    pub stalls: [u64; 9],
+}
+
+impl RegionBreakdown {
+    /// Total stalled core-cycles in the region.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// The stall reason costing the most core-cycles, if any stall was
+    /// recorded.
+    pub fn dominant_stall(&self) -> Option<(StallReason, u64)> {
+        StallReason::ALL
+            .iter()
+            .map(|&r| (r, self.stalls[r.index()]))
+            .max_by_key(|&(_, n)| n)
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
 /// Whole-machine statistics for one run.
 ///
 /// `PartialEq` is derived so the fast-forward equivalence tests can
@@ -130,6 +165,9 @@ pub struct MachineStats {
     /// Cycles attributed to each planner region (by the master core's
     /// current block).
     pub region_cycles: HashMap<u32, u64>,
+    /// Full per-region occupancy/stall attribution (same keys as
+    /// `region_cycles`; `regions[r].cycles == region_cycles[r]`).
+    pub regions: HashMap<u32, RegionBreakdown>,
     /// Per-core accounting.
     pub cores: Vec<CoreStats>,
     /// Memory system statistics.
@@ -162,10 +200,29 @@ impl MachineStats {
         }
     }
 
+    /// Total stalled core-cycles across all cores and reasons.
+    pub fn total_stalls(&self) -> u64 {
+        self.cores.iter().map(|c| c.total_stalls()).sum()
+    }
+
+    /// The stall reason costing the most core-cycles machine-wide, if any
+    /// stall was recorded.
+    pub fn dominant_stall(&self) -> Option<(StallReason, u64)> {
+        StallReason::ALL
+            .iter()
+            .map(|&r| (r, self.total_stall(r)))
+            .max_by_key(|&(_, n)| n)
+            .filter(|&(_, n)| n > 0)
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
+        let stall = match self.dominant_stall() {
+            Some((r, n)) => format!("{} stall cycles (top: {r} {n})", self.total_stalls()),
+            None => "0 stall cycles".to_string(),
+        };
         format!(
-            "{} cycles ({} coupled / {} decoupled), {} insts, {} spawns, {} tm commits / {} aborts",
+            "{} cycles ({} coupled / {} decoupled), {} insts, {} spawns, {} tm commits / {} aborts, {stall}",
             self.cycles,
             self.coupled_cycles,
             self.decoupled_cycles,
@@ -208,5 +265,30 @@ mod tests {
         m.cores[3].stall(StallReason::RecvPred);
         assert_eq!(m.total_stall(StallReason::RecvPred), 2);
         assert!((m.avg_stall(StallReason::RecvPred) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_names_the_dominant_stall() {
+        let mut m = MachineStats {
+            cores: vec![CoreStats::default(); 2],
+            ..Default::default()
+        };
+        assert!(m.summary().contains("0 stall cycles"));
+        m.cores[0].stall(StallReason::RecvData);
+        m.cores[0].stall(StallReason::RecvData);
+        m.cores[1].stall(StallReason::Sync);
+        assert_eq!(m.total_stalls(), 3);
+        assert_eq!(m.dominant_stall(), Some((StallReason::RecvData, 2)));
+        assert!(m.summary().contains("3 stall cycles (top: recv-data 2)"));
+    }
+
+    #[test]
+    fn region_breakdown_reports_its_dominant_reason() {
+        let mut r = RegionBreakdown::default();
+        assert_eq!(r.dominant_stall(), None);
+        r.stalls[StallReason::Sync.index()] = 5;
+        r.stalls[StallReason::DMiss.index()] = 7;
+        assert_eq!(r.total_stalls(), 12);
+        assert_eq!(r.dominant_stall(), Some((StallReason::DMiss, 7)));
     }
 }

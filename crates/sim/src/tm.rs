@@ -211,6 +211,14 @@ impl TxnManager {
         self.txns[core].as_ref().map(|t| t.order)
     }
 
+    /// `(read set, write set)` line counts of `core`'s live transaction,
+    /// or `(0, 0)` when none is active (the interval probes' TM gauge).
+    pub fn set_sizes(&self, core: usize) -> (usize, usize) {
+        self.txns[core]
+            .as_ref()
+            .map_or((0, 0), |t| (t.read_lines.len(), t.write_lines.len()))
+    }
+
     /// The core whose live transaction has chunk `order`, if any (used by
     /// deadlock forensics to point at the commit-token holder).
     pub fn holder_of(&self, order: u32) -> Option<usize> {

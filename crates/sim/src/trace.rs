@@ -11,6 +11,7 @@
 //! path; a tracer that wants to keep an event must render or copy what
 //! it needs inside [`Tracer::event`].
 
+use crate::stats::StallReason;
 use std::fmt::Write as _;
 use voltron_ir::{ExecMode, Inst};
 
@@ -67,6 +68,95 @@ pub enum TraceEvent<'a> {
         /// The core.
         core: usize,
     },
+    /// A core entered a stall phase (span start; closed by the matching
+    /// [`TraceEvent::StallEnd`], or by end of run for still-open spans).
+    /// Emitted only on transitions, so a 10 000-cycle receive wait is two
+    /// events, and fast-forwarded spans need no events at all.
+    StallBegin {
+        /// First stalled cycle.
+        cycle: u64,
+        /// The stalled core.
+        core: usize,
+        /// Why — the same classification `CoreStats::stalls` accumulates.
+        reason: StallReason,
+    },
+    /// A core left its stall phase (span end, exclusive).
+    StallEnd {
+        /// First non-stalled cycle.
+        cycle: u64,
+        /// The core.
+        core: usize,
+    },
+    /// The master core entered a planner region (span start).
+    /// `crate::REGION_OUTSIDE` marks inter-region glue.
+    RegionEnter {
+        /// First cycle attributed to the region.
+        cycle: u64,
+        /// Region id.
+        region: u32,
+    },
+    /// The master core left a planner region (span end, exclusive).
+    RegionExit {
+        /// First cycle no longer attributed to the region.
+        cycle: u64,
+        /// Region id.
+        region: u32,
+    },
+    /// A transaction began (span start; closed by
+    /// [`TraceEvent::TmCommit`] or [`TraceEvent::TmAbort`]).
+    TmBegin {
+        /// Cycle.
+        cycle: u64,
+        /// The core.
+        core: usize,
+        /// Commit-order rank of the chunk.
+        order: u32,
+    },
+    /// A core arrived at the mode-switch barrier; the barrier releases at
+    /// the next [`TraceEvent::ModeSwitch`].
+    BarrierWait {
+        /// Arrival cycle.
+        cycle: u64,
+        /// The core.
+        core: usize,
+        /// The mode it is switching to.
+        mode: ExecMode,
+    },
+    /// The bus was granted to one transaction — a complete span (the
+    /// finish cycle is known at grant time).
+    Bus {
+        /// Grant cycle.
+        start: u64,
+        /// Release cycle (exclusive).
+        finish: u64,
+        /// Requesting core.
+        core: usize,
+        /// Transaction kind label ("read-shared", "tm-commit", ...).
+        kind: &'static str,
+    },
+    /// A core enqueued an operand-network SEND (flow edge source).
+    MsgSend {
+        /// Cycle.
+        cycle: u64,
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+        /// Stream tag.
+        tag: u32,
+    },
+    /// A core's RECV consumed a message (flow edge sink). Edges pair with
+    /// [`TraceEvent::MsgSend`] in FIFO order per `(from, to, tag)`.
+    MsgRecv {
+        /// Cycle.
+        cycle: u64,
+        /// Receiver.
+        core: usize,
+        /// Sender.
+        from: usize,
+        /// Stream tag.
+        tag: u32,
+    },
 }
 
 /// Receiver of trace events.
@@ -86,10 +176,11 @@ pub trait Tracer {
 #[derive(Debug)]
 pub struct TextTracer {
     lines: Vec<String>,
+    suppressed: u64,
     /// Stop recording after this many events (issues included).
     pub limit: usize,
-    /// Record instruction issues (very verbose) or only the structural
-    /// events.
+    /// Record instruction issues and per-cycle span events (very verbose)
+    /// or only the structural events.
     pub issues: bool,
 }
 
@@ -99,6 +190,7 @@ impl TextTracer {
     pub fn new(limit: usize, issues: bool) -> TextTracer {
         TextTracer {
             lines: Vec::new(),
+            suppressed: 0,
             limit,
             issues,
         }
@@ -109,11 +201,19 @@ impl TextTracer {
         &self.lines
     }
 
+    /// How many wanted events were dropped because `limit` was reached.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
     /// Render the whole trace.
     pub fn render(&self) -> String {
         let mut s = String::new();
         for l in &self.lines {
             let _ = writeln!(s, "{l}");
+        }
+        if self.suppressed > 0 {
+            let _ = writeln!(s, "... {} events suppressed", self.suppressed);
         }
         s
     }
@@ -125,7 +225,24 @@ impl Tracer for TextTracer {
     }
 
     fn event(&mut self, e: TraceEvent<'_>) {
+        // Fine-grained span/flow events ride the `issues` verbosity knob:
+        // a default text trace stays structural.
+        let wanted = match e {
+            TraceEvent::Issue { .. }
+            | TraceEvent::StallBegin { .. }
+            | TraceEvent::StallEnd { .. }
+            | TraceEvent::RegionEnter { .. }
+            | TraceEvent::RegionExit { .. }
+            | TraceEvent::Bus { .. }
+            | TraceEvent::MsgSend { .. }
+            | TraceEvent::MsgRecv { .. } => self.issues,
+            _ => true,
+        };
+        if !wanted {
+            return;
+        }
         if self.lines.len() >= self.limit {
+            self.suppressed += 1;
             return;
         }
         let line = match e {
@@ -135,9 +252,6 @@ impl Tracer for TextTracer {
                 block,
                 inst,
             } => {
-                if !self.issues {
-                    return;
-                }
                 format!("[{cycle:>8}] core{core} <{block}> {inst}")
             }
             TraceEvent::ThreadStart { cycle, core, block } => {
@@ -154,6 +268,52 @@ impl Tracer for TextTracer {
             }
             TraceEvent::Halt { cycle, core } => {
                 format!("[{cycle:>8}] core{core} HALT")
+            }
+            TraceEvent::StallBegin {
+                cycle,
+                core,
+                reason,
+            } => {
+                format!("[{cycle:>8}] core{core} STALL {reason}")
+            }
+            TraceEvent::StallEnd { cycle, core } => {
+                format!("[{cycle:>8}] core{core} UNSTALL")
+            }
+            TraceEvent::RegionEnter { cycle, region } => {
+                format!("[{cycle:>8}] REGION -> r{region}")
+            }
+            TraceEvent::RegionExit { cycle, region } => {
+                format!("[{cycle:>8}] REGION <- r{region}")
+            }
+            TraceEvent::TmBegin { cycle, core, order } => {
+                format!("[{cycle:>8}] core{core} XBEGIN (order {order})")
+            }
+            TraceEvent::BarrierWait { cycle, core, mode } => {
+                format!("[{cycle:>8}] core{core} AT BARRIER (-> {mode})")
+            }
+            TraceEvent::Bus {
+                start,
+                finish,
+                core,
+                kind,
+            } => {
+                format!("[{start:>8}] core{core} BUS {kind} until {finish}")
+            }
+            TraceEvent::MsgSend {
+                cycle,
+                from,
+                to,
+                tag,
+            } => {
+                format!("[{cycle:>8}] core{from} SEND -> core{to} tag {tag}")
+            }
+            TraceEvent::MsgRecv {
+                cycle,
+                core,
+                from,
+                tag,
+            } => {
+                format!("[{cycle:>8}] core{core} RECV <- core{from} tag {tag}")
             }
         };
         self.lines.push(line);
@@ -184,6 +344,33 @@ mod tests {
         t.event(TraceEvent::Halt { cycle: 4, core: 1 });
         assert_eq!(t.lines().len(), 2, "limit enforced");
         assert!(t.render().contains("MODE -> coupled"));
+    }
+
+    #[test]
+    fn truncated_traces_report_the_suppressed_count() {
+        let mut t = TextTracer::new(1, false);
+        t.event(TraceEvent::Halt { cycle: 1, core: 0 });
+        t.event(TraceEvent::Halt { cycle: 2, core: 1 });
+        t.event(TraceEvent::Halt { cycle: 3, core: 2 });
+        // Filtered events (issues off) are not "suppressed" — they were
+        // never wanted.
+        let nop = Inst::new(Opcode::Nop, vec![]);
+        t.event(TraceEvent::Issue {
+            cycle: 4,
+            core: 0,
+            block: "b",
+            inst: &nop,
+        });
+        assert_eq!(t.lines().len(), 1);
+        assert_eq!(t.suppressed(), 2);
+        assert!(t.render().ends_with("... 2 events suppressed\n"));
+
+        let mut clean = TextTracer::new(8, false);
+        clean.event(TraceEvent::Halt { cycle: 1, core: 0 });
+        assert!(
+            !clean.render().contains("suppressed"),
+            "no trailer when nothing was dropped"
+        );
     }
 
     #[test]

@@ -111,6 +111,46 @@ fn cold_miss_with_sleeping_worker_skips_and_matches() {
     );
 }
 
+/// The interval probe sampler must be fast-forward invariant too: a
+/// skipped span crossing period boundaries is bulk-filled sample by
+/// sample (DESIGN.md §8), so the series — counters *and* gauges — is
+/// bit-identical to the tick-by-tick one. The cold-miss program above
+/// guarantees a multi-period skip with an odd period.
+#[test]
+fn probe_series_survives_fast_forward_across_a_cold_miss() {
+    let mut data = DataSegment::default();
+    let base = data.zeroed("buf", 64) as i64;
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts.push(Inst::with_dst(
+        Opcode::Ldi,
+        gpr(0),
+        vec![Operand::Imm(base)],
+    ));
+    c0.insts.push(Inst::with_dst(
+        Opcode::Load(voltron_ir::MemWidth::W8, voltron_ir::Signedness::Signed),
+        gpr(1),
+        vec![gpr(0).into(), Operand::Imm(0)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let p = program(vec![vec![c0], vec![sleep_stub()]], data);
+    let mut cfg = MachineConfig::paper(2);
+    cfg.probe_period = Some(5);
+    let off = run_with(&p, &cfg, false).expect("tick-by-tick run failed");
+    let on = run_with(&p, &cfg, true).expect("fast-forwarded run failed");
+    assert_equivalent(&off, &on);
+    assert!(
+        on.ticked_cycles < on.stats.cycles,
+        "no cycles were skipped, the bulk-fill path was not exercised"
+    );
+    let series = on.probes.as_ref().expect("probes recorded");
+    assert!(
+        series.samples.len() >= 2,
+        "expected several samples, got {}",
+        series.samples.len()
+    );
+    assert_eq!(off.probes, on.probes, "probe series diverged");
+}
+
 /// A RECV that waits on a slow sender: the receiver blocks on the CAM
 /// bucket, the sender blocks on a cold miss, and the skip has to chain
 /// bus completion -> send -> network delivery without disturbing the
@@ -327,6 +367,45 @@ proptest! {
         cfg.max_cycles = 20_000;
         match (run_with(&p, &cfg, false), run_with(&p, &cfg, true)) {
             (Ok(off), Ok(on)) => assert_equivalent(&off, &on),
+            (Err(off), Err(on)) => prop_assert_eq!(
+                format!("{off:?}"),
+                format!("{on:?}"),
+                "errors diverged"
+            ),
+            (Ok(_), Err(on)) => prop_assert!(false, "only fast-forward failed: {on:?}"),
+            (Err(off), Ok(_)) => prop_assert!(false, "only tick-by-tick failed: {off:?}"),
+        }
+    }
+
+    /// The interval probe series is part of the equivalence contract:
+    /// with a period deliberately coprime to nothing in particular
+    /// (7), skipped spans cross sample boundaries constantly, and the
+    /// bulk-filled series must still match the tick-by-tick one sample
+    /// for sample.
+    #[test]
+    fn probe_series_is_fast_forward_invariant(
+        main_ops in proptest::collection::vec(fuzz_op(), 0..12),
+        worker_ops in proptest::collection::vec(fuzz_op(), 0..8),
+    ) {
+        let mut data = DataSegment::default();
+        let base = data.zeroed("buf", 64) as i64;
+        let mut c0 = MBlock::new("main", 0);
+        c0.insts = lower_fuzz(&main_ops, base);
+        c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+        let mut w = MBlock::new("worker", 0);
+        w.insts = lower_fuzz(&worker_ops, base);
+        w.insts.push(Inst::new(Opcode::Sleep, vec![]));
+        let p = program(vec![vec![c0], vec![sleep_stub(), w]], data);
+        let mut cfg = MachineConfig::paper(2);
+        cfg.deadlock_window = 500;
+        cfg.livelock_window = 2_000;
+        cfg.max_cycles = 20_000;
+        cfg.probe_period = Some(7);
+        match (run_with(&p, &cfg, false), run_with(&p, &cfg, true)) {
+            (Ok(off), Ok(on)) => {
+                assert_equivalent(&off, &on);
+                prop_assert_eq!(&off.probes, &on.probes, "probe series diverged");
+            }
             (Err(off), Err(on)) => prop_assert_eq!(
                 format!("{off:?}"),
                 format!("{on:?}"),

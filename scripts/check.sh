@@ -26,6 +26,22 @@ echo "== cycle-golden matrix with fast-forward disabled"
 # end-to-end equivalence check of DESIGN.md §6.
 CYCLE_GOLDEN_FF=off cargo test --release -q --test cycle_golden
 
+echo "== cycle-golden matrix with observers attached"
+# Same fingerprints again with the ChromeTracer and interval probes
+# recording, in both fast-forward modes: the observability layer must
+# not perturb one architectural number (DESIGN.md §8).
+CYCLE_GOLDEN_OBS=1 cargo test --release -q --test cycle_golden
+CYCLE_GOLDEN_OBS=1 CYCLE_GOLDEN_FF=off cargo test --release -q --test cycle_golden
+
+echo "== traced smoke run"
+# End-to-end: a real workload traced through the CLI flag must emit
+# Chrome trace JSON that parses and has events on every live core.
+mkdir -p target/smoke
+cargo run --release -q -p voltron-bench --bin bench_one -- 164.gzip \
+    --trace-out target/smoke/trace.json --probes-out target/smoke/probes.json \
+    > /dev/null
+cargo run --release -q -p voltron-bench --bin trace_check -- target/smoke/trace.json 4
+
 echo "== workspace tests (release)"
 cargo test --workspace --release -q
 

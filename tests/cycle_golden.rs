@@ -15,10 +15,16 @@
 //! fast-forward disabled. The pinned fingerprints must hold either
 //! way — scripts/check.sh runs both, which is the end-to-end proof
 //! that the skip engine is architecturally invisible (DESIGN.md §6).
+//!
+//! `CYCLE_GOLDEN_OBS=1` runs the matrix with a `ChromeTracer` and
+//! interval probes attached. The fingerprints must still hold: the
+//! observability layer may collect anything it likes but may not
+//! perturb a single architectural number (DESIGN.md §8). Both toggles
+//! compose, giving the four corners check.sh sweeps.
 
 use voltron_compiler::{compile, CompileOptions};
 use voltron_core::Strategy;
-use voltron_sim::{Machine, MachineConfig, StallReason};
+use voltron_sim::{ChromeTracer, Machine, MachineConfig, StallReason};
 use voltron_workloads::{by_name, Scale};
 
 /// One pinned configuration: benchmark, strategy, cores, and the
@@ -195,12 +201,30 @@ fn fingerprint(bench: &str, strategy: Strategy, cores: usize) -> String {
     if std::env::var("CYCLE_GOLDEN_FF").as_deref() == Ok("off") {
         cfg.fast_forward = false;
     }
+    let observed = std::env::var("CYCLE_GOLDEN_OBS").as_deref() == Ok("1");
+    if observed {
+        cfg.probe_period = Some(64);
+    }
     let compiled = compile(&w.program, strategy, &cfg, &CompileOptions::default())
         .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}: compile: {e}"));
-    let out = Machine::new(compiled.machine, &cfg)
-        .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}: boot: {e}"))
+    let mut machine = Machine::new(compiled.machine, &cfg)
+        .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}: boot: {e}"));
+    if observed {
+        machine.set_tracer(Box::new(ChromeTracer::new()));
+    }
+    let out = machine
         .run()
         .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}: run: {e}"));
+    if observed {
+        assert!(
+            !out.trace.is_empty(),
+            "{bench} {strategy}/{cores}: observed run produced no trace"
+        );
+        assert!(
+            out.probes.as_ref().is_some_and(|p| !p.samples.is_empty()),
+            "{bench} {strategy}/{cores}: observed run produced no probe samples"
+        );
+    }
     let s = &out.stats;
     let stalls: Vec<String> = StallReason::ALL
         .iter()
