@@ -11,10 +11,14 @@
 use voltron_bench::harness::{bench_json, workload_summary, DEFAULT_PROBE_PERIOD};
 use voltron_core::report::throughput;
 use voltron_core::{Experiment, ObsRequest, StallCategory, Strategy};
+use voltron_sim::CoherenceBackend;
 use voltron_workloads::{by_name, Scale};
 
 fn usage() -> ! {
-    eprintln!("usage: bench_one <benchmark> [--full] [--trace-out FILE] [--probes-out FILE]");
+    eprintln!(
+        "usage: bench_one <benchmark> [--full] [--trace-out FILE] [--probes-out FILE] \
+         [--backend snooping|directory]"
+    );
     std::process::exit(2);
 }
 
@@ -24,6 +28,7 @@ fn main() {
     let mut scale = Scale::Test;
     let mut trace_out: Option<String> = None;
     let mut probes_out: Option<String> = None;
+    let mut backend = CoherenceBackend::Snooping;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,6 +36,10 @@ fn main() {
             "--test" => scale = Scale::Test,
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--probes-out" => probes_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                backend = CoherenceBackend::parse(&v).unwrap_or_else(|| usage());
+            }
             other => bench = Some(other.to_string()),
         }
     }
@@ -46,18 +55,18 @@ fn main() {
         w.name, w.expected
     );
     let configs = [
-        (Strategy::Ilp, 4),
-        (Strategy::FineGrainTlp, 4),
-        (Strategy::Llp, 4),
-        (Strategy::Hybrid, 2),
-        (Strategy::Hybrid, 4),
+        (Strategy::Ilp, 4, backend),
+        (Strategy::FineGrainTlp, 4, backend),
+        (Strategy::Llp, 4, backend),
+        (Strategy::Hybrid, 2, backend),
+        (Strategy::Hybrid, 4, backend),
     ];
-    if let Err(e) = exp.run_all(&configs) {
+    if let Err(e) = exp.run_all_on(&configs) {
         // Per-config errors are reported in the loop below.
         eprintln!("[bench_one] sweep: {e}");
     }
-    for (s, c) in configs {
-        match exp.run(s, c) {
+    for (s, c, bk) in configs {
+        match exp.run_on(s, c, bk) {
             Ok(r) => {
                 let mut kinds: Vec<_> = r.region_kinds.values().collect();
                 kinds.sort();
@@ -87,7 +96,7 @@ fn main() {
             chrome_trace: trace_out.is_some(),
             probe_period: probes_out.as_ref().map(|_| DEFAULT_PROBE_PERIOD),
         };
-        match exp.run_observed(Strategy::Hybrid, 4, &req) {
+        match exp.run_observed_on(Strategy::Hybrid, 4, backend, &req) {
             Ok(o) => {
                 if let Some(path) = &trace_out {
                     match std::fs::write(path, &o.trace_json) {

@@ -11,9 +11,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let harvest = run_workloads(&args, |_, exp| {
         let base = exp.baseline_cycles();
-        exp.run_all(&[(Strategy::Ilp, 4), (Strategy::FineGrainTlp, 4)])?;
-        let coupled = stall_row(exp.run(Strategy::Ilp, 4)?, base);
-        let decoupled = stall_row(exp.run(Strategy::FineGrainTlp, 4)?, base);
+        let bk = args.backend_for(4);
+        exp.run_all_on(&[(Strategy::Ilp, 4, bk), (Strategy::FineGrainTlp, 4, bk)])?;
+        let coupled = stall_row(exp.run_on(Strategy::Ilp, 4, bk)?, base);
+        let decoupled = stall_row(exp.run_on(Strategy::FineGrainTlp, 4, bk)?, base);
         Ok((coupled, decoupled))
     });
     let mut headers: Vec<&str> = vec!["benchmark", "mode"];

@@ -8,7 +8,9 @@ use voltron_core::Strategy;
 fn main() {
     let args = HarnessArgs::parse();
     let harvest = run_workloads(&args, |_, exp| {
-        Ok(exp.run(Strategy::Hybrid, 4)?.coupled_fraction())
+        Ok(exp
+            .run_on(Strategy::Hybrid, 4, args.backend_for(4))?
+            .coupled_fraction())
     });
     let mut table = Table::new(&["benchmark", "coupled", "decoupled"]);
     let mut sum = 0f64;

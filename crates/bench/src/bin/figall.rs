@@ -35,34 +35,36 @@ fn main() {
         let techniques = [Strategy::Ilp, Strategy::FineGrainTlp, Strategy::Llp];
         // Simulate every configuration the figures below read, fanned out
         // across host threads; the `exp.run` calls then hit the cache.
-        exp.run_all(&[
-            (Strategy::Ilp, 2),
-            (Strategy::Ilp, 4),
-            (Strategy::FineGrainTlp, 2),
-            (Strategy::FineGrainTlp, 4),
-            (Strategy::Llp, 2),
-            (Strategy::Llp, 4),
-            (Strategy::Hybrid, 2),
-            (Strategy::Hybrid, 4),
+        let b2 = args.backend_for(2);
+        let b4 = args.backend_for(4);
+        exp.run_all_on(&[
+            (Strategy::Ilp, 2, b2),
+            (Strategy::Ilp, 4, b4),
+            (Strategy::FineGrainTlp, 2, b2),
+            (Strategy::FineGrainTlp, 4, b4),
+            (Strategy::Llp, 2, b2),
+            (Strategy::Llp, 4, b4),
+            (Strategy::Hybrid, 2, b2),
+            (Strategy::Hybrid, 4, b4),
         ])?;
         let mut t2 = [0f64; 3];
         let mut t4 = [0f64; 3];
         for (i, &t) in techniques.iter().enumerate() {
-            t2[i] = exp.run(t, 2)?.speedup;
-            t4[i] = exp.run(t, 4)?.speedup;
+            t2[i] = exp.run_on(t, 2, b2)?.speedup;
+            t4[i] = exp.run_on(t, 4, b4)?.speedup;
         }
-        let stall_c = stall_row(exp.run(Strategy::Ilp, 4)?, base);
-        let stall_d = stall_row(exp.run(Strategy::FineGrainTlp, 4)?, base);
-        let h2 = exp.run(Strategy::Hybrid, 2)?.speedup;
-        let h4 = exp.run(Strategy::Hybrid, 4)?.speedup;
-        let coupled = exp.run(Strategy::Hybrid, 4)?.coupled_fraction();
-        let frac = exp.parallelism_breakdown(4)?;
+        let stall_c = stall_row(exp.run_on(Strategy::Ilp, 4, b4)?, base);
+        let stall_d = stall_row(exp.run_on(Strategy::FineGrainTlp, 4, b4)?, base);
+        let h2 = exp.run_on(Strategy::Hybrid, 2, b2)?.speedup;
+        let h4 = exp.run_on(Strategy::Hybrid, 4, b4)?.speedup;
+        let coupled = exp.run_on(Strategy::Hybrid, 4, b4)?.coupled_fraction();
+        let frac = exp.parallelism_breakdown_on(4, b4)?;
         // Observability pass (only with --trace-out/--probes-out): re-run
         // the 4-core hybrid instrumented and write this workload's
         // artifacts. Figure stdout is untouched; files and stderr only.
         let mut probes = None;
         if args.wants_observation() {
-            let o = exp.run_observed(Strategy::Hybrid, 4, &args.obs_request())?;
+            let o = exp.run_observed_on(Strategy::Hybrid, 4, b4, &args.obs_request())?;
             if let Some(base) = &args.trace_out {
                 let path = args.artifact_path(base, w.name);
                 match std::fs::write(&path, &o.trace_json) {

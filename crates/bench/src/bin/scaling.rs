@@ -1,21 +1,92 @@
-//! Core-count scaling of the hybrid build (the paper's 2-vs-4-core
-//! comparison, §5.2): speedup at 1, 2, and 4 cores per benchmark.
+//! Core-count scaling beyond the paper's machines: speedup at 1→64
+//! cores for every strategy on both coherence backends.
+//!
+//! The paper evaluates 2- and 4-core Voltron machines (§5.2); this
+//! figure extends the same sweep through 8/16/32/64-core meshes
+//! ([`voltron_sim::MachineConfig::scaled`]) and contrasts the bus-based
+//! snooping backend against the banked directory backend at each point
+//! (bank count per [`voltron_sim::CoherenceBackend::directory_for`]).
+//! One table per (strategy, backend); rows are benchmarks, columns are
+//! core counts, the last row is the arithmetic mean.
 
-use voltron_bench::harness::{speedup_figure, HarnessArgs};
+use voltron_bench::harness::{run_workloads, HarnessArgs};
+use voltron_core::report::{mean, speedup, Table};
 use voltron_core::Strategy;
+use voltron_sim::CoherenceBackend;
+
+/// Core counts swept (power-of-two meshes up to the 8x8 maximum).
+const CORES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Strategies swept (everything the compiler can build).
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::Ilp,
+    Strategy::FineGrainTlp,
+    Strategy::Llp,
+    Strategy::Hybrid,
+];
+
+/// The two backends at a given machine size.
+fn backends(cores: usize) -> [CoherenceBackend; 2] {
+    [
+        CoherenceBackend::Snooping,
+        CoherenceBackend::directory_for(cores),
+    ]
+}
 
 fn main() {
     let args = HarnessArgs::parse();
-    let (out, harvest) = speedup_figure(
-        "Hybrid speedup vs core count (baseline = 1-core serial)",
-        &args,
-        &[
-            ("1 core", Strategy::Serial, 1),
-            ("2 cores", Strategy::Hybrid, 2),
-            ("4 cores", Strategy::Hybrid, 4),
-        ],
+    // Strategy-major, then cores, then the two backends; the table
+    // renderer below recovers the flat index from that order.
+    let configs: Vec<(Strategy, usize, CoherenceBackend)> = STRATEGIES
+        .iter()
+        .flat_map(|&s| {
+            CORES
+                .iter()
+                .flat_map(move |&c| backends(c).into_iter().map(move |b| (s, c, b)))
+        })
+        .collect();
+    let harvest = run_workloads(&args, |_, exp| {
+        exp.run_all_on(&configs)?;
+        let mut vals = Vec::with_capacity(configs.len());
+        for &(s, c, b) in &configs {
+            vals.push(exp.run_on(s, c, b)?.speedup);
+        }
+        Ok(vals)
+    });
+
+    println!("Speedup vs core count, 1-64 cores (baseline = 1-core serial)");
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(CORES.iter().map(|c| format!("{c}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    for (si, &strat) in STRATEGIES.iter().enumerate() {
+        for (bi, blabel) in ["snooping", "directory"].iter().enumerate() {
+            let mut table = Table::new(&header_refs);
+            let mut sums: Vec<Vec<f64>> = vec![Vec::new(); CORES.len()];
+            for (w, vals) in &harvest.results {
+                let mut cells = vec![w.name.to_string()];
+                for (ci, col) in sums.iter_mut().enumerate() {
+                    let idx = (si * CORES.len() + ci) * 2 + bi;
+                    col.push(vals[idx]);
+                    cells.push(speedup(vals[idx]));
+                }
+                table.row(cells);
+            }
+            let mut avg = vec!["average".to_string()];
+            for col in &sums {
+                avg.push(speedup(mean(col)));
+            }
+            table.row(avg);
+            println!("\n== {strat:?} / {blabel} ==");
+            print!("{}", table.render());
+        }
+    }
+    println!(
+        "\npaper: 2- and 4-core points reproduce Fig. 13; larger meshes are this repo's extension"
     );
-    println!("{out}");
-    println!("paper: decoupled-capable benchmarks scale further from 2 to 4 cores");
+    let fails = harvest.failure_section();
+    if !fails.is_empty() {
+        println!("\n{fails}");
+    }
     harvest.report("scaling", &args);
 }

@@ -30,7 +30,7 @@ use voltron_core::report::{mean, speedup, throughput, Json, Table};
 use voltron_core::{
     Experiment, ObsRequest, ProbeSummary, RunResult, StallCategory, Strategy, SystemError,
 };
-use voltron_sim::StallReason;
+use voltron_sim::{CoherenceBackend, StallReason};
 use voltron_workloads::{all, Scale, Workload};
 
 /// Sampling period `--probes-out` uses, in cycles. Dense enough to
@@ -54,6 +54,10 @@ pub struct HarnessArgs {
     pub trace_out: Option<String>,
     /// Write the interval probe series per workload to this path.
     pub probes_out: Option<String>,
+    /// Coherence backend family for the sweep's runs (default snooping).
+    /// Directory bank counts are resolved per core count; see
+    /// [`HarnessArgs::backend_for`].
+    pub backend: CoherenceBackend,
 }
 
 impl HarnessArgs {
@@ -64,6 +68,7 @@ impl HarnessArgs {
         let mut budget_cycles = None;
         let mut trace_out = None;
         let mut probes_out = None;
+        let mut backend = CoherenceBackend::Snooping;
         let mut args = std::env::args().skip(1);
         let take = |flag: &str, args: &mut dyn Iterator<Item = String>| match args.next() {
             Some(v) => v,
@@ -79,6 +84,16 @@ impl HarnessArgs {
                 "--bench" => only = args.next(),
                 "--trace-out" => trace_out = Some(take("--trace-out", &mut args)),
                 "--probes-out" => probes_out = Some(take("--probes-out", &mut args)),
+                "--backend" => {
+                    let v = take("--backend", &mut args);
+                    backend = match CoherenceBackend::parse(&v) {
+                        Some(b) => b,
+                        None => {
+                            eprintln!("--backend requires 'snooping' or 'directory' (got {v})");
+                            std::process::exit(2);
+                        }
+                    };
+                }
                 "--budget-cycles" => {
                     budget_cycles = match take("--budget-cycles", &mut args).parse::<u64>() {
                         Ok(n) => Some(n),
@@ -92,7 +107,8 @@ impl HarnessArgs {
                     eprintln!(
                         "unknown argument {other} \
                          (expected --test/--full/--bench NAME/--budget-cycles N\
-                         /--trace-out FILE/--probes-out FILE)"
+                         /--trace-out FILE/--probes-out FILE\
+                         /--backend snooping|directory)"
                     );
                     std::process::exit(2);
                 }
@@ -104,6 +120,18 @@ impl HarnessArgs {
             budget_cycles,
             trace_out,
             probes_out,
+            backend,
+        }
+    }
+
+    /// The coherence backend a run at `cores` should use: snooping stays
+    /// snooping; a directory request resolves its bank count to the
+    /// machine size ([`CoherenceBackend::directory_for`]), so one flag
+    /// covers a whole core sweep.
+    pub fn backend_for(&self, cores: usize) -> CoherenceBackend {
+        match self.backend {
+            CoherenceBackend::Snooping => CoherenceBackend::Snooping,
+            CoherenceBackend::Directory { .. } => CoherenceBackend::directory_for(cores),
         }
     }
 
@@ -169,8 +197,9 @@ pub struct WorkloadSummary {
     pub ticked_cycles: u64,
     /// Host wall-clock this workload's sweep took, in seconds.
     pub host_seconds: f64,
-    /// (strategy, cores, cycles, speedup) per configuration run.
-    pub runs: Vec<(String, usize, u64, f64)>,
+    /// (strategy, cores, backend label, cycles, speedup) per
+    /// configuration run.
+    pub runs: Vec<(String, usize, &'static str, u64, f64)>,
     /// Interval probe summary, when the sweep ran with `--probes-out`.
     pub probes: Option<ProbeSummary>,
 }
@@ -192,7 +221,15 @@ pub fn workload_summary(
         runs: exp
             .results()
             .iter()
-            .map(|r| (r.strategy.to_string(), r.cores, r.cycles, r.speedup))
+            .map(|r| {
+                (
+                    r.strategy.to_string(),
+                    r.cores,
+                    r.backend.label(),
+                    r.cycles,
+                    r.speedup,
+                )
+            })
             .collect(),
         probes: None,
     }
@@ -252,10 +289,11 @@ pub fn bench_json(
             let runs = s
                 .runs
                 .iter()
-                .map(|(strategy, cores, cycles, sp)| {
+                .map(|(strategy, cores, backend, cycles, sp)| {
                     Json::Obj(vec![
                         ("strategy".into(), Json::Str(strategy.clone())),
                         ("cores".into(), Json::UInt(*cores as u64)),
+                        ("backend".into(), Json::Str((*backend).into())),
                         ("cycles".into(), Json::UInt(*cycles)),
                         ("speedup".into(), Json::Num(*sp)),
                     ])
@@ -503,14 +541,14 @@ pub fn speedup_figure(
     let harvest = run_workloads(args, |_, exp| {
         // Fan the column configurations out across host threads first;
         // the reads below all hit the cache.
-        let configs: Vec<(Strategy, usize)> = columns
+        let configs: Vec<(Strategy, usize, CoherenceBackend)> = columns
             .iter()
-            .map(|&(_, strat, cores)| (strat, cores))
+            .map(|&(_, strat, cores)| (strat, cores, args.backend_for(cores)))
             .collect();
-        exp.run_all(&configs)?;
+        exp.run_all_on(&configs)?;
         let mut vals = Vec::with_capacity(columns.len());
         for &(_, strat, cores) in columns {
-            vals.push(exp.run(strat, cores)?.speedup);
+            vals.push(exp.run_on(strat, cores, args.backend_for(cores))?.speedup);
         }
         Ok(vals)
     });
@@ -558,6 +596,7 @@ mod tests {
             budget_cycles: None,
             trace_out: None,
             probes_out: None,
+            backend: CoherenceBackend::Snooping,
         };
         let ws = args.workloads();
         assert_eq!(ws.len(), 1);
@@ -568,6 +607,7 @@ mod tests {
             budget_cycles: None,
             trace_out: None,
             probes_out: None,
+            backend: CoherenceBackend::Snooping,
         };
         assert!(none.workloads().is_empty());
     }
@@ -580,6 +620,7 @@ mod tests {
             budget_cycles: None,
             trace_out: None,
             probes_out: None,
+            backend: CoherenceBackend::Snooping,
         };
         let (out, harvest) = speedup_figure("t", &args, &[("serial", Strategy::Serial, 1)]);
         assert!(out.contains("rawcaudio"));
@@ -597,6 +638,7 @@ mod tests {
             budget_cycles: None,
             trace_out: None,
             probes_out: None,
+            backend: CoherenceBackend::Snooping,
         };
         let h = run_workloads(&args, |w, exp| {
             exp.run(Strategy::Serial, 1)?;
@@ -622,6 +664,7 @@ mod tests {
         assert!(s.contains("\"binary\":\"t\""));
         assert!(s.contains("\"name\":\"rawcaudio\""));
         assert!(s.contains("\"strategy\":\"serial\""));
+        assert!(s.contains("\"backend\":\"snooping\""));
         assert!(s.contains("\"failures\":[]"));
         assert!(s.contains("\"ticked_cycles\""));
         assert!(s.contains("\"skip_efficiency\""));

@@ -43,10 +43,19 @@ use std::collections::HashMap;
 use std::fmt;
 use voltron_compiler::{compile_prepared, CompileError, CompileOptions, FrontEnd};
 use voltron_ir::{interp, Memory, Program};
-use voltron_sim::{ChromeTracer, Machine, MachineConfig, MachineStats, SimError, StallReason};
+use voltron_sim::{
+    ChromeTracer, CoherenceBackend, Machine, MachineConfig, MachineStats, SimError, StallReason,
+};
 
 pub use voltron_compiler::Strategy;
 pub use voltron_sim::{ProbeSeries, ProbeSummary};
+
+/// The machine configuration for one experiment run: geometry from
+/// [`MachineConfig::scaled`] (identical to the paper machine at the
+/// paper's 1/2/4-core points), coherence timing from `backend`.
+fn machine_config(cores: usize, backend: CoherenceBackend) -> MachineConfig {
+    MachineConfig::scaled(cores).with_backend(backend)
+}
 
 /// A system-level failure (compilation, simulation, or validation).
 #[derive(Debug)]
@@ -149,6 +158,8 @@ pub struct RunResult {
     pub strategy: Strategy,
     /// Core count.
     pub cores: usize,
+    /// Coherence backend the memory system was timed with.
+    pub backend: CoherenceBackend,
     /// Execution time in simulated cycles.
     pub cycles: u64,
     /// Cycles the simulator actually ticked (fast-forward skips the
@@ -263,10 +274,11 @@ pub fn run_configuration(
     cores: usize,
     baseline_cycles: u64,
 ) -> Result<RunResult, SystemError> {
-    let mcfg = MachineConfig::paper(cores);
+    let backend = CoherenceBackend::Snooping;
+    let mcfg = machine_config(cores, backend);
     let opts = CompileOptions::default();
     let fe = FrontEnd::new(program, strategy, &mcfg, &opts)?;
-    run_prepared(&fe, golden, strategy, cores, baseline_cycles, None)
+    run_prepared(&fe, golden, strategy, cores, backend, baseline_cycles, None)
 }
 
 /// What to observe during a run (see `voltron_sim::obs`). The default
@@ -297,11 +309,13 @@ pub struct Observed {
 /// program dominates compile time but is identical for every
 /// configuration with the same [`FrontEnd::key`], so [`Experiment`]
 /// builds at most two front ends per program and reuses them here.
+#[allow(clippy::too_many_arguments)]
 fn run_prepared(
     fe: &FrontEnd,
     golden: &Memory,
     strategy: Strategy,
     cores: usize,
+    backend: CoherenceBackend,
     baseline_cycles: u64,
     cycle_budget: Option<u64>,
 ) -> Result<RunResult, SystemError> {
@@ -310,6 +324,7 @@ fn run_prepared(
         golden,
         strategy,
         cores,
+        backend,
         baseline_cycles,
         cycle_budget,
         &ObsRequest::default(),
@@ -325,11 +340,12 @@ fn run_prepared_obs(
     golden: &Memory,
     strategy: Strategy,
     cores: usize,
+    backend: CoherenceBackend,
     baseline_cycles: u64,
     cycle_budget: Option<u64>,
     obs: &ObsRequest,
 ) -> Result<Observed, SystemError> {
-    let mcfg = MachineConfig::paper(cores);
+    let mcfg = machine_config(cores, backend);
     let opts = CompileOptions::default();
     let compiled = compile_prepared(fe, strategy, &mcfg, &opts)?;
     let region_kinds = compiled.region_kinds.clone();
@@ -358,6 +374,7 @@ fn run_prepared_obs(
         run: RunResult {
             strategy,
             cores,
+            backend,
             cycles,
             ticked_cycles: out.ticked_cycles,
             speedup: baseline_cycles as f64 / cycles.max(1) as f64,
@@ -376,7 +393,7 @@ pub struct Experiment<'a> {
     program: &'a Program,
     golden: Memory,
     baseline_cycles: u64,
-    cache: HashMap<(Strategy, usize), RunResult>,
+    cache: HashMap<(Strategy, usize, CoherenceBackend), RunResult>,
     /// Compiler front ends, indexed by [`FrontEnd::key`].
     front_ends: [Option<FrontEnd>; 2],
     sim_cycles: u64,
@@ -416,7 +433,15 @@ impl<'a> Experiment<'a> {
         };
         let idx = exp.ensure_front_end(Strategy::Serial, 1)?;
         let fe = exp.front_ends[idx].as_ref().expect("just built");
-        let base = run_prepared(fe, &exp.golden, Strategy::Serial, 1, 1, budget)?;
+        let base = run_prepared(
+            fe,
+            &exp.golden,
+            Strategy::Serial,
+            1,
+            CoherenceBackend::Snooping,
+            1,
+            budget,
+        )?;
         exp.baseline_cycles = base.cycles;
         exp.sim_cycles = base.cycles;
         exp.ticked_cycles = base.ticked_cycles;
@@ -454,18 +479,21 @@ impl<'a> Experiment<'a> {
     }
 
     /// Every cached configuration result, in deterministic
-    /// (strategy name, cores) order — the harness's `BENCH_*.json`
-    /// inventory.
+    /// (strategy name, cores, backend) order — the harness's
+    /// `BENCH_*.json` inventory.
     pub fn results(&self) -> Vec<&RunResult> {
         let mut v: Vec<&RunResult> = self.cache.values().collect();
-        v.sort_by_key(|r| (r.strategy.to_string(), r.cores));
+        v.sort_by_key(|r| (r.strategy.to_string(), r.cores, r.backend.label()));
         v
     }
 
     /// Build (once) the front end whose [`FrontEnd::key`] matches this
     /// configuration, returning its slot in `front_ends`.
+    /// The coherence backend is irrelevant here: [`FrontEnd::key`] (and
+    /// the front end itself) depend only on geometry, never on memory-
+    /// system timing, so one front end serves both backends.
     fn ensure_front_end(&mut self, strategy: Strategy, cores: usize) -> Result<usize, SystemError> {
-        let mcfg = MachineConfig::paper(cores);
+        let mcfg = machine_config(cores, CoherenceBackend::Snooping);
         let opts = CompileOptions::default();
         let idx = usize::from(FrontEnd::key(strategy, &mcfg, &opts));
         if self.front_ends[idx].is_none() {
@@ -474,12 +502,27 @@ impl<'a> Experiment<'a> {
         Ok(idx)
     }
 
-    /// Run (or fetch the cached run of) a configuration.
+    /// Run (or fetch the cached run of) a configuration on the default
+    /// snooping backend.
     ///
     /// # Errors
     /// Propagates configuration failures.
     pub fn run(&mut self, strategy: Strategy, cores: usize) -> Result<&RunResult, SystemError> {
-        if !self.cache.contains_key(&(strategy, cores)) {
+        self.run_on(strategy, cores, CoherenceBackend::Snooping)
+    }
+
+    /// Run (or fetch the cached run of) a configuration on an explicit
+    /// coherence backend.
+    ///
+    /// # Errors
+    /// Propagates configuration failures.
+    pub fn run_on(
+        &mut self,
+        strategy: Strategy,
+        cores: usize,
+        backend: CoherenceBackend,
+    ) -> Result<&RunResult, SystemError> {
+        if !self.cache.contains_key(&(strategy, cores, backend)) {
             let idx = self.ensure_front_end(strategy, cores)?;
             let fe = self.front_ends[idx].as_ref().expect("just built");
             let r = run_prepared(
@@ -487,14 +530,15 @@ impl<'a> Experiment<'a> {
                 &self.golden,
                 strategy,
                 cores,
+                backend,
                 self.baseline_cycles,
                 self.cycle_budget,
             )?;
             self.sim_cycles += r.cycles;
             self.ticked_cycles += r.ticked_cycles;
-            self.cache.insert((strategy, cores), r);
+            self.cache.insert((strategy, cores, backend), r);
         }
-        Ok(&self.cache[&(strategy, cores)])
+        Ok(&self.cache[&(strategy, cores, backend)])
     }
 
     /// Run a configuration with observability attached, returning the
@@ -512,6 +556,20 @@ impl<'a> Experiment<'a> {
         cores: usize,
         obs: &ObsRequest,
     ) -> Result<Observed, SystemError> {
+        self.run_observed_on(strategy, cores, CoherenceBackend::Snooping, obs)
+    }
+
+    /// [`Experiment::run_observed`] on an explicit coherence backend.
+    ///
+    /// # Errors
+    /// Propagates configuration failures.
+    pub fn run_observed_on(
+        &mut self,
+        strategy: Strategy,
+        cores: usize,
+        backend: CoherenceBackend,
+        obs: &ObsRequest,
+    ) -> Result<Observed, SystemError> {
         let idx = self.ensure_front_end(strategy, cores)?;
         let fe = self.front_ends[idx].as_ref().expect("just built");
         let o = run_prepared_obs(
@@ -519,6 +577,7 @@ impl<'a> Experiment<'a> {
             &self.golden,
             strategy,
             cores,
+            backend,
             self.baseline_cycles,
             self.cycle_budget,
             obs,
@@ -541,7 +600,23 @@ impl<'a> Experiment<'a> {
     /// # Errors
     /// The first (in `configs` order) configuration failure.
     pub fn run_all(&mut self, configs: &[(Strategy, usize)]) -> Result<(), SystemError> {
-        let missing: Vec<(Strategy, usize)> = {
+        let on: Vec<(Strategy, usize, CoherenceBackend)> = configs
+            .iter()
+            .map(|&(s, c)| (s, c, CoherenceBackend::Snooping))
+            .collect();
+        self.run_all_on(&on)
+    }
+
+    /// [`Experiment::run_all`] with an explicit coherence backend per
+    /// configuration.
+    ///
+    /// # Errors
+    /// The first (in `configs` order) configuration failure.
+    pub fn run_all_on(
+        &mut self,
+        configs: &[(Strategy, usize, CoherenceBackend)],
+    ) -> Result<(), SystemError> {
+        let missing: Vec<(Strategy, usize, CoherenceBackend)> = {
             let mut seen = Vec::new();
             configs
                 .iter()
@@ -557,7 +632,7 @@ impl<'a> Experiment<'a> {
         // Front ends are shared mutable state: build them up front,
         // serially (at most two exist per program).
         let mut slots = Vec::with_capacity(missing.len());
-        for &(strategy, cores) in &missing {
+        for &(strategy, cores, _) in &missing {
             slots.push(self.ensure_front_end(strategy, cores)?);
         }
         let front_ends = &self.front_ends;
@@ -568,10 +643,10 @@ impl<'a> Experiment<'a> {
             let handles: Vec<_> = missing
                 .iter()
                 .zip(&slots)
-                .map(|(&(strategy, cores), &idx)| {
+                .map(|(&(strategy, cores, backend), &idx)| {
                     scope.spawn(move || {
                         let fe = front_ends[idx].as_ref().expect("built above");
-                        run_prepared(fe, golden, strategy, cores, baseline, budget)
+                        run_prepared(fe, golden, strategy, cores, backend, baseline, budget)
                     })
                 })
                 .collect();
@@ -597,7 +672,21 @@ impl<'a> Experiment<'a> {
     /// # Errors
     /// Propagates configuration failures.
     pub fn parallelism_breakdown(&mut self, cores: usize) -> Result<[f64; 4], SystemError> {
-        let run = self.run(Strategy::Hybrid, cores)?;
+        self.parallelism_breakdown_on(cores, CoherenceBackend::Snooping)
+    }
+
+    /// [`Experiment::parallelism_breakdown`] on an explicit coherence
+    /// backend (the attribution itself is planner output and identical
+    /// on both; this just reuses a run the caller already paid for).
+    ///
+    /// # Errors
+    /// Propagates configuration failures.
+    pub fn parallelism_breakdown_on(
+        &mut self,
+        cores: usize,
+        backend: CoherenceBackend,
+    ) -> Result<[f64; 4], SystemError> {
+        let run = self.run_on(Strategy::Hybrid, cores, backend)?;
         let mut acc = [0u64; 4];
         for (rid, kind) in &run.region_kinds {
             let w = run.region_weights.get(rid).copied().unwrap_or(0);

@@ -1,5 +1,63 @@
 //! Machine configuration.
 
+/// Which coherence interconnect keeps the L1s coherent.
+///
+/// [`CoherenceBackend::Snooping`] is the paper's machine: one bus, one
+/// transaction in flight at a time, every grant snoops every peer. It is
+/// the default and the backend every golden fingerprint is pinned
+/// against. [`CoherenceBackend::Directory`] is the scalable alternative
+/// for ≥8-core machines: lines are home-banked, each bank serializes
+/// only its own transactions (so distinct-bank traffic overlaps), and
+/// every grant pays a fixed directory-indirection latency
+/// ([`MachineConfig::dir_latency`]). Functional MOESI state transitions
+/// are identical on both backends — only occupancy and latency differ
+/// (see DESIGN.md §9 for where cycle counts legitimately diverge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceBackend {
+    /// Single snooped bus (the paper's machine; the default).
+    Snooping,
+    /// Address-interleaved directory banks.
+    Directory {
+        /// Number of home banks (lines interleave across them).
+        banks: usize,
+    },
+}
+
+impl CoherenceBackend {
+    /// Short label for reports and flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoherenceBackend::Snooping => "snooping",
+            CoherenceBackend::Directory { .. } => "directory",
+        }
+    }
+
+    /// How many independent request streams the backend serializes.
+    pub fn bank_count(self) -> usize {
+        match self {
+            CoherenceBackend::Snooping => 1,
+            CoherenceBackend::Directory { banks } => banks.max(1),
+        }
+    }
+
+    /// The directory sizing the scaling sweeps use: one bank per four
+    /// cores, at least two, so bank parallelism grows with the machine.
+    pub fn directory_for(cores: usize) -> CoherenceBackend {
+        CoherenceBackend::Directory {
+            banks: (cores / 4).max(2),
+        }
+    }
+
+    /// Parse a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<CoherenceBackend> {
+        match s {
+            "snooping" | "bus" => Some(CoherenceBackend::Snooping),
+            "directory" | "dir" => Some(CoherenceBackend::Directory { banks: 4 }),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of the simulated Voltron machine.
 ///
 /// Defaults ([`MachineConfig::paper`]) follow the paper's experimental
@@ -70,6 +128,16 @@ pub struct MachineConfig {
     /// DESIGN.md §6); the toggle exists so that equivalence can be
     /// tested in-process.
     pub fast_forward: bool,
+    /// Coherence interconnect (see [`CoherenceBackend`]). Snooping is
+    /// the paper's machine and the default; the directory backend
+    /// overlaps distinct-bank transactions at the cost of
+    /// [`MachineConfig::dir_latency`] per grant.
+    pub coherence: CoherenceBackend,
+    /// Directory-indirection latency: extra cycles every directory-bank
+    /// grant pays for the home-bank lookup and forwarding that the
+    /// snooping bus gets for free by broadcasting. Ignored by
+    /// [`CoherenceBackend::Snooping`].
+    pub dir_latency: u64,
     /// Interval probe sampling period in cycles: `Some(p)` records a
     /// [`crate::obs::ProbeSample`] every `p` cycles (returned in
     /// [`crate::machine::RunOutcome::probes`]). `None` (the default)
@@ -114,8 +182,37 @@ impl MachineConfig {
             livelock_window: 1_000_000,
             max_cycles: 2_000_000_000,
             fast_forward: true,
+            coherence: CoherenceBackend::Snooping,
+            dir_latency: 3,
             probe_period: None,
         }
+    }
+
+    /// A scaled machine beyond the paper's core counts: the paper's
+    /// per-core parameters (caches, latencies, queue depths) on a
+    /// power-of-two mesh up to 64 cores. For 1, 2 and 4 cores this is
+    /// exactly [`MachineConfig::paper`], so the golden matrix is
+    /// unaffected by building through `scaled`; the larger counts get
+    /// the near-square meshes the geometry tests pin (8 → 4x2, 16 → 4x4,
+    /// 32 → 8x4, 64 → 8x8).
+    ///
+    /// # Panics
+    /// Panics unless `cores` is a power of two no larger than 64.
+    pub fn scaled(cores: usize) -> MachineConfig {
+        assert!(
+            cores.is_power_of_two() && cores <= 64,
+            "scaled machines use power-of-two core counts up to 64 (got {cores})"
+        );
+        MachineConfig {
+            cores,
+            ..MachineConfig::paper(4)
+        }
+    }
+
+    /// Builder-style backend selection.
+    pub fn with_backend(mut self, backend: CoherenceBackend) -> MachineConfig {
+        self.coherence = backend;
+        self
     }
 
     /// Mesh width (cores per row): the near-square factorization `w x h`
@@ -218,18 +315,9 @@ mod tests {
         MachineConfig::paper(3);
     }
 
-    /// A scaling config beyond the paper's 4 cores (built by widening a
-    /// paper config, as the Fig. 13 scaling runs do).
-    fn scaled(cores: usize) -> MachineConfig {
-        MachineConfig {
-            cores,
-            ..MachineConfig::paper(4)
-        }
-    }
-
     #[test]
     fn eight_core_mesh_is_4x2() {
-        let c = scaled(8);
+        let c = MachineConfig::scaled(8);
         assert_eq!(c.mesh_width(), 4);
         assert_eq!(c.coords(0), (0, 0));
         assert_eq!(c.coords(3), (3, 0));
@@ -245,7 +333,7 @@ mod tests {
 
     #[test]
     fn sixteen_core_mesh_is_4x4() {
-        let c = scaled(16);
+        let c = MachineConfig::scaled(16);
         assert_eq!(c.mesh_width(), 4);
         assert_eq!(c.coords(5), (1, 1));
         assert_eq!(c.coords(15), (3, 3));
@@ -260,6 +348,74 @@ mod tests {
         assert_eq!(c.neighbor(3, Dir::South), Some(7));
         assert_eq!(c.neighbor(12, Dir::East), Some(13));
         assert_eq!(c.neighbor(12, Dir::South), None);
+    }
+
+    #[test]
+    fn thirtytwo_core_mesh_is_8x4() {
+        let c = MachineConfig::scaled(32);
+        assert_eq!(c.mesh_width(), 8);
+        assert_eq!(c.coords(0), (0, 0));
+        assert_eq!(c.coords(8), (0, 1));
+        assert_eq!(c.coords(31), (7, 3));
+        // Corner-to-corner: 7 across + 3 down on 8x4.
+        assert_eq!(c.hops(0, 31), 10);
+        assert_eq!(c.neighbor(7, Dir::East), None);
+        assert_eq!(c.neighbor(7, Dir::South), Some(15));
+        assert_eq!(c.neighbor(24, Dir::North), Some(16));
+        assert_eq!(c.neighbor(24, Dir::South), None);
+    }
+
+    #[test]
+    fn sixtyfour_core_mesh_is_8x8() {
+        let c = MachineConfig::scaled(64);
+        assert_eq!(c.mesh_width(), 8);
+        assert_eq!(c.coords(9), (1, 1));
+        assert_eq!(c.coords(63), (7, 7));
+        // Corner-to-corner is 14 hops on 8x8.
+        assert_eq!(c.hops(0, 63), 14);
+        assert_eq!(c.neighbor(0, Dir::South), Some(8));
+        assert_eq!(c.neighbor(63, Dir::North), Some(55));
+        assert_eq!(c.neighbor(63, Dir::East), None);
+        assert_eq!(c.neighbor(56, Dir::West), None);
+    }
+
+    #[test]
+    fn scaled_matches_paper_at_paper_core_counts() {
+        for cores in [1, 2, 4] {
+            assert_eq!(MachineConfig::scaled(cores), MachineConfig::paper(cores));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two core counts up to 64")]
+    fn scaled_rejects_128() {
+        MachineConfig::scaled(128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two core counts up to 64")]
+    fn scaled_rejects_non_power_of_two() {
+        MachineConfig::scaled(12);
+    }
+
+    #[test]
+    fn backend_helpers() {
+        assert_eq!(CoherenceBackend::Snooping.bank_count(), 1);
+        assert_eq!(CoherenceBackend::Directory { banks: 4 }.bank_count(), 4);
+        assert_eq!(CoherenceBackend::directory_for(8).bank_count(), 2);
+        assert_eq!(CoherenceBackend::directory_for(64).bank_count(), 16);
+        assert_eq!(
+            CoherenceBackend::parse("snooping"),
+            Some(CoherenceBackend::Snooping)
+        );
+        assert_eq!(
+            CoherenceBackend::parse("directory"),
+            Some(CoherenceBackend::Directory { banks: 4 })
+        );
+        assert_eq!(CoherenceBackend::parse("mesi"), None);
+        let cfg = MachineConfig::scaled(16).with_backend(CoherenceBackend::directory_for(16));
+        assert_eq!(cfg.coherence.label(), "directory");
+        assert_eq!(MachineConfig::paper(4).coherence.label(), "snooping");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod tm;
 pub mod trace;
 pub mod validate;
 
-pub use config::MachineConfig;
+pub use config::{CoherenceBackend, MachineConfig};
 pub use machine::{CoreWait, Machine, RunOutcome, SimError, WaitCause};
 pub use mcode::{CoreImage, MBlock, MachineProgram, RegionId, REGION_OUTSIDE};
 pub use obs::{ChromeTracer, ProbeSample, ProbeSeries, ProbeSummary};

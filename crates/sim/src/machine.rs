@@ -1386,8 +1386,10 @@ impl Machine {
             self.dispatch(c);
         }
         if self.tracer.is_some() {
-            // At most one bus grant per tick, so draining here sees all.
-            if let Some((core, kind, start, finish)) = self.memsys.take_last_grant() {
+            // At most one grant per bank per tick, and ticks clear the
+            // grant buffer, so draining here sees every grant once.
+            let grants: Vec<_> = self.memsys.take_grants().collect();
+            for (core, kind, start, finish) in grants {
                 self.trace(TraceEvent::Bus {
                     start,
                     finish,

@@ -1,13 +1,27 @@
-//! The memory hierarchy: per-core L1s, shared L2, snooping bus, store
-//! buffers.
+//! The memory hierarchy: per-core L1s, shared L2, the coherence
+//! interconnect, store buffers.
 //!
 //! Timing only — data values live in the eager functional memory (see
-//! [`crate::cache`] for the rationale). The bus serializes one coherence
-//! transaction at a time, exactly like the paper's bus-based MOESI
-//! snooping protocol; cache-to-cache transfers are cheaper than memory.
+//! [`crate::cache`] for the rationale). The interconnect is organized as
+//! address-interleaved *banks*, each serializing one coherence
+//! transaction at a time:
+//!
+//! * [`CoherenceBackend::Snooping`] is a single bank — the paper's
+//!   bus-based MOESI snooping protocol, one transaction machine-wide,
+//!   cache-to-cache transfers cheaper than memory. Every pinned golden
+//!   fingerprint runs on this backend.
+//! * [`CoherenceBackend::Directory`] home-banks lines across several
+//!   banks: transactions to distinct banks overlap, and each grant pays
+//!   the directory-indirection latency (`MachineConfig::dir_latency`)
+//!   for the home lookup the snooping broadcast gets for free.
+//!
+//! Functional MOESI state transitions are identical on both backends (a
+//! directory tracks precise sharers, so it invalidates/downgrades the
+//! same caches the snoop would); only occupancy and latency differ. See
+//! DESIGN.md §9 for the divergence argument.
 
 use crate::cache::{LineState, TagCache};
-use crate::config::MachineConfig;
+use crate::config::{CoherenceBackend, MachineConfig};
 use std::collections::VecDeque;
 use std::fmt;
 use voltron_ir::Reg;
@@ -92,35 +106,89 @@ pub enum LoadOutcome {
     Miss,
 }
 
-/// The bus produced no completion within an observation window: the
-/// typed snapshot of everything still pending (in place of the panic
+/// Pending state of one interconnect bank at timeout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankStall {
+    /// Bank index (always 0 on the snooping backend's single bus).
+    pub bank: usize,
+    /// The transaction occupying the bank, if any.
+    pub in_flight: Option<BusReq>,
+    /// Requests still queued behind it.
+    pub queued: Vec<BusReq>,
+}
+
+impl BankStall {
+    /// True when anything is pending on this bank.
+    pub fn is_stalled(&self) -> bool {
+        self.in_flight.is_some() || !self.queued.is_empty()
+    }
+}
+
+/// The interconnect produced no completion within an observation window:
+/// the typed snapshot of everything still pending (in place of the panic
 /// this condition used to raise), so a wedged hierarchy is diagnosable.
+/// The snapshot is per bank, so on a directory machine the forensics
+/// name *which* bank wedged instead of assuming a single bus.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BusTimeout {
     /// First cycle of the observation window.
     pub start: u64,
     /// Cycles observed.
     pub window: u64,
-    /// The transaction occupying the bus, if any.
-    pub in_flight: Option<BusReq>,
-    /// Requests still queued behind it.
-    pub queued: Vec<BusReq>,
+    /// Backend label (`"snooping"` or `"directory"`).
+    pub backend: &'static str,
+    /// Per-bank pending snapshots, indexed by bank id (one entry, the
+    /// bus, on the snooping backend).
+    pub banks: Vec<BankStall>,
     /// Store-buffer occupancy per core.
     pub store_buffered: Vec<usize>,
+}
+
+impl BusTimeout {
+    /// The banks with anything still pending — the segments that wedged.
+    pub fn stalled_banks(&self) -> Vec<&BankStall> {
+        self.banks.iter().filter(|b| b.is_stalled()).collect()
+    }
+
+    /// Total requests pending (in flight or queued) across all banks.
+    pub fn pending_requests(&self) -> usize {
+        self.banks
+            .iter()
+            .map(|b| usize::from(b.in_flight.is_some()) + b.queued.len())
+            .sum()
+    }
 }
 
 impl fmt::Display for BusTimeout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "no bus completion within {} cycles from {}: in-flight {:?}, {} queued, \
-             store buffers {:?}",
-            self.window,
-            self.start,
-            self.in_flight,
-            self.queued.len(),
-            self.store_buffered
-        )
+            "no {} completion within {} cycles from {}: ",
+            self.backend, self.window, self.start
+        )?;
+        let stalled = self.stalled_banks();
+        if stalled.is_empty() {
+            write!(f, "all {} bank(s) idle", self.banks.len())?;
+        } else {
+            let segment = if self.backend == "snooping" {
+                "bus"
+            } else {
+                "bank"
+            };
+            for (i, b) in stalled.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(
+                    f,
+                    "{segment} {}: in-flight {:?}, {} queued",
+                    b.bank,
+                    b.in_flight,
+                    b.queued.len()
+                )?;
+            }
+        }
+        write!(f, ", store buffers {:?}", self.store_buffered)
     }
 }
 
@@ -146,8 +214,11 @@ struct InFlight {
 pub struct MemStats {
     /// Completed bus transactions.
     pub bus_transactions: u64,
-    /// Total cycles the bus was occupied.
+    /// Total cycles the interconnect was occupied, summed over banks.
     pub bus_busy_cycles: u64,
+    /// Occupied cycles per bank (one entry, equal to
+    /// `bus_busy_cycles`, on the snooping backend).
+    pub bank_busy_cycles: Vec<u64>,
     /// Cache-to-cache supplies.
     pub c2c_transfers: u64,
     /// Lines supplied by main memory.
@@ -158,6 +229,16 @@ pub struct MemStats {
     pub l1i: Vec<(u64, u64)>,
 }
 
+/// One interconnect bank: a request queue and at most one transaction in
+/// flight. The snooping backend is exactly one bank, which reproduces
+/// the old single-bus `queue`/`current` pair field for field.
+#[derive(Debug, Default)]
+struct Bank {
+    queue: VecDeque<BusReq>,
+    current: Option<InFlight>,
+    busy: u64,
+}
+
 /// The full memory system.
 #[derive(Debug)]
 pub struct MemSys {
@@ -165,8 +246,9 @@ pub struct MemSys {
     l1d: Vec<TagCache>,
     l1i: Vec<TagCache>,
     l2: TagCache,
-    queue: VecDeque<BusReq>,
-    current: Option<InFlight>,
+    banks: Vec<Bank>,
+    /// Directory-indirection latency per grant (0 on snooping).
+    dir_penalty: u64,
     store_bufs: Vec<VecDeque<StoreEntry>>,
     /// Head-of-buffer bus request outstanding.
     sb_waiting: Vec<bool>,
@@ -176,17 +258,23 @@ pub struct MemSys {
     stats_busy: u64,
     stats_c2c: u64,
     stats_mem: u64,
-    /// The most recent bus grant `(core, kind label, start, finish)`,
-    /// for the machine's trace path (drained via
-    /// [`MemSys::take_last_grant`]; overwritten untaken when no tracer
-    /// is installed).
-    last_grant: Option<(usize, &'static str, u64, u64)>,
+    /// Grants made by the last [`MemSys::tick`] `(core, kind label,
+    /// start, finish)`, for the machine's trace path (cleared at the top
+    /// of every tick, drained via [`MemSys::take_grants`]). The snooping
+    /// backend grants at most once per tick; the directory backend can
+    /// grant once per bank.
+    grants: Vec<(usize, &'static str, u64, u64)>,
 }
 
 impl MemSys {
     /// Build the hierarchy for a machine configuration.
     pub fn new(cfg: &MachineConfig) -> MemSys {
         let n = cfg.cores;
+        let n_banks = cfg.coherence.bank_count();
+        let dir_penalty = match cfg.coherence {
+            CoherenceBackend::Snooping => 0,
+            CoherenceBackend::Directory { .. } => cfg.dir_latency,
+        };
         MemSys {
             l1d: (0..n)
                 .map(|_| TagCache::new(cfg.l1d_size, cfg.l1d_assoc, cfg.line_size))
@@ -195,8 +283,8 @@ impl MemSys {
                 .map(|_| TagCache::new(cfg.l1i_size, cfg.l1i_assoc, cfg.line_size))
                 .collect(),
             l2: TagCache::new(cfg.l2_size, cfg.l2_assoc, cfg.line_size),
-            queue: VecDeque::new(),
-            current: None,
+            banks: (0..n_banks).map(|_| Bank::default()).collect(),
+            dir_penalty,
             store_bufs: (0..n).map(|_| VecDeque::new()).collect(),
             sb_waiting: vec![false; n],
             ifill_pending: vec![None; n],
@@ -205,8 +293,23 @@ impl MemSys {
             stats_busy: 0,
             stats_c2c: 0,
             stats_mem: 0,
-            last_grant: None,
+            grants: Vec::new(),
         }
+    }
+
+    /// Home bank of a line: address-interleaved at line granularity.
+    fn bank_of(&self, line: u64) -> usize {
+        if self.banks.len() == 1 {
+            0
+        } else {
+            ((line / self.cfg.line_size) % self.banks.len() as u64) as usize
+        }
+    }
+
+    /// Route a request to its line's home bank.
+    fn enqueue(&mut self, req: BusReq) {
+        let b = self.bank_of(req.line);
+        self.banks[b].queue.push_back(req);
     }
 
     /// Line-align an address.
@@ -228,7 +331,7 @@ impl MemSys {
         if self.l1d[core].access(line).is_some() {
             return LoadOutcome::Hit;
         }
-        self.queue.push_back(BusReq {
+        self.enqueue(BusReq {
             core,
             line,
             kind: BusKind::ReadShared { dst, epoch },
@@ -269,7 +372,7 @@ impl MemSys {
         }
         if self.ifill_pending[core].is_none() {
             self.ifill_pending[core] = Some(line);
-            self.queue.push_back(BusReq {
+            self.enqueue(BusReq {
                 core,
                 line,
                 kind: BusKind::IFill,
@@ -292,7 +395,7 @@ impl MemSys {
     pub fn enqueue_tm_commit(&mut self, core: usize, mut lines: Vec<u64>) {
         assert!(!lines.is_empty(), "tm commit needs at least one line");
         let first = lines.remove(0);
-        self.queue.push_back(BusReq {
+        self.enqueue(BusReq {
             core,
             line: first,
             kind: BusKind::TmCommit { lines },
@@ -333,7 +436,9 @@ impl MemSys {
                 }
             }
         };
-        let mut lat = base;
+        // Directory indirection: the home-bank lookup + forwarding that
+        // the snooping broadcast resolves combinationally.
+        let mut lat = base + self.dir_penalty;
         if matches!(
             req.kind,
             BusKind::ReadShared { .. } | BusKind::ReadExclusive
@@ -471,7 +576,7 @@ impl MemSys {
                 }
                 Some(_) => {
                     // Shared or Owned: need exclusive ownership.
-                    self.queue.push_back(BusReq {
+                    self.enqueue(BusReq {
                         core,
                         line,
                         kind: BusKind::Upgrade,
@@ -479,7 +584,7 @@ impl MemSys {
                     self.sb_waiting[core] = true;
                 }
                 None => {
-                    self.queue.push_back(BusReq {
+                    self.enqueue(BusReq {
                         core,
                         line,
                         kind: BusKind::ReadExclusive,
@@ -490,27 +595,34 @@ impl MemSys {
         }
     }
 
-    /// Advance one cycle: finish a due transaction, grant the next,
-    /// drain store buffers. Returns completions for the machine to
-    /// dispatch.
+    /// Advance one cycle: finish due transactions, grant the next per
+    /// bank, drain store buffers. Returns completions for the machine to
+    /// dispatch. Banks are visited in index order, so completion and
+    /// grant order is deterministic; with a single bank (snooping) this
+    /// is the old one-bus loop unchanged.
     pub fn tick(&mut self, now: u64) -> Vec<Completion> {
         let mut out = Vec::new();
-        if let Some(cur) = &self.current {
-            if now >= cur.finish {
-                let cur = self.current.take().expect("checked above");
-                self.complete(cur, &mut out);
+        self.grants.clear();
+        for b in 0..self.banks.len() {
+            if let Some(cur) = &self.banks[b].current {
+                if now >= cur.finish {
+                    let cur = self.banks[b].current.take().expect("checked above");
+                    self.complete(cur, &mut out);
+                }
             }
-        }
-        if self.current.is_none() {
-            if let Some(req) = self.queue.pop_front() {
-                let (lat, others) = self.grant_latency(&req);
-                self.stats_busy += lat;
-                self.last_grant = Some((req.core, req.kind.label(), now, now + lat));
-                self.current = Some(InFlight {
-                    req,
-                    finish: now + lat,
-                    others_had_copy: others,
-                });
+            if self.banks[b].current.is_none() {
+                if let Some(req) = self.banks[b].queue.pop_front() {
+                    let (lat, others) = self.grant_latency(&req);
+                    self.stats_busy += lat;
+                    self.banks[b].busy += lat;
+                    self.grants
+                        .push((req.core, req.kind.label(), now, now + lat));
+                    self.banks[b].current = Some(InFlight {
+                        req,
+                        finish: now + lat,
+                        others_had_copy: others,
+                    });
+                }
             }
         }
         self.drain_store_buffers();
@@ -522,18 +634,27 @@ impl MemSys {
     /// engine. `Some(now)` means the very next tick has work (queued
     /// requests can be granted, or an unblocked store buffer has a head
     /// to drain — both happen at grant/drain time, not at a known future
-    /// cycle); `Some(t)` with `t > now` is the in-flight transaction's
-    /// completion; `None` means the hierarchy is fully quiescent.
+    /// cycle); `Some(t)` with `t > now` is the earliest in-flight
+    /// completion across banks; `None` means the hierarchy is fully
+    /// quiescent.
     pub fn next_event(&self, now: u64) -> Option<u64> {
         let sb_busy = self
             .store_bufs
             .iter()
             .zip(&self.sb_waiting)
             .any(|(q, &w)| !q.is_empty() && !w);
-        if sb_busy || (self.current.is_none() && !self.queue.is_empty()) {
+        if sb_busy
+            || self
+                .banks
+                .iter()
+                .any(|b| b.current.is_none() && !b.queue.is_empty())
+        {
             return Some(now);
         }
-        self.current.as_ref().map(|c| c.finish)
+        self.banks
+            .iter()
+            .filter_map(|b| b.current.as_ref().map(|c| c.finish))
+            .min()
     }
 
     /// Tick from `start` until a completion arrives, returning the cycle
@@ -555,24 +676,41 @@ impl MemSys {
                 return Ok((t, c));
             }
         }
-        Err(BusTimeout {
+        Err(self.timeout_snapshot(start, window))
+    }
+
+    /// Build the per-bank forensics snapshot for a [`BusTimeout`].
+    pub fn timeout_snapshot(&self, start: u64, window: u64) -> BusTimeout {
+        BusTimeout {
             start,
             window,
-            in_flight: self.current.as_ref().map(|c| c.req.clone()),
-            queued: self.queue.iter().cloned().collect(),
+            backend: self.cfg.coherence.label(),
+            banks: self
+                .banks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| BankStall {
+                    bank: i,
+                    in_flight: b.current.as_ref().map(|c| c.req.clone()),
+                    queued: b.queue.iter().cloned().collect(),
+                })
+                .collect(),
             store_buffered: self.store_bufs.iter().map(VecDeque::len).collect(),
-        })
+        }
     }
 
-    /// The bus grant made by the last [`MemSys::tick`], if any — at most
-    /// one grant happens per tick, so draining this after each tick sees
-    /// every grant.
-    pub fn take_last_grant(&mut self) -> Option<(usize, &'static str, u64, u64)> {
-        self.last_grant.take()
+    /// Drain the grants made by the last [`MemSys::tick`] (cleared at
+    /// the top of every tick, so draining after each tick sees every
+    /// grant exactly once). At most one per bank per tick: a single
+    /// element on the snooping bus, up to `banks` on a directory
+    /// machine.
+    pub fn take_grants(&mut self) -> std::vec::Drain<'_, (usize, &'static str, u64, u64)> {
+        self.grants.drain(..)
     }
 
-    /// Cumulative bus-busy cycles so far (the interval probes' bus
-    /// utilization counter; also in [`MemStats::bus_busy_cycles`]).
+    /// Cumulative interconnect-busy cycles so far, summed over banks
+    /// (the interval probes' bus utilization counter; also in
+    /// [`MemStats::bus_busy_cycles`]).
     pub fn bus_busy_cycles(&self) -> u64 {
         self.stats_busy
     }
@@ -582,6 +720,7 @@ impl MemSys {
         MemStats {
             bus_transactions: self.stats_bus,
             bus_busy_cycles: self.stats_busy,
+            bank_busy_cycles: self.banks.iter().map(|b| b.busy).collect(),
             c2c_transfers: self.stats_c2c,
             mem_fetches: self.stats_mem,
             l1d: self.l1d.iter().map(|c| c.stats()).collect(),
@@ -616,15 +755,129 @@ mod tests {
         let err = m.run_until_completion(0, 50).unwrap_err();
         assert_eq!(err.start, 0);
         assert_eq!(err.window, 50);
-        assert_eq!(err.in_flight, None);
-        assert!(err.queued.is_empty());
+        assert_eq!(err.backend, "snooping");
+        assert_eq!(err.banks.len(), 1);
+        assert!(err.stalled_banks().is_empty());
+        assert_eq!(err.pending_requests(), 0);
         assert_eq!(err.store_buffered, vec![0; 4]);
+        assert!(err.to_string().contains("all 1 bank(s) idle"));
         // A buffered store that cannot complete in one cycle shows up in
         // the snapshot instead of a bare panic message.
         assert!(m.store(2, 0x1_0000, 8));
         let err = m.run_until_completion(100, 1).unwrap_err();
         assert_eq!(err.store_buffered[2], 1);
-        assert!(err.in_flight.is_some() || !err.queued.is_empty());
+        assert!(err.pending_requests() > 0);
+        // The snooping forensics name the single bus segment.
+        assert_eq!(err.stalled_banks()[0].bank, 0);
+        assert!(err.to_string().contains("bus 0:"), "{err}");
+    }
+
+    fn dir_sys(cores: usize, banks: usize) -> MemSys {
+        let cfg = MachineConfig::scaled(cores).with_backend(CoherenceBackend::Directory { banks });
+        MemSys::new(&cfg)
+    }
+
+    #[test]
+    fn directory_timeout_names_the_stalled_bank() {
+        let mut m = dir_sys(16, 4);
+        // Two lines, line_size 32, interleaved: 0x1_0000 -> bank 0,
+        // 0x1_0020 -> bank 1. Load only the second; its home bank is the
+        // one the forensics must name.
+        m.load(3, 0x1_0020, r0(), 0);
+        let err = m.run_until_completion(0, 1).unwrap_err();
+        assert_eq!(err.backend, "directory");
+        assert_eq!(err.banks.len(), 4);
+        let stalled = err.stalled_banks();
+        assert_eq!(stalled.len(), 1);
+        assert_eq!(stalled[0].bank, 1);
+        assert!(err.to_string().contains("bank 1:"), "{err}");
+        assert!(!err.to_string().contains("bank 0:"), "{err}");
+    }
+
+    #[test]
+    fn directory_banks_overlap_distinct_line_traffic() {
+        // Two cold misses to lines homed on different banks must overlap
+        // on the directory machine: both complete within one memory
+        // latency (plus directory indirection) of issue, where the
+        // snooping bus would serialize them.
+        let cfg4 = MachineConfig::scaled(4);
+        let span = |mut m: MemSys| {
+            m.load(0, 0x1_0000, r0(), 0); // bank 0 under 4-way interleave
+            m.load(1, 0x1_0020, r0(), 0); // bank 1
+            let (mut done, mut t, mut last) = (0usize, 0u64, 0u64);
+            while done < 2 {
+                // Overlapping banks can deliver both fills in one tick.
+                let (tc, c) = m.run_until_completion(t, 1000).expect("fill");
+                done += c.len();
+                last = tc;
+                t = tc + 1;
+            }
+            last
+        };
+        let snoop_done = span(MemSys::new(&cfg4));
+        let dir_done = span(dir_sys(4, 4));
+        let dir_lat = cfg4.dir_latency;
+        assert!(
+            dir_done <= cfg4.mem_latency + dir_lat + 2,
+            "banked fills should overlap, finished at {dir_done}"
+        );
+        assert!(
+            snoop_done >= 2 * cfg4.mem_latency,
+            "snooping serializes, finished at {snoop_done}"
+        );
+    }
+
+    #[test]
+    fn directory_grants_pay_indirection_latency() {
+        let mut snoop = sys();
+        let mut dir = dir_sys(4, 4);
+        snoop.load(0, 0x1_0000, r0(), 0);
+        dir.load(0, 0x1_0000, r0(), 0);
+        let (ts, _) = snoop.run_until_completion(0, 1000).unwrap();
+        let (td, _) = dir.run_until_completion(0, 1000).unwrap();
+        assert_eq!(td - ts, MachineConfig::paper(4).dir_latency);
+    }
+
+    #[test]
+    fn directory_keeps_moesi_transitions_identical() {
+        // Same sharing scenario as `dirty_line_is_supplied_cache_to_cache`,
+        // on the directory backend: the state machine must land in the
+        // same MOESI states even though the timing differs.
+        let mut m = dir_sys(16, 4);
+        assert!(m.store(0, 0x1_0000, 8));
+        for t in 0..400 {
+            m.tick(t);
+        }
+        assert_eq!(m.l1d[0].peek(0x1_0000), Some(LineState::M));
+        m.load(1, 0x1_0000, r0(), 0);
+        m.run_until_completion(400, 1000).expect("c2c fill");
+        assert_eq!(m.l1d[0].peek(0x1_0000), Some(LineState::O));
+        assert_eq!(m.l1d[1].peek(0x1_0000), Some(LineState::S));
+        // And a third core's store invalidates both through the home bank.
+        assert!(m.store(2, 0x1_0000, 8));
+        for t in 1500..2500 {
+            m.tick(t);
+        }
+        assert!(m.store_buffer_empty(2));
+        assert_eq!(m.l1d[0].peek(0x1_0000), None);
+        assert_eq!(m.l1d[1].peek(0x1_0000), None);
+        assert_eq!(m.l1d[2].peek(0x1_0000), Some(LineState::M));
+    }
+
+    #[test]
+    fn per_bank_busy_cycles_sum_to_total() {
+        let mut m = dir_sys(16, 4);
+        for i in 0..8 {
+            m.load(i % 16, 0x1_0000 + i as u64 * 32, r0(), 0);
+        }
+        for t in 0..2000 {
+            m.tick(t);
+        }
+        let st = m.stats();
+        assert_eq!(st.bank_busy_cycles.len(), 4);
+        assert_eq!(st.bank_busy_cycles.iter().sum::<u64>(), st.bus_busy_cycles);
+        // The interleave spread the 8 lines across all 4 banks.
+        assert!(st.bank_busy_cycles.iter().all(|&b| b > 0));
     }
 
     #[test]

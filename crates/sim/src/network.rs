@@ -23,19 +23,31 @@
 //! * Directed-link state (`link_free`, the direct-mode latches, and the
 //!   neighbor table) lives in flat arrays indexed `core * 4 + direction`;
 //!   every core has at most four mesh links.
-//! * The receive CAM is a set of per-`(sender, tag)` FIFO buckets instead
-//!   of one linear-scanned vector. Within a bucket all messages cross the
-//!   same XY route, and link reservations only ever push later messages
-//!   further out, so delivery order equals availability order and the
-//!   bucket head is always the oldest matchable message — bucket lookup
-//!   is exact, not an approximation of the scan it replaced.
+//! * The receive CAM is an *indexed* MPMC queue set: one hash-indexed
+//!   FIFO per `(sender, tag)` stream (the Virtual-Link-style design),
+//!   so `can_recv`/`recv` and tick-time delivery are O(1) regardless of
+//!   how many producers or tags converge on a receiver — the old layout
+//!   scanned a per-sender bucket list on every probe, which is
+//!   O(senders x tags) at 64-core fan-in. Within a stream all messages
+//!   cross the same XY route, and link reservations only ever push later
+//!   messages further out, so delivery order equals availability order
+//!   and the stream head is always the oldest matchable message —
+//!   indexed lookup is exact, not an approximation of the scan it
+//!   replaced.
 //! * Spawn messages keep their own per-sender FIFOs plus a global
 //!   delivery sequence number; `take_spawn` picks the earliest-delivered
-//!   available head across senders, which is the same message the old
-//!   insertion-order scan found.
+//!   available head, but only scans the *active-sender list* (senders
+//!   with a nonempty spawn FIFO) instead of all cores. Cross-sender
+//!   spawn availability is not monotone in delivery sequence (a
+//!   later-delivered spawn from a nearer sender can become available
+//!   first), so the FIFOs cannot be merged into one queue without
+//!   changing semantics; the active list preserves the exact
+//!   earliest-delivered-available selection.
+//! * Broadcast-latch occupancy is a counter, making `can_bcast` O(1)
+//!   instead of an all-cores scan per probe.
 
 use crate::config::MachineConfig;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use voltron_ir::{BlockId, Dir, Value};
 
 /// Message payload.
@@ -82,28 +94,61 @@ fn dir_index(d: Dir) -> usize {
     }
 }
 
-/// One `(tag, messages)` bucket: `(value, available)` in delivery order,
-/// which per `(sender, tag)` is also availability order (see the module
-/// docs).
-type TagBucket = (u32, VecDeque<(Value, u64)>);
+/// Fibonacci-multiply hasher for the receive CAM's tag index. The
+/// default SipHash costs more than the small-bucket scan it replaced;
+/// tags are simulator-internal (never attacker-controlled), so a single
+/// multiply is enough to spread them across the table.
+#[derive(Default)]
+struct TagHasher(u64);
 
-/// Per-receiver CAM state.
+impl std::hash::Hasher for TagHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("tags hash through write_u32");
+    }
+
+    fn write_u32(&mut self, tag: u32) {
+        self.0 = u64::from(tag).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type TagMap = HashMap<u32, VecDeque<(Value, u64)>, std::hash::BuildHasherDefault<TagHasher>>;
+
+/// Per-receiver CAM state: an indexed MPMC queue set.
 #[derive(Debug)]
 struct RecvSide {
-    /// `data[from]` is a small per-tag bucket list.
-    data: Vec<Vec<TagBucket>>,
+    /// One FIFO of `(value, available)` per `(sender, tag)` stream:
+    /// `data[from]` indexes the sender directly, the inner map hash-
+    /// indexes the tag. Entries persist once created (a drained stream
+    /// stays as an empty FIFO), so steady-state delivery never
+    /// allocates.
+    data: Vec<TagMap>,
     /// `spawns[from]`: `(delivery sequence, start block, available)`.
     spawns: Vec<VecDeque<(u64, BlockId, u64)>>,
-    /// Buffered messages across all buckets (data + spawns).
+    /// Senders whose spawn FIFO is nonempty (unordered; `take_spawn`
+    /// selects by delivery sequence, not list position).
+    spawn_senders: Vec<usize>,
+    /// Buffered messages across all streams (data + spawns).
     buffered: usize,
 }
 
 impl RecvSide {
     fn new(cores: usize) -> RecvSide {
         RecvSide {
-            data: (0..cores).map(|_| Vec::new()).collect(),
+            data: (0..cores).map(|_| TagMap::default()).collect(),
             spawns: (0..cores).map(|_| VecDeque::new()).collect(),
+            spawn_senders: Vec::new(),
             buffered: 0,
+        }
+    }
+
+    /// Drop `from` from the active-sender list once its FIFO drains.
+    fn deactivate_spawn_sender(&mut self, from: usize) {
+        if let Some(i) = self.spawn_senders.iter().position(|&s| s == from) {
+            self.spawn_senders.swap_remove(i);
         }
     }
 }
@@ -140,6 +185,8 @@ pub struct OperandNetwork {
     direct: Vec<Option<(Value, u64)>>,
     /// Broadcast latch per receiving core.
     bcast: Vec<Option<(Value, u64)>>,
+    /// Occupied broadcast latches (makes `can_bcast` O(1)).
+    bcast_occupied: usize,
     stats: NetStats,
 }
 
@@ -162,6 +209,7 @@ impl OperandNetwork {
             link_free: vec![0; n * LINKS],
             direct: vec![None; n * LINKS],
             bcast: vec![None; n],
+            bcast_occupied: 0,
             cfg: cfg.clone(),
             stats: NetStats::default(),
         }
@@ -192,27 +240,31 @@ impl OperandNetwork {
         self.send_q[from].len() < self.cfg.queue_depth
     }
 
-    /// True if an available spawn message is waiting at `core`.
+    /// True if an available spawn message is waiting at `core`. Scans
+    /// only the senders with a nonempty spawn FIFO (usually zero or
+    /// one), not all cores.
     pub fn has_spawn(&self, core: usize, now: u64) -> bool {
-        self.recv[core]
-            .spawns
-            .iter()
-            .any(|q| q.front().is_some_and(|&(_, _, at)| at <= now))
+        let side = &self.recv[core];
+        side.spawn_senders.iter().any(|&from| {
+            side.spawns[from]
+                .front()
+                .is_some_and(|&(_, _, at)| at <= now)
+        })
     }
 
-    /// True if a data message from `(from, tag)` is available at `core`.
+    /// True if a data message from `(from, tag)` is available at `core`
+    /// (O(1) stream lookup).
     pub fn can_recv(&self, core: usize, from: usize, tag: u32, now: u64) -> bool {
         self.recv[core].data[from]
-            .iter()
-            .find(|(t, _)| *t == tag)
-            .is_some_and(|(_, q)| q.front().is_some_and(|&(_, at)| at <= now))
+            .get(&tag)
+            .is_some_and(|q| q.front().is_some_and(|&(_, at)| at <= now))
     }
 
     /// Consume the oldest available data message from `(from, tag)` at
-    /// `core`.
+    /// `core` (O(1) stream lookup).
     pub fn recv(&mut self, core: usize, from: usize, tag: u32, now: u64) -> Option<Value> {
         let side = &mut self.recv[core];
-        let (_, q) = side.data[from].iter_mut().find(|(t, _)| *t == tag)?;
+        let q = side.data[from].get_mut(&tag)?;
         let &(v, at) = q.front()?;
         if at > now {
             return None;
@@ -224,11 +276,14 @@ impl OperandNetwork {
 
     /// Consume the oldest available spawn message at an idle `core`
     /// (earliest-delivered across all senders, as the CAM scan found it).
+    /// Selection order must stay by delivery sequence: availability is
+    /// not monotone across senders, so the per-sender FIFOs cannot be
+    /// merged — but only active senders are scanned.
     pub fn take_spawn(&mut self, core: usize, now: u64) -> Option<(usize, BlockId)> {
         let side = &mut self.recv[core];
         let mut best: Option<(u64, usize)> = None;
-        for (from, q) in side.spawns.iter().enumerate() {
-            if let Some(&(seq, _, at)) = q.front() {
+        for &from in &side.spawn_senders {
+            if let Some(&(seq, _, at)) = side.spawns[from].front() {
                 if at <= now && best.is_none_or(|(s, _)| seq < s) {
                     best = Some((seq, from));
                 }
@@ -236,6 +291,9 @@ impl OperandNetwork {
         }
         let (_, from) = best?;
         let (_, blk, _) = side.spawns[from].pop_front().expect("head checked above");
+        if side.spawns[from].is_empty() {
+            side.deactivate_spawn_sender(from);
+        }
         side.buffered -= 1;
         Some((from, blk))
     }
@@ -294,17 +352,15 @@ impl OperandNetwork {
             let side = &mut self.recv[msg.to];
             match msg.payload {
                 Payload::Data(v) => {
-                    let buckets = &mut side.data[msg.from];
-                    match buckets.iter_mut().find(|(t, _)| *t == msg.tag) {
-                        Some((_, q)) => q.push_back((v, available)),
-                        None => {
-                            let mut q = VecDeque::new();
-                            q.push_back((v, available));
-                            buckets.push((msg.tag, q));
-                        }
-                    }
+                    side.data[msg.from]
+                        .entry(msg.tag)
+                        .or_default()
+                        .push_back((v, available));
                 }
                 Payload::Spawn(b) => {
+                    if side.spawns[msg.from].is_empty() {
+                        side.spawn_senders.push(msg.from);
+                    }
                     side.spawns[msg.from].push_back((self.deliver_seq, b, available));
                 }
             }
@@ -326,9 +382,10 @@ impl OperandNetwork {
         }
     }
 
-    /// True when a `BCAST` from `core` would find all peer latches free.
+    /// True when a `BCAST` from `core` would find all peer latches free
+    /// (O(1): occupancy counter minus the sender's own latch).
     pub fn can_bcast(&self, from: usize) -> bool {
-        (0..self.cfg.cores).all(|c| c == from || self.bcast[c].is_none())
+        self.bcast_occupied == usize::from(self.bcast[from].is_some())
     }
 
     /// `PUT`: write `value` onto the link in direction `d`. Returns false
@@ -368,8 +425,7 @@ impl OperandNetwork {
     /// `BCAST`: deliver `value` to every other core's broadcast latch.
     /// Returns false (stall) when any latch is still occupied.
     pub fn bcast(&mut self, from: usize, value: Value, now: u64) -> bool {
-        let busy = (0..self.cfg.cores).any(|c| c != from && self.bcast[c].is_some());
-        if busy {
+        if !self.can_bcast(from) {
             return false;
         }
         for c in 0..self.cfg.cores {
@@ -377,6 +433,7 @@ impl OperandNetwork {
                 self.bcast[c] = Some((value, now + self.cfg.hop_latency));
             }
         }
+        self.bcast_occupied += self.cfg.cores - 1;
         self.stats.broadcasts += 1;
         true
     }
@@ -391,7 +448,9 @@ impl OperandNetwork {
         if !self.can_getb(core, now) {
             return None;
         }
-        self.bcast[core].take().map(|(v, _)| v)
+        let v = self.bcast[core].take().map(|(v, _)| v);
+        self.bcast_occupied -= 1;
+        v
     }
 
     /// True when `core` has nothing buffered anywhere — queues in either
@@ -415,9 +474,8 @@ impl OperandNetwork {
     /// CAM, whether or not available yet this cycle.
     pub fn buffered_from(&self, core: usize, from: usize, tag: u32) -> usize {
         self.recv[core].data[from]
-            .iter()
-            .find(|(t, _)| *t == tag)
-            .map_or(0, |(_, q)| q.len())
+            .get(&tag)
+            .map_or(0, VecDeque::len)
     }
 
     /// Total messages buffered in `core`'s receive CAM, across all
@@ -474,15 +532,15 @@ impl OperandNetwork {
             consider(*at);
         }
         for side in &self.recv {
-            for buckets in &side.data {
-                for (_, q) in buckets {
-                    if let Some(&(_, at)) = q.front() {
-                        consider(at);
-                    }
+            // HashMap iteration order is arbitrary, but only the minimum
+            // is taken, so the result is deterministic.
+            for q in side.data.iter().flat_map(HashMap::values) {
+                if let Some(&(_, at)) = q.front() {
+                    consider(at);
                 }
             }
-            for q in &side.spawns {
-                if let Some(&(_, _, at)) = q.front() {
+            for &from in &side.spawn_senders {
+                if let Some(&(_, _, at)) = side.spawns[from].front() {
                     consider(at);
                 }
             }

@@ -560,3 +560,88 @@ proptest! {
         }
     }
 }
+
+/// Build the rejection for a program on a scaled (4x4) machine.
+fn reject_scaled(p: MachineProgram, cores: usize) -> ValidateError {
+    match Machine::new(p, &MachineConfig::scaled(cores)) {
+        Err(SimError::Validate(e)) => e,
+        Ok(_) => panic!("corrupted program was accepted"),
+        Err(other) => panic!("expected a validation error, got {other:?}"),
+    }
+}
+
+/// A 16-image program with `blocks` installed on `core` and sleep stubs
+/// everywhere else.
+fn program_4x4_with(core: usize, blocks: Vec<MBlock>) -> MachineProgram {
+    let mut cores: Vec<Vec<MBlock>> = (0..16).map(|_| vec![sleep_stub()]).collect();
+    cores[core] = blocks;
+    program(cores, data())
+}
+
+#[test]
+fn put_off_the_4x4_mesh_is_rejected() {
+    // Core 3 sits at (3,0) of the 4x4 mesh: East is off the edge even
+    // though a 1-D machine of the same core count would have a core 4.
+    let mut c = MBlock::new("main", 0);
+    c.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(1)]));
+    c.insts.push(Inst::new(
+        Opcode::Put,
+        vec![gpr(0).into(), Operand::Dir(Dir::East)],
+    ));
+    c.insts.push(Inst::new(Opcode::Halt, vec![]));
+    match reject_scaled(program_4x4_with(3, vec![c]), 16) {
+        ValidateError::OffMesh { site, dir } => {
+            assert_eq!((site.core, site.block, site.inst), (3, 0, 1));
+            assert_eq!(dir, Dir::East);
+        }
+        other => panic!("expected OffMesh, got {other:?}"),
+    }
+}
+
+#[test]
+fn get_off_the_4x4_mesh_is_rejected() {
+    // Core 12 is the bottom-left corner (0,3): West is off the edge.
+    let mut c = MBlock::new("main", 0);
+    c.insts.push(Inst::with_dst(
+        Opcode::Get,
+        gpr(0),
+        vec![Operand::Dir(Dir::West)],
+    ));
+    c.insts.push(Inst::new(Opcode::Halt, vec![]));
+    match reject_scaled(program_4x4_with(12, vec![c]), 16) {
+        ValidateError::OffMesh { site, dir } => {
+            assert_eq!((site.core, site.block, site.inst), (12, 0, 0));
+            assert_eq!(dir, Dir::West);
+        }
+        other => panic!("expected OffMesh, got {other:?}"),
+    }
+}
+
+#[test]
+fn on_mesh_4x4_put_get_pair_validates_and_runs() {
+    // The same PUT east / GET west pair the edge tests corrupt, but on
+    // an in-mesh link (master core 0 -> core 1): it must pass the 4x4
+    // validation and run to completion.
+    let mut c0 = MBlock::new("main", 0);
+    c0.insts
+        .push(Inst::with_dst(Opcode::Ldi, gpr(0), vec![Operand::Imm(7)]));
+    c0.insts.push(Inst::new(
+        Opcode::Put,
+        vec![gpr(0).into(), Operand::Dir(Dir::East)],
+    ));
+    c0.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut c1 = MBlock::new("side", 0);
+    c1.insts.push(Inst::with_dst(
+        Opcode::Get,
+        gpr(1),
+        vec![Operand::Dir(Dir::West)],
+    ));
+    c1.insts.push(Inst::new(Opcode::Halt, vec![]));
+    let mut cores: Vec<Vec<MBlock>> = (0..16).map(|_| vec![sleep_stub()]).collect();
+    cores[0] = vec![c0];
+    cores[1] = vec![c1];
+    let p = program(cores, data());
+    let m = Machine::new(p, &MachineConfig::scaled(16)).expect("validates at 4x4");
+    m.run().expect("runs to completion");
+}

@@ -33,6 +33,23 @@ echo "== cycle-golden matrix with observers attached"
 CYCLE_GOLDEN_OBS=1 cargo test --release -q --test cycle_golden
 CYCLE_GOLDEN_OBS=1 CYCLE_GOLDEN_FF=off cargo test --release -q --test cycle_golden
 
+echo "== scaled-machine golden matrix (8/16 cores, both backends), four corners"
+# Same architectural-invisibility contract on the scaled meshes and on
+# the banked directory backend (DESIGN.md §9).
+CYCLE_GOLDEN_FF=off cargo test --release -q --test scaling_golden
+CYCLE_GOLDEN_OBS=1 cargo test --release -q --test scaling_golden
+CYCLE_GOLDEN_OBS=1 CYCLE_GOLDEN_FF=off cargo test --release -q --test scaling_golden
+
+echo "== 16-core smoke on both coherence backends"
+# A real workload end to end (compile, simulate, validate outputs) on
+# meshes up to 8x8 under snooping AND directory coherence: the scaling
+# figure sweeps 1-64 cores x all strategies x both backends, and a
+# figure binary on the directory backend exercises the --backend flag.
+cargo run --release -q -p voltron-bench --bin scaling -- --test --bench 164.gzip \
+    > /dev/null
+cargo run --release -q -p voltron-bench --bin fig13 -- --test --bench 164.gzip \
+    --backend directory > /dev/null
+
 echo "== traced smoke run"
 # End-to-end: a real workload traced through the CLI flag must emit
 # Chrome trace JSON that parses and has events on every live core.

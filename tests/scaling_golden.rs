@@ -1,0 +1,123 @@
+//! Cycle-exact regression pins for the scaled (8/16-core) machines on
+//! both coherence backends.
+//!
+//! `tests/cycle_golden.rs` pins the paper's 1/2/4-core machines; this
+//! matrix extends the same guarantee to the scaled meshes
+//! ([`MachineConfig::scaled`]) and to the banked directory backend, so
+//! neither the geometry generalization nor the backend split can drift
+//! silently. The same environment toggles apply and compose:
+//!
+//! * regenerate: `CYCLE_GOLDEN_PRINT=1 cargo test --test scaling_golden -- --nocapture`
+//! * `CYCLE_GOLDEN_FF=off` disables the event-driven fast-forward;
+//! * `CYCLE_GOLDEN_OBS=1` attaches a Chrome tracer + interval probes.
+//!
+//! The pinned fingerprints must hold in all four corners
+//! (scripts/check.sh sweeps them): fast-forward and observability are
+//! architecturally invisible at every geometry and on every backend.
+
+use voltron_compiler::{compile, CompileOptions};
+use voltron_core::Strategy;
+use voltron_sim::{ChromeTracer, CoherenceBackend, Machine, MachineConfig, StallReason};
+use voltron_workloads::{by_name, Scale};
+
+/// Resolve a backend label from the pinned table: `"snooping"` or
+/// `"directory"` (bank count per [`CoherenceBackend::directory_for`]).
+fn backend_of(label: &str, cores: usize) -> CoherenceBackend {
+    match label {
+        "snooping" => CoherenceBackend::Snooping,
+        "directory" => CoherenceBackend::directory_for(cores),
+        other => panic!("unknown backend label {other}"),
+    }
+}
+
+/// One pinned configuration: benchmark, strategy, cores, backend label,
+/// and the fingerprint
+/// `cycles/coupled/decoupled/insts/spawns|stall0,...,stall8`
+/// (stalls summed over cores in `StallReason::ALL` order).
+const GOLDEN: &[(&str, Strategy, usize, &str, &str)] = &[
+    ("164.gzip", Strategy::Hybrid, 8, "snooping", "164.gzip/hybrid/8/snooping: 20835/0/20835/2054/7|45286,87094,0,85,0,1452,0,0,11305"),
+    ("164.gzip", Strategy::Hybrid, 8, "directory", "164.gzip/hybrid/8/directory: 12447/0/12447/2054/7|25762,46107,0,85,0,770,0,0,9425"),
+    ("164.gzip", Strategy::Hybrid, 16, "snooping", "164.gzip/hybrid/16/snooping: 29383/0/29383/2286/15|126266,120891,0,99,0,3615,0,0,94738"),
+    ("164.gzip", Strategy::Hybrid, 16, "directory", "164.gzip/hybrid/16/directory: 11999/0/11999/2286/15|49749,35126,0,99,0,2838,0,0,36365"),
+    ("164.gzip", Strategy::FineGrainTlp, 8, "snooping", "164.gzip/fine-grain-tlp/8/snooping: 19123/0/19123/6517/7|11019,20807,0,52,0,36740,72412,0,0"),
+    ("164.gzip", Strategy::FineGrainTlp, 8, "directory", "164.gzip/fine-grain-tlp/8/directory: 16418/0/16418/6517/7|7938,17257,0,52,0,31445,63307,0,0"),
+    ("164.gzip", Strategy::FineGrainTlp, 16, "snooping", "164.gzip/fine-grain-tlp/16/snooping: 22252/0/22252/9837/13|28155,27329,0,149,0,68475,158397,0,0"),
+    ("164.gzip", Strategy::FineGrainTlp, 16, "directory", "164.gzip/fine-grain-tlp/16/directory: 18601/0/18601/9837/13|20916,22302,0,151,0,55841,135486,0,0"),
+    ("rawcaudio", Strategy::Hybrid, 8, "snooping", "rawcaudio/hybrid/8/snooping: 41206/39261/1945/230511/7|42455,47600,0,400,0,1348,0,0,2006"),
+    ("rawcaudio", Strategy::Hybrid, 8, "directory", "rawcaudio/hybrid/8/directory: 41151/39401/1750/230511/7|41085,48800,0,400,0,1381,0,0,2421"),
+    ("rawcaudio", Strategy::Hybrid, 16, "snooping", "rawcaudio/hybrid/16/snooping: 47347/43101/4246/461007/15|159620,95200,0,800,0,11772,0,0,4854"),
+    ("rawcaudio", Strategy::Hybrid, 16, "directory", "rawcaudio/hybrid/16/directory: 47069/43337/3732/461007/15|158829,97600,0,800,0,5266,0,0,10898"),
+    ("rawcaudio", Strategy::FineGrainTlp, 8, "snooping", "rawcaudio/fine-grain-tlp/8/snooping: 47828/0/47828/66487/7|8648,6239,0,12798,0,162379,39836,0,0"),
+    ("rawcaudio", Strategy::FineGrainTlp, 8, "directory", "rawcaudio/fine-grain-tlp/8/directory: 47434/0/47434/66487/7|6943,6150,0,12798,0,161639,39525,0,0"),
+    ("rawcaudio", Strategy::FineGrainTlp, 16, "snooping", "rawcaudio/fine-grain-tlp/16/snooping: 47828/0/47828/66487/7|8648,6239,0,12798,0,162379,39836,0,0"),
+    ("rawcaudio", Strategy::FineGrainTlp, 16, "directory", "rawcaudio/fine-grain-tlp/16/directory: 47067/0/47067/66487/7|5052,6619,0,12798,0,160716,39518,0,0"),
+];
+
+fn fingerprint(bench: &str, strategy: Strategy, cores: usize, backend: &str) -> String {
+    let w = by_name(bench, Scale::Test).expect("benchmark registered");
+    let mut cfg = MachineConfig::scaled(cores).with_backend(backend_of(backend, cores));
+    if std::env::var("CYCLE_GOLDEN_FF").as_deref() == Ok("off") {
+        cfg.fast_forward = false;
+    }
+    let observed = std::env::var("CYCLE_GOLDEN_OBS").as_deref() == Ok("1");
+    if observed {
+        cfg.probe_period = Some(64);
+    }
+    let compiled = compile(&w.program, strategy, &cfg, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}/{backend}: compile: {e}"));
+    let mut machine = Machine::new(compiled.machine, &cfg)
+        .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}/{backend}: boot: {e}"));
+    if observed {
+        machine.set_tracer(Box::new(ChromeTracer::new()));
+    }
+    let out = machine
+        .run()
+        .unwrap_or_else(|e| panic!("{bench} {strategy}/{cores}/{backend}: run: {e}"));
+    if observed {
+        assert!(
+            !out.trace.is_empty(),
+            "{bench} {strategy}/{cores}/{backend}: observed run produced no trace"
+        );
+        assert!(
+            out.probes.as_ref().is_some_and(|p| !p.samples.is_empty()),
+            "{bench} {strategy}/{cores}/{backend}: observed run produced no probe samples"
+        );
+    }
+    let s = &out.stats;
+    let stalls: Vec<String> = StallReason::ALL
+        .iter()
+        .map(|&r| s.total_stall(r).to_string())
+        .collect();
+    format!(
+        "{bench}/{strategy}/{cores}/{backend}: {}/{}/{}/{}/{}|{}",
+        s.cycles,
+        s.coupled_cycles,
+        s.decoupled_cycles,
+        s.dynamic_insts,
+        s.spawns,
+        stalls.join(",")
+    )
+}
+
+#[test]
+fn scaled_machine_fingerprints_are_pinned_on_both_backends() {
+    let print = std::env::var("CYCLE_GOLDEN_PRINT").is_ok();
+    let mut failures = Vec::new();
+    for &(bench, strategy, cores, backend, expected) in GOLDEN {
+        let actual = fingerprint(bench, strategy, cores, backend);
+        if print {
+            println!(
+                "    (\"{bench}\", Strategy::{strategy:?}, {cores}, \"{backend}\", \"{actual}\"),"
+            );
+        } else if actual != expected {
+            failures.push(format!("  expected {expected}\n  actual   {actual}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scaling-golden drift ({} of {} configs):\n{}",
+        failures.len(),
+        GOLDEN.len(),
+        failures.join("\n")
+    );
+}
