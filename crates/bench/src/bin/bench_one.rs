@@ -8,16 +8,16 @@
 //! (open the file in <https://ui.perfetto.dev>) and/or an interval probe
 //! series, whose summary also lands in `BENCH_bench_one.json`.
 
-use voltron_bench::harness::{bench_json, workload_summary, DEFAULT_PROBE_PERIOD};
+use voltron_bench::harness::{bench_json, chaos_json, workload_summary, DEFAULT_PROBE_PERIOD};
 use voltron_core::report::throughput;
-use voltron_core::{Experiment, ObsRequest, StallCategory, Strategy};
+use voltron_core::{Experiment, FaultPlan, ObsRequest, StallCategory, Strategy};
 use voltron_sim::CoherenceBackend;
 use voltron_workloads::{by_name, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_one <benchmark> [--full] [--trace-out FILE] [--probes-out FILE] \
-         [--backend snooping|directory]"
+         [--backend snooping|directory] [--faults seed=N,rate=R[,site=LABEL]]"
     );
     std::process::exit(2);
 }
@@ -29,6 +29,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut probes_out: Option<String> = None;
     let mut backend = CoherenceBackend::Snooping;
+    let mut faults: Option<FaultPlan> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -40,6 +41,16 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage());
                 backend = CoherenceBackend::parse(&v).unwrap_or_else(|| usage());
             }
+            "--faults" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                faults = match FaultPlan::parse(&v) {
+                    Ok(p) => Some(p),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => bench = Some(other.to_string()),
         }
     }
@@ -49,6 +60,10 @@ fn main() {
         std::process::exit(2);
     });
     let mut exp = Experiment::new(&w.program).unwrap_or_else(|e| panic!("{e}"));
+    // Installed after construction so the serial baseline stays
+    // fault-free (the speedup denominator); every sweep run below is
+    // chaos-tested and still held to the golden output.
+    exp.set_fault_plan(faults.clone());
     let base = exp.baseline_cycles();
     println!(
         "{} ({:?}): serial baseline {base} cycles",
@@ -120,6 +135,15 @@ fn main() {
     let scale_name = if scale == Scale::Full { "full" } else { "test" };
     let mut summary = workload_summary(w.name, &exp, secs);
     summary.probes = probe_summary;
+    if summary.faults.any() {
+        eprintln!(
+            "[bench_one] faults: {} injected, {} recovered, {} gave up",
+            summary.faults.injected(),
+            summary.faults.recovered(),
+            summary.faults.gave_up()
+        );
+    }
+    let chaos = faults.as_ref().map(|p| chaos_json(Some(p), 0, &[], 0));
     let doc = bench_json(
         "bench_one",
         scale_name,
@@ -128,6 +152,7 @@ fn main() {
         secs,
         &[summary],
         &[],
+        chaos,
     );
     if let Err(e) = std::fs::write("BENCH_bench_one.json", doc.render()) {
         eprintln!("[bench_one] cannot write BENCH_bench_one.json: {e}");

@@ -28,7 +28,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 use voltron_core::report::{mean, speedup, throughput, Json, Table};
 use voltron_core::{
-    Experiment, ObsRequest, ProbeSummary, RunResult, StallCategory, Strategy, SystemError,
+    Experiment, FaultPlan, FaultStats, ObsRequest, ProbeSummary, RunResult, StallCategory,
+    Strategy, SystemError,
 };
 use voltron_sim::{CoherenceBackend, StallReason};
 use voltron_workloads::{all, Scale, Workload};
@@ -58,6 +59,15 @@ pub struct HarnessArgs {
     /// Directory bank counts are resolved per core count; see
     /// [`HarnessArgs::backend_for`].
     pub backend: CoherenceBackend,
+    /// Fault plan for every non-baseline run (`--faults seed=N,rate=R
+    /// [,site=...]`); the serial baseline stays fault-free so speedups
+    /// keep their denominator.
+    pub faults: Option<FaultPlan>,
+    /// Re-run a failed workload up to this many extra times on a fresh
+    /// [`Experiment`] (fault plans reseeded per attempt, see
+    /// [`FaultPlan::reseeded`]). A workload that recovers is *flaky*; one
+    /// that never does is a *hard* failure.
+    pub retries: u32,
 }
 
 impl HarnessArgs {
@@ -69,6 +79,8 @@ impl HarnessArgs {
         let mut trace_out = None;
         let mut probes_out = None;
         let mut backend = CoherenceBackend::Snooping;
+        let mut faults = None;
+        let mut retries = 0u32;
         let mut args = std::env::args().skip(1);
         let take = |flag: &str, args: &mut dyn Iterator<Item = String>| match args.next() {
             Some(v) => v,
@@ -103,12 +115,32 @@ impl HarnessArgs {
                         }
                     }
                 }
+                "--faults" => {
+                    let v = take("--faults", &mut args);
+                    faults = match FaultPlan::parse(&v) {
+                        Ok(p) => Some(p),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--retries" => {
+                    retries = match take("--retries", &mut args).parse::<u32>() {
+                        Ok(n) => n,
+                        _ => {
+                            eprintln!("--retries requires an integer attempt count");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 other => {
                     eprintln!(
                         "unknown argument {other} \
                          (expected --test/--full/--bench NAME/--budget-cycles N\
                          /--trace-out FILE/--probes-out FILE\
-                         /--backend snooping|directory)"
+                         /--backend snooping|directory\
+                         /--faults seed=N,rate=R[,site=LABEL]/--retries N)"
                     );
                     std::process::exit(2);
                 }
@@ -121,6 +153,8 @@ impl HarnessArgs {
             trace_out,
             probes_out,
             backend,
+            faults,
+            retries,
         }
     }
 
@@ -202,6 +236,9 @@ pub struct WorkloadSummary {
     pub runs: Vec<(String, usize, &'static str, u64, f64)>,
     /// Interval probe summary, when the sweep ran with `--probes-out`.
     pub probes: Option<ProbeSummary>,
+    /// Fault-injection counters summed over the workload's runs (all
+    /// zeros — and omitted from the sidecar — without `--faults`).
+    pub faults: FaultStats,
 }
 
 /// Snapshot an experiment's run inventory for the JSON sidecar.
@@ -212,6 +249,12 @@ pub fn workload_summary(
     exp: &Experiment<'_>,
     host_seconds: f64,
 ) -> WorkloadSummary {
+    let mut faults = FaultStats::default();
+    for r in exp.results() {
+        for (i, s) in r.stats.faults.sites.iter().enumerate() {
+            faults.sites[i].absorb(s);
+        }
+    }
     WorkloadSummary {
         name,
         baseline_cycles: exp.baseline_cycles(),
@@ -232,7 +275,34 @@ pub fn workload_summary(
             })
             .collect(),
         probes: None,
+        faults,
     }
+}
+
+/// Render a workload's fault counters for the JSON sidecar: the totals
+/// plus one row per site that actually saw a fault.
+pub fn fault_stats_json(fs: &FaultStats) -> Json {
+    let sites = fs
+        .rows()
+        .filter(|(_, s)| s.injected + s.retried + s.recovered + s.gave_up > 0)
+        .map(|(label, s)| {
+            (
+                label.to_string(),
+                Json::Obj(vec![
+                    ("injected".into(), Json::UInt(s.injected)),
+                    ("retried".into(), Json::UInt(s.retried)),
+                    ("recovered".into(), Json::UInt(s.recovered)),
+                    ("gave_up".into(), Json::UInt(s.gave_up)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("injected".into(), Json::UInt(fs.injected())),
+        ("recovered".into(), Json::UInt(fs.recovered())),
+        ("gave_up".into(), Json::UInt(fs.gave_up())),
+        ("sites".into(), Json::Obj(sites)),
+    ])
 }
 
 /// Render a probe summary for the JSON sidecar. The stall-phase
@@ -273,7 +343,10 @@ pub fn skip_efficiency(ticked: u64, simulated: u64) -> f64 {
     ticked as f64 / simulated.max(1) as f64
 }
 
-/// Build the `BENCH_*.json` document for a finished sweep.
+/// Build the `BENCH_*.json` document for a finished sweep. `chaos` is
+/// the `--faults`/`--retries` block ([`chaos_json`]); `None` keeps the
+/// document byte-identical to a fault-free harness.
+#[allow(clippy::too_many_arguments)]
 pub fn bench_json(
     binary: &str,
     scale: &str,
@@ -282,6 +355,7 @@ pub fn bench_json(
     host_seconds: f64,
     summaries: &[WorkloadSummary],
     failures: &[WorkloadFailure],
+    chaos: Option<Json>,
 ) -> Json {
     let workloads = summaries
         .iter()
@@ -314,10 +388,13 @@ pub fn bench_json(
             if let Some(p) = &s.probes {
                 fields.push(("probes".into(), probe_summary_json(p)));
             }
+            if s.faults.any() {
+                fields.push(("faults".into(), fault_stats_json(&s.faults)));
+            }
             Json::Obj(fields)
         })
         .collect();
-    Json::Obj(vec![
+    let mut doc = Json::Obj(vec![
         ("binary".into(), Json::Str(binary.into())),
         ("scale".into(), Json::Str(scale.into())),
         ("host_seconds".into(), Json::Num(host_seconds)),
@@ -341,22 +418,78 @@ pub fn bench_json(
                         Json::Obj(vec![
                             ("name".into(), Json::Str(f.name.into())),
                             ("reason".into(), Json::Str(f.reason.clone())),
+                            ("attempts".into(), Json::UInt(f.attempts as u64)),
                         ])
                     })
                     .collect(),
             ),
         ),
+    ]);
+    if let (Json::Obj(fields), Some(block)) = (&mut doc, chaos) {
+        fields.push(("faults".into(), block));
+    }
+    doc
+}
+
+/// Build the top-level `faults` block for the sidecar: the plan in
+/// `--faults` syntax, the retry allowance, and the flaky-vs-hard
+/// classification the retry loop produced.
+pub fn chaos_json(
+    plan: Option<&FaultPlan>,
+    retries: u32,
+    flaky: &[WorkloadFlake],
+    hard: usize,
+) -> Json {
+    Json::Obj(vec![
+        (
+            "plan".into(),
+            Json::Str(plan.map(FaultPlan::spec).unwrap_or_default()),
+        ),
+        ("retries".into(), Json::UInt(retries as u64)),
+        (
+            "flaky".into(),
+            Json::Arr(
+                flaky
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(f.name.into())),
+                            ("attempts".into(), Json::UInt(f.attempts as u64)),
+                            ("first_error".into(), Json::Str(f.first_error.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("hard".into(), Json::UInt(hard as u64)),
     ])
 }
 
 /// A workload that did not survive its sweep: it panicked, exceeded its
-/// cycle budget, or failed to compile, simulate, or validate.
+/// cycle budget, or failed to compile, simulate, or validate — on every
+/// attempt it was given (a *hard* failure once retries are in play).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadFailure {
     /// Benchmark name.
     pub name: &'static str,
-    /// Human-readable cause (panic message or typed-error rendering).
+    /// Human-readable cause (the last attempt's panic message or
+    /// typed-error rendering).
     pub reason: String,
+    /// Attempts made (1 without `--retries`).
+    pub attempts: u32,
+}
+
+/// A workload that failed at least once but succeeded on a retry: the
+/// failure did not reproduce on a fresh [`Experiment`] under a reseeded
+/// fault plan, so it is *flaky* rather than *hard*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadFlake {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Attempts made, including the one that succeeded.
+    pub attempts: u32,
+    /// What the first failed attempt reported.
+    pub first_error: String,
 }
 
 /// What a [`run_workloads`] sweep produced: the per-workload closure
@@ -368,8 +501,12 @@ pub struct Harvest<R> {
     pub results: Vec<(Workload, R)>,
     /// Run inventories per surviving workload (same order).
     pub summaries: Vec<WorkloadSummary>,
-    /// Workloads that panicked or returned an error, in workload order.
+    /// Workloads that panicked or returned an error on every attempt, in
+    /// workload order.
     pub failures: Vec<WorkloadFailure>,
+    /// Workloads that failed but recovered on a retry, in workload order
+    /// (always empty without `--retries`).
+    pub flaky: Vec<WorkloadFlake>,
     /// Total simulated cycles across the sweep.
     pub simulated_cycles: u64,
     /// Total cycles the simulator actually ticked for them.
@@ -406,9 +543,26 @@ impl<R> Harvest<R> {
             "[{binary}] {}",
             throughput(self.simulated_cycles, self.host_seconds)
         );
-        for f in &self.failures {
-            eprintln!("[{binary}] {} FAILED: {}", f.name, f.reason);
+        for f in &self.flaky {
+            eprintln!(
+                "[{binary}] {} FLAKY: recovered on attempt {} (first error: {})",
+                f.name, f.attempts, f.first_error
+            );
         }
+        for f in &self.failures {
+            eprintln!(
+                "[{binary}] {} FAILED after {} attempt(s): {}",
+                f.name, f.attempts, f.reason
+            );
+        }
+        let chaos = (args.faults.is_some() || args.retries > 0).then(|| {
+            chaos_json(
+                args.faults.as_ref(),
+                args.retries,
+                &self.flaky,
+                self.failures.len(),
+            )
+        });
         let doc = bench_json(
             binary,
             args.scale_name(),
@@ -417,6 +571,7 @@ impl<R> Harvest<R> {
             self.host_seconds,
             &self.summaries,
             &self.failures,
+            chaos,
         );
         let path = format!("BENCH_{binary}.json");
         if let Err(e) = std::fs::write(&path, doc.render()) {
@@ -444,7 +599,13 @@ pub fn run_workloads<R: Send>(
     args: &HarnessArgs,
     f: impl Fn(&Workload, &mut Experiment<'_>) -> Result<R, SystemError> + Sync,
 ) -> Harvest<R> {
-    run_workloads_on(args.workloads(), args.budget_cycles, f)
+    run_workloads_chaos(
+        args.workloads(),
+        args.budget_cycles,
+        args.faults.clone(),
+        args.retries,
+        f,
+    )
 }
 
 /// [`run_workloads`] on an explicit workload list and budget — the seam
@@ -454,8 +615,29 @@ pub fn run_workloads_on<R: Send>(
     budget_cycles: Option<u64>,
     f: impl Fn(&Workload, &mut Experiment<'_>) -> Result<R, SystemError> + Sync,
 ) -> Harvest<R> {
+    run_workloads_chaos(ws, budget_cycles, None, 0, f)
+}
+
+/// What one workload's attempt loop produced: the success payload (with
+/// how many attempts failed before it, for flaky classification) or the
+/// last attempt's error.
+type AttemptOutcome<R> = Result<(R, WorkloadSummary, u32, Option<String>), String>;
+
+/// [`run_workloads_on`] plus chaos: every attempt runs under `faults`
+/// (reseeded per attempt so an exhausted fault schedule does not
+/// deterministically recur), and a failed workload is retried on a fresh
+/// [`Experiment`] up to `retries` extra times. Success after a failure
+/// classifies the workload as [`Harvest::flaky`]; failure of every
+/// attempt leaves it in [`Harvest::failures`] (hard).
+pub fn run_workloads_chaos<R: Send>(
+    ws: Vec<Workload>,
+    budget_cycles: Option<u64>,
+    faults: Option<FaultPlan>,
+    retries: u32,
+    f: impl Fn(&Workload, &mut Experiment<'_>) -> Result<R, SystemError> + Sync,
+) -> Harvest<R> {
     let n = ws.len();
-    type Slot<R> = Mutex<Option<Result<(R, WorkloadSummary), String>>>;
+    type Slot<R> = Mutex<Option<AttemptOutcome<R>>>;
     let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let threads = std::thread::available_parallelism()
@@ -470,23 +652,35 @@ pub fn run_workloads_on<R: Send>(
                     break;
                 }
                 let w = &ws[i];
-                // AssertUnwindSafe: on panic the closure's experiment is
-                // dropped whole and its slot stays None-turned-Err, so no
-                // half-updated state survives into the harvest.
-                let w0 = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    let mut exp = Experiment::with_cycle_budget(&w.program, budget_cycles)?;
-                    let r = f(w, &mut exp)?;
-                    let elapsed = w0.elapsed().as_secs_f64();
-                    Ok::<_, SystemError>((r, workload_summary(w.name, &exp, elapsed)))
-                }));
-                let res = match outcome {
-                    Ok(Ok(pair)) => Ok(pair),
-                    Ok(Err(e)) => Err(e.to_string()),
-                    Err(payload) => Err(format!("panicked: {}", panic_message(&*payload))),
-                };
-                if let Err(reason) = &res {
-                    eprintln!("{}: {reason}", w.name);
+                let mut res: AttemptOutcome<R> = Err("workload was never run".into());
+                let mut first_error = None;
+                for attempt in 0..=retries {
+                    let plan = faults.as_ref().map(|p| p.reseeded(attempt as u64));
+                    // AssertUnwindSafe: on panic the closure's experiment
+                    // is dropped whole and the attempt becomes an error,
+                    // so no half-updated state survives into the harvest
+                    // (or into the next attempt, which starts fresh).
+                    let w0 = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut exp = Experiment::with_cycle_budget(&w.program, budget_cycles)?;
+                        exp.set_fault_plan(plan);
+                        let r = f(w, &mut exp)?;
+                        let elapsed = w0.elapsed().as_secs_f64();
+                        Ok::<_, SystemError>((r, workload_summary(w.name, &exp, elapsed)))
+                    }));
+                    let reason = match outcome {
+                        Ok(Ok((r, sm))) => {
+                            res = Ok((r, sm, attempt, first_error.take()));
+                            break;
+                        }
+                        Ok(Err(e)) => e.to_string(),
+                        Err(payload) => format!("panicked: {}", panic_message(&*payload)),
+                    };
+                    eprintln!("{} (attempt {}): {reason}", w.name, attempt + 1);
+                    if first_error.is_none() {
+                        first_error = Some(reason.clone());
+                    }
+                    res = Err(reason);
                 }
                 *slots[i].lock().expect("result slot poisoned") = Some(res);
             });
@@ -496,23 +690,33 @@ pub fn run_workloads_on<R: Send>(
     let mut results = Vec::new();
     let mut summaries = Vec::new();
     let mut failures = Vec::new();
+    let mut flaky = Vec::new();
     let mut simulated_cycles = 0u64;
     let mut ticked_cycles = 0u64;
     for (w, slot) in ws.into_iter().zip(slots) {
         match slot.into_inner().expect("result slot poisoned") {
-            Some(Ok((r, sm))) => {
+            Some(Ok((r, sm, failed_before, first_error))) => {
                 simulated_cycles += sm.simulated_cycles;
                 ticked_cycles += sm.ticked_cycles;
+                if failed_before > 0 {
+                    flaky.push(WorkloadFlake {
+                        name: w.name,
+                        attempts: failed_before + 1,
+                        first_error: first_error.unwrap_or_default(),
+                    });
+                }
                 summaries.push(sm);
                 results.push((w, r));
             }
             Some(Err(reason)) => failures.push(WorkloadFailure {
                 name: w.name,
                 reason,
+                attempts: retries + 1,
             }),
             None => failures.push(WorkloadFailure {
                 name: w.name,
                 reason: "workload was never run".into(),
+                attempts: 0,
             }),
         }
     }
@@ -520,6 +724,7 @@ pub fn run_workloads_on<R: Send>(
         results,
         summaries,
         failures,
+        flaky,
         simulated_cycles,
         ticked_cycles,
         host_seconds,
@@ -597,6 +802,8 @@ mod tests {
             trace_out: None,
             probes_out: None,
             backend: CoherenceBackend::Snooping,
+            faults: None,
+            retries: 0,
         };
         let ws = args.workloads();
         assert_eq!(ws.len(), 1);
@@ -608,6 +815,8 @@ mod tests {
             trace_out: None,
             probes_out: None,
             backend: CoherenceBackend::Snooping,
+            faults: None,
+            retries: 0,
         };
         assert!(none.workloads().is_empty());
     }
@@ -621,6 +830,8 @@ mod tests {
             trace_out: None,
             probes_out: None,
             backend: CoherenceBackend::Snooping,
+            faults: None,
+            retries: 0,
         };
         let (out, harvest) = speedup_figure("t", &args, &[("serial", Strategy::Serial, 1)]);
         assert!(out.contains("rawcaudio"));
@@ -639,6 +850,8 @@ mod tests {
             trace_out: None,
             probes_out: None,
             backend: CoherenceBackend::Snooping,
+            faults: None,
+            retries: 0,
         };
         let h = run_workloads(&args, |w, exp| {
             exp.run(Strategy::Serial, 1)?;
@@ -659,6 +872,7 @@ mod tests {
             h.host_seconds,
             &h.summaries,
             &h.failures,
+            None,
         );
         let s = doc.render();
         assert!(s.contains("\"binary\":\"t\""));
@@ -708,8 +922,103 @@ mod tests {
             1.0,
             &h.summaries,
             &h.failures,
+            None,
         );
         assert!(doc.render().contains("injected fault"));
+    }
+
+    /// A workload that fails once and then succeeds on a retry is
+    /// classified flaky, not failed: its results are harvested and the
+    /// first error is kept for the sidecar.
+    #[test]
+    fn flaky_workload_recovers_on_retry() {
+        use std::sync::atomic::AtomicU32;
+        let ws: Vec<Workload> = all(Scale::Test)
+            .into_iter()
+            .filter(|w| w.name == "rawcaudio")
+            .collect();
+        let calls = AtomicU32::new(0);
+        let h = run_workloads_chaos(ws, None, None, 2, |w, exp| {
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient failure");
+            }
+            exp.run(Strategy::Serial, 1)?;
+            Ok(w.name)
+        });
+        assert_eq!(h.results.len(), 1);
+        assert!(h.failures.is_empty());
+        assert_eq!(h.flaky.len(), 1);
+        assert_eq!(h.flaky[0].name, "rawcaudio");
+        assert_eq!(h.flaky[0].attempts, 2);
+        assert!(
+            h.flaky[0].first_error.contains("transient failure"),
+            "{}",
+            h.flaky[0].first_error
+        );
+        let doc = chaos_json(None, 2, &h.flaky, h.failures.len());
+        let s = doc.render();
+        assert!(s.contains("\"flaky\""));
+        assert!(s.contains("\"attempts\":2"));
+        assert!(s.contains("\"hard\":0"));
+    }
+
+    /// A workload that fails every attempt is a hard failure carrying the
+    /// full attempt count.
+    #[test]
+    fn hard_failure_exhausts_its_retries() {
+        let ws: Vec<Workload> = all(Scale::Test)
+            .into_iter()
+            .filter(|w| w.name == "rawcaudio")
+            .collect();
+        let h = run_workloads_chaos(ws, None, None, 2, |_, _| -> Result<(), SystemError> {
+            panic!("hard failure")
+        });
+        assert!(h.results.is_empty());
+        assert!(h.flaky.is_empty());
+        assert_eq!(h.failures.len(), 1);
+        assert_eq!(h.failures[0].attempts, 3);
+        assert!(h.failures[0].reason.contains("hard failure"));
+    }
+
+    /// A sweep under a real fault plan recovers (the experiment's output
+    /// check holds faulted runs to the golden memory) and surfaces the
+    /// injection counters in the summary and sidecar.
+    #[test]
+    fn faulted_sweep_recovers_and_reports_counters() {
+        use voltron_core::FaultSite;
+        let ws: Vec<Workload> = all(Scale::Test)
+            .into_iter()
+            .filter(|w| w.name == "rawcaudio")
+            .collect();
+        let plan = FaultPlan::seeded(7, 0.01).only(FaultSite::Fetch);
+        let h = run_workloads_chaos(ws, None, Some(plan.clone()), 0, |w, exp| {
+            exp.run(Strategy::Serial, 1)?;
+            Ok(w.name)
+        });
+        assert!(h.failures.is_empty(), "{:?}", h.failures);
+        assert!(h.summaries[0].faults.any(), "no fetch faults fired");
+        assert_eq!(
+            h.summaries[0].faults.injected(),
+            h.summaries[0].faults.recovered(),
+            "every injected fetch hiccup is recovered at injection"
+        );
+        let doc = bench_json(
+            "t",
+            "test",
+            h.simulated_cycles,
+            h.ticked_cycles,
+            1.0,
+            &h.summaries,
+            &h.failures,
+            Some(chaos_json(Some(&plan), 0, &h.flaky, h.failures.len())),
+        );
+        let s = doc.render();
+        assert!(
+            s.contains("\"plan\":\"seed=7,rate=0.01,site=fetch\""),
+            "{s}"
+        );
+        assert!(s.contains("\"injected\""));
+        assert!(s.contains("\"fetch\""));
     }
 
     /// A workload that exceeds its simulated-cycle budget fails with

@@ -48,7 +48,10 @@ use voltron_sim::{
 };
 
 pub use voltron_compiler::Strategy;
-pub use voltron_sim::{ProbeSeries, ProbeSummary};
+pub use voltron_sim::{
+    FaultBudgetReport, FaultEvent, FaultKind, FaultPlan, FaultSite, FaultStats, ProbeSeries,
+    ProbeSummary,
+};
 
 /// The machine configuration for one experiment run: geometry from
 /// [`MachineConfig::scaled`] (identical to the paper machine at the
@@ -278,7 +281,16 @@ pub fn run_configuration(
     let mcfg = machine_config(cores, backend);
     let opts = CompileOptions::default();
     let fe = FrontEnd::new(program, strategy, &mcfg, &opts)?;
-    run_prepared(&fe, golden, strategy, cores, backend, baseline_cycles, None)
+    run_prepared(
+        &fe,
+        golden,
+        strategy,
+        cores,
+        backend,
+        baseline_cycles,
+        None,
+        None,
+    )
 }
 
 /// What to observe during a run (see `voltron_sim::obs`). The default
@@ -318,6 +330,7 @@ fn run_prepared(
     backend: CoherenceBackend,
     baseline_cycles: u64,
     cycle_budget: Option<u64>,
+    faults: Option<&FaultPlan>,
 ) -> Result<RunResult, SystemError> {
     run_prepared_obs(
         fe,
@@ -327,6 +340,7 @@ fn run_prepared(
         backend,
         baseline_cycles,
         cycle_budget,
+        faults,
         &ObsRequest::default(),
     )
     .map(|o| o.run)
@@ -343,6 +357,7 @@ fn run_prepared_obs(
     backend: CoherenceBackend,
     baseline_cycles: u64,
     cycle_budget: Option<u64>,
+    faults: Option<&FaultPlan>,
     obs: &ObsRequest,
 ) -> Result<Observed, SystemError> {
     let mcfg = machine_config(cores, backend);
@@ -357,6 +372,10 @@ fn run_prepared_obs(
         sim_cfg.max_cycles = sim_cfg.max_cycles.min(budget);
     }
     sim_cfg.probe_period = obs.probe_period;
+    // Fault injection perturbs timing only; the output check below still
+    // holds faulted runs to the golden memory, which *is* the recovery
+    // contract (DESIGN.md §10).
+    sim_cfg.faults = faults.cloned();
     let mut machine = Machine::new(compiled.machine, &sim_cfg)?;
     if obs.chrome_trace {
         machine.set_tracer(Box::new(ChromeTracer::new()));
@@ -399,6 +418,7 @@ pub struct Experiment<'a> {
     sim_cycles: u64,
     ticked_cycles: u64,
     cycle_budget: Option<u64>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> Experiment<'a> {
@@ -430,6 +450,7 @@ impl<'a> Experiment<'a> {
             sim_cycles: 0,
             ticked_cycles: 0,
             cycle_budget: budget,
+            fault_plan: None,
         };
         let idx = exp.ensure_front_end(Strategy::Serial, 1)?;
         let fe = exp.front_ends[idx].as_ref().expect("just built");
@@ -441,6 +462,7 @@ impl<'a> Experiment<'a> {
             CoherenceBackend::Snooping,
             1,
             budget,
+            None,
         )?;
         exp.baseline_cycles = base.cycles;
         exp.sim_cycles = base.cycles;
@@ -460,6 +482,24 @@ impl<'a> Experiment<'a> {
     /// `None` removes the cap.
     pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
         self.cycle_budget = budget;
+    }
+
+    /// Inject faults into every *subsequent* run per `plan` (see
+    /// `voltron_sim::fault`): timing moves, but the output check still
+    /// holds every faulted run to the golden memory. The serial baseline
+    /// (already computed) stays fault-free — it is the denominator the
+    /// speedups are normalized by. Changing the plan clears the result
+    /// cache so one `Experiment` never mixes runs under different plans.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        if self.fault_plan != plan {
+            self.cache.clear();
+        }
+        self.fault_plan = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Total simulated cycles across every configuration this experiment
@@ -533,6 +573,7 @@ impl<'a> Experiment<'a> {
                 backend,
                 self.baseline_cycles,
                 self.cycle_budget,
+                self.fault_plan.as_ref(),
             )?;
             self.sim_cycles += r.cycles;
             self.ticked_cycles += r.ticked_cycles;
@@ -580,6 +621,7 @@ impl<'a> Experiment<'a> {
             backend,
             self.baseline_cycles,
             self.cycle_budget,
+            self.fault_plan.as_ref(),
             obs,
         )?;
         self.sim_cycles += o.run.cycles;
@@ -639,6 +681,7 @@ impl<'a> Experiment<'a> {
         let golden = &self.golden;
         let baseline = self.baseline_cycles;
         let budget = self.cycle_budget;
+        let faults = self.fault_plan.as_ref();
         let outcomes: Vec<Result<RunResult, SystemError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = missing
                 .iter()
@@ -646,7 +689,9 @@ impl<'a> Experiment<'a> {
                 .map(|(&(strategy, cores, backend), &idx)| {
                     scope.spawn(move || {
                         let fe = front_ends[idx].as_ref().expect("built above");
-                        run_prepared(fe, golden, strategy, cores, backend, baseline, budget)
+                        run_prepared(
+                            fe, golden, strategy, cores, backend, baseline, budget, faults,
+                        )
                     })
                 })
                 .collect();

@@ -1,5 +1,96 @@
 //! Machine configuration.
 
+use crate::fault::FaultPlan;
+
+/// The machine's robustness knobs, unified: the hang detectors'
+/// observation windows plus the fault-recovery retry budgets. One struct
+/// so the relationships between them can be *validated* instead of
+/// silently misbehaving at runtime — a zero window would fire a watchdog
+/// on a healthy machine, and a livelock window shorter than the deadlock
+/// window would report pure deadlocks as livelocks.
+///
+/// [`Watchdogs::validate`] is enforced by `Machine::new`, so every
+/// constructed machine has a coherent set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdogs {
+    /// Cycles without any core issuing before the machine declares
+    /// deadlock.
+    pub deadlock_window: u64,
+    /// Cycles without any *architectural* state change (register write,
+    /// memory write, network traffic, thread or mode event) before the
+    /// machine declares livelock: cores are issuing — so the deadlock
+    /// window never closes — but only spinning on control flow.
+    pub livelock_window: u64,
+    /// Observation window for interconnect forensics
+    /// ([`crate::memsys::MemSys::run_until_completion`] callers that
+    /// don't pick their own): cycles without a bus completion before a
+    /// [`crate::memsys::BusTimeout`] snapshot is taken.
+    pub bus_timeout_window: u64,
+    /// Fault recovery: retries a single recovery path may take (flit
+    /// resends, bank-request reissues) before giving up with
+    /// [`crate::machine::SimError::FaultBudget`].
+    pub fault_retry_budget: u32,
+    /// Fault recovery: base backoff delay in cycles; retry `k` waits
+    /// `base << min(k, 10)` cycles (bounded exponential backoff).
+    pub fault_backoff_base: u64,
+}
+
+impl Watchdogs {
+    /// Check the knobs for zero or contradictory values.
+    ///
+    /// # Errors
+    /// Returns a message naming the first bad knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deadlock_window == 0 {
+            return Err("deadlock_window must be nonzero".into());
+        }
+        if self.livelock_window == 0 {
+            return Err("livelock_window must be nonzero".into());
+        }
+        if self.livelock_window < self.deadlock_window {
+            return Err(format!(
+                "livelock_window ({}) must be at least deadlock_window ({}): \
+                 a deadlocked machine makes no architectural change either, so a \
+                 shorter livelock window would misreport every deadlock",
+                self.livelock_window, self.deadlock_window
+            ));
+        }
+        if self.bus_timeout_window == 0 {
+            return Err("bus_timeout_window must be nonzero".into());
+        }
+        if self.fault_retry_budget == 0 {
+            return Err(
+                "fault_retry_budget must be nonzero (retries are how faults recover)".into(),
+            );
+        }
+        if self.fault_backoff_base == 0 {
+            return Err(
+                "fault_backoff_base must be nonzero (a zero backoff retries forever in place)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Backoff delay before retry `attempt` (1-based): bounded
+    /// exponential, `base << min(attempt - 1, 10)`.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        self.fault_backoff_base << attempt.saturating_sub(1).min(10)
+    }
+}
+
+impl Default for Watchdogs {
+    fn default() -> Watchdogs {
+        Watchdogs {
+            deadlock_window: 50_000,
+            livelock_window: 1_000_000,
+            bus_timeout_window: 10_000,
+            fault_retry_budget: 8,
+            fault_backoff_base: 8,
+        }
+    }
+}
+
 /// Which coherence interconnect keeps the L1s coherent.
 ///
 /// [`CoherenceBackend::Snooping`] is the paper's machine: one bus, one
@@ -110,14 +201,9 @@ pub struct MachineConfig {
     pub tm_commit_base: u64,
     /// Extra bus occupancy per committed line.
     pub tm_commit_per_line: u64,
-    /// Cycles without any core issuing before the machine declares
-    /// deadlock.
-    pub deadlock_window: u64,
-    /// Cycles without any *architectural* state change (register write,
-    /// memory write, network traffic, thread or mode event) before the
-    /// machine declares livelock: cores are issuing — so the deadlock
-    /// window never closes — but only spinning on control flow.
-    pub livelock_window: u64,
+    /// The unified robustness knobs: hang-detector windows and fault
+    /// retry budgets (validated by `Machine::new`; see [`Watchdogs`]).
+    pub watchdogs: Watchdogs,
     /// Hard cap on simulated cycles.
     pub max_cycles: u64,
     /// Event-driven fast-forward: when every core is blocked and no
@@ -145,6 +231,11 @@ pub struct MachineConfig {
     /// is bit-identical with `fast_forward` on or off: skipped spans are
     /// split at period boundaries and bulk-filled (see DESIGN.md §8).
     pub probe_period: Option<u64>,
+    /// Deterministic fault injection plan. `None` (the default) disables
+    /// the fault layer entirely: no RNG is built, no opportunity is
+    /// consulted, and every golden fingerprint is byte-identical to a
+    /// build without the layer (see DESIGN.md §10).
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -178,13 +269,13 @@ impl MachineConfig {
             direct_network: true,
             tm_commit_base: 6,
             tm_commit_per_line: 1,
-            deadlock_window: 50_000,
-            livelock_window: 1_000_000,
+            watchdogs: Watchdogs::default(),
             max_cycles: 2_000_000_000,
             fast_forward: true,
             coherence: CoherenceBackend::Snooping,
             dir_latency: 3,
             probe_period: None,
+            faults: None,
         }
     }
 
@@ -416,6 +507,55 @@ mod tests {
         let cfg = MachineConfig::scaled(16).with_backend(CoherenceBackend::directory_for(16));
         assert_eq!(cfg.coherence.label(), "directory");
         assert_eq!(MachineConfig::paper(4).coherence.label(), "snooping");
+    }
+
+    #[test]
+    fn watchdogs_reject_zero_and_contradictory_windows() {
+        assert!(Watchdogs::default().validate().is_ok());
+        let bad = Watchdogs {
+            deadlock_window: 0,
+            ..Watchdogs::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("deadlock_window"));
+        let bad = Watchdogs {
+            livelock_window: 0,
+            ..Watchdogs::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("livelock_window"));
+        // Livelock window shorter than the deadlock window misreports
+        // every deadlock as a livelock: contradictory, rejected.
+        let bad = Watchdogs {
+            deadlock_window: 10_000,
+            livelock_window: 500,
+            ..Watchdogs::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("at least"));
+        let bad = Watchdogs {
+            bus_timeout_window: 0,
+            ..Watchdogs::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("bus_timeout_window"));
+        let bad = Watchdogs {
+            fault_retry_budget: 0,
+            ..Watchdogs::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("fault_retry_budget"));
+        let bad = Watchdogs {
+            fault_backoff_base: 0,
+            ..Watchdogs::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("fault_backoff_base"));
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let w = Watchdogs::default();
+        assert_eq!(w.backoff(1), w.fault_backoff_base);
+        assert_eq!(w.backoff(2), w.fault_backoff_base * 2);
+        assert_eq!(w.backoff(4), w.fault_backoff_base * 8);
+        // Capped at 10 doublings: no overflow, no unbounded wait.
+        assert_eq!(w.backoff(50), w.fault_backoff_base << 10);
+        assert_eq!(w.backoff(u32::MAX), w.fault_backoff_base << 10);
     }
 
     #[test]

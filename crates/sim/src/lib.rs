@@ -39,6 +39,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod machine;
 pub mod mcode;
 pub mod memsys;
@@ -49,7 +50,8 @@ pub mod tm;
 pub mod trace;
 pub mod validate;
 
-pub use config::{CoherenceBackend, MachineConfig};
+pub use config::{CoherenceBackend, MachineConfig, Watchdogs};
+pub use fault::{FaultBudgetReport, FaultEvent, FaultKind, FaultPlan, FaultSite, FaultStats};
 pub use machine::{CoreWait, Machine, RunOutcome, SimError, WaitCause};
 pub use mcode::{CoreImage, MBlock, MachineProgram, RegionId, REGION_OUTSIDE};
 pub use obs::{ChromeTracer, ProbeSample, ProbeSeries, ProbeSummary};

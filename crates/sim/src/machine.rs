@@ -9,6 +9,7 @@
 //! independently.
 
 use crate::config::MachineConfig;
+use crate::fault::{FaultBudgetReport, FaultKind, FaultSite, FaultStats, SiteInjector};
 use crate::mcode::{MachineProgram, RegionId, REGION_OUTSIDE};
 use crate::memsys::{Completion, LoadOutcome, MemSys};
 use crate::network::{OperandNetwork, Payload};
@@ -221,6 +222,9 @@ pub enum SimError {
     Malformed(String),
     /// An illegal network operation (e.g. PUT off the mesh).
     Network(String),
+    /// Fault recovery exhausted a retry budget (see [`crate::fault`]):
+    /// the run fails closed instead of silently diverging.
+    FaultBudget(FaultBudgetReport),
 }
 
 impl fmt::Display for SimError {
@@ -256,6 +260,7 @@ impl fmt::Display for SimError {
             SimError::Bus(e) => write!(f, "bus timeout: {e}"),
             SimError::Malformed(m) => write!(f, "malformed machine code: {m}"),
             SimError::Network(m) => write!(f, "network error: {m}"),
+            SimError::FaultBudget(r) => write!(f, "{r}"),
         }
     }
 }
@@ -426,6 +431,28 @@ pub struct Machine {
     obs_stall: Vec<Option<StallReason>>,
     /// Tracer-only: the region whose span is currently open.
     obs_region: Option<RegionId>,
+    /// Fault layer (`None` unless [`MachineConfig::faults`] is set):
+    /// spurious-abort injector for live transactions. The draw happens at
+    /// issue time of a core inside a transaction — an architectural
+    /// event — so the stream is identical with fast-forward on or off.
+    fault_tm: Option<SiteInjector>,
+    /// Fault layer: instruction-fetch hiccup injector (drawn at issue).
+    fault_fetch: Option<SiteInjector>,
+    /// First cycle each core's fetch works again after a hiccup (0 when
+    /// clear; `check_core` stalls fetch while `cycle` is below this).
+    fetch_block: Vec<u64>,
+    /// Consecutive spurious aborts per core since its last commit; the
+    /// retry budget fails the run closed when a transaction can never
+    /// get through.
+    tm_streak: Vec<u32>,
+    /// Per-core irrevocability latch: set once the live transaction has
+    /// issued a network operation (SEND/RECV/BCAST/GETB/SPAWN). Such a
+    /// transaction can no longer be rolled back — the message is in
+    /// flight, and a replay from the snapshot would duplicate it — so
+    /// the spurious-abort injector must skip it. Genuine conflict
+    /// aborts never hit these: only the order-0 master chunk wraps the
+    /// spawn/live-in sends, and nothing ever outranks order 0.
+    txn_irrevocable: Vec<bool>,
 }
 
 impl Machine {
@@ -446,6 +473,7 @@ impl Machine {
         }
         program.check().map_err(SimError::Malformed)?;
         program.validate(cfg)?;
+        cfg.watchdogs.validate().map_err(SimError::Malformed)?;
         let memory = Memory::from_data(&program.data);
         let offsets: Vec<Vec<u64>> = program.cores.iter().map(|c| c.block_offsets()).collect();
         let mut cores: Vec<Core> = program
@@ -495,6 +523,11 @@ impl Machine {
                 .map(|p| ProbeSeries::new(p, n)),
             obs_stall: vec![None; n],
             obs_region: None,
+            fault_tm: cfg.faults.as_ref().map(|p| p.injector(FaultSite::TmAbort)),
+            fault_fetch: cfg.faults.as_ref().map(|p| p.injector(FaultSite::Fetch)),
+            fetch_block: vec![0; n],
+            tm_streak: vec![0; n],
+            txn_irrevocable: vec![false; n],
             cfg: cfg.clone(),
         })
     }
@@ -502,6 +535,10 @@ impl Machine {
     /// Install an execution tracer (see [`crate::trace`]).
     pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
         self.tracer = Some(t);
+        // Fault events are buffered by the subsystems only while someone
+        // will drain them.
+        self.net.set_fault_logging(true);
+        self.memsys.set_fault_logging(true);
     }
 
     /// Remove and return the tracer (to inspect what it captured).
@@ -580,6 +617,19 @@ impl Machine {
             .filter(|(_, rb)| rb.cycles > 0)
             .map(|(slot, rb)| (slot_region(slot), rb.clone()))
             .collect();
+        let mut faults = FaultStats::default();
+        for (site, sf) in self.net.fault_stats() {
+            faults.site_mut(site).absorb(&sf);
+        }
+        for (site, sf) in self.memsys.fault_stats() {
+            faults.site_mut(site).absorb(&sf);
+        }
+        if let Some(inj) = &self.fault_tm {
+            faults.site_mut(FaultSite::TmAbort).absorb(&inj.stats());
+        }
+        if let Some(inj) = &self.fault_fetch {
+            faults.site_mut(FaultSite::Fetch).absorb(&inj.stats());
+        }
         let stats = MachineStats {
             cycles: self.cycle,
             coupled_cycles: self.coupled_cycles,
@@ -593,6 +643,7 @@ impl Machine {
             spawns: self.spawns,
             mode_switches: self.mode_switches,
             dynamic_insts: self.dynamic_insts,
+            faults,
         };
         let trace = self.tracer.as_ref().map(|t| t.render()).unwrap_or_default();
         Ok(RunOutcome {
@@ -831,6 +882,13 @@ impl Machine {
             }
             CoreState::AtSwitch(_) | CoreState::WaitBus => Decision::Stall(StallReason::Sync),
             CoreState::Running => {
+                // An injected fetch hiccup blocks the front end before it
+                // reaches the I-cache (no L1I access is made, matching the
+                // pending-fill behaviour `account_blocked` assumes for
+                // `Stall(IFetch)` cores).
+                if now < self.fetch_block[i] {
+                    return Decision::Stall(StallReason::IFetch);
+                }
                 let addr = self.inst_addr(i);
                 if !self.memsys.ifetch(i, addr) {
                     return Decision::Stall(StallReason::IFetch);
@@ -998,12 +1056,115 @@ impl Machine {
         Ok(())
     }
 
+    /// Consult the machine-owned spurious-abort injector at a commit
+    /// attempt of core `i`'s transaction. Returns `Ok(true)` when the
+    /// abort consumed the slot (the core rolled back to its `XBEGIN`
+    /// instead of committing).
+    ///
+    /// The draw happens at `XCOMMIT` issue — an architectural event, so
+    /// the RNG stream advances identically with fast-forward on or off —
+    /// and only for *revocable* transactions (no network op issued since
+    /// `XBEGIN`; see [`Machine::txn_irrevocable`]). Drawing per commit
+    /// rather than per issued instruction makes the plan's `rate` a
+    /// per-transaction abort probability, so a long chunk is exactly as
+    /// survivable as a short one and the consecutive-abort budget is only
+    /// exhausted by genuinely unsurvivable plans (rate ≈ 1).
+    fn fault_tm_at_commit(&mut self, i: usize) -> Result<bool, SimError> {
+        if self.txn_irrevocable[i] || self.cores[i].snapshot.is_none() {
+            return Ok(false);
+        }
+        let now = self.cycle;
+        let fired = self
+            .fault_tm
+            .as_mut()
+            .is_some_and(|inj| inj.fire(now).is_some());
+        if !fired {
+            return Ok(false);
+        }
+        let budget = self.cfg.watchdogs.fault_retry_budget;
+        let attempts = self.tm_streak[i] + 1;
+        let inj = self.fault_tm.as_mut().expect("fired above");
+        if attempts > budget {
+            inj.note_gave_up();
+            let order = self.tm.order_of(i).unwrap_or(0);
+            return Err(SimError::FaultBudget(FaultBudgetReport {
+                cycle: now,
+                site: FaultSite::TmAbort,
+                attempts,
+                budget,
+                detail: format!("transaction on core {i} (chunk order {order})"),
+            }));
+        }
+        inj.note_retried(1);
+        inj.note_recovered();
+        self.tm_streak[i] = attempts;
+        self.tm.abort(i);
+        self.restore_core(i);
+        self.last_arch_change = now;
+        self.trace(TraceEvent::Fault {
+            cycle: now,
+            core: i,
+            site: FaultSite::TmAbort,
+            action: "spurious abort",
+        });
+        self.trace(TraceEvent::TmAbort {
+            cycle: now,
+            core: i,
+        });
+        Ok(true)
+    }
+
+    /// Consult the fetch-hiccup injector at an issue opportunity of core
+    /// `i`. The draw happens only here — at instruction issue, an
+    /// architectural event — so the RNG stream advances identically with
+    /// fast-forward on or off (skipped spans issue nothing).
+    fn fault_at_issue(&mut self, i: usize) {
+        let now = self.cycle;
+        // Fetch hiccup: the *next* fetches of this core stall for `d`
+        // cycles; the instruction issuing now is already past fetch. A
+        // bounded transient absorbed purely in time — recovered at once.
+        let hiccup = self
+            .fault_fetch
+            .as_mut()
+            .and_then(|inj| match inj.fire(now) {
+                Some(FaultKind::FetchHiccup(d)) => {
+                    inj.note_recovered();
+                    Some(d)
+                }
+                _ => None,
+            });
+        if let Some(d) = hiccup {
+            self.fetch_block[i] = now + 1 + d;
+            self.trace(TraceEvent::Fault {
+                cycle: now,
+                core: i,
+                site: FaultSite::Fetch,
+                action: "fetch hiccup",
+            });
+        }
+    }
+
     #[allow(clippy::too_many_lines)]
     fn exec_core(&mut self, i: usize) -> Result<(), SimError> {
         let now = self.cycle;
+        if self.cfg.faults.is_some() {
+            self.fault_at_issue(i);
+        }
         let program = Arc::clone(&self.program);
         let (b, s) = self.cores[i].pc;
         let inst = &program.cores[i].blocks[b].insts[s];
+        // Latch irrevocability: once a live transaction issues a network
+        // operation the message leaves the core, and a rollback to the
+        // snapshot would replay it (duplicate spawns/sends, re-consumed
+        // receives). The spurious-abort injector checks this latch.
+        if self.tm.active(i)
+            && matches!(
+                inst.op,
+                Opcode::Send | Opcode::Recv | Opcode::Bcast | Opcode::GetB | Opcode::Spawn
+            )
+        {
+            self.txn_irrevocable[i] = true;
+        }
         self.dynamic_insts += 1;
         if inst.op == Opcode::Nop {
             self.core_stats[i].nops += 1;
@@ -1258,6 +1419,7 @@ impl Machine {
                     pc: self.cores[i].pc,
                 };
                 self.cores[i].snapshot = Some(snap);
+                self.txn_irrevocable[i] = false;
                 self.tm.begin(i, order as u32);
                 self.trace(TraceEvent::TmBegin {
                     cycle: now,
@@ -1266,6 +1428,9 @@ impl Machine {
                 });
             }
             Xcommit => {
+                if self.cfg.faults.is_some() && self.fault_tm_at_commit(i)? {
+                    return Ok(()); // rolled back to the XBEGIN instead
+                }
                 let mut fault: Option<MemError> = None;
                 let mem = &mut self.memory;
                 let (lines, aborted) = self.tm.commit(i, |a, byte| {
@@ -1277,6 +1442,7 @@ impl Machine {
                     return Err(SimError::Mem(e));
                 }
                 self.cores[i].snapshot = None;
+                self.tm_streak[i] = 0;
                 self.trace(TraceEvent::TmCommit {
                     cycle: now,
                     core: i,
@@ -1399,6 +1565,34 @@ impl Machine {
             }
         }
         self.net.tick(now);
+        if self.cfg.faults.is_some() {
+            // Fail closed the moment any subsystem's recovery exhausted
+            // its retry budget: a parked request can never complete, so
+            // continuing would end in a misleading deadlock report.
+            if let Some(r) = self
+                .memsys
+                .take_fault_failure()
+                .or_else(|| self.net.take_fault_failure())
+            {
+                return Err(SimError::FaultBudget(r));
+            }
+            if self.tracer.is_some() {
+                let events: Vec<_> = self
+                    .memsys
+                    .take_fault_events()
+                    .into_iter()
+                    .chain(self.net.take_fault_events())
+                    .collect();
+                for (cycle, core, site, action) in events {
+                    self.trace(TraceEvent::Fault {
+                        cycle,
+                        core,
+                        site,
+                        action,
+                    });
+                }
+            }
+        }
         self.try_mode_switch()?;
 
         let n = self.cfg.cores;
@@ -1514,7 +1708,7 @@ impl Machine {
                 .cores
                 .iter()
                 .any(|c| !matches!(c.state, CoreState::Halted | CoreState::Idle));
-            if anyone_active && now - self.last_progress > self.cfg.deadlock_window {
+            if anyone_active && now - self.last_progress > self.cfg.watchdogs.deadlock_window {
                 let (waits, cycle_path) = self.diagnose();
                 return Err(SimError::Deadlock {
                     cycle: now,
@@ -1528,7 +1722,7 @@ impl Machine {
         // resetting) but nothing architectural changes — a control-flow
         // spin. The window comparison is a single branch on the hot path;
         // the core scan only runs once the window has actually lapsed.
-        if now - self.last_arch_change > self.cfg.livelock_window
+        if now - self.last_arch_change > self.cfg.watchdogs.livelock_window
             && self
                 .cores
                 .iter()
@@ -1536,7 +1730,7 @@ impl Machine {
         {
             return Err(SimError::Livelock {
                 cycle: now,
-                window: self.cfg.livelock_window,
+                window: self.cfg.watchdogs.livelock_window,
                 dump: self.dump(),
             });
         }
@@ -1736,6 +1930,23 @@ impl Machine {
             {
                 wake = wake.min(self.interlock_wake(i));
             }
+            // A fetch hiccup is a pure timer: nothing else will wake the
+            // blocked core, so the skip must land on its expiry.
+            if self.cores[i].state == CoreState::Running && self.fetch_block[i] > prev {
+                wake = wake.min(self.fetch_block[i]);
+            }
+        }
+        // Directed machine-level fault events are pinned to cycles; both
+        // fast-forward modes must tick the cycle at which one becomes
+        // due so it fires at the same issue opportunity. (The network and
+        // bank injectors surface theirs through their own `next_event`.)
+        for inj in [self.fault_tm.as_ref(), self.fault_fetch.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            if let Some(t) = inj.next_event(prev) {
+                wake = wake.min(t.max(prev + 1));
+            }
         }
         // Watchdogs: a tick-by-tick run would declare deadlock/livelock
         // on the first cycle past its window, so never jump beyond it —
@@ -1747,11 +1958,11 @@ impl Machine {
         if anyone_active {
             let deadlock_at = self
                 .last_progress
-                .saturating_add(self.cfg.deadlock_window)
+                .saturating_add(self.cfg.watchdogs.deadlock_window)
                 .saturating_add(1);
             let livelock_at = self
                 .last_arch_change
-                .saturating_add(self.cfg.livelock_window)
+                .saturating_add(self.cfg.watchdogs.livelock_window)
                 .saturating_add(1);
             wake = wake.min(deadlock_at).min(livelock_at);
         }
@@ -2288,7 +2499,11 @@ mod tests {
             .push(Inst::new(Opcode::Jump, vec![Operand::Block(BlockId(0))]));
         let p = mk_program(vec![vec![b]], data);
         let cfg = MachineConfig {
-            livelock_window: 2_000,
+            watchdogs: crate::config::Watchdogs {
+                deadlock_window: 1_000,
+                livelock_window: 2_000,
+                ..crate::config::Watchdogs::default()
+            },
             ..MachineConfig::paper(1)
         };
         let err = Machine::new(p, &cfg).unwrap().run().unwrap_err();

@@ -22,6 +22,7 @@
 
 use crate::cache::{LineState, TagCache};
 use crate::config::{CoherenceBackend, MachineConfig};
+use crate::fault::{FaultBudgetReport, FaultKind, FaultSite, SiteFaults, SiteInjector};
 use std::collections::VecDeque;
 use std::fmt;
 use voltron_ir::Reg;
@@ -239,6 +240,41 @@ struct Bank {
     busy: u64,
 }
 
+/// Runtime fault state for the interconnect's two sites (grant loss and
+/// transient bank stalls). Present only when the machine config carries
+/// a fault plan.
+#[derive(Debug)]
+struct MemFaults {
+    grant_loss: SiteInjector,
+    stall: SiteInjector,
+    /// Reissue budget per request ([`crate::config::Watchdogs`]).
+    budget: u32,
+    backoff_base: u64,
+    /// First budget exhaustion, held for the machine to surface.
+    failure: Option<FaultBudgetReport>,
+    /// Consecutive grant losses of each bank's head request.
+    lost: Vec<u32>,
+    /// Cycle before which a bank may not grant again (post-loss backoff;
+    /// `u64::MAX` parks a bank whose budget is exhausted).
+    blocked_until: Vec<u64>,
+    log_enabled: bool,
+    events: Vec<(u64, usize, FaultSite, &'static str)>,
+}
+
+impl MemFaults {
+    /// Bounded exponential backoff, mirroring
+    /// [`crate::config::Watchdogs::backoff`].
+    fn backoff(&self, attempt: u32) -> u64 {
+        self.backoff_base << attempt.saturating_sub(1).min(10)
+    }
+
+    fn log(&mut self, now: u64, core: usize, site: FaultSite, action: &'static str) {
+        if self.log_enabled {
+            self.events.push((now, core, site, action));
+        }
+    }
+}
+
 /// The full memory system.
 #[derive(Debug)]
 pub struct MemSys {
@@ -264,6 +300,8 @@ pub struct MemSys {
     /// backend grants at most once per tick; the directory backend can
     /// grant once per bank.
     grants: Vec<(usize, &'static str, u64, u64)>,
+    /// Fault-injection state; `None` on fault-free runs.
+    faults: Option<Box<MemFaults>>,
 }
 
 impl MemSys {
@@ -294,6 +332,19 @@ impl MemSys {
             stats_c2c: 0,
             stats_mem: 0,
             grants: Vec::new(),
+            faults: cfg.faults.as_ref().map(|plan| {
+                Box::new(MemFaults {
+                    grant_loss: plan.injector(FaultSite::GrantLoss),
+                    stall: plan.injector(FaultSite::BankStall),
+                    budget: cfg.watchdogs.fault_retry_budget,
+                    backoff_base: cfg.watchdogs.fault_backoff_base,
+                    failure: None,
+                    lost: vec![0; n_banks],
+                    blocked_until: vec![0; n_banks],
+                    log_enabled: false,
+                    events: Vec::new(),
+                })
+            }),
         }
     }
 
@@ -611,8 +662,62 @@ impl MemSys {
                 }
             }
             if self.banks[b].current.is_none() {
+                // A bank backing off after a lost grant may not regrant
+                // until its retry slot (checked before any RNG draw so
+                // the draw sequence is fast-forward safe).
+                if self
+                    .faults
+                    .as_deref()
+                    .is_some_and(|f| f.blocked_until[b] > now)
+                {
+                    continue;
+                }
                 if let Some(req) = self.banks[b].queue.pop_front() {
+                    // Consult the injectors at the grant — the
+                    // architectural event. A lost grant reissues the
+                    // request at the head of the queue after backoff; a
+                    // transient stall just inflates this grant's latency.
+                    let mut extra = 0;
+                    if let Some(f) = self.faults.as_deref_mut() {
+                        if f.grant_loss.fire(now).is_some() {
+                            let attempts = f.lost[b] + 1;
+                            if attempts > f.budget {
+                                f.grant_loss.note_gave_up();
+                                f.blocked_until[b] = u64::MAX;
+                                f.failure.get_or_insert(FaultBudgetReport {
+                                    cycle: now,
+                                    site: FaultSite::GrantLoss,
+                                    attempts,
+                                    budget: f.budget,
+                                    detail: format!(
+                                        "bank {b} {} request from core {}",
+                                        req.kind.label(),
+                                        req.core
+                                    ),
+                                });
+                                f.log(now, req.core, FaultSite::GrantLoss, "gave-up");
+                            } else {
+                                f.grant_loss.note_retried(1);
+                                f.lost[b] = attempts;
+                                f.blocked_until[b] = now + f.backoff(attempts);
+                                f.log(now, req.core, FaultSite::GrantLoss, "lost");
+                            }
+                            self.banks[b].queue.push_front(req);
+                            continue;
+                        }
+                        if f.lost[b] > 0 {
+                            f.lost[b] = 0;
+                            f.grant_loss.note_recovered();
+                            f.log(now, req.core, FaultSite::GrantLoss, "recovered");
+                        }
+                        if let Some(FaultKind::Stall(d)) = f.stall.fire(now) {
+                            extra = d;
+                            f.stall.note_recovered();
+                            f.log(now, req.core, FaultSite::BankStall, "stalled");
+                        }
+                    }
                     let (lat, others) = self.grant_latency(&req);
+                    let lat = lat + extra;
                     self.stats_busy += lat;
                     self.banks[b].busy += lat;
                     self.grants
@@ -643,18 +748,34 @@ impl MemSys {
             .iter()
             .zip(&self.sb_waiting)
             .any(|(q, &w)| !q.is_empty() && !w);
-        if sb_busy
-            || self
-                .banks
-                .iter()
-                .any(|b| b.current.is_none() && !b.queue.is_empty())
-        {
+        if sb_busy {
             return Some(now);
         }
-        self.banks
-            .iter()
-            .filter_map(|b| b.current.as_ref().map(|c| c.finish))
-            .min()
+        let mut wake: Option<u64> = None;
+        let mut consider = |at: u64| {
+            if at > now && wake.is_none_or(|w| at < w) {
+                wake = Some(at);
+            }
+        };
+        for (b, bank) in self.banks.iter().enumerate() {
+            if bank.current.is_none() && !bank.queue.is_empty() {
+                // A bank backing off after a lost grant regrants at
+                // `blocked_until` (a parked gave-up bank never does; the
+                // machine surfaces the budget error instead).
+                match self.faults.as_deref().map(|f| f.blocked_until[b]) {
+                    Some(at) if at > now => {
+                        if at != u64::MAX {
+                            consider(at);
+                        }
+                    }
+                    _ => return Some(now),
+                }
+            }
+            if let Some(c) = &bank.current {
+                consider(c.finish);
+            }
+        }
+        wake
     }
 
     /// Tick from `start` until a completion arrives, returning the cycle
@@ -708,6 +829,39 @@ impl MemSys {
         self.grants.drain(..)
     }
 
+    // ---- fault injection ----
+
+    /// Enable the fault/recovery event log (only useful with a tracer
+    /// attached; unbounded otherwise, so off by default).
+    pub fn set_fault_logging(&mut self, on: bool) {
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.log_enabled = on;
+        }
+    }
+
+    /// Drain the fault/recovery log: `(cycle, core, site, action)`.
+    pub fn take_fault_events(&mut self) -> Vec<(u64, usize, FaultSite, &'static str)> {
+        self.faults
+            .as_deref_mut()
+            .map_or_else(Vec::new, |f| std::mem::take(&mut f.events))
+    }
+
+    /// The first retry-budget exhaustion, if one occurred (the machine
+    /// polls this after each tick and fails the run closed).
+    pub fn take_fault_failure(&mut self) -> Option<FaultBudgetReport> {
+        self.faults.as_deref_mut().and_then(|f| f.failure.take())
+    }
+
+    /// Per-site fault counters for the interconnect's two sites.
+    pub fn fault_stats(&self) -> Vec<(FaultSite, SiteFaults)> {
+        self.faults.as_deref().map_or_else(Vec::new, |f| {
+            vec![
+                (FaultSite::GrantLoss, f.grant_loss.stats()),
+                (FaultSite::BankStall, f.stall.stats()),
+            ]
+        })
+    }
+
     /// Cumulative interconnect-busy cycles so far, summed over banks
     /// (the interval probes' bus utilization counter; also in
     /// [`MemStats::bus_busy_cycles`]).
@@ -746,6 +900,65 @@ mod tests {
     fn run_until_completion(m: &mut MemSys, start: u64, cap: u64) -> (u64, Vec<Completion>) {
         m.run_until_completion(start, cap)
             .expect("a completion within the window")
+    }
+
+    #[test]
+    fn lost_grant_is_reissued_after_backoff() {
+        use crate::fault::FaultPlan;
+        let mut cfg = MachineConfig::paper(4);
+        cfg.faults = Some(FaultPlan::seeded(0, 0.0).with_event(0, FaultKind::GrantLoss));
+        let mut m = MemSys::new(&cfg);
+        m.load(0, 0x1_0000, r0(), 0);
+        // The first grant attempt loses; the bank backs off 8 cycles and
+        // regrants, so the fill completes one backoff later than clean.
+        let (t, c) = m.run_until_completion(0, 1000).unwrap();
+        assert!(matches!(c[0], Completion::LoadFill { core: 0, .. }));
+        let clean = {
+            let mut m = sys();
+            m.load(0, 0x1_0000, r0(), 0);
+            m.run_until_completion(0, 1000).unwrap().0
+        };
+        assert_eq!(t, clean + 8);
+        let gl = m.fault_stats()[0].1;
+        assert_eq!((gl.injected, gl.retried, gl.recovered), (1, 1, 1));
+        assert!(m.take_fault_failure().is_none());
+    }
+
+    #[test]
+    fn bank_stall_inflates_one_grant() {
+        use crate::fault::FaultPlan;
+        let mut cfg = MachineConfig::paper(4);
+        cfg.faults = Some(FaultPlan::seeded(0, 0.0).with_event(0, FaultKind::Stall(11)));
+        let mut m = MemSys::new(&cfg);
+        m.load(0, 0x1_0000, r0(), 0);
+        let (t, _) = m.run_until_completion(0, 1000).unwrap();
+        let clean = {
+            let mut m = sys();
+            m.load(0, 0x1_0000, r0(), 0);
+            m.run_until_completion(0, 1000).unwrap().0
+        };
+        assert_eq!(t, clean + 11);
+        let st = m.fault_stats()[1].1;
+        assert_eq!((st.injected, st.recovered), (1, 1));
+    }
+
+    #[test]
+    fn grant_loss_budget_exhaustion_fails_closed() {
+        use crate::fault::FaultPlan;
+        let mut cfg = MachineConfig::paper(4);
+        cfg.faults = Some(FaultPlan::seeded(1, 1.0).only(FaultSite::GrantLoss));
+        let mut m = MemSys::new(&cfg);
+        m.load(0, 0x1_0000, r0(), 0);
+        for t in 0..5000 {
+            m.tick(t);
+        }
+        let report = m.take_fault_failure().expect("budget must exhaust");
+        assert_eq!(report.site, FaultSite::GrantLoss);
+        assert!(report.attempts > report.budget);
+        assert!(report.detail.contains("read-shared"));
+        assert_eq!(m.fault_stats()[0].1.gave_up, 1);
+        // The parked bank never regrants and never wakes fast-forward.
+        assert_eq!(m.next_event(5000), None);
     }
 
     #[test]

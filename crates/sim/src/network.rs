@@ -47,6 +47,7 @@
 //!   instead of an all-cores scan per probe.
 
 use crate::config::MachineConfig;
+use crate::fault::{FaultBudgetReport, FaultKind, FaultSite, SiteFaults, SiteInjector};
 use std::collections::{HashMap, VecDeque};
 use voltron_ir::{BlockId, Dir, Value};
 
@@ -153,6 +154,66 @@ impl RecvSide {
     }
 }
 
+/// A send-queue entry. Fault-free runs only ever see `enq` vary: the
+/// retry state stays zeroed and the sequence number is stamped only when
+/// a fault plan is attached, so the hot path is untouched.
+#[derive(Debug, Clone, Copy)]
+struct SendEntry {
+    msg: Message,
+    /// Enqueue cycle (for the latency statistic).
+    enq: u64,
+    /// Drop-retry count for this message (fault injection only).
+    attempts: u32,
+    /// Cycle before which the head must not reinject (exponential
+    /// backoff after a drop; `u64::MAX` parks a head whose budget is
+    /// exhausted until the machine surfaces the typed error).
+    not_before: u64,
+    /// The message was already delivered once; this entry is the
+    /// injected duplicate the receiver must dedup.
+    dup: bool,
+    /// Per-`(from, to, tag)` stream sequence number (fault runs only).
+    seq: u64,
+}
+
+/// Runtime fault state for the network's three sites. Present only when
+/// the machine config carries a fault plan; `None` keeps every fault
+/// branch off the fault-free hot path.
+#[derive(Debug)]
+struct NetFaults {
+    drop: SiteInjector,
+    delay: SiteInjector,
+    dup: SiteInjector,
+    /// Drop-retry budget per message ([`crate::config::Watchdogs`]).
+    budget: u32,
+    /// Backoff base ([`crate::config::Watchdogs::fault_backoff_base`]).
+    backoff_base: u64,
+    /// First budget exhaustion, held for the machine to surface.
+    failure: Option<FaultBudgetReport>,
+    /// `tx_seq[from]`: next sequence number per `(to, tag)` stream.
+    tx_seq: Vec<HashMap<(usize, u32), u64>>,
+    /// `rx_seq[to][from]`: next expected sequence number per tag; a
+    /// delivery below it is a duplicate and is dropped at CAM insertion.
+    rx_seq: Vec<Vec<HashMap<u32, u64>>>,
+    /// Fault/recovery log `(cycle, core, site, action)` drained by the
+    /// machine into trace events; populated only when a tracer asks.
+    log_enabled: bool,
+    events: Vec<(u64, usize, FaultSite, &'static str)>,
+}
+
+impl NetFaults {
+    /// Bounded exponential backoff, mirroring
+    /// [`crate::config::Watchdogs::backoff`].
+    fn backoff(&self, attempt: u32) -> u64 {
+        self.backoff_base << attempt.saturating_sub(1).min(10)
+    }
+
+    fn log(&mut self, now: u64, core: usize, site: FaultSite, action: &'static str) {
+        if self.log_enabled {
+            self.events.push((now, core, site, action));
+        }
+    }
+}
+
 /// Network statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -174,8 +235,10 @@ pub struct OperandNetwork {
     width: usize,
     /// `neighbor[core * 4 + dir]`, cached off the config.
     neighbor: Vec<Option<usize>>,
-    send_q: Vec<VecDeque<(Message, u64)>>, // (message, enqueue cycle)
+    send_q: Vec<VecDeque<SendEntry>>,
     recv: Vec<RecvSide>,
+    /// Fault-injection state; `None` on fault-free runs.
+    faults: Option<Box<NetFaults>>,
     /// Monotone counter stamping queue-mode deliveries in order.
     deliver_seq: u64,
     /// Next-free cycle per directed mesh link, indexed by the link's
@@ -200,11 +263,26 @@ impl OperandNetwork {
                 neighbor[core * LINKS + dir_index(d)] = cfg.neighbor(core, d);
             }
         }
+        let faults = cfg.faults.as_ref().map(|plan| {
+            Box::new(NetFaults {
+                drop: plan.injector(FaultSite::NetDrop),
+                delay: plan.injector(FaultSite::NetDelay),
+                dup: plan.injector(FaultSite::NetDuplicate),
+                budget: cfg.watchdogs.fault_retry_budget,
+                backoff_base: cfg.watchdogs.fault_backoff_base,
+                failure: None,
+                tx_seq: (0..n).map(|_| HashMap::new()).collect(),
+                rx_seq: (0..n).map(|_| vec![HashMap::new(); n]).collect(),
+                log_enabled: false,
+                events: Vec::new(),
+            })
+        });
         OperandNetwork {
             width: cfg.mesh_width(),
             neighbor,
             send_q: (0..n).map(|_| VecDeque::new()).collect(),
             recv: (0..n).map(|_| RecvSide::new(n)).collect(),
+            faults,
             deliver_seq: 0,
             link_free: vec![0; n * LINKS],
             direct: vec![None; n * LINKS],
@@ -223,15 +301,30 @@ impl OperandNetwork {
         if self.send_q[from].len() >= self.cfg.queue_depth {
             return false;
         }
-        self.send_q[from].push_back((
-            Message {
+        // Stream sequence numbers exist only to let the receiver dedup
+        // injected duplicates; fault-free runs never stamp or check them.
+        let seq = match self.faults.as_mut() {
+            Some(f) => {
+                let s = f.tx_seq[from].entry((to, tag)).or_insert(0);
+                let seq = *s;
+                *s += 1;
+                seq
+            }
+            None => 0,
+        };
+        self.send_q[from].push_back(SendEntry {
+            msg: Message {
                 from,
                 to,
                 tag,
                 payload,
             },
-            now,
-        ));
+            enq: now,
+            attempts: 0,
+            not_before: 0,
+            dup: false,
+            seq,
+        });
         true
     }
 
@@ -311,9 +404,59 @@ impl OperandNetwork {
     /// configured depth, which is what bounds producer run-ahead cost.
     pub fn tick(&mut self, now: u64) {
         for core in 0..self.cfg.cores {
-            let Some(&(msg, enq)) = self.send_q[core].front() else {
+            let Some(&entry) = self.send_q[core].front() else {
                 continue;
             };
+            // A head backing off after a drop waits for its retry slot.
+            if entry.not_before > now {
+                continue;
+            }
+            let msg = entry.msg;
+            // Consult the fault injectors at the injection attempt — the
+            // architectural event, so the draw sequence is identical with
+            // fast-forward on or off. An injected duplicate resend is
+            // recovery machinery, not a fresh send: it draws nothing.
+            let mut extra_delay = 0;
+            let mut duplicate_after = false;
+            if let Some(f) = self.faults.as_deref_mut() {
+                if !entry.dup {
+                    if f.drop.fire(now).is_some() {
+                        // Dropped at injection: no link is reserved, the
+                        // head stays queued and reinjects after backoff.
+                        let attempts = entry.attempts + 1;
+                        let head = self.send_q[core].front_mut().expect("head exists");
+                        if attempts > f.budget {
+                            f.drop.note_gave_up();
+                            head.not_before = u64::MAX;
+                            f.failure.get_or_insert(FaultBudgetReport {
+                                cycle: now,
+                                site: FaultSite::NetDrop,
+                                attempts,
+                                budget: f.budget,
+                                detail: format!(
+                                    "message core {} -> core {} tag {}",
+                                    msg.from, msg.to, msg.tag
+                                ),
+                            });
+                            f.log(now, core, FaultSite::NetDrop, "gave-up");
+                        } else {
+                            f.drop.note_retried(1);
+                            head.attempts = attempts;
+                            head.not_before = now + f.backoff(attempts);
+                            f.log(now, core, FaultSite::NetDrop, "dropped");
+                        }
+                        continue;
+                    }
+                    if let Some(FaultKind::Delay(d)) = f.delay.fire(now) {
+                        extra_delay = d;
+                        f.log(now, core, FaultSite::NetDelay, "delayed");
+                    }
+                    if f.dup.fire(now).is_some() {
+                        duplicate_after = true;
+                        f.log(now, core, FaultSite::NetDuplicate, "duplicated");
+                    }
+                }
+            }
             // Walk the XY route, reserving each directed link as it is
             // crossed. A link appears at most once on an XY path, so
             // committing reservations inline is the same as computing
@@ -347,8 +490,34 @@ impl OperandNetwork {
             // the paper's 2-cycle fixed overhead; the first was the send
             // queue write, already implied by injecting one cycle after
             // the SEND executed).
-            let available = t + self.cfg.queue_overhead - 1;
-            self.send_q[core].pop_front();
+            let available = t + self.cfg.queue_overhead - 1 + extra_delay;
+            if duplicate_after {
+                // Keep the head: the next tick reinjects it as the
+                // duplicate (consuming real link bandwidth) and the
+                // receiver's sequence check drops it at CAM insertion.
+                self.send_q[core].front_mut().expect("head exists").dup = true;
+            } else {
+                self.send_q[core].pop_front();
+            }
+            // Receive-side idempotence: a delivery below the expected
+            // stream sequence is a duplicate — count it recovered and
+            // drop it before it reaches the CAM.
+            if let Some(f) = self.faults.as_deref_mut() {
+                let expected = f.rx_seq[msg.to][msg.from].entry(msg.tag).or_insert(0);
+                if entry.seq < *expected {
+                    f.dup.note_recovered();
+                    f.log(now, core, FaultSite::NetDuplicate, "deduped");
+                    continue;
+                }
+                *expected = entry.seq + 1;
+                if entry.attempts > 0 {
+                    f.drop.note_recovered();
+                    f.log(now, core, FaultSite::NetDrop, "recovered");
+                }
+                if extra_delay > 0 {
+                    f.delay.note_recovered();
+                }
+            }
             let side = &mut self.recv[msg.to];
             match msg.payload {
                 Payload::Data(v) => {
@@ -367,7 +536,7 @@ impl OperandNetwork {
             side.buffered += 1;
             self.deliver_seq += 1;
             self.stats.messages += 1;
-            self.stats.total_latency += available.saturating_sub(enq);
+            self.stats.total_latency += available.saturating_sub(entry.enq);
         }
     }
 
@@ -487,7 +656,7 @@ impl OperandNetwork {
     /// `core`'s send-queue head destination (if any) and total occupancy.
     pub fn send_queue(&self, core: usize) -> (Option<usize>, usize) {
         (
-            self.send_q[core].front().map(|(m, _)| m.to),
+            self.send_q[core].front().map(|e| e.msg.to),
             self.send_q[core].len(),
         )
     }
@@ -505,6 +674,40 @@ impl OperandNetwork {
         self.stats
     }
 
+    // ---- fault injection ----
+
+    /// Enable the fault/recovery event log (only useful with a tracer
+    /// attached; unbounded otherwise, so off by default).
+    pub fn set_fault_logging(&mut self, on: bool) {
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.log_enabled = on;
+        }
+    }
+
+    /// Drain the fault/recovery log: `(cycle, core, site, action)`.
+    pub fn take_fault_events(&mut self) -> Vec<(u64, usize, FaultSite, &'static str)> {
+        self.faults
+            .as_deref_mut()
+            .map_or_else(Vec::new, |f| std::mem::take(&mut f.events))
+    }
+
+    /// The first retry-budget exhaustion, if one occurred (the machine
+    /// polls this after each tick and fails the run closed).
+    pub fn take_fault_failure(&mut self) -> Option<FaultBudgetReport> {
+        self.faults.as_deref_mut().and_then(|f| f.failure.take())
+    }
+
+    /// Per-site fault counters for the network's three sites.
+    pub fn fault_stats(&self) -> Vec<(FaultSite, SiteFaults)> {
+        self.faults.as_deref().map_or_else(Vec::new, |f| {
+            vec![
+                (FaultSite::NetDrop, f.drop.stats()),
+                (FaultSite::NetDelay, f.delay.stats()),
+                (FaultSite::NetDuplicate, f.dup.stats()),
+            ]
+        })
+    }
+
     /// Earliest future cycle at which the network's observable state can
     /// change on its own, for the machine's fast-forward engine.
     ///
@@ -519,15 +722,25 @@ impl OperandNetwork {
     /// and skips again — and heads suffice because every bucket is in
     /// availability order.
     pub fn next_event(&self, now: u64) -> Option<u64> {
-        if self.send_q.iter().any(|q| !q.is_empty()) {
-            return Some(now);
-        }
         let mut wake: Option<u64> = None;
         let mut consider = |at: u64| {
             if at > now && wake.is_none_or(|w| at < w) {
                 wake = Some(at);
             }
         };
+        for q in &self.send_q {
+            if let Some(e) = q.front() {
+                if e.not_before <= now {
+                    return Some(now);
+                }
+                // A head backing off after a drop retries at `not_before`
+                // (a parked gave-up head never does; the machine surfaces
+                // the budget error instead).
+                if e.not_before != u64::MAX {
+                    consider(e.not_before);
+                }
+            }
+        }
         for (_, at) in self.direct.iter().chain(self.bcast.iter()).flatten() {
             consider(*at);
         }
@@ -552,9 +765,16 @@ impl OperandNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn net(cores: usize) -> OperandNetwork {
         OperandNetwork::new(&MachineConfig::paper(cores))
+    }
+
+    fn faulty_net(cores: usize, plan: FaultPlan) -> OperandNetwork {
+        let mut cfg = MachineConfig::paper(cores);
+        cfg.faults = Some(plan);
+        OperandNetwork::new(&cfg)
     }
 
     #[test]
@@ -696,6 +916,79 @@ mod tests {
         n.recv(1, 0, 0, 3);
         assert!(!n.can_recv(1, 0, 0, 3));
         assert!(n.can_recv(1, 0, 0, 4));
+    }
+
+    #[test]
+    fn dropped_flit_retries_after_backoff_and_delivers() {
+        let plan = FaultPlan::seeded(0, 0.0).with_event(0, FaultKind::Drop);
+        let mut n = faulty_net(2, plan);
+        assert!(n.send(0, 1, 7, Payload::Data(Value::Int(42)), 0));
+        // First injection attempt (cycle 1) drops; backoff base is 8, so
+        // the head reinjects at cycle 9 and is available at 9 + 1 hop
+        // + 1 insertion cycle.
+        n.tick(1);
+        assert_eq!(n.next_event(1), Some(9));
+        for t in 2..=9 {
+            n.tick(t);
+        }
+        assert!(!n.can_recv(1, 0, 7, 10));
+        assert!(n.can_recv(1, 0, 7, 11));
+        assert_eq!(n.recv(1, 0, 7, 11), Some(Value::Int(42)));
+        let drop = n.fault_stats()[FaultSite::NetDrop.index()].1;
+        assert_eq!((drop.injected, drop.retried, drop.recovered), (1, 1, 1));
+        assert!(n.take_fault_failure().is_none());
+    }
+
+    #[test]
+    fn delayed_flit_arrives_late_but_intact() {
+        let plan = FaultPlan::seeded(0, 0.0).with_event(0, FaultKind::Delay(5));
+        let mut n = faulty_net(2, plan);
+        assert!(n.send(0, 1, 0, Payload::Data(Value::Int(9)), 10));
+        n.tick(11);
+        // Fault-free availability is 13; the injected delay adds 5.
+        assert!(!n.can_recv(1, 0, 0, 17));
+        assert!(n.can_recv(1, 0, 0, 18));
+        assert_eq!(n.recv(1, 0, 0, 18), Some(Value::Int(9)));
+        let delay = n.fault_stats()[FaultSite::NetDelay.index()].1;
+        assert_eq!((delay.injected, delay.recovered), (1, 1));
+    }
+
+    #[test]
+    fn duplicated_flit_is_deduped_at_the_receiver() {
+        let plan = FaultPlan::seeded(0, 0.0).with_event(0, FaultKind::Duplicate);
+        let mut n = faulty_net(2, plan);
+        assert!(n.send(0, 1, 0, Payload::Data(Value::Int(1)), 0));
+        assert!(n.send(0, 1, 0, Payload::Data(Value::Int(2)), 0));
+        for t in 1..10 {
+            n.tick(t);
+        }
+        // The receiver sees each value exactly once, in order.
+        assert_eq!(n.recv(1, 0, 0, 20), Some(Value::Int(1)));
+        assert_eq!(n.recv(1, 0, 0, 20), Some(Value::Int(2)));
+        assert_eq!(n.recv(1, 0, 0, 20), None);
+        let dup = n.fault_stats()[FaultSite::NetDuplicate.index()].1;
+        assert_eq!((dup.injected, dup.recovered), (1, 1));
+        assert!(n.quiescent(0) && n.quiescent(1));
+    }
+
+    #[test]
+    fn drop_budget_exhaustion_fails_closed() {
+        // Rate 1.0 on the drop site alone: every injection attempt drops,
+        // so the default budget of 8 retries must run out.
+        let mut n = faulty_net(2, FaultPlan::seeded(1, 1.0).only(FaultSite::NetDrop));
+        assert!(n.send(0, 1, 3, Payload::Data(Value::Int(5)), 0));
+        for t in 1..2100 {
+            n.tick(t);
+        }
+        let report = n.take_fault_failure().expect("budget must exhaust");
+        assert_eq!(report.site, FaultSite::NetDrop);
+        assert!(report.attempts > report.budget);
+        assert!(report.detail.contains("core 0 -> core 1"));
+        let drop = n.fault_stats()[FaultSite::NetDrop.index()].1;
+        assert_eq!(drop.gave_up, 1);
+        // The parked head never delivers and never wakes fast-forward.
+        assert!(!n.can_recv(1, 0, 3, 10_000));
+        assert_eq!(n.next_event(2100), None);
     }
 
     #[test]

@@ -31,6 +31,8 @@ const TID_REGION: u64 = 90;
 const TID_MODE: u64 = 91;
 /// Virtual thread id of the bus-occupancy track.
 const TID_BUS: u64 = 92;
+/// Virtual thread id of the fault-injection track.
+const TID_FAULT: u64 = 93;
 /// Base virtual thread id of the per-core TM tracks.
 const TID_TM_BASE: u64 = 100;
 
@@ -93,6 +95,7 @@ impl ChromeTracer {
             TID_REGION => "regions".to_string(),
             TID_MODE => "mode".to_string(),
             TID_BUS => "bus".to_string(),
+            TID_FAULT => "faults".to_string(),
             t if t >= TID_TM_BASE => format!("tm {}", t - TID_TM_BASE),
             t => format!("core {t}"),
         };
@@ -300,6 +303,19 @@ impl Tracer for ChromeTracer {
             }
             TraceEvent::Halt { cycle, core } => {
                 self.instant(core as u64, cycle, "thread", "halt");
+            }
+            TraceEvent::Fault {
+                cycle,
+                core,
+                site,
+                action,
+            } => {
+                self.instant(
+                    TID_FAULT,
+                    cycle,
+                    "fault",
+                    &format!("{} {action} (core {core})", site.label()),
+                );
             }
         }
     }

@@ -6,6 +6,7 @@
 //! the paper's "call return sync" category; calls are inlined here, so the
 //! synchronization happens at region boundaries instead, see DESIGN.md).
 
+use crate::fault::FaultStats;
 use crate::memsys::MemStats;
 use crate::network::NetStats;
 use crate::tm::TmStats;
@@ -182,6 +183,9 @@ pub struct MachineStats {
     pub mode_switches: u64,
     /// Dynamic instructions issued (all cores, including NOPs).
     pub dynamic_insts: u64,
+    /// Fault-injection accounting (all zeros when the fault layer is
+    /// disabled, so `FaultStats::any` gates every report section).
+    pub faults: FaultStats,
 }
 
 impl MachineStats {

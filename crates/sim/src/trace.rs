@@ -11,6 +11,7 @@
 //! path; a tracer that wants to keep an event must render or copy what
 //! it needs inside [`Tracer::event`].
 
+use crate::fault::FaultSite;
 use crate::stats::StallReason;
 use std::fmt::Write as _;
 use voltron_ir::{ExecMode, Inst};
@@ -156,6 +157,20 @@ pub enum TraceEvent<'a> {
         from: usize,
         /// Stream tag.
         tag: u32,
+    },
+    /// The fault layer injected or recovered from a fault (see
+    /// [`crate::fault`]). Emitted only when a plan is active, so
+    /// fault-free traces are untouched.
+    Fault {
+        /// Cycle of the fault action.
+        cycle: u64,
+        /// The core the fault struck (sender/requester for
+        /// network/interconnect sites).
+        core: usize,
+        /// Injection site.
+        site: FaultSite,
+        /// What happened ("dropped", "retried", "spurious abort", ...).
+        action: &'static str,
     },
 }
 
@@ -314,6 +329,14 @@ impl Tracer for TextTracer {
                 tag,
             } => {
                 format!("[{cycle:>8}] core{core} RECV <- core{from} tag {tag}")
+            }
+            TraceEvent::Fault {
+                cycle,
+                core,
+                site,
+                action,
+            } => {
+                format!("[{cycle:>8}] core{core} FAULT {} {action}", site.label())
             }
         };
         self.lines.push(line);

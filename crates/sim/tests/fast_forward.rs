@@ -362,8 +362,8 @@ proptest! {
         w.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = program(vec![vec![c0, c0b], vec![sleep_stub(), w]], data);
         let mut cfg = MachineConfig::paper(2);
-        cfg.deadlock_window = 500;
-        cfg.livelock_window = 2_000;
+        cfg.watchdogs.deadlock_window = 500;
+        cfg.watchdogs.livelock_window = 2_000;
         cfg.max_cycles = 20_000;
         match (run_with(&p, &cfg, false), run_with(&p, &cfg, true)) {
             (Ok(off), Ok(on)) => assert_equivalent(&off, &on),
@@ -397,8 +397,8 @@ proptest! {
         w.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = program(vec![vec![c0], vec![sleep_stub(), w]], data);
         let mut cfg = MachineConfig::paper(2);
-        cfg.deadlock_window = 500;
-        cfg.livelock_window = 2_000;
+        cfg.watchdogs.deadlock_window = 500;
+        cfg.watchdogs.livelock_window = 2_000;
         cfg.max_cycles = 20_000;
         cfg.probe_period = Some(7);
         match (run_with(&p, &cfg, false), run_with(&p, &cfg, true)) {

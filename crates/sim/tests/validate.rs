@@ -348,7 +348,7 @@ fn runtime_cross_recv_reports_a_wait_cycle() {
     w.insts.push(Inst::new(Opcode::Sleep, vec![]));
     let p = program(vec![vec![c0], vec![sleep_stub(), w]], data());
     let mut cfg = MachineConfig::paper(2);
-    cfg.deadlock_window = 2_000;
+    cfg.watchdogs.deadlock_window = 2_000;
     match Machine::new(p, &cfg).unwrap().run() {
         Err(SimError::Deadlock {
             waits, cycle_path, ..
@@ -545,8 +545,8 @@ proptest! {
         w.insts.push(Inst::new(Opcode::Sleep, vec![]));
         let p = program(vec![vec![c0, c0b], vec![sleep_stub(), w]], data);
         let mut cfg = MachineConfig::paper(2);
-        cfg.deadlock_window = 500;
-        cfg.livelock_window = 2_000;
+        cfg.watchdogs.deadlock_window = 500;
+        cfg.watchdogs.livelock_window = 2_000;
         cfg.max_cycles = 20_000;
         // Both arms are typed; reaching either (or a clean run) is a
         // pass. A panic anywhere in the pipeline fails the property.

@@ -59,6 +59,26 @@ cargo run --release -q -p voltron-bench --bin bench_one -- 164.gzip \
     > /dev/null
 cargo run --release -q -p voltron-bench --bin trace_check -- target/smoke/trace.json 4
 
+echo "== chaos smoke: fixed-seed fault plan + retries, no hard failures"
+# The whole figure path under fire (DESIGN.md §10): a seeded fault plan
+# across every site, failed workloads retried under reseeded plans. Any
+# hard failure (a workload no retry could save) fails the gate; the
+# chaos suite proper (tests/fault_recovery.rs) runs with tier-1 above.
+cargo run --release -q -p voltron-bench --bin fig13 -- --test --bench 164.gzip \
+    --faults seed=7,rate=0.002 --retries 2 > /dev/null
+grep -q '"hard":0' BENCH_fig13.json || {
+    echo "chaos smoke left hard failures in BENCH_fig13.json" >&2
+    exit 1
+}
+
+echo "== fault-off golden matrix: the compiled-in chaos layer is invisible"
+# The fingerprints above already ran with faults=None; re-run the full
+# matrix once more after the chaos smoke to pin that nothing the fault
+# layer touched (stats plumbing, watchdog wiring, trace tracks) moved an
+# architectural number in any {obs, ff} corner.
+cargo test --release -q --test cycle_golden
+CYCLE_GOLDEN_OBS=1 CYCLE_GOLDEN_FF=off cargo test --release -q --test cycle_golden
+
 echo "== workspace tests (release)"
 cargo test --workspace --release -q
 
