@@ -1,0 +1,162 @@
+//! Compare two `BENCH_*.json` sidecars and fail on perf regressions:
+//! `cargo run -p voltron-bench --bin bench_diff -- <old.json> <new.json>
+//!  [--tolerance FRAC]`
+//!
+//! The gate has two teeth, matched to what each number means:
+//!
+//! * **Simulated cycles are deterministic.** For every (workload,
+//!   strategy, cores, backend) run present in both files, the cycle
+//!   counts must match *exactly* — cycles move only when the compiler or
+//!   simulator changes, so any unexplained drift is a regression (or an
+//!   unpinned improvement; both deserve a failing gate and a fingerprint
+//!   update). A run present in the old file but missing from the new one
+//!   also fails: coverage loss hides regressions.
+//! * **Host throughput is noisy.** The sweep-level
+//!   `cycles_per_host_second` may regress by at most `--tolerance`
+//!   (default 0.5, i.e. the new sweep must keep >= 50% of the old
+//!   simulation rate) before the gate trips; machines and load vary, a
+//!   2x slowdown does not.
+//!
+//! Exit status: 0 when clean (improvements and new runs are reported but
+//! pass), 1 on any regression, 2 on usage/parse errors.
+
+use voltron_bench::jsonv::{parse, JValue};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <old.json> <new.json> [--tolerance FRAC]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> JValue {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&src).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Flatten a sidecar into ((workload, strategy, cores, backend) -> cycles).
+fn runs(doc: &JValue) -> Vec<((String, String, u64, String), u64)> {
+    let mut out = Vec::new();
+    let Some(workloads) = doc.get("workloads").and_then(JValue::as_arr) else {
+        return out;
+    };
+    for w in workloads {
+        let name = w.get("name").and_then(JValue::as_str).unwrap_or("?");
+        let Some(rs) = w.get("runs").and_then(JValue::as_arr) else {
+            continue;
+        };
+        for r in rs {
+            let key = (
+                name.to_string(),
+                r.get("strategy")
+                    .and_then(JValue::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                r.get("cores").and_then(JValue::as_num).unwrap_or(0.0) as u64,
+                r.get("backend")
+                    .and_then(JValue::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            );
+            let cycles = r.get("cycles").and_then(JValue::as_num).unwrap_or(0.0) as u64;
+            out.push((key, cycles));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut positional = Vec::new();
+    let mut tolerance = 0.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if !(0.0..=1.0).contains(&tolerance) {
+                    eprintln!("bench_diff: --tolerance must be in [0, 1]");
+                    std::process::exit(2);
+                }
+            }
+            _ => positional.push(a),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    let (old_path, new_path) = (&positional[0], &positional[1]);
+    let old = load(old_path);
+    let new = load(new_path);
+
+    let old_runs = runs(&old);
+    let new_runs = runs(&new);
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut matched = 0usize;
+    for (key, old_cycles) in &old_runs {
+        let (name, strategy, cores, backend) = key;
+        match new_runs.iter().find(|(k, _)| k == key) {
+            None => {
+                eprintln!(
+                    "bench_diff: REGRESSION {name} {strategy}/{cores}/{backend}: \
+                     run missing from {new_path}"
+                );
+                regressions += 1;
+            }
+            Some((_, new_cycles)) if new_cycles > old_cycles => {
+                eprintln!(
+                    "bench_diff: REGRESSION {name} {strategy}/{cores}/{backend}: \
+                     {old_cycles} -> {new_cycles} cycles \
+                     (+{:.2}%)",
+                    100.0 * (*new_cycles as f64 / *old_cycles as f64 - 1.0)
+                );
+                regressions += 1;
+            }
+            Some((_, new_cycles)) if new_cycles < old_cycles => {
+                println!(
+                    "bench_diff: improved {name} {strategy}/{cores}/{backend}: \
+                     {old_cycles} -> {new_cycles} cycles"
+                );
+                improvements += 1;
+            }
+            Some(_) => matched += 1,
+        }
+    }
+    for (key, _) in &new_runs {
+        if !old_runs.iter().any(|(k, _)| k == key) {
+            let (name, strategy, cores, backend) = key;
+            println!("bench_diff: new run {name} {strategy}/{cores}/{backend}");
+        }
+    }
+
+    let rate = |doc: &JValue| {
+        doc.get("cycles_per_host_second")
+            .and_then(JValue::as_num)
+            .unwrap_or(0.0)
+    };
+    let (old_rate, new_rate) = (rate(&old), rate(&new));
+    if old_rate > 0.0 && new_rate < old_rate * tolerance {
+        eprintln!(
+            "bench_diff: REGRESSION host throughput {old_rate:.0} -> {new_rate:.0} \
+             cycles/s (below {:.0}% tolerance floor)",
+            100.0 * tolerance
+        );
+        regressions += 1;
+    }
+
+    if regressions > 0 {
+        eprintln!("bench_diff: {regressions} regression(s) against {old_path}");
+        std::process::exit(1);
+    }
+    println!(
+        "bench_diff: OK ({matched} runs identical, {improvements} improved, \
+         throughput {old_rate:.0} -> {new_rate:.0} cycles/s)"
+    );
+}

@@ -8,7 +8,9 @@
 //! (open the file in <https://ui.perfetto.dev>) and/or an interval probe
 //! series, whose summary also lands in `BENCH_bench_one.json`.
 
-use voltron_bench::harness::{bench_json, chaos_json, workload_summary, DEFAULT_PROBE_PERIOD};
+use voltron_bench::harness::{
+    append_history, bench_json, chaos_json, history_row, workload_summary, DEFAULT_PROBE_PERIOD,
+};
 use voltron_core::report::throughput;
 use voltron_core::{Experiment, FaultPlan, ObsRequest, StallCategory, Strategy};
 use voltron_sim::CoherenceBackend;
@@ -17,7 +19,7 @@ use voltron_workloads::{by_name, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: bench_one <benchmark> [--full] [--trace-out FILE] [--probes-out FILE] \
-         [--backend snooping|directory] [--faults seed=N,rate=R[,site=LABEL]]"
+         [--backend snooping|directory] [--faults seed=N,rate=R[,site=LABEL]] [--whatif]"
     );
     std::process::exit(2);
 }
@@ -30,11 +32,13 @@ fn main() {
     let mut probes_out: Option<String> = None;
     let mut backend = CoherenceBackend::Snooping;
     let mut faults: Option<FaultPlan> = None;
+    let mut whatif = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
             "--test" => scale = Scale::Test,
+            "--whatif" => whatif = true,
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--probes-out" => probes_out = Some(args.next().unwrap_or_else(|| usage())),
             "--backend" => {
@@ -130,11 +134,37 @@ fn main() {
             Err(e) => eprintln!("[bench_one] observed run failed: {e}"),
         }
     }
+    // Bottleneck pass: diagnose the 4-core hybrid. The measured run is
+    // already cached, so this only pays for the five idealized re-runs.
+    let mut whatif_report = None;
+    if whatif {
+        match exp.whatif_on(Strategy::Hybrid, 4, backend) {
+            Ok(report) => {
+                println!(
+                    "\nbottleneck (hybrid/4): bound by {}, best ceiling {} ({:.2}x)",
+                    report.bound_by,
+                    report.best_ceiling().knob,
+                    report.best_ceiling().speedup_ceiling
+                );
+                for c in &report.ceilings {
+                    println!(
+                        "{:>22}: {:>9} cycles  ceiling {:.2}x",
+                        c.knob.label(),
+                        c.ideal_cycles,
+                        c.speedup_ceiling
+                    );
+                }
+                whatif_report = Some(report);
+            }
+            Err(e) => eprintln!("[bench_one] what-if pass failed: {e}"),
+        }
+    }
     let secs = t0.elapsed().as_secs_f64();
     eprintln!("[bench_one] {}", throughput(exp.simulated_cycles(), secs));
     let scale_name = if scale == Scale::Full { "full" } else { "test" };
     let mut summary = workload_summary(w.name, &exp, secs);
     summary.probes = probe_summary;
+    summary.whatif = whatif_report;
     if summary.faults.any() {
         eprintln!(
             "[bench_one] faults: {} injected, {} recovered, {} gave up",
@@ -144,17 +174,27 @@ fn main() {
         );
     }
     let chaos = faults.as_ref().map(|p| chaos_json(Some(p), 0, &[], 0));
+    let summaries = [summary];
     let doc = bench_json(
         "bench_one",
         scale_name,
         exp.simulated_cycles(),
         exp.ticked_cycles(),
         secs,
-        &[summary],
+        &summaries,
         &[],
         chaos,
     );
     if let Err(e) = std::fs::write("BENCH_bench_one.json", doc.render()) {
         eprintln!("[bench_one] cannot write BENCH_bench_one.json: {e}");
     }
+    append_history(&history_row(
+        "bench_one",
+        scale_name,
+        exp.simulated_cycles(),
+        exp.ticked_cycles(),
+        secs,
+        &summaries,
+        0,
+    ));
 }

@@ -1,0 +1,158 @@
+//! Answer "what is this benchmark bound by, and what would fixing it
+//! buy?" — the CPI stack of a measured run, its per-region
+//! classification, and the counterfactual speedup ceiling of each
+//! one-hot hardware idealization (see `voltron_sim::whatif`).
+//!
+//! `cargo run -p voltron-bench --bin bottleneck -- <benchmark>
+//!  [serial|ilp|ftlp|llp|hybrid] [cores] [--full]
+//!  [--backend snooping|directory]`
+//!
+//! `--all` instead sweeps every workload and prints one summary line
+//! each (dominant class + best ceiling) — the quick "where should
+//! optimization effort go?" scan the README recipe starts from.
+
+use voltron_core::{Experiment, Strategy, WhatIfReport};
+use voltron_sim::CoherenceBackend;
+use voltron_workloads::{all, by_name, Scale, Workload};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bottleneck <benchmark> [serial|ilp|ftlp|llp|hybrid] [cores] \
+         [--full] [--backend snooping|directory]\n\
+         \x20      bottleneck --all [--full] [--backend snooping|directory]"
+    );
+    std::process::exit(2);
+}
+
+fn diagnose(w: &Workload, strategy: Strategy, cores: usize, backend: CoherenceBackend) {
+    let mut exp = Experiment::new(&w.program).unwrap_or_else(|e| panic!("{e}"));
+    let report = exp
+        .whatif_on(strategy, cores, backend)
+        .unwrap_or_else(|e| panic!("{e}"));
+    println!("== {} / {strategy} / {cores} cores ==", w.name);
+    println!(
+        "measured {} cycles (serial baseline {}, speedup {:.2})",
+        report.measured_cycles,
+        exp.baseline_cycles(),
+        exp.baseline_cycles() as f64 / report.measured_cycles.max(1) as f64
+    );
+    let stack = &report.stack;
+    println!(
+        "\ncycle stack ({} core-cycles over {} cores):",
+        stack.total, stack.cores
+    );
+    for (label, n) in stack.rows() {
+        if n > 0 {
+            println!(
+                "{label:>14}: {n:>10} ({:>5.1}%)",
+                100.0 * n as f64 / stack.total.max(1) as f64
+            );
+        }
+    }
+    if stack.tm_wasted > 0 {
+        println!(
+            "{:>14}: {:>10} (overlay: issued work later thrown away by aborts)",
+            "tm-wasted", stack.tm_wasted
+        );
+    }
+    println!("bound by: {}", report.bound_by);
+
+    if !report.regions.is_empty() {
+        println!("\nper-region diagnosis:");
+        for d in &report.regions {
+            let name = if d.region == u32::MAX {
+                "outside".to_string()
+            } else {
+                format!("r{}", d.region)
+            };
+            println!(
+                "{name:>8} {:<10} {:>9} cycles ({:>5.1}%)  bound by {}",
+                d.kind,
+                d.stack.cycles,
+                100.0 * d.stack.cycles as f64 / report.measured_cycles.max(1) as f64,
+                d.bound_by
+            );
+        }
+    }
+
+    println!("\nwhat-if ceilings (same binary on an idealized machine):");
+    let best = report.best_ceiling().knob;
+    for c in &report.ceilings {
+        println!(
+            "{:>22}: {:>9} cycles  ceiling {:.2}x{}",
+            c.knob.label(),
+            c.ideal_cycles,
+            c.speedup_ceiling,
+            if c.knob == best { "  <- best" } else { "" }
+        );
+    }
+    println!(
+        "\nrecommendation: the run is {}-bound; idealizing {} is worth \
+         at most {:.2}x — nothing else can beat that ceiling.",
+        report.bound_by,
+        best,
+        report.best_ceiling().speedup_ceiling
+    );
+}
+
+fn summary_line(w: &Workload, backend: CoherenceBackend) -> Result<WhatIfReport, String> {
+    let mut exp = Experiment::new(&w.program).map_err(|e| e.to_string())?;
+    exp.whatif_on(Strategy::Hybrid, 4, backend)
+        .map_err(|e| e.to_string())
+}
+
+fn main() {
+    let mut positional = Vec::new();
+    let mut scale = Scale::Test;
+    let mut backend = CoherenceBackend::Snooping;
+    let mut sweep = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--test" => scale = Scale::Test,
+            "--all" => sweep = true,
+            "--backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                backend = CoherenceBackend::parse(&v).unwrap_or_else(|| usage());
+            }
+            _ => positional.push(a),
+        }
+    }
+    if sweep {
+        println!("== bottleneck scan (hybrid / 4 cores) ==");
+        for w in all(scale) {
+            match summary_line(&w, backend) {
+                Ok(r) => println!(
+                    "{:>12}: {:>9} cycles  bound by {:<15} best ceiling {} ({:.2}x)",
+                    w.name,
+                    r.measured_cycles,
+                    r.bound_by.to_string(),
+                    r.best_ceiling().knob,
+                    r.best_ceiling().speedup_ceiling
+                ),
+                Err(e) => println!("{:>12}: ERROR {e}", w.name),
+            }
+        }
+        return;
+    }
+    let mut positional = positional.into_iter();
+    let bench = positional.next().unwrap_or_else(|| usage());
+    let strategy = match positional.next().as_deref() {
+        None | Some("hybrid") => Strategy::Hybrid,
+        Some("serial") => Strategy::Serial,
+        Some("ilp") => Strategy::Ilp,
+        Some("ftlp") => Strategy::FineGrainTlp,
+        Some("llp") => Strategy::Llp,
+        Some(other) => {
+            eprintln!("unknown strategy {other}");
+            std::process::exit(2);
+        }
+    };
+    let cores: usize = positional.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let w = by_name(&bench, scale).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench}");
+        std::process::exit(2);
+    });
+    diagnose(&w, strategy, cores, backend);
+}

@@ -10,7 +10,8 @@
 
 use voltron_bench::harness::DEFAULT_PROBE_PERIOD;
 use voltron_compiler::{compile, CompileOptions, Strategy};
-use voltron_sim::{ChromeTracer, Machine, MachineConfig, StallReason, REGION_OUTSIDE};
+use voltron_sim::whatif::region_stacks;
+use voltron_sim::{ChromeTracer, CycleStack, Machine, MachineConfig, StallReason, REGION_OUTSIDE};
 use voltron_workloads::{by_name, Scale};
 
 fn usage() -> ! {
@@ -116,8 +117,46 @@ fn main() {
         );
     }
 
+    // CPI stack: every core-cycle of the run in exactly one bucket
+    // (voltron_sim::whatif pins the exact-sum invariant).
+    let stack = CycleStack::of(&out.stats);
+    println!("\n== cycle stack ==");
+    println!(
+        "{} core-cycles over {} cores, bound by {}",
+        stack.total,
+        stack.cores,
+        stack.bound_by()
+    );
+    for (label, n) in stack.rows() {
+        if n > 0 {
+            println!(
+                "{label:>14}: {n:>10} ({:>5.1}%)",
+                100.0 * n as f64 / stack.total.max(1) as f64
+            );
+        }
+    }
+    if stack.tm_wasted > 0 {
+        println!(
+            "{:>14}: {:>10} (overlay: wasted in aborted transactions)",
+            "tm-wasted", stack.tm_wasted
+        );
+    }
+    for rs in region_stacks(&out.stats) {
+        let name = if rs.region == REGION_OUTSIDE {
+            "outside".to_string()
+        } else {
+            format!("r{}", rs.region)
+        };
+        println!("{name:>8}: bound by {}", rs.bound_by());
+    }
+
     if let Some(path) = &trace_out {
-        match std::fs::write(path, &out.trace) {
+        // With probes also on, splice their gauges in as counter tracks.
+        let doc = match &out.probes {
+            Some(series) => voltron_sim::trace_with_counters(&out.trace, series),
+            None => out.trace.clone(),
+        };
+        match std::fs::write(path, doc) {
             Ok(()) => eprintln!("[inspect] wrote {path}"),
             Err(e) => eprintln!("[inspect] cannot write {path}: {e}"),
         }

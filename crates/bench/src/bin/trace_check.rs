@@ -4,9 +4,16 @@
 //! Exits non-zero unless the file parses as JSON, has a non-empty
 //! `traceEvents` array, and at least `min_cores` distinct per-core
 //! tracks (tid below the machine-wide track ids) each carry a real
-//! event (not just `M` metadata). check.sh runs this against a traced
-//! smoke run so a malformed tracer can't land.
+//! event (not just `M` metadata). It also checks the trace's internal
+//! consistency: every flow-finish (`ph:"f"`) must bind to an earlier
+//! flow-start (`ph:"s"`) with the same id at a timestamp no later than
+//! its own, and each track's `B`/`E` span events must carry
+//! monotonically non-decreasing timestamps (events arrive in simulation
+//! order, so time running backwards on a track means the tracer
+//! misattributed a cycle). check.sh runs this against a traced smoke
+//! run so a malformed tracer can't land.
 
+use std::collections::HashMap;
 use voltron_bench::jsonv::{parse, JValue};
 
 /// Per-core tracks live below the machine-wide tids
@@ -40,13 +47,64 @@ fn main() {
         std::process::exit(1);
     }
     let mut live_cores = std::collections::BTreeSet::new();
-    for e in events {
-        let is_meta = e.get("ph").and_then(JValue::as_str) == Some("M");
+    // Flow id -> start timestamp, set by `s`, consumed conceptually by
+    // `f` (ids are never reused by the tracer, so keep them all).
+    let mut flow_starts: HashMap<u64, f64> = HashMap::new();
+    let mut flows_paired = 0usize;
+    // Per-track last-seen B/E timestamp for monotonicity.
+    let mut last_span_ts: HashMap<u64, f64> = HashMap::new();
+    let mut errors = 0usize;
+    let mut complain = |msg: String| {
+        eprintln!("trace_check: {path}: {msg}");
+        errors += 1;
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(JValue::as_str).unwrap_or("");
         let tid = e.get("tid").and_then(JValue::as_num);
-        if let Some(tid) = tid {
-            if !is_meta && tid < FIRST_SPECIAL_TID {
-                live_cores.insert(tid as u64);
+        let ts = e.get("ts").and_then(JValue::as_num);
+        if ph != "M" {
+            if let Some(tid) = tid {
+                if tid < FIRST_SPECIAL_TID {
+                    live_cores.insert(tid as u64);
+                }
             }
+        }
+        match ph {
+            "s" | "f" => {
+                let (Some(id), Some(ts)) = (e.get("id").and_then(JValue::as_num), ts) else {
+                    complain(format!("event {i}: flow {ph} without id/ts"));
+                    continue;
+                };
+                if ph == "s" {
+                    if flow_starts.insert(id as u64, ts).is_some() {
+                        complain(format!("event {i}: flow id {id} started twice"));
+                    }
+                } else {
+                    match flow_starts.get(&(id as u64)) {
+                        None => complain(format!(
+                            "event {i}: flow finish id {id} has no earlier start"
+                        )),
+                        Some(&start) if ts < start => complain(format!(
+                            "event {i}: flow id {id} finishes at {ts} before its start at {start}"
+                        )),
+                        Some(_) => flows_paired += 1,
+                    }
+                }
+            }
+            "B" | "E" => {
+                let (Some(tid), Some(ts)) = (tid, ts) else {
+                    complain(format!("event {i}: span {ph} without tid/ts"));
+                    continue;
+                };
+                let last = last_span_ts.entry(tid as u64).or_insert(ts);
+                if ts < *last {
+                    complain(format!(
+                        "event {i}: track {tid} span time runs backwards ({ts} after {last})"
+                    ));
+                }
+                *last = (*last).max(ts);
+            }
+            _ => {}
         }
     }
     if live_cores.len() < min_cores {
@@ -56,8 +114,12 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if errors > 0 {
+        eprintln!("trace_check: {path} FAILED with {errors} consistency error(s)");
+        std::process::exit(1);
+    }
     println!(
-        "trace_check: {path} OK ({} events, {} live core tracks)",
+        "trace_check: {path} OK ({} events, {} live core tracks, {flows_paired} flow pairs)",
         events.len(),
         live_cores.len()
     );

@@ -29,7 +29,7 @@ use std::time::Instant;
 use voltron_core::report::{mean, speedup, throughput, Json, Table};
 use voltron_core::{
     Experiment, FaultPlan, FaultStats, ObsRequest, ProbeSummary, RunResult, StallCategory,
-    Strategy, SystemError,
+    Strategy, SystemError, WhatIfReport,
 };
 use voltron_sim::{CoherenceBackend, StallReason};
 use voltron_workloads::{all, Scale, Workload};
@@ -231,14 +231,35 @@ pub struct WorkloadSummary {
     pub ticked_cycles: u64,
     /// Host wall-clock this workload's sweep took, in seconds.
     pub host_seconds: f64,
-    /// (strategy, cores, backend label, cycles, speedup) per
-    /// configuration run.
-    pub runs: Vec<(String, usize, &'static str, u64, f64)>,
+    /// One row per configuration run.
+    pub runs: Vec<RunRow>,
+    /// Bottleneck what-if report for the workload's headline
+    /// configuration, when the sweep asked for one (`--whatif`).
+    pub whatif: Option<WhatIfReport>,
     /// Interval probe summary, when the sweep ran with `--probes-out`.
     pub probes: Option<ProbeSummary>,
     /// Fault-injection counters summed over the workload's runs (all
     /// zeros — and omitted from the sidecar — without `--faults`).
     pub faults: FaultStats,
+}
+
+/// One configuration run in a workload's sidecar inventory.
+#[derive(Debug)]
+pub struct RunRow {
+    /// Strategy label (e.g. "hybrid").
+    pub strategy: String,
+    /// Core count.
+    pub cores: usize,
+    /// Coherence backend label.
+    pub backend: &'static str,
+    /// Execution time in simulated cycles.
+    pub cycles: u64,
+    /// Speedup over the serial 1-core baseline.
+    pub speedup: f64,
+    /// The single largest stall bucket summed over cores (`None` for a
+    /// run that never stalled) — the sidecar's one-word answer to
+    /// "where did this run's time go?".
+    pub dominant_stall: Option<String>,
 }
 
 /// Snapshot an experiment's run inventory for the JSON sidecar.
@@ -264,19 +285,81 @@ pub fn workload_summary(
         runs: exp
             .results()
             .iter()
-            .map(|r| {
-                (
-                    r.strategy.to_string(),
-                    r.cores,
-                    r.backend.label(),
-                    r.cycles,
-                    r.speedup,
-                )
+            .map(|r| RunRow {
+                strategy: r.strategy.to_string(),
+                cores: r.cores,
+                backend: r.backend.label(),
+                cycles: r.cycles,
+                speedup: r.speedup,
+                dominant_stall: r
+                    .stats
+                    .dominant_stall()
+                    .map(|(reason, _)| reason.to_string()),
             })
             .collect(),
         probes: None,
+        whatif: None,
         faults,
     }
+}
+
+/// Render a bottleneck what-if report for the JSON sidecar: the
+/// machine-wide classification, the CPI-stack rows (exact by
+/// construction, see `voltron_sim::whatif`), one ceiling per
+/// idealization knob, and the per-region diagnoses.
+pub fn whatif_json(r: &WhatIfReport) -> Json {
+    let stack = r
+        .stack
+        .rows()
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(label, n)| (label, Json::UInt(n)))
+        .collect();
+    let ceilings = r
+        .ceilings
+        .iter()
+        .map(|c| {
+            (
+                c.knob.label().to_string(),
+                Json::Obj(vec![
+                    ("ideal_cycles".into(), Json::UInt(c.ideal_cycles)),
+                    ("speedup_ceiling".into(), Json::Num(c.speedup_ceiling)),
+                ]),
+            )
+        })
+        .collect();
+    let regions = r
+        .regions
+        .iter()
+        .map(|d| {
+            Json::Obj(vec![
+                (
+                    "region".into(),
+                    if d.region == u32::MAX {
+                        Json::Str("outside".into())
+                    } else {
+                        Json::UInt(u64::from(d.region))
+                    },
+                ),
+                ("kind".into(), Json::Str(d.kind.into())),
+                ("cycles".into(), Json::UInt(d.stack.cycles)),
+                ("bound_by".into(), Json::Str(d.bound_by.to_string())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("strategy".into(), Json::Str(r.strategy.to_string())),
+        ("cores".into(), Json::UInt(r.cores as u64)),
+        ("measured_cycles".into(), Json::UInt(r.measured_cycles)),
+        ("bound_by".into(), Json::Str(r.bound_by.to_string())),
+        (
+            "best_ceiling".into(),
+            Json::Str(r.best_ceiling().knob.label().into()),
+        ),
+        ("stack".into(), Json::Obj(stack)),
+        ("ceilings".into(), Json::Obj(ceilings)),
+        ("regions".into(), Json::Arr(regions)),
+    ])
 }
 
 /// Render a workload's fault counters for the JSON sidecar: the totals
@@ -363,14 +446,18 @@ pub fn bench_json(
             let runs = s
                 .runs
                 .iter()
-                .map(|(strategy, cores, backend, cycles, sp)| {
-                    Json::Obj(vec![
-                        ("strategy".into(), Json::Str(strategy.clone())),
-                        ("cores".into(), Json::UInt(*cores as u64)),
-                        ("backend".into(), Json::Str((*backend).into())),
-                        ("cycles".into(), Json::UInt(*cycles)),
-                        ("speedup".into(), Json::Num(*sp)),
-                    ])
+                .map(|r| {
+                    let mut fields = vec![
+                        ("strategy".into(), Json::Str(r.strategy.clone())),
+                        ("cores".into(), Json::UInt(r.cores as u64)),
+                        ("backend".into(), Json::Str(r.backend.into())),
+                        ("cycles".into(), Json::UInt(r.cycles)),
+                        ("speedup".into(), Json::Num(r.speedup)),
+                    ];
+                    if let Some(d) = &r.dominant_stall {
+                        fields.push(("dominant_stall".into(), Json::Str(d.clone())));
+                    }
+                    Json::Obj(fields)
                 })
                 .collect();
             let mut fields = vec![
@@ -387,6 +474,9 @@ pub fn bench_json(
             ];
             if let Some(p) = &s.probes {
                 fields.push(("probes".into(), probe_summary_json(p)));
+            }
+            if let Some(w) = &s.whatif {
+                fields.push(("whatif".into(), whatif_json(w)));
             }
             if s.faults.any() {
                 fields.push(("faults".into(), fault_stats_json(&s.faults)));
@@ -429,6 +519,92 @@ pub fn bench_json(
         fields.push(("faults".into(), block));
     }
     doc
+}
+
+/// File the perf history accumulates in (working directory, like the
+/// `BENCH_*.json` sidecars).
+pub const HISTORY_FILE: &str = "BENCH_history.ndjson";
+
+/// The git revision the harness is running from (short hash, plus
+/// `-dirty` when the tree has uncommitted changes), or `"unknown"`
+/// outside a git checkout. Stamped into every history row so a
+/// regression found by `bench_diff` can be bisected.
+pub fn git_rev() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    let Some(rev) = run(&["rev-parse", "--short", "HEAD"]) else {
+        return "unknown".into();
+    };
+    match run(&["status", "--porcelain"]) {
+        Some(s) if !s.is_empty() => format!("{rev}-dirty"),
+        _ => rev,
+    }
+}
+
+/// One perf-history row: a compact, git-rev-stamped snapshot of a
+/// finished sweep. Cycle counts are deterministic (they regress only
+/// when the simulator or compiler changes); host throughput tracks the
+/// machine the sweep ran on.
+pub fn history_row(
+    binary: &str,
+    scale: &str,
+    simulated_cycles: u64,
+    ticked_cycles: u64,
+    host_seconds: f64,
+    summaries: &[WorkloadSummary],
+    failures: usize,
+) -> Json {
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let workloads = summaries
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.into())),
+                ("baseline_cycles".into(), Json::UInt(s.baseline_cycles)),
+                ("simulated_cycles".into(), Json::UInt(s.simulated_cycles)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("unix_seconds".into(), Json::UInt(unix_seconds)),
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("binary".into(), Json::Str(binary.into())),
+        ("scale".into(), Json::Str(scale.into())),
+        ("simulated_cycles".into(), Json::UInt(simulated_cycles)),
+        ("ticked_cycles".into(), Json::UInt(ticked_cycles)),
+        ("host_seconds".into(), Json::Num(host_seconds)),
+        (
+            "cycles_per_host_second".into(),
+            Json::Num(simulated_cycles as f64 / host_seconds.max(1e-9)),
+        ),
+        ("failures".into(), Json::UInt(failures as u64)),
+        ("workloads".into(), Json::Arr(workloads)),
+    ])
+}
+
+/// Append one [`history_row`] to [`HISTORY_FILE`] (newline-delimited
+/// JSON, append-only: the file is the repo's perf memory across
+/// commits, so nothing ever rewrites earlier rows).
+pub fn append_history(row: &Json) {
+    use std::io::Write;
+    let line = format!("{}\n", row.render());
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(HISTORY_FILE)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("cannot append {HISTORY_FILE}: {e}");
+    }
 }
 
 /// Build the top-level `faults` block for the sidecar: the plan in
@@ -577,6 +753,15 @@ impl<R> Harvest<R> {
         if let Err(e) = std::fs::write(&path, doc.render()) {
             eprintln!("[{binary}] cannot write {path}: {e}");
         }
+        append_history(&history_row(
+            binary,
+            args.scale_name(),
+            self.simulated_cycles,
+            self.ticked_cycles,
+            self.host_seconds,
+            &self.summaries,
+            self.failures.len(),
+        ));
     }
 }
 

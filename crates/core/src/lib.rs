@@ -43,14 +43,16 @@ use std::collections::HashMap;
 use std::fmt;
 use voltron_compiler::{compile_prepared, CompileError, CompileOptions, FrontEnd};
 use voltron_ir::{interp, Memory, Program};
+use voltron_sim::whatif::region_stacks;
 use voltron_sim::{
-    ChromeTracer, CoherenceBackend, Machine, MachineConfig, MachineStats, SimError, StallReason,
+    ChromeTracer, CoherenceBackend, IdealKnobs, Machine, MachineConfig, MachineStats, SimError,
+    StallReason,
 };
 
 pub use voltron_compiler::Strategy;
 pub use voltron_sim::{
-    FaultBudgetReport, FaultEvent, FaultKind, FaultPlan, FaultSite, FaultStats, ProbeSeries,
-    ProbeSummary,
+    BoundBy, CycleStack, FaultBudgetReport, FaultEvent, FaultKind, FaultPlan, FaultSite,
+    FaultStats, KnobId, ProbeSeries, ProbeSummary, RegionStack,
 };
 
 /// The machine configuration for one experiment run: geometry from
@@ -290,6 +292,7 @@ pub fn run_configuration(
         baseline_cycles,
         None,
         None,
+        IdealKnobs::default(),
     )
 }
 
@@ -331,6 +334,7 @@ fn run_prepared(
     baseline_cycles: u64,
     cycle_budget: Option<u64>,
     faults: Option<&FaultPlan>,
+    ideal: IdealKnobs,
 ) -> Result<RunResult, SystemError> {
     run_prepared_obs(
         fe,
@@ -341,6 +345,7 @@ fn run_prepared(
         baseline_cycles,
         cycle_budget,
         faults,
+        ideal,
         &ObsRequest::default(),
     )
     .map(|o| o.run)
@@ -358,6 +363,7 @@ fn run_prepared_obs(
     baseline_cycles: u64,
     cycle_budget: Option<u64>,
     faults: Option<&FaultPlan>,
+    ideal: IdealKnobs,
     obs: &ObsRequest,
 ) -> Result<Observed, SystemError> {
     let mcfg = machine_config(cores, backend);
@@ -367,10 +373,14 @@ fn run_prepared_obs(
     let region_weights = compiled.region_weights.clone();
     // The budget caps simulation only; the compiler must see the pristine
     // paper config so budgeted and unbudgeted builds stay identical.
+    // Idealization knobs are likewise simulator-side only: a what-if run
+    // executes the *same* code as the measured run, just timed by an
+    // idealized machine, so its ceiling is attributable to hardware alone.
     let mut sim_cfg = mcfg;
     if let Some(budget) = cycle_budget {
         sim_cfg.max_cycles = sim_cfg.max_cycles.min(budget);
     }
+    sim_cfg.ideal = ideal;
     sim_cfg.probe_period = obs.probe_period;
     // Fault injection perturbs timing only; the output check below still
     // holds faulted runs to the golden memory, which *is* the recovery
@@ -389,6 +399,12 @@ fn run_prepared_obs(
         });
     }
     let cycles = out.stats.cycles;
+    // When both lenses are on, splice the probe gauges into the trace as
+    // Perfetto counter tracks — one document shows spans and gauges.
+    let trace_json = match (&obs.chrome_trace, &out.probes) {
+        (true, Some(series)) => voltron_sim::trace_with_counters(&out.trace, series),
+        _ => out.trace,
+    };
     Ok(Observed {
         run: RunResult {
             strategy,
@@ -401,9 +417,76 @@ fn run_prepared_obs(
             region_kinds,
             region_weights,
         },
-        trace_json: out.trace,
+        trace_json,
         probes: out.probes,
     })
+}
+
+/// One counterfactual idealization's ceiling: how much faster the same
+/// binary runs when one hardware resource is made perfect.
+#[derive(Debug, Clone, Copy)]
+pub struct KnobCeiling {
+    /// The resource that was idealized.
+    pub knob: KnobId,
+    /// Execution time under the idealized machine.
+    pub ideal_cycles: u64,
+    /// `measured_cycles / ideal_cycles`: the speedup *ceiling* any
+    /// real-hardware improvement to this resource could reach. Removing a
+    /// resource constraint never adds work, so this is ≥ 1 up to
+    /// second-order scheduling effects (pinned at ≥ 1 − ε by tests).
+    pub speedup_ceiling: f64,
+}
+
+/// Bottleneck diagnosis for one planner region.
+#[derive(Debug, Clone)]
+pub struct RegionDiagnosis {
+    /// Region id (`u32::MAX` = outside any planned region).
+    pub region: u32,
+    /// Planner technique for the region (`"outside"` for the remainder).
+    pub kind: &'static str,
+    /// Where this region's cycles went.
+    pub stack: RegionStack,
+    /// The dominant cycle class — what the region is bound by.
+    pub bound_by: BoundBy,
+}
+
+/// Full bottleneck-intelligence report for one configuration: the CPI
+/// stack of the measured run, per-region diagnoses, and the what-if
+/// speedup ceiling of each one-hot idealization (see
+/// `voltron_sim::whatif`).
+#[derive(Debug, Clone)]
+pub struct WhatIfReport {
+    /// Strategy of the diagnosed run.
+    pub strategy: Strategy,
+    /// Core count.
+    pub cores: usize,
+    /// Coherence backend.
+    pub backend: CoherenceBackend,
+    /// Execution time of the measured (non-idealized) run.
+    pub measured_cycles: u64,
+    /// Machine-wide cycle stack (sums exactly to cores × cycles).
+    pub stack: CycleStack,
+    /// The machine-wide dominant cycle class.
+    pub bound_by: BoundBy,
+    /// Per-region stacks and classifications, outside-region last.
+    pub regions: Vec<RegionDiagnosis>,
+    /// One ceiling per [`KnobId::ALL`] entry, in that order.
+    pub ceilings: Vec<KnobCeiling>,
+}
+
+impl WhatIfReport {
+    /// The idealization with the highest speedup ceiling — the best
+    /// answer to "what single hardware resource should be improved?".
+    pub fn best_ceiling(&self) -> &KnobCeiling {
+        self.ceilings
+            .iter()
+            .max_by(|a, b| {
+                a.speedup_ceiling
+                    .partial_cmp(&b.speedup_ceiling)
+                    .expect("ceilings are finite")
+            })
+            .expect("KnobId::ALL is non-empty")
+    }
 }
 
 /// Per-benchmark experiment driver: computes the baseline once, then runs
@@ -463,6 +546,7 @@ impl<'a> Experiment<'a> {
             1,
             budget,
             None,
+            IdealKnobs::default(),
         )?;
         exp.baseline_cycles = base.cycles;
         exp.sim_cycles = base.cycles;
@@ -574,6 +658,7 @@ impl<'a> Experiment<'a> {
                 self.baseline_cycles,
                 self.cycle_budget,
                 self.fault_plan.as_ref(),
+                IdealKnobs::default(),
             )?;
             self.sim_cycles += r.cycles;
             self.ticked_cycles += r.ticked_cycles;
@@ -622,6 +707,7 @@ impl<'a> Experiment<'a> {
             self.baseline_cycles,
             self.cycle_budget,
             self.fault_plan.as_ref(),
+            IdealKnobs::default(),
             obs,
         )?;
         self.sim_cycles += o.run.cycles;
@@ -690,7 +776,15 @@ impl<'a> Experiment<'a> {
                     scope.spawn(move || {
                         let fe = front_ends[idx].as_ref().expect("built above");
                         run_prepared(
-                            fe, golden, strategy, cores, backend, baseline, budget, faults,
+                            fe,
+                            golden,
+                            strategy,
+                            cores,
+                            backend,
+                            baseline,
+                            budget,
+                            faults,
+                            IdealKnobs::default(),
                         )
                     })
                 })
@@ -753,6 +847,113 @@ impl<'a> Experiment<'a> {
             acc[2] as f64 / total as f64,
             acc[3] as f64 / total as f64,
         ])
+    }
+
+    /// Bottleneck intelligence for a configuration on the default
+    /// snooping backend (see [`Experiment::whatif_on`]).
+    ///
+    /// # Errors
+    /// Propagates configuration failures.
+    pub fn whatif(
+        &mut self,
+        strategy: Strategy,
+        cores: usize,
+    ) -> Result<WhatIfReport, SystemError> {
+        self.whatif_on(strategy, cores, CoherenceBackend::Snooping)
+    }
+
+    /// Diagnose a configuration: build its CPI stack and per-region
+    /// classification from the measured run (cached, or run now exactly
+    /// as [`Experiment::run_on`] would), then re-simulate the *same
+    /// binary* once per [`KnobId::ALL`] idealization across host threads
+    /// and report each knob's speedup ceiling.
+    ///
+    /// The measured run is never perturbed: idealized results live only
+    /// in the returned report, never in the result cache, so a sweep
+    /// that also asks for what-ifs serves byte-identical `RunResult`s.
+    /// Idealized runs are still validated against the golden memory —
+    /// idealization changes timing, never architectural output.
+    ///
+    /// # Errors
+    /// Propagates configuration failures (measured or idealized).
+    pub fn whatif_on(
+        &mut self,
+        strategy: Strategy,
+        cores: usize,
+        backend: CoherenceBackend,
+    ) -> Result<WhatIfReport, SystemError> {
+        let (measured_cycles, stack, bound_by, regions) = {
+            let run = self.run_on(strategy, cores, backend)?;
+            let stack = CycleStack::of(&run.stats);
+            let regions: Vec<RegionDiagnosis> = region_stacks(&run.stats)
+                .into_iter()
+                .map(|rs| RegionDiagnosis {
+                    region: rs.region,
+                    kind: if rs.region == voltron_sim::REGION_OUTSIDE {
+                        "outside"
+                    } else {
+                        run.region_kinds.get(&rs.region).copied().unwrap_or("?")
+                    },
+                    bound_by: rs.bound_by(),
+                    stack: rs,
+                })
+                .collect();
+            let bound_by = stack.bound_by();
+            (run.cycles, stack, bound_by, regions)
+        };
+        let idx = self.ensure_front_end(strategy, cores)?;
+        let fe = self.front_ends[idx].as_ref().expect("just built");
+        let golden = &self.golden;
+        let baseline = self.baseline_cycles;
+        let budget = self.cycle_budget;
+        let faults = self.fault_plan.as_ref();
+        // The five idealized runs are independent simulations of the same
+        // compiled binary; fan them out like `run_all_on` does.
+        let outcomes: Vec<Result<RunResult, SystemError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = KnobId::ALL
+                .iter()
+                .map(|&knob| {
+                    scope.spawn(move || {
+                        run_prepared(
+                            fe,
+                            golden,
+                            strategy,
+                            cores,
+                            backend,
+                            baseline,
+                            budget,
+                            faults,
+                            knob.knobs(),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("what-if runner panicked"))
+                .collect()
+        });
+        let mut ceilings = Vec::with_capacity(KnobId::ALL.len());
+        for (knob, outcome) in KnobId::ALL.into_iter().zip(outcomes) {
+            let r = outcome?;
+            self.sim_cycles += r.cycles;
+            self.ticked_cycles += r.ticked_cycles;
+            ceilings.push(KnobCeiling {
+                knob,
+                ideal_cycles: r.cycles,
+                speedup_ceiling: measured_cycles as f64 / r.cycles.max(1) as f64,
+            });
+        }
+        Ok(WhatIfReport {
+            strategy,
+            cores,
+            backend,
+            measured_cycles,
+            stack,
+            bound_by,
+            regions,
+            ceilings,
+        })
     }
 }
 
@@ -825,6 +1026,32 @@ mod tests {
         // A failed run is not cached; lifting the budget recovers.
         exp.set_cycle_budget(None);
         assert!(exp.run(Strategy::Serial, 1).is_ok());
+    }
+
+    #[test]
+    fn whatif_reports_exact_stack_and_sane_ceilings() {
+        let p = doall_program();
+        let mut exp = Experiment::new(&p).unwrap();
+        let before = exp.run(Strategy::Hybrid, 4).unwrap().cycles;
+        let report = exp.whatif(Strategy::Hybrid, 4).unwrap();
+        assert_eq!(report.measured_cycles, before);
+        assert!(report.stack.is_exact(), "machine stack must sum exactly");
+        for r in &report.regions {
+            assert!(r.stack.is_exact(), "region {} stack must sum", r.region);
+        }
+        assert_eq!(report.ceilings.len(), KnobId::ALL.len());
+        for c in &report.ceilings {
+            assert!(
+                c.speedup_ceiling >= 1.0 - 1e-9,
+                "{} ceiling {} < 1",
+                c.knob,
+                c.speedup_ceiling
+            );
+        }
+        assert!(report.best_ceiling().speedup_ceiling >= 1.0);
+        // The measured run in the cache is byte-identical to the
+        // pre-what-if result: idealized runs never touch the cache.
+        assert_eq!(exp.run(Strategy::Hybrid, 4).unwrap().cycles, before);
     }
 
     #[test]

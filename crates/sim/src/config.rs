@@ -236,6 +236,50 @@ pub struct MachineConfig {
     /// consulted, and every golden fingerprint is byte-identical to a
     /// build without the layer (see DESIGN.md §10).
     pub faults: Option<FaultPlan>,
+    /// What-if idealization knobs (see [`crate::whatif`]). All off by
+    /// default; every measured/golden run keeps them off, and the
+    /// compiler never sees them — the what-if driver sets them on the
+    /// *simulator-side* config copy only, after compilation.
+    pub ideal: IdealKnobs,
+}
+
+/// Counterfactual idealization knobs for the what-if engine
+/// ([`crate::whatif`]): each removes one class of cost at simulation
+/// time, bounding the speedup obtainable by optimizing that class. The
+/// knobs are timing-only — program semantics, compiled code, and the
+/// golden-output contract are untouched, so an idealized run still
+/// validates against the reference memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealKnobs {
+    /// Zero-latency operand network: queue-mode messages, direct-mode
+    /// latches, and broadcasts deliver with no hop latency, no fixed
+    /// overhead, and no link serialization.
+    pub zero_latency_network: bool,
+    /// Infinite interconnect bandwidth: every bus/bank request is
+    /// granted the cycle it arrives (latency still paid), so requests
+    /// never queue behind each other.
+    pub infinite_bandwidth: bool,
+    /// Perfect L1 caches: every load, store and instruction fetch hits.
+    pub perfect_l1: bool,
+    /// Zero recoverable TM conflict aborts: value-based byte-granular
+    /// conflict detection ([`crate::tm::TxnManager::set_value_conflicts`])
+    /// plus free commit broadcasts. True data conflicts still abort.
+    pub zero_tm_conflicts: bool,
+    /// Free spawn: thread-start messages bypass the send queue and
+    /// arrive at the target core instantly.
+    pub free_spawn: bool,
+}
+
+impl IdealKnobs {
+    /// True when any knob is set (the measured-run fast path checks
+    /// this once and skips all idealization branches).
+    pub fn any(self) -> bool {
+        self.zero_latency_network
+            || self.infinite_bandwidth
+            || self.perfect_l1
+            || self.zero_tm_conflicts
+            || self.free_spawn
+    }
 }
 
 impl MachineConfig {
@@ -276,6 +320,7 @@ impl MachineConfig {
             dir_latency: 3,
             probe_period: None,
             faults: None,
+            ideal: IdealKnobs::default(),
         }
     }
 

@@ -49,11 +49,13 @@ pub mod stats;
 pub mod tm;
 pub mod trace;
 pub mod validate;
+pub mod whatif;
 
-pub use config::{CoherenceBackend, MachineConfig, Watchdogs};
+pub use config::{CoherenceBackend, IdealKnobs, MachineConfig, Watchdogs};
 pub use fault::{FaultBudgetReport, FaultEvent, FaultKind, FaultPlan, FaultSite, FaultStats};
 pub use machine::{CoreWait, Machine, RunOutcome, SimError, WaitCause};
 pub use mcode::{CoreImage, MBlock, MachineProgram, RegionId, REGION_OUTSIDE};
-pub use obs::{ChromeTracer, ProbeSample, ProbeSeries, ProbeSummary};
+pub use obs::{trace_with_counters, ChromeTracer, ProbeSample, ProbeSeries, ProbeSummary};
 pub use stats::{CoreStats, MachineStats, RegionBreakdown, StallReason};
 pub use validate::{Site, ValidateError};
+pub use whatif::{BoundBy, CycleStack, KnobId, RegionStack};

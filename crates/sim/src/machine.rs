@@ -453,6 +453,14 @@ pub struct Machine {
     /// aborts never hit these: only the order-0 master chunk wraps the
     /// spawn/live-in sends, and nothing ever outranks order 0.
     txn_irrevocable: Vec<bool>,
+    /// Cycle at which each core's live transaction began (`XBEGIN` issue
+    /// cycle). Cycle numbering is identical with fast-forward on or off,
+    /// so the abort-wasted-work arithmetic below replays exactly.
+    tm_begin_cycle: Vec<u64>,
+    /// Core-cycles spent inside transactions that later aborted
+    /// (cumulative `abort_cycle - begin_cycle`); reported as
+    /// [`crate::tm::TmStats::wasted_cycles`].
+    tm_wasted: u64,
 }
 
 impl Machine {
@@ -493,13 +501,19 @@ impl Machine {
             .max()
             .map_or(0, |r| r as usize + 1)
             + 1;
+        // The "zero TM conflict aborts" idealization swaps the conflict
+        // predicate for value-based detection (crate::tm), which spares
+        // false sharing while still aborting true dependences — final
+        // memory stays correct under every knob.
+        let mut tm = TxnManager::new(n, cfg.line_size);
+        tm.set_value_conflicts(cfg.ideal.zero_tm_conflicts);
         Ok(Machine {
             program: Arc::new(program),
             offsets,
             cores,
             memsys: MemSys::new(cfg),
             net: OperandNetwork::new(cfg),
-            tm: TxnManager::new(n, cfg.line_size),
+            tm,
             memory,
             mode: ExecMode::Decoupled,
             cycle: 0,
@@ -528,6 +542,8 @@ impl Machine {
             fetch_block: vec![0; n],
             tm_streak: vec![0; n],
             txn_irrevocable: vec![false; n],
+            tm_begin_cycle: vec![0; n],
+            tm_wasted: 0,
             cfg: cfg.clone(),
         })
     }
@@ -630,8 +646,11 @@ impl Machine {
         if let Some(inj) = &self.fault_fetch {
             faults.site_mut(FaultSite::Fetch).absorb(&inj.stats());
         }
+        let mut tm_stats = self.tm.stats();
+        tm_stats.wasted_cycles = self.tm_wasted;
         let stats = MachineStats {
             cycles: self.cycle,
+            drained_cycles: u64::from(grace),
             coupled_cycles: self.coupled_cycles,
             decoupled_cycles: self.decoupled_cycles,
             region_cycles,
@@ -639,7 +658,7 @@ impl Machine {
             cores: self.core_stats,
             mem: self.memsys.stats(),
             net: self.net.stats(),
-            tm: self.tm.stats(),
+            tm: tm_stats,
             spawns: self.spawns,
             mode_switches: self.mode_switches,
             dynamic_insts: self.dynamic_insts,
@@ -1015,6 +1034,30 @@ impl Machine {
             .map_err(|e| SimError::Malformed(format!("core {core}: {e}")))
     }
 
+    /// Charge the wasted work of core `c`'s aborting transaction: every
+    /// cycle since its `XBEGIN` was speculation the core will re-execute.
+    /// Attributed to the region the master core occupies at abort time —
+    /// an overlay on the primary CPI-stack categories (those cycles were
+    /// already classified as issue/stall), not an exact-sum term; see
+    /// [`RegionBreakdown::tm_wasted`]. Both the begin and abort cycles
+    /// are issue-time architectural events, so the arithmetic replays
+    /// identically with fast-forward on or off.
+    fn note_tm_abort(&mut self, c: usize) {
+        let wasted = self.cycle - self.tm_begin_cycle[c];
+        self.tm_wasted += wasted;
+        let region = self.program.cores[0]
+            .blocks
+            .get(self.cores[0].pc.0)
+            .map(|b| b.region)
+            .unwrap_or(REGION_OUTSIDE);
+        let slot = if region == REGION_OUTSIDE {
+            self.region_table.len() - 1
+        } else {
+            region as usize
+        };
+        self.region_table[slot].tm_wasted += wasted;
+    }
+
     fn restore_core(&mut self, i: usize) {
         let snap = self.cores[i]
             .snapshot
@@ -1098,6 +1141,7 @@ impl Machine {
         inj.note_retried(1);
         inj.note_recovered();
         self.tm_streak[i] = attempts;
+        self.note_tm_abort(i);
         self.tm.abort(i);
         self.restore_core(i);
         self.last_arch_change = now;
@@ -1420,6 +1464,7 @@ impl Machine {
                 };
                 self.cores[i].snapshot = Some(snap);
                 self.txn_irrevocable[i] = false;
+                self.tm_begin_cycle[i] = now;
                 self.tm.begin(i, order as u32);
                 self.trace(TraceEvent::TmBegin {
                     cycle: now,
@@ -1449,6 +1494,7 @@ impl Machine {
                     lines: lines.len(),
                 });
                 for c in aborted {
+                    self.note_tm_abort(c);
                     self.restore_core(c);
                     self.trace(TraceEvent::TmAbort {
                         cycle: now,
@@ -1461,6 +1507,7 @@ impl Machine {
                 }
             }
             Xabort => {
+                self.note_tm_abort(i);
                 self.tm.abort(i);
                 self.restore_core(i);
                 return Ok(()); // pc restored to the XBEGIN
@@ -1644,7 +1691,14 @@ impl Machine {
                                     // re-forms.
                                     self.core_stats[i].idle += 1;
                                 }
-                                Decision::StartThread => {}
+                                // Spawns only start in decoupled mode; a
+                                // pending one here waits (no progress), but
+                                // the cycle still needs a bucket for the
+                                // CPI-stack exact sum. `account_blocked`
+                                // replays this arm identically.
+                                Decision::StartThread => {
+                                    self.core_stats[i].spawn_starts += 1;
+                                }
                             }
                         }
                     }
@@ -1667,6 +1721,7 @@ impl Machine {
                                 .expect("has_spawn checked in decision phase");
                             self.cores[i].pc = (blk.idx(), 0);
                             self.cores[i].state = CoreState::Running;
+                            self.core_stats[i].spawn_starts += 1;
                             self.spawns += 1;
                             self.last_arch_change = now;
                             self.trace(TraceEvent::ThreadStart {
@@ -1775,7 +1830,7 @@ impl Machine {
                             Decision::Issue => rb.issued += n,
                             Decision::Stall(own) => rb.stalls[own.index()] += n,
                             Decision::Quiet => rb.idle += n,
-                            Decision::StartThread => {}
+                            Decision::StartThread => rb.spawn_starts += n,
                         }
                     }
                 }
@@ -1786,7 +1841,7 @@ impl Machine {
                         Decision::Issue => rb.issued += n,
                         Decision::Stall(r) => rb.stalls[r.index()] += n,
                         Decision::Quiet => rb.idle += n,
-                        Decision::StartThread => {}
+                        Decision::StartThread => rb.spawn_starts += n,
                     }
                 }
             }
@@ -2025,7 +2080,13 @@ impl Machine {
                                     self.core_stats[i].stalls[own.index()] += n;
                                 }
                                 Decision::Quiet => self.core_stats[i].idle += n,
-                                Decision::Issue | Decision::StartThread => {}
+                                // Mirrors the tick arm: a pending spawn in
+                                // coupled mode burns wait cycles without
+                                // progress, so fast-forward replays them.
+                                Decision::StartThread => {
+                                    self.core_stats[i].spawn_starts += n;
+                                }
+                                Decision::Issue => {}
                             }
                         }
                     }

@@ -237,6 +237,10 @@ pub struct MemStats {
 struct Bank {
     queue: VecDeque<BusReq>,
     current: Option<InFlight>,
+    /// Overlapping in-flight transactions, used only under the
+    /// infinite-bandwidth idealization (always empty on measured runs,
+    /// so the hot path never scans it).
+    extra: Vec<InFlight>,
     busy: u64,
 }
 
@@ -371,6 +375,14 @@ impl MemSys {
     /// Issue a load. On a miss the fill is requested and `dst` must stay
     /// pending until the matching [`Completion::LoadFill`].
     pub fn load(&mut self, core: usize, addr: u64, dst: Reg, epoch: u64) -> LoadOutcome {
+        // Perfect-L1 idealization: every load hits. Sound because the
+        // caches are tag-only timing models — data always comes from the
+        // functional memory — so skipping the fill machinery changes
+        // timing alone.
+        if self.cfg.ideal.perfect_l1 {
+            self.l1d[core].credit_hits(1);
+            return LoadOutcome::Hit;
+        }
         // Store-buffer forwarding.
         if self.store_bufs[core]
             .iter()
@@ -414,6 +426,11 @@ impl MemSys {
     /// Instruction fetch: true when the line is in the I-cache; otherwise
     /// a fill is requested (at most one outstanding per core).
     pub fn ifetch(&mut self, core: usize, addr: u64) -> bool {
+        // Perfect-L1 idealization: every fetch hits.
+        if self.cfg.ideal.perfect_l1 {
+            self.l1i[core].credit_hits(1);
+            return true;
+        }
         let line = self.line_of(addr);
         if self.ifill_pending[core] == Some(line) {
             return false;
@@ -466,7 +483,14 @@ impl MemSys {
         let base = match &req.kind {
             BusKind::Upgrade => UPGRADE_LATENCY,
             BusKind::TmCommit { lines } => {
-                self.cfg.tm_commit_base + (lines.len() as u64 + 1) * self.cfg.tm_commit_per_line
+                if self.cfg.ideal.zero_tm_conflicts {
+                    // The knob also idealizes commit broadcasts to a
+                    // single cycle: the TM ceiling covers conflict *and*
+                    // commit-serialization cost together.
+                    1
+                } else {
+                    self.cfg.tm_commit_base + (lines.len() as u64 + 1) * self.cfg.tm_commit_per_line
+                }
             }
             BusKind::IFill => {
                 if self.l2.peek(req.line).is_some() {
@@ -612,6 +636,14 @@ impl MemSys {
     }
 
     fn drain_store_buffers(&mut self) {
+        // Perfect-L1 idealization: stores retire instantly — no
+        // ownership traffic, no StoreBuf back-pressure.
+        if self.cfg.ideal.perfect_l1 {
+            for buf in &mut self.store_bufs {
+                buf.clear();
+            }
+            return;
+        }
         for core in 0..self.cfg.cores {
             if self.sb_waiting[core] {
                 continue;
@@ -660,6 +692,40 @@ impl MemSys {
                     let cur = self.banks[b].current.take().expect("checked above");
                     self.complete(cur, &mut out);
                 }
+            }
+            // Infinite-bandwidth idealization: complete due overlapped
+            // transactions (grant order preserved for determinism), then
+            // grant *everything* queued — latency is still paid, queueing
+            // never is.
+            if self.cfg.ideal.infinite_bandwidth {
+                if !self.banks[b].extra.is_empty() {
+                    let mut due = Vec::new();
+                    let mut keep = Vec::new();
+                    for f in self.banks[b].extra.drain(..) {
+                        if now >= f.finish {
+                            due.push(f);
+                        } else {
+                            keep.push(f);
+                        }
+                    }
+                    self.banks[b].extra = keep;
+                    for f in due {
+                        self.complete(f, &mut out);
+                    }
+                }
+                while let Some(req) = self.banks[b].queue.pop_front() {
+                    let (lat, others) = self.grant_latency(&req);
+                    self.stats_busy += lat;
+                    self.banks[b].busy += lat;
+                    self.grants
+                        .push((req.core, req.kind.label(), now, now + lat));
+                    self.banks[b].extra.push(InFlight {
+                        req,
+                        finish: now + lat,
+                        others_had_copy: others,
+                    });
+                }
+                continue;
             }
             if self.banks[b].current.is_none() {
                 // A bank backing off after a lost grant may not regrant
@@ -773,6 +839,9 @@ impl MemSys {
             }
             if let Some(c) = &bank.current {
                 consider(c.finish);
+            }
+            for f in &bank.extra {
+                consider(f.finish);
             }
         }
         wake

@@ -298,6 +298,23 @@ impl OperandNetwork {
     /// Enqueue a message into the sender's send queue. Returns false when
     /// the queue is full (the SEND stalls).
     pub fn send(&mut self, from: usize, to: usize, tag: u32, payload: Payload, now: u64) -> bool {
+        // Free-spawn idealization: thread-start messages bypass the send
+        // queue and land in the target's CAM instantly, so spawn cost
+        // vanishes from both the sender (no queue slot, no SendFull) and
+        // the receiver (no in-flight wait).
+        if self.cfg.ideal.free_spawn {
+            if let Payload::Spawn(b) = payload {
+                let side = &mut self.recv[to];
+                if side.spawns[from].is_empty() {
+                    side.spawn_senders.push(from);
+                }
+                side.spawns[from].push_back((self.deliver_seq, b, now));
+                side.buffered += 1;
+                self.deliver_seq += 1;
+                self.stats.messages += 1;
+                return true;
+            }
+        }
         if self.send_q[from].len() >= self.cfg.queue_depth {
             return false;
         }
@@ -404,59 +421,78 @@ impl OperandNetwork {
     /// configured depth, which is what bounds producer run-ahead cost.
     pub fn tick(&mut self, now: u64) {
         for core in 0..self.cfg.cores {
-            let Some(&entry) = self.send_q[core].front() else {
-                continue;
-            };
-            // A head backing off after a drop waits for its retry slot.
-            if entry.not_before > now {
-                continue;
+            if self.cfg.ideal.zero_latency_network {
+                // Zero-latency idealization: no link serialization either,
+                // so the whole queue drains in one tick.
+                while self.inject_head(core, now) {}
+            } else {
+                self.inject_head(core, now);
             }
-            let msg = entry.msg;
-            // Consult the fault injectors at the injection attempt — the
-            // architectural event, so the draw sequence is identical with
-            // fast-forward on or off. An injected duplicate resend is
-            // recovery machinery, not a fresh send: it draws nothing.
-            let mut extra_delay = 0;
-            let mut duplicate_after = false;
-            if let Some(f) = self.faults.as_deref_mut() {
-                if !entry.dup {
-                    if f.drop.fire(now).is_some() {
-                        // Dropped at injection: no link is reserved, the
-                        // head stays queued and reinjects after backoff.
-                        let attempts = entry.attempts + 1;
-                        let head = self.send_q[core].front_mut().expect("head exists");
-                        if attempts > f.budget {
-                            f.drop.note_gave_up();
-                            head.not_before = u64::MAX;
-                            f.failure.get_or_insert(FaultBudgetReport {
-                                cycle: now,
-                                site: FaultSite::NetDrop,
-                                attempts,
-                                budget: f.budget,
-                                detail: format!(
-                                    "message core {} -> core {} tag {}",
-                                    msg.from, msg.to, msg.tag
-                                ),
-                            });
-                            f.log(now, core, FaultSite::NetDrop, "gave-up");
-                        } else {
-                            f.drop.note_retried(1);
-                            head.attempts = attempts;
-                            head.not_before = now + f.backoff(attempts);
-                            f.log(now, core, FaultSite::NetDrop, "dropped");
-                        }
-                        continue;
+        }
+    }
+
+    /// Inject `core`'s send-queue head if possible; returns true when a
+    /// delivery attempt consumed (or re-marked) the head, false when the
+    /// queue is empty or the head must wait (backoff, drop).
+    fn inject_head(&mut self, core: usize, now: u64) -> bool {
+        let Some(&entry) = self.send_q[core].front() else {
+            return false;
+        };
+        // A head backing off after a drop waits for its retry slot.
+        if entry.not_before > now {
+            return false;
+        }
+        let msg = entry.msg;
+        // Consult the fault injectors at the injection attempt — the
+        // architectural event, so the draw sequence is identical with
+        // fast-forward on or off. An injected duplicate resend is
+        // recovery machinery, not a fresh send: it draws nothing.
+        let mut extra_delay = 0;
+        let mut duplicate_after = false;
+        if let Some(f) = self.faults.as_deref_mut() {
+            if !entry.dup {
+                if f.drop.fire(now).is_some() {
+                    // Dropped at injection: no link is reserved, the
+                    // head stays queued and reinjects after backoff.
+                    let attempts = entry.attempts + 1;
+                    let head = self.send_q[core].front_mut().expect("head exists");
+                    if attempts > f.budget {
+                        f.drop.note_gave_up();
+                        head.not_before = u64::MAX;
+                        f.failure.get_or_insert(FaultBudgetReport {
+                            cycle: now,
+                            site: FaultSite::NetDrop,
+                            attempts,
+                            budget: f.budget,
+                            detail: format!(
+                                "message core {} -> core {} tag {}",
+                                msg.from, msg.to, msg.tag
+                            ),
+                        });
+                        f.log(now, core, FaultSite::NetDrop, "gave-up");
+                    } else {
+                        f.drop.note_retried(1);
+                        head.attempts = attempts;
+                        head.not_before = now + f.backoff(attempts);
+                        f.log(now, core, FaultSite::NetDrop, "dropped");
                     }
-                    if let Some(FaultKind::Delay(d)) = f.delay.fire(now) {
-                        extra_delay = d;
-                        f.log(now, core, FaultSite::NetDelay, "delayed");
-                    }
-                    if f.dup.fire(now).is_some() {
-                        duplicate_after = true;
-                        f.log(now, core, FaultSite::NetDuplicate, "duplicated");
-                    }
+                    return false;
+                }
+                if let Some(FaultKind::Delay(d)) = f.delay.fire(now) {
+                    extra_delay = d;
+                    f.log(now, core, FaultSite::NetDelay, "delayed");
+                }
+                if f.dup.fire(now).is_some() {
+                    duplicate_after = true;
+                    f.log(now, core, FaultSite::NetDuplicate, "duplicated");
                 }
             }
+        }
+        let available = if self.cfg.ideal.zero_latency_network {
+            // Zero-latency idealization: no hops, no fixed overhead,
+            // no link reservation (injected faults still delay).
+            now + extra_delay
+        } else {
             // Walk the XY route, reserving each directed link as it is
             // crossed. A link appears at most once on an XY path, so
             // committing reservations inline is the same as computing
@@ -490,57 +526,68 @@ impl OperandNetwork {
             // the paper's 2-cycle fixed overhead; the first was the send
             // queue write, already implied by injecting one cycle after
             // the SEND executed).
-            let available = t + self.cfg.queue_overhead - 1 + extra_delay;
-            if duplicate_after {
-                // Keep the head: the next tick reinjects it as the
-                // duplicate (consuming real link bandwidth) and the
-                // receiver's sequence check drops it at CAM insertion.
-                self.send_q[core].front_mut().expect("head exists").dup = true;
-            } else {
-                self.send_q[core].pop_front();
-            }
-            // Receive-side idempotence: a delivery below the expected
-            // stream sequence is a duplicate — count it recovered and
-            // drop it before it reaches the CAM.
-            if let Some(f) = self.faults.as_deref_mut() {
-                let expected = f.rx_seq[msg.to][msg.from].entry(msg.tag).or_insert(0);
-                if entry.seq < *expected {
-                    f.dup.note_recovered();
-                    f.log(now, core, FaultSite::NetDuplicate, "deduped");
-                    continue;
-                }
-                *expected = entry.seq + 1;
-                if entry.attempts > 0 {
-                    f.drop.note_recovered();
-                    f.log(now, core, FaultSite::NetDrop, "recovered");
-                }
-                if extra_delay > 0 {
-                    f.delay.note_recovered();
-                }
-            }
-            let side = &mut self.recv[msg.to];
-            match msg.payload {
-                Payload::Data(v) => {
-                    side.data[msg.from]
-                        .entry(msg.tag)
-                        .or_default()
-                        .push_back((v, available));
-                }
-                Payload::Spawn(b) => {
-                    if side.spawns[msg.from].is_empty() {
-                        side.spawn_senders.push(msg.from);
-                    }
-                    side.spawns[msg.from].push_back((self.deliver_seq, b, available));
-                }
-            }
-            side.buffered += 1;
-            self.deliver_seq += 1;
-            self.stats.messages += 1;
-            self.stats.total_latency += available.saturating_sub(entry.enq);
+            t + self.cfg.queue_overhead - 1 + extra_delay
+        };
+        if duplicate_after {
+            // Keep the head: the next tick reinjects it as the
+            // duplicate (consuming real link bandwidth) and the
+            // receiver's sequence check drops it at CAM insertion.
+            self.send_q[core].front_mut().expect("head exists").dup = true;
+        } else {
+            self.send_q[core].pop_front();
         }
+        // Receive-side idempotence: a delivery below the expected
+        // stream sequence is a duplicate — count it recovered and
+        // drop it before it reaches the CAM.
+        if let Some(f) = self.faults.as_deref_mut() {
+            let expected = f.rx_seq[msg.to][msg.from].entry(msg.tag).or_insert(0);
+            if entry.seq < *expected {
+                f.dup.note_recovered();
+                f.log(now, core, FaultSite::NetDuplicate, "deduped");
+                return true;
+            }
+            *expected = entry.seq + 1;
+            if entry.attempts > 0 {
+                f.drop.note_recovered();
+                f.log(now, core, FaultSite::NetDrop, "recovered");
+            }
+            if extra_delay > 0 {
+                f.delay.note_recovered();
+            }
+        }
+        let side = &mut self.recv[msg.to];
+        match msg.payload {
+            Payload::Data(v) => {
+                side.data[msg.from]
+                    .entry(msg.tag)
+                    .or_default()
+                    .push_back((v, available));
+            }
+            Payload::Spawn(b) => {
+                if side.spawns[msg.from].is_empty() {
+                    side.spawn_senders.push(msg.from);
+                }
+                side.spawns[msg.from].push_back((self.deliver_seq, b, available));
+            }
+        }
+        side.buffered += 1;
+        self.deliver_seq += 1;
+        self.stats.messages += 1;
+        self.stats.total_latency += available.saturating_sub(entry.enq);
+        true
     }
 
     // ---- direct mode ----
+
+    /// Hop latency of a direct-mode latch write (zero under the
+    /// zero-latency idealization: the value is visible the same cycle).
+    fn direct_latency(&self) -> u64 {
+        if self.cfg.ideal.zero_latency_network {
+            0
+        } else {
+            self.cfg.hop_latency
+        }
+    }
 
     /// True when a `PUT` from `core` toward `d` would find its far latch
     /// free (off-mesh directions report false; the `put` itself errors).
@@ -571,7 +618,7 @@ impl OperandNetwork {
         if self.direct[slot].is_some() {
             return Ok(false);
         }
-        self.direct[slot] = Some((value, now + self.cfg.hop_latency));
+        self.direct[slot] = Some((value, now + self.direct_latency()));
         self.stats.direct_transfers += 1;
         Ok(true)
     }
@@ -599,7 +646,7 @@ impl OperandNetwork {
         }
         for c in 0..self.cfg.cores {
             if c != from {
-                self.bcast[c] = Some((value, now + self.cfg.hop_latency));
+                self.bcast[c] = Some((value, now + self.direct_latency()));
             }
         }
         self.bcast_occupied += self.cfg.cores - 1;

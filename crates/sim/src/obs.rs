@@ -487,6 +487,52 @@ impl ProbeSeries {
         s
     }
 
+    /// Render the series' gauges as Chrome trace-event *counter* records
+    /// (`"ph":"C"`), one per sample: machine-wide send-queue depth,
+    /// receive-CAM occupancy, live transactions (cores with a non-empty
+    /// read or write set), and interval bus utilization in percent
+    /// (first difference of the cumulative busy counter over the
+    /// period). Perfetto draws each as a stacked counter track above the
+    /// span timeline. Returns the comma-separated records without
+    /// surrounding brackets so [`trace_with_counters`] can splice them
+    /// into a rendered trace; empty when the series has no samples.
+    pub fn counter_events(&self) -> String {
+        let mut out = String::new();
+        let mut prev_busy = 0u64;
+        let mut prev_cycle = 0u64;
+        for sample in &self.samples {
+            let ts = sample.cycle;
+            let send: usize = sample.send_queue.iter().sum();
+            let recv: usize = sample.recv_buffered.iter().sum();
+            let live = sample
+                .tm_read_set
+                .iter()
+                .zip(&sample.tm_write_set)
+                .filter(|&(r, w)| *r > 0 || *w > 0)
+                .count();
+            let span = ts.saturating_sub(prev_cycle).max(1);
+            let busy = sample.bus_busy.saturating_sub(prev_busy);
+            let util = 100.0 * busy as f64 / span as f64;
+            prev_busy = sample.bus_busy;
+            prev_cycle = ts;
+            if !out.is_empty() {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"send queue\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+                 \"args\":{{\"depth\":{send}}}}},\
+                 {{\"name\":\"recv buffered\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+                 \"args\":{{\"entries\":{recv}}}}},\
+                 {{\"name\":\"live txns\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+                 \"args\":{{\"count\":{live}}}}},\
+                 {{\"name\":\"bus util %\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+                 \"args\":{{\"percent\":{util:.2}}}}}"
+            );
+        }
+        out
+    }
+
     /// Render the series as JSON (one object per sample, columnar
     /// per-core arrays), for `--probes-out`.
     pub fn render_json(&self) -> String {
@@ -534,6 +580,23 @@ impl ProbeSeries {
         out.push_str("]}");
         out
     }
+}
+
+/// Splice a probe series' counter tracks ([`ProbeSeries::counter_events`])
+/// into a rendered Chrome trace (`{"traceEvents":[...]}`): the span
+/// timeline and the gauges land in one Perfetto document. Returns the
+/// trace unchanged when the series has no samples or the document does
+/// not end in a trace-event array.
+pub fn trace_with_counters(trace: &str, series: &ProbeSeries) -> String {
+    let counters = series.counter_events();
+    if counters.is_empty() {
+        return trace.to_string();
+    }
+    let Some(body) = trace.strip_suffix("]}") else {
+        return trace.to_string();
+    };
+    let sep = if body.ends_with('[') { "" } else { "," };
+    format!("{body}{sep}{counters}]}}")
 }
 
 #[cfg(test)]
@@ -660,5 +723,122 @@ mod tests {
         assert_eq!(s.stall_phase_hist[StallReason::RecvData.index()], 1);
         assert!((s.bus_utilization - 0.5).abs() < 1e-12);
         assert!(balanced(&series.render_json()));
+    }
+
+    /// A hand-built sample for the directed summary-math tests below.
+    fn sample(cycle: u64, cores: usize) -> ProbeSample {
+        ProbeSample {
+            cycle,
+            issued: vec![0; cores],
+            idle: vec![0; cores],
+            stalls: vec![[0; 9]; cores],
+            send_queue: vec![0; cores],
+            recv_buffered: vec![0; cores],
+            tm_read_set: vec![0; cores],
+            tm_write_set: vec![0; cores],
+            bus_busy: 0,
+        }
+    }
+
+    #[test]
+    fn summary_of_empty_series_is_all_zero() {
+        let s = ProbeSeries::new(10, 4).summary();
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.peak_send_queue, 0);
+        assert_eq!(s.peak_recv_buffered, 0);
+        assert_eq!(s.peak_tm_write_set, 0);
+        assert_eq!(s.bus_utilization, 0.0);
+        assert_eq!(s.quiet_intervals, 0);
+        assert_eq!(s.stall_phase_hist, [0; 9]);
+    }
+
+    /// Peaks are maxima over *all* samples and *all* cores, not just the
+    /// last sample or core 0.
+    #[test]
+    fn peaks_track_any_core_at_any_sample() {
+        let mut series = ProbeSeries::new(10, 3);
+        let mut a = sample(10, 3);
+        a.send_queue = vec![1, 7, 0];
+        let mut b = sample(20, 3);
+        b.send_queue = vec![2, 0, 5];
+        b.recv_buffered = vec![0, 0, 9];
+        b.tm_write_set = vec![4, 0, 0];
+        series.samples.push(a);
+        series.samples.push(b);
+        let s = series.summary();
+        assert_eq!(s.peak_send_queue, 7, "peak was in the first sample");
+        assert_eq!(s.peak_recv_buffered, 9);
+        assert_eq!(s.peak_tm_write_set, 4);
+    }
+
+    /// Bus utilization is cumulative-busy over elapsed at the *last*
+    /// sample — intermediate samples only matter through their deltas.
+    #[test]
+    fn bus_utilization_uses_the_last_sample() {
+        let mut series = ProbeSeries::new(100, 1);
+        let mut a = sample(100, 1);
+        a.bus_busy = 90; // briefly saturated...
+        let mut b = sample(400, 1);
+        b.bus_busy = 100; // ...then nearly idle.
+        series.samples.push(a);
+        series.samples.push(b);
+        let s = series.summary();
+        assert!(
+            (s.bus_utilization - 0.25).abs() < 1e-12,
+            "{}",
+            s.bus_utilization
+        );
+    }
+
+    /// The phase histogram classifies each interval by its dominant
+    /// stall *delta* (cumulative counters differenced), and an interval
+    /// with no stall growth anywhere is quiet.
+    #[test]
+    fn stall_phase_histogram_differences_cumulative_counters() {
+        let mut series = ProbeSeries::new(10, 2);
+        let mut a = sample(10, 2);
+        a.stalls[0][StallReason::DMiss.index()] = 8;
+        let mut b = sample(20, 2);
+        // Cumulative counts carry forward: no growth this interval.
+        b.stalls[0][StallReason::DMiss.index()] = 8;
+        let mut c = sample(30, 2);
+        c.stalls[0][StallReason::DMiss.index()] = 9; // +1
+        c.stalls[1][StallReason::Sync.index()] = 5; // +5 dominates
+        series.samples.push(a);
+        series.samples.push(b);
+        series.samples.push(c);
+        let s = series.summary();
+        assert_eq!(s.stall_phase_hist[StallReason::DMiss.index()], 1);
+        assert_eq!(s.stall_phase_hist[StallReason::Sync.index()], 1);
+        assert_eq!(s.quiet_intervals, 1, "the flat interval is quiet");
+    }
+
+    #[test]
+    fn counter_events_emit_gauges_and_interval_utilization() {
+        let mut series = ProbeSeries::new(10, 2);
+        let mut a = sample(10, 2);
+        a.send_queue = vec![2, 1];
+        a.recv_buffered = vec![0, 4];
+        a.tm_read_set = vec![3, 0];
+        a.tm_write_set = vec![0, 0];
+        a.bus_busy = 5;
+        let mut b = sample(20, 2);
+        b.bus_busy = 5; // idle interval
+        series.samples.push(a);
+        series.samples.push(b);
+        let ev = series.counter_events();
+        assert!(ev.contains("\"name\":\"send queue\",\"ph\":\"C\",\"ts\":10"));
+        assert!(ev.contains("\"args\":{\"depth\":3}"), "{ev}");
+        assert!(ev.contains("\"args\":{\"entries\":4}"), "{ev}");
+        // Core 0 has a live read set, so one transaction is live.
+        assert!(ev.contains("\"args\":{\"count\":1}"), "{ev}");
+        assert!(ev.contains("\"args\":{\"percent\":50.00}"), "{ev}");
+        assert!(ev.contains("\"ts\":20") && ev.contains("\"percent\":0.00"));
+        // Splicing keeps the document balanced and appends every record.
+        let spliced = trace_with_counters("{\"traceEvents\":[]}", &series);
+        assert!(balanced(&spliced), "{spliced}");
+        assert!(spliced.contains("bus util %"));
+        let untouched = trace_with_counters("{\"traceEvents\":[]}", &ProbeSeries::new(10, 1));
+        assert_eq!(untouched, "{\"traceEvents\":[]}");
     }
 }

@@ -96,6 +96,11 @@ pub struct CoreStats {
     pub idle: u64,
     /// Stall cycles by reason.
     pub stalls: [u64; 9],
+    /// Cycles consumed starting a spawned thread (the wake-up cycle a
+    /// `StartThread` decision burns before the first issue). Kept as its
+    /// own bucket so every core-cycle lands in exactly one category —
+    /// the CPI-stack exact-sum invariant (`crate::whatif`).
+    pub spawn_starts: u64,
 }
 
 impl CoreStats {
@@ -112,6 +117,13 @@ impl CoreStats {
     /// Stall cycles for one reason.
     pub fn stalls_for(&self, r: StallReason) -> u64 {
         self.stalls[r.index()]
+    }
+
+    /// Every accounted core-cycle: issue + NOPs + idle + stalls +
+    /// spawn-start cycles. Equals the cycles this core was simulated for
+    /// (including the post-halt drain; see `MachineStats::drained_cycles`).
+    pub fn accounted(&self) -> u64 {
+        self.issued + self.nops + self.idle + self.total_stalls() + self.spawn_starts
     }
 }
 
@@ -131,12 +143,27 @@ pub struct RegionBreakdown {
     pub idle: u64,
     /// Core-cycles stalled, indexed by [`StallReason::index`].
     pub stalls: [u64; 9],
+    /// Core-cycles consumed starting spawned threads (see
+    /// [`CoreStats::spawn_starts`]).
+    pub spawn_starts: u64,
+    /// Core-cycles spent in transactions that later aborted, attributed
+    /// to the region current at abort time. An *overlay* on the primary
+    /// categories (those cycles were already classified as issue/stall),
+    /// not a term of the exact-sum decomposition.
+    pub tm_wasted: u64,
 }
 
 impl RegionBreakdown {
     /// Total stalled core-cycles in the region.
     pub fn total_stalls(&self) -> u64 {
         self.stalls.iter().sum()
+    }
+
+    /// Every accounted core-cycle in the region (spawn-start cycles
+    /// included, the `tm_wasted` overlay excluded). Equals
+    /// `cycles * cores` — the per-region exact-sum invariant.
+    pub fn accounted(&self) -> u64 {
+        self.issued + self.idle + self.total_stalls() + self.spawn_starts
     }
 
     /// The stall reason costing the most core-cycles, if any stall was
@@ -159,6 +186,13 @@ impl RegionBreakdown {
 pub struct MachineStats {
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Post-halt grace-drain ticks: after the master halts, the machine
+    /// keeps ticking (bounded) so straggler cores can finish, and those
+    /// ticks still account core-cycles into `cores`/`regions` while
+    /// `cycles` stays at the halt point. Recorded so the CPI-stack
+    /// exact-sum invariant closes:
+    /// `sum(cores[i].accounted()) == (cycles + drained_cycles) * cores.len()`.
+    pub drained_cycles: u64,
     /// Cycles spent in coupled mode.
     pub coupled_cycles: u64,
     /// Cycles spent in decoupled mode.

@@ -27,6 +27,11 @@ pub struct Txn {
     read_lines: HashSet<u64>,
     write_lines: HashSet<u64>,
     writes: HashMap<u64, u8>,
+    /// First-read committed value per byte actually read (not forwarded
+    /// from the transaction's own write buffer). Populated only in
+    /// value-based conflict mode ([`TxnManager::set_value_conflicts`]);
+    /// empty — and never consulted — on the default line-granular path.
+    observed: HashMap<u64, u8>,
 }
 
 /// TM statistics.
@@ -38,6 +43,11 @@ pub struct TmStats {
     pub aborts: u64,
     /// Lines broadcast at commits.
     pub committed_lines: u64,
+    /// Core-cycles spent inside transactions that later aborted — the
+    /// re-executed (wasted) work. Accounted by the machine (the manager
+    /// has no clock); an overlay on the CPI-stack categories, not a
+    /// separate term of the exact-sum decomposition.
+    pub wasted_cycles: u64,
 }
 
 /// The transaction manager (one per machine).
@@ -51,6 +61,14 @@ pub struct TxnManager {
     pool: Vec<Txn>,
     /// The commit token: the order the next commit must have.
     expected: u32,
+    /// Value-based (byte-granular) conflict detection: a commit aborts a
+    /// later-ordered reader only when it changes the *value* of a byte
+    /// that reader observed. The what-if "zero TM conflict aborts"
+    /// idealization — it removes false-sharing and silent-store aborts,
+    /// the recoverable ones, while true data conflicts still abort (they
+    /// must: the reader consumed a stale value and re-execution is the
+    /// recovery contract). Off on every measured run.
+    value_conflicts: bool,
     stats: TmStats,
 }
 
@@ -59,6 +77,7 @@ fn retire(mut txn: Txn) -> Txn {
     txn.read_lines.clear();
     txn.write_lines.clear();
     txn.writes.clear();
+    txn.observed.clear();
     txn
 }
 
@@ -72,8 +91,15 @@ impl TxnManager {
             txns: vec![None; cores],
             pool: Vec::new(),
             expected: 0,
+            value_conflicts: false,
             stats: TmStats::default(),
         }
+    }
+
+    /// Switch conflict detection to value-based byte granularity (the
+    /// what-if idealization). Must be set before any transaction begins.
+    pub fn set_value_conflicts(&mut self, on: bool) {
+        self.value_conflicts = on;
     }
 
     /// True if `core` has a live transaction.
@@ -99,6 +125,7 @@ impl TxnManager {
             read_lines: HashSet::new(),
             write_lines: HashSet::new(),
             writes: HashMap::new(),
+            observed: HashMap::new(),
         });
         txn.order = order;
         self.txns[core] = Some(txn);
@@ -127,8 +154,16 @@ impl TxnManager {
         }
         let mut bytes = committed.to_le_bytes();
         for (i, byte) in bytes.iter_mut().enumerate().take(width as usize) {
-            if let Some(v) = txn.writes.get(&(addr + i as u64)) {
-                *byte = *v;
+            match txn.writes.get(&(addr + i as u64)) {
+                Some(v) => *byte = *v,
+                // First-read value of a byte taken from committed memory:
+                // the evidence value-based conflict detection compares a
+                // later commit against. Self-written bytes are immune to
+                // external commits and are never recorded.
+                None if self.value_conflicts => {
+                    txn.observed.entry(addr + i as u64).or_insert(*byte);
+                }
+                None => {}
             }
         }
         u64::from_le_bytes(bytes)
@@ -184,8 +219,18 @@ impl TxnManager {
         let mut aborted = Vec::new();
         for (c, slot) in self.txns.iter_mut().enumerate() {
             if let Some(other) = slot {
-                let conflicts =
-                    other.order > txn.order && !other.read_lines.is_disjoint(&txn.write_lines);
+                let conflicts = other.order > txn.order
+                    && if self.value_conflicts {
+                        // Abort only when a committed byte *changes* a
+                        // value the later transaction actually observed:
+                        // false sharing and silent stores survive, stale
+                        // reads still roll back.
+                        txn.writes
+                            .iter()
+                            .any(|(a, v)| other.observed.get(a).is_some_and(|o| o != v))
+                    } else {
+                        !other.read_lines.is_disjoint(&txn.write_lines)
+                    };
                 if conflicts {
                     self.pool.push(retire(slot.take().expect("just matched")));
                     aborted.push(c);
@@ -335,6 +380,55 @@ mod tests {
         assert!(!tm.can_commit(1));
         tm.commit(0, |_, _| {});
         assert!(tm.can_commit(1));
+    }
+
+    #[test]
+    fn value_mode_spares_false_sharing_and_silent_stores() {
+        let mut tm = TxnManager::new(3, 32);
+        tm.set_value_conflicts(true);
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        tm.begin(2, 2);
+        // Core 1 reads bytes 40..48 (committed value 7); core 2 reads
+        // bytes 0..8 (committed value 9). Core 0 writes byte 32..40 on
+        // core 1's line (false sharing) and silently re-stores 9 over
+        // core 2's bytes.
+        tm.read(1, 40, 8, 7);
+        tm.read(2, 0, 8, 9);
+        tm.write(0, 32, 8, 1);
+        tm.write(0, 0, 8, 9);
+        let (_, aborted) = tm.commit(0, |_, _| {});
+        assert!(aborted.is_empty(), "aborted {aborted:?}");
+        assert!(tm.active(1) && tm.active(2));
+        assert_eq!(tm.stats().aborts, 0);
+    }
+
+    #[test]
+    fn value_mode_still_aborts_true_conflicts() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.set_value_conflicts(true);
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        tm.read(1, 64, 8, 0); // observes 0
+        tm.write(0, 64, 8, 42); // commits a different value
+        let (_, aborted) = tm.commit(0, |_, _| {});
+        assert_eq!(aborted, vec![1]);
+        assert_eq!(tm.stats().aborts, 1);
+    }
+
+    #[test]
+    fn value_mode_ignores_self_written_bytes() {
+        let mut tm = TxnManager::new(2, 32);
+        tm.set_value_conflicts(true);
+        tm.begin(0, 0);
+        tm.begin(1, 1);
+        // Core 1 writes the byte first, then reads it back: the value is
+        // forwarded from its own buffer and is immune to the commit.
+        tm.write(1, 64, 8, 5);
+        tm.read(1, 64, 8, 0);
+        tm.write(0, 64, 8, 42);
+        let (_, aborted) = tm.commit(0, |_, _| {});
+        assert!(aborted.is_empty());
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! CPI stacks and counterfactual what-if analysis.
+//!
+//! Two halves of one question — *what is this run bound by, and what
+//! would fixing it buy?*
+//!
+//! * [`CycleStack`] / [`RegionStack`] decompose a finished run's
+//!   core-cycles into issue, per-[`StallReason`], idle, and spawn-start
+//!   components, machine-wide and per region, under an **exact-sum
+//!   invariant**: the components add to `(cycles + drained_cycles) *
+//!   cores` with no residue (asserted by `tests/whatif_ceilings.rs`).
+//!   TM-abort wasted work is carried as an *overlay* — those cycles were
+//!   already classified as issue or stall while the doomed transaction
+//!   ran, so adding them as a component would double-count.
+//! * [`KnobId`] enumerates the idealization knobs of
+//!   [`crate::config::IdealKnobs`]; the driver in `voltron-core` re-runs
+//!   a workload with one knob lit at a time and reports the speedup as
+//!   the **ceiling** on what optimizing that cost class can yield
+//!   (Amdahl-style: removing a cost entirely bounds every partial fix).
+//! * [`BoundBy`] names the cost classes; [`CycleStack::bound_by`] picks
+//!   the dominant one, which is the per-region classification the
+//!   feedback-directed planner (ROADMAP item 5) consumes.
+//!
+//! The measured run never sees a knob: stacks are pure post-processing
+//! of [`MachineStats`], and idealized runs happen on separate machines
+//! built from a config copy. Golden fingerprints therefore stay
+//! byte-identical with this module compiled in.
+
+use crate::config::IdealKnobs;
+use crate::mcode::{RegionId, REGION_OUTSIDE};
+use crate::stats::{MachineStats, RegionBreakdown, StallReason};
+use std::fmt;
+
+/// The cost class a run (or region) is dominated by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundBy {
+    /// Issue and interlock cycles dominate: the code is doing work.
+    Compute,
+    /// I-fetch, d-miss and store-buffer stalls dominate.
+    Memory,
+    /// Operand-network stalls (recv-data, direct-wait, send-full)
+    /// dominate.
+    Communication,
+    /// Sync, predicate-receive and spawn-start cycles dominate.
+    Synchronization,
+    /// Cores sit idle awaiting spawns: not enough parallelism extracted.
+    Idle,
+    /// TM-abort wasted work exceeds every primary bucket.
+    TmConflicts,
+}
+
+impl fmt::Display for BoundBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BoundBy::Compute => "compute",
+            BoundBy::Memory => "memory",
+            BoundBy::Communication => "communication",
+            BoundBy::Synchronization => "synchronization",
+            BoundBy::Idle => "idle",
+            BoundBy::TmConflicts => "tm-conflicts",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pick the dominant cost class from pre-bucketed core-cycle counts.
+/// Ties break toward the earlier class in the listing order (compute
+/// first), which makes the classification deterministic.
+fn classify(compute: u64, memory: u64, comm: u64, sync: u64, idle: u64, tm_wasted: u64) -> BoundBy {
+    let buckets = [
+        (BoundBy::Compute, compute),
+        (BoundBy::Memory, memory),
+        (BoundBy::Communication, comm),
+        (BoundBy::Synchronization, sync),
+        (BoundBy::Idle, idle),
+        (BoundBy::TmConflicts, tm_wasted),
+    ];
+    let mut best = buckets[0];
+    for &b in &buckets[1..] {
+        if b.1 > best.1 {
+            best = b;
+        }
+    }
+    best.0
+}
+
+/// Bucket a stall array into the memory / communication / sync classes
+/// used by [`BoundBy`]. Returns `(memory, comm, sync, interlock)`.
+fn bucket_stalls(stalls: &[u64; 9]) -> (u64, u64, u64, u64) {
+    let s = |r: StallReason| stalls[r.index()];
+    let memory = s(StallReason::IFetch) + s(StallReason::DMiss) + s(StallReason::StoreBuf);
+    let comm = s(StallReason::RecvData) + s(StallReason::DirectWait) + s(StallReason::SendFull);
+    let sync = s(StallReason::Sync) + s(StallReason::RecvPred);
+    (memory, comm, sync, s(StallReason::Interlock))
+}
+
+/// Machine-wide CPI stack: where every core-cycle of a run went.
+///
+/// Built by [`CycleStack::of`] from a finished run's [`MachineStats`];
+/// pure post-processing, the run is never touched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleStack {
+    /// Core count the totals are summed over.
+    pub cores: usize,
+    /// The exact-sum denominator:
+    /// `(cycles + drained_cycles) * cores` — every core is accounted on
+    /// every simulated cycle, including the post-halt drain.
+    pub total: u64,
+    /// Core-cycles that issued a useful (non-NOP) operation.
+    pub issued: u64,
+    /// Core-cycles that issued schedule-padding NOPs.
+    pub nops: u64,
+    /// Core-cycles spent idle awaiting a spawn.
+    pub idle: u64,
+    /// Core-cycles stalled, indexed by [`StallReason::index`].
+    pub stalls: [u64; 9],
+    /// Core-cycles consumed starting spawned threads.
+    pub spawn_starts: u64,
+    /// Overlay: core-cycles inside transactions that later aborted.
+    /// Already counted in `issued`/`stalls`; **not** an exact-sum term.
+    pub tm_wasted: u64,
+}
+
+impl CycleStack {
+    /// Decompose a run's statistics into its machine-wide stack.
+    pub fn of(stats: &MachineStats) -> CycleStack {
+        let cores = stats.cores.len();
+        let mut stack = CycleStack {
+            cores,
+            total: (stats.cycles + stats.drained_cycles) * cores as u64,
+            tm_wasted: stats.tm.wasted_cycles,
+            ..CycleStack::default()
+        };
+        for c in &stats.cores {
+            stack.issued += c.issued;
+            stack.nops += c.nops;
+            stack.idle += c.idle;
+            stack.spawn_starts += c.spawn_starts;
+            for (i, s) in c.stalls.iter().enumerate() {
+                stack.stalls[i] += s;
+            }
+        }
+        stack
+    }
+
+    /// Sum of the primary components (the overlay excluded).
+    pub fn accounted(&self) -> u64 {
+        self.issued + self.nops + self.idle + self.stalls.iter().sum::<u64>() + self.spawn_starts
+    }
+
+    /// The exact-sum invariant: components add to `total` with no
+    /// residue.
+    pub fn is_exact(&self) -> bool {
+        self.accounted() == self.total
+    }
+
+    /// Dominant cost class of the whole run.
+    pub fn bound_by(&self) -> BoundBy {
+        let (memory, comm, sync, interlock) = bucket_stalls(&self.stalls);
+        classify(
+            self.issued + self.nops + interlock,
+            memory,
+            comm,
+            sync + self.spawn_starts,
+            self.idle,
+            self.tm_wasted,
+        )
+    }
+
+    /// Display rows `(label, core-cycles)` in stack order: issue first,
+    /// then NOPs, each stall reason, spawn-starts, idle. Omits the
+    /// `tm_wasted` overlay (render it separately — it double-counts).
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![
+            ("issue".to_string(), self.issued),
+            ("nop".to_string(), self.nops),
+        ];
+        for r in StallReason::ALL {
+            rows.push((r.to_string(), self.stalls[r.index()]));
+        }
+        rows.push(("spawn-start".to_string(), self.spawn_starts));
+        rows.push(("idle".to_string(), self.idle));
+        rows
+    }
+}
+
+/// Per-region CPI stack: [`RegionBreakdown`] recast with its exact-sum
+/// denominator (`cycles * cores`) and [`BoundBy`] classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionStack {
+    /// Planner region id ([`REGION_OUTSIDE`] for unattributed cycles).
+    pub region: RegionId,
+    /// Core count the totals are summed over.
+    pub cores: usize,
+    /// Cycles the master core spent inside the region.
+    pub cycles: u64,
+    /// The exact-sum denominator: `cycles * cores`.
+    pub total: u64,
+    /// Core-cycles that issued (useful ops and NOPs alike — the region
+    /// table does not split them).
+    pub issued: u64,
+    /// Core-cycles spent idle awaiting a spawn.
+    pub idle: u64,
+    /// Core-cycles stalled, indexed by [`StallReason::index`].
+    pub stalls: [u64; 9],
+    /// Core-cycles consumed starting spawned threads.
+    pub spawn_starts: u64,
+    /// Overlay: wasted work of transactions aborted while the master
+    /// was in this region. Not an exact-sum term.
+    pub tm_wasted: u64,
+}
+
+impl RegionStack {
+    /// Recast one region's breakdown.
+    pub fn of(region: RegionId, cores: usize, rb: &RegionBreakdown) -> RegionStack {
+        RegionStack {
+            region,
+            cores,
+            cycles: rb.cycles,
+            total: rb.cycles * cores as u64,
+            issued: rb.issued,
+            idle: rb.idle,
+            stalls: rb.stalls,
+            spawn_starts: rb.spawn_starts,
+            tm_wasted: rb.tm_wasted,
+        }
+    }
+
+    /// Sum of the primary components (the overlay excluded).
+    pub fn accounted(&self) -> u64 {
+        self.issued + self.idle + self.stalls.iter().sum::<u64>() + self.spawn_starts
+    }
+
+    /// The per-region exact-sum invariant: components add to
+    /// `cycles * cores`.
+    pub fn is_exact(&self) -> bool {
+        self.accounted() == self.total
+    }
+
+    /// Dominant cost class of this region.
+    pub fn bound_by(&self) -> BoundBy {
+        let (memory, comm, sync, interlock) = bucket_stalls(&self.stalls);
+        classify(
+            self.issued + interlock,
+            memory,
+            comm,
+            sync + self.spawn_starts,
+            self.idle,
+            self.tm_wasted,
+        )
+    }
+}
+
+/// All region stacks of a run, planner regions in id order with
+/// [`REGION_OUTSIDE`] last.
+pub fn region_stacks(stats: &MachineStats) -> Vec<RegionStack> {
+    let cores = stats.cores.len();
+    let mut out: Vec<RegionStack> = stats
+        .regions
+        .iter()
+        .map(|(&r, rb)| RegionStack::of(r, cores, rb))
+        .collect();
+    out.sort_by_key(|s| {
+        if s.region == REGION_OUTSIDE {
+            u64::from(u32::MAX) + 1
+        } else {
+            u64::from(s.region)
+        }
+    });
+    out
+}
+
+/// One idealization knob of the what-if engine, naming a single field
+/// of [`IdealKnobs`]. The driver runs the workload once per knob and
+/// reports `measured_cycles / ideal_cycles` as that cost class's
+/// speedup ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnobId {
+    /// Zero-latency operand network.
+    ZeroLatencyNetwork,
+    /// Infinite bus/bank bandwidth.
+    InfiniteBandwidth,
+    /// Perfect L1 caches.
+    PerfectL1,
+    /// Zero recoverable TM conflict aborts.
+    ZeroTmConflicts,
+    /// Free spawn delivery.
+    FreeSpawn,
+}
+
+impl KnobId {
+    /// Every knob, in display order.
+    pub const ALL: [KnobId; 5] = [
+        KnobId::ZeroLatencyNetwork,
+        KnobId::InfiniteBandwidth,
+        KnobId::PerfectL1,
+        KnobId::ZeroTmConflicts,
+        KnobId::FreeSpawn,
+    ];
+
+    /// Stable machine-readable label (used in `BENCH_*.json`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KnobId::ZeroLatencyNetwork => "zero-latency-network",
+            KnobId::InfiniteBandwidth => "infinite-bandwidth",
+            KnobId::PerfectL1 => "perfect-l1",
+            KnobId::ZeroTmConflicts => "zero-tm-conflicts",
+            KnobId::FreeSpawn => "free-spawn",
+        }
+    }
+
+    /// The one-hot [`IdealKnobs`] this knob stands for.
+    pub fn knobs(self) -> IdealKnobs {
+        let mut k = IdealKnobs::default();
+        match self {
+            KnobId::ZeroLatencyNetwork => k.zero_latency_network = true,
+            KnobId::InfiniteBandwidth => k.infinite_bandwidth = true,
+            KnobId::PerfectL1 => k.perfect_l1 = true,
+            KnobId::ZeroTmConflicts => k.zero_tm_conflicts = true,
+            KnobId::FreeSpawn => k.free_spawn = true,
+        }
+        k
+    }
+
+    /// The cost class this knob removes — the ceiling it reports bounds
+    /// fixes aimed at that class.
+    pub fn addresses(self) -> BoundBy {
+        match self {
+            KnobId::ZeroLatencyNetwork => BoundBy::Communication,
+            KnobId::InfiniteBandwidth | KnobId::PerfectL1 => BoundBy::Memory,
+            KnobId::ZeroTmConflicts => BoundBy::TmConflicts,
+            KnobId::FreeSpawn => BoundBy::Synchronization,
+        }
+    }
+}
+
+impl fmt::Display for KnobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CoreStats;
+
+    fn synthetic_stats() -> MachineStats {
+        let mut m = MachineStats {
+            cycles: 90,
+            drained_cycles: 10,
+            ..MachineStats::default()
+        };
+        // Two cores, each accounted for all 100 simulated cycles.
+        let mut a = CoreStats {
+            issued: 50,
+            nops: 10,
+            idle: 15,
+            spawn_starts: 5,
+            ..CoreStats::default()
+        };
+        a.stalls[StallReason::DMiss.index()] = 20;
+        let mut b = CoreStats {
+            issued: 40,
+            idle: 30,
+            ..CoreStats::default()
+        };
+        b.stalls[StallReason::RecvData.index()] = 25;
+        b.stalls[StallReason::Sync.index()] = 5;
+        m.cores = vec![a, b];
+        m.tm.wasted_cycles = 7;
+        m
+    }
+
+    #[test]
+    fn machine_stack_sums_exactly() {
+        let stack = CycleStack::of(&synthetic_stats());
+        assert_eq!(stack.total, 200);
+        assert_eq!(stack.accounted(), 200);
+        assert!(stack.is_exact());
+        assert_eq!(stack.tm_wasted, 7);
+        // The overlay is not part of the sum.
+        let row_sum: u64 = stack.rows().iter().map(|&(_, n)| n).sum();
+        assert_eq!(row_sum, stack.total);
+    }
+
+    #[test]
+    fn residue_is_detected() {
+        let mut stats = synthetic_stats();
+        stats.cores[0].issued -= 1; // lose one cycle
+        let stack = CycleStack::of(&stats);
+        assert!(!stack.is_exact());
+        assert_eq!(stack.accounted(), stack.total - 1);
+    }
+
+    #[test]
+    fn classification_picks_the_dominant_class() {
+        let stack = CycleStack::of(&synthetic_stats());
+        // compute 100 (issued 90 + nops 10) beats memory 20, comm 25,
+        // sync 10, idle 45.
+        assert_eq!(stack.bound_by(), BoundBy::Compute);
+
+        let mut stats = synthetic_stats();
+        stats.cores[0].stalls[StallReason::RecvData.index()] = 200;
+        assert_eq!(CycleStack::of(&stats).bound_by(), BoundBy::Communication);
+
+        let mut stats = synthetic_stats();
+        stats.tm.wasted_cycles = 10_000;
+        assert_eq!(CycleStack::of(&stats).bound_by(), BoundBy::TmConflicts);
+    }
+
+    #[test]
+    fn region_stacks_sort_outside_last_and_sum() {
+        let mut stats = synthetic_stats();
+        let mut r0 = RegionBreakdown {
+            cycles: 10,
+            issued: 12,
+            idle: 5,
+            spawn_starts: 1,
+            ..RegionBreakdown::default()
+        };
+        r0.stalls[StallReason::Sync.index()] = 2;
+        let outside = RegionBreakdown {
+            cycles: 3,
+            issued: 6,
+            ..RegionBreakdown::default()
+        };
+        stats.regions.insert(2, r0);
+        stats.regions.insert(REGION_OUTSIDE, outside);
+        let stacks = region_stacks(&stats);
+        assert_eq!(stacks.len(), 2);
+        assert_eq!(stacks[0].region, 2);
+        assert_eq!(stacks[1].region, REGION_OUTSIDE);
+        assert_eq!(stacks[0].total, 20);
+        assert!(stacks[0].is_exact());
+        assert!(stacks[1].is_exact());
+    }
+
+    #[test]
+    fn knobs_are_one_hot_and_labeled() {
+        for k in KnobId::ALL {
+            let knobs = k.knobs();
+            assert!(knobs.any());
+            let lit = [
+                knobs.zero_latency_network,
+                knobs.infinite_bandwidth,
+                knobs.perfect_l1,
+                knobs.zero_tm_conflicts,
+                knobs.free_spawn,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+            assert_eq!(lit, 1, "{k} must light exactly one field");
+            assert!(!k.label().is_empty());
+        }
+        assert_eq!(KnobId::PerfectL1.addresses(), BoundBy::Memory);
+    }
+}

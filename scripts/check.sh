@@ -59,6 +59,23 @@ cargo run --release -q -p voltron-bench --bin bench_one -- 164.gzip \
     > /dev/null
 cargo run --release -q -p voltron-bench --bin trace_check -- target/smoke/trace.json 4
 
+echo "== bench_diff regression gate: same-build sweeps compare clean"
+# Two sweeps of the same build must be cycle-identical (simulated cycles
+# are deterministic), so the gate passes on the honest pair -- and a
+# sidecar doctored to claim fewer cycles must trip it (DESIGN.md §11.3).
+cp BENCH_bench_one.json target/smoke/bench_old.json
+cargo run --release -q -p voltron-bench --bin bench_one -- 164.gzip > /dev/null
+cargo run --release -q -p voltron-bench --bin bench_diff -- \
+    target/smoke/bench_old.json BENCH_bench_one.json
+sed 's/"cycles":[0-9][0-9]*/"cycles":1/g' BENCH_bench_one.json \
+    > target/smoke/bench_doctored.json
+if cargo run --release -q -p voltron-bench --bin bench_diff -- \
+    target/smoke/bench_doctored.json BENCH_bench_one.json \
+    > /dev/null 2>&1; then
+    echo "bench_diff passed a sidecar with seeded cycle regressions" >&2
+    exit 1
+fi
+
 echo "== chaos smoke: fixed-seed fault plan + retries, no hard failures"
 # The whole figure path under fire (DESIGN.md §10): a seeded fault plan
 # across every site, failed workloads retried under reseeded plans. Any
