@@ -1,0 +1,104 @@
+//! `voltron-serve` daemon: a persistent simulation service speaking
+//! line-delimited JSON over TCP (or stdin/stdout with `--stdin`).
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!       [--pool-cap N] [--stdin]
+//! ```
+//!
+//! Request rows look like
+//! `{"id":1,"workload":"rawcaudio","strategy":"hybrid","cores":4}`
+//! (see `voltron_bench::serve::parse_request` for every field); one
+//! response row is written per request, in completion order, carrying the
+//! request id. `{"stats":true}` returns the daemon's cache/pool counters.
+//!
+//! On TCP startup the daemon prints `LISTENING <addr>` on stdout so
+//! scripts binding port 0 can discover the port.
+
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use voltron_bench::serve::{serve_connection, Server, ServerConfig};
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut stdin_mode = false;
+    let mut args = std::env::args().skip(1);
+    let take = |flag: &str, args: &mut dyn Iterator<Item = String>| match args.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+    };
+    let int = |flag: &str, v: String| match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} requires a positive integer");
+            std::process::exit(2);
+        }
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = take("--addr", &mut args),
+            "--workers" => cfg.workers = int("--workers", take("--workers", &mut args)),
+            "--queue-depth" => {
+                cfg.queue_depth = int("--queue-depth", take("--queue-depth", &mut args));
+            }
+            "--pool-cap" => cfg.pool_cap = int("--pool-cap", take("--pool-cap", &mut args)),
+            "--stdin" => stdin_mode = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other} (expected --addr HOST:PORT/--workers N\
+                     /--queue-depth N/--pool-cap N/--stdin)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = Arc::new(Server::start(cfg));
+    if stdin_mode {
+        let reader = BufReader::new(std::io::stdin());
+        let mut writer = std::io::stdout();
+        serve_connection(&server, reader, &mut writer);
+        return;
+    }
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = listener.local_addr().expect("bound socket has an address");
+    println!("LISTENING {local}");
+    let _ = std::io::stdout().flush();
+    eprintln!("voltron-serve listening on {local}");
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into());
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot clone stream for {peer}: {e}");
+                    return;
+                }
+            });
+            let mut writer = stream;
+            serve_connection(&server, reader, &mut writer);
+        });
+    }
+}

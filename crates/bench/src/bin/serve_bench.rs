@@ -1,0 +1,489 @@
+//! `serve_bench`: closed-loop load generator and acceptance gate for the
+//! `voltron-serve` daemon.
+//!
+//! Phases (all against one in-process [`Server`], so the numbers measure
+//! the engine, not loopback TCP):
+//!
+//! 1. **Cold**: every unique request in the mix once, sequentially, on a
+//!    fresh server — first-touch latency (golden + front end + compile +
+//!    simulate).
+//! 2. **Warm**: the same requests again — repeat latency (result cache).
+//! 3. **Saturation**: a closed loop of `--concurrency` clients issuing
+//!    `--requests` requests over the mix — repeat-heavy traffic where
+//!    every [`FRESH_EVERY`]th request is cache-busting (`fresh`, so it
+//!    really simulates through the machine pool) and the rest are the
+//!    repeats the result cache exists to absorb. Reports sustained req/s
+//!    and p50/p99 latency.
+//! 4. **One-shot baseline**: the identical request sequence, same
+//!    concurrency, but each through a fresh `Experiment` (golden model,
+//!    baseline, compile from scratch) — what a `bench_one` invocation
+//!    per request costs.
+//! 5. **Golden match**: the cycle-golden workload/config matrix served
+//!    and compared field-for-field (cycles, speedup, full
+//!    `MachineStats`) against the direct `Experiment` path.
+//!
+//! Writes `BENCH_serve.json` with the three acceptance numbers
+//! (`speedup_vs_one_shot`, `warm_speedup`, `golden_match`) and appends a
+//! git-rev-stamped throughput row to `BENCH_history.ndjson`. Exits
+//! nonzero if any request fails, the golden matrix diverges, or — unless
+//! `--no-enforce` — an acceptance threshold is missed.
+//!
+//! `--quick` shrinks every phase for the CI smoke.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use voltron_bench::harness::{append_history, git_rev, HISTORY_FILE};
+use voltron_bench::serve::{Request, Response, Server, ServerConfig};
+use voltron_core::report::Json;
+use voltron_core::{Experiment, Strategy};
+use voltron_workloads::{by_name, Scale};
+
+/// The cycle-golden matrix (tests/cycle_golden.rs): workload, strategy,
+/// cores. Served results must match the direct path on every entry.
+/// One request in `FRESH_EVERY` of the saturation loop is cache-busting.
+const FRESH_EVERY: usize = 4;
+
+const GOLDEN_MATRIX: &[(&str, Strategy, usize)] = &[
+    ("164.gzip", Strategy::Serial, 1),
+    ("164.gzip", Strategy::Ilp, 4),
+    ("164.gzip", Strategy::FineGrainTlp, 4),
+    ("164.gzip", Strategy::Llp, 4),
+    ("164.gzip", Strategy::Hybrid, 4),
+    ("164.gzip", Strategy::Hybrid, 2),
+    ("rawcaudio", Strategy::Serial, 1),
+    ("rawcaudio", Strategy::Ilp, 4),
+    ("rawcaudio", Strategy::FineGrainTlp, 4),
+    ("rawcaudio", Strategy::Llp, 4),
+    ("rawcaudio", Strategy::Hybrid, 4),
+    ("rawcaudio", Strategy::Hybrid, 2),
+    ("171.swim", Strategy::Serial, 1),
+    ("171.swim", Strategy::Ilp, 4),
+    ("171.swim", Strategy::FineGrainTlp, 4),
+    ("171.swim", Strategy::Llp, 4),
+    ("171.swim", Strategy::Hybrid, 4),
+    ("171.swim", Strategy::Hybrid, 2),
+    ("179.art", Strategy::Serial, 1),
+    ("179.art", Strategy::FineGrainTlp, 4),
+    ("179.art", Strategy::Hybrid, 4),
+    ("epic", Strategy::Serial, 1),
+    ("epic", Strategy::FineGrainTlp, 4),
+    ("epic", Strategy::Hybrid, 4),
+    ("mpeg2dec", Strategy::Serial, 1),
+    ("mpeg2dec", Strategy::Llp, 4),
+    ("mpeg2dec", Strategy::Hybrid, 4),
+];
+
+struct Args {
+    scale: Scale,
+    only: Option<String>,
+    concurrency: usize,
+    requests: usize,
+    quick: bool,
+    enforce: bool,
+}
+
+fn parse_args() -> Args {
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut a = Args {
+        scale: Scale::Test,
+        only: None,
+        concurrency: host,
+        requests: 0, // resolved after flags
+        quick: false,
+        enforce: true,
+    };
+    let mut requests = None;
+    let mut args = std::env::args().skip(1);
+    let take = |flag: &str, args: &mut dyn Iterator<Item = String>| match args.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--test" => a.scale = Scale::Test,
+            "--full" => a.scale = Scale::Full,
+            "--bench" => a.only = Some(take("--bench", &mut args)),
+            "--concurrency" => {
+                a.concurrency = take("--concurrency", &mut args)
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--concurrency requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--requests" => {
+                requests = Some(
+                    take("--requests", &mut args)
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--requests requires an integer");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--quick" => a.quick = true,
+            "--no-enforce" => a.enforce = false,
+            other => {
+                eprintln!(
+                    "unknown argument {other} (expected --test/--full/--bench NAME\
+                     /--concurrency N/--requests N/--quick/--no-enforce)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    a.requests = requests.unwrap_or(if a.quick {
+        2 * a.concurrency.max(4)
+    } else {
+        (4 * a.concurrency).max(32)
+    });
+    a
+}
+
+/// The request mix: the `bench_one` configuration sweep over a few
+/// workloads with distinct parallelism profiles.
+fn mix(args: &Args) -> Vec<Request> {
+    let workloads: Vec<&str> = match &args.only {
+        Some(w) => vec![w.as_str()],
+        None if args.quick => vec!["rawcaudio"],
+        None => vec!["rawcaudio", "164.gzip", "epic"],
+    };
+    let configs: &[(Strategy, usize)] = if args.quick {
+        &[(Strategy::Ilp, 4), (Strategy::Hybrid, 4)]
+    } else {
+        &[
+            (Strategy::Ilp, 4),
+            (Strategy::FineGrainTlp, 4),
+            (Strategy::Llp, 4),
+            (Strategy::Hybrid, 2),
+            (Strategy::Hybrid, 4),
+        ]
+    };
+    let mut reqs = Vec::new();
+    for w in &workloads {
+        for &(s, c) in configs {
+            let mut r = Request::new(w, s, c);
+            r.scale = args.scale;
+            reqs.push(r);
+        }
+    }
+    reqs
+}
+
+fn served_micros(resp: Response, failures: &AtomicU64) -> Option<u64> {
+    match resp {
+        Response::Run {
+            result: Ok(_),
+            latency_micros,
+            ..
+        } => Some(latency_micros),
+        Response::Run {
+            result: Err(e),
+            id,
+            workload,
+            ..
+        } => {
+            eprintln!(
+                "request {id} ({workload}) failed: {}: {}",
+                e.kind(),
+                e.message()
+            );
+            failures.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Response::Stats { .. } => None,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let failures = AtomicU64::new(0);
+    let server = Server::start(ServerConfig {
+        workers: args.concurrency,
+        ..ServerConfig::default()
+    });
+    let mix = mix(&args);
+    let t_total = Instant::now();
+
+    // Phase 1+2: cold then warm, sequentially.
+    let phase = |label: &str| eprintln!("serve_bench: {label}");
+    phase("cold pass (first-touch latencies)");
+    let cold: Vec<u64> = mix
+        .iter()
+        .filter_map(|r| served_micros(server.call(r.clone()), &failures))
+        .collect();
+    phase("warm pass (repeat latencies)");
+    let warm: Vec<u64> = mix
+        .iter()
+        .filter_map(|r| served_micros(server.call(r.clone()), &failures))
+        .collect();
+    let warm_speedup = mean(&cold) / mean(&warm).max(1.0);
+
+    // Phase 3: saturation — closed loop over the mix. Every
+    // `FRESH_EVERY`th request bypasses the result cache so the pooled
+    // machines keep simulating under load; the rest are repeats, the
+    // traffic shape the daemon amortizes. The one-shot baseline below
+    // pays the full pipeline for the identical sequence.
+    phase("saturation (closed loop)");
+    let next = AtomicUsize::new(0);
+    let t_sat = Instant::now();
+    let mut lat: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.concurrency)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut lats = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= args.requests {
+                            return lats;
+                        }
+                        let mut req = mix[k % mix.len()].clone();
+                        req.id = k as u64;
+                        req.fresh = k.is_multiple_of(FRESH_EVERY);
+                        if let Some(us) = served_micros(server.call(req), &failures) {
+                            lats.push(us);
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let sat_seconds = t_sat.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let serve_rps = lat.len() as f64 / sat_seconds.max(1e-9);
+
+    // Phase 4: one-shot baseline — the same requests, each paying the
+    // full pipeline like an isolated `bench_one` invocation would.
+    phase("one-shot baseline (fresh Experiment per request)");
+    let next = AtomicUsize::new(0);
+    let t_one = Instant::now();
+    let oneshot_ok = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..args.concurrency {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= args.requests {
+                    return;
+                }
+                let req = &mix[k % mix.len()];
+                let Some(w) = by_name(&req.workload, req.scale) else {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                match Experiment::new(&w.program)
+                    .and_then(|mut e| e.run_on(req.strategy, req.cores, req.backend).map(|_| ()))
+                {
+                    Ok(()) => {
+                        oneshot_ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("one-shot {k} ({}) failed: {e}", req.workload);
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let one_seconds = t_one.elapsed().as_secs_f64();
+    let oneshot_rps = oneshot_ok.load(Ordering::Relaxed) as f64 / one_seconds.max(1e-9);
+    let speedup_vs_one_shot = serve_rps / oneshot_rps.max(1e-9);
+
+    // Phase 5: golden match — served rows vs the direct path, full-stats
+    // equality. Runs at test scale like the cycle-golden tier-1 test.
+    phase("golden match (served vs direct)");
+    let matrix: Vec<&(&str, Strategy, usize)> = if args.quick {
+        GOLDEN_MATRIX.iter().step_by(5).collect()
+    } else {
+        GOLDEN_MATRIX.iter().collect()
+    };
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    {
+        // Group by workload so the direct path shares one Experiment per
+        // workload, exactly like bench_one does.
+        let mut by_workload: Vec<(&str, Vec<(Strategy, usize)>)> = Vec::new();
+        for &&(w, s, c) in &matrix {
+            match by_workload.iter_mut().find(|(name, _)| *name == w) {
+                Some((_, v)) => v.push((s, c)),
+                None => by_workload.push((w, vec![(s, c)])),
+            }
+        }
+        for (name, configs) in by_workload {
+            let Some(w) = by_name(name, Scale::Test) else {
+                eprintln!("golden: unknown workload {name}");
+                mismatches += 1;
+                continue;
+            };
+            let mut exp = match Experiment::new(&w.program) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("golden: direct baseline for {name} failed: {e}");
+                    mismatches += configs.len();
+                    continue;
+                }
+            };
+            for (strategy, cores) in configs {
+                checked += 1;
+                let mut req = Request::new(name, strategy, cores);
+                req.scale = Scale::Test;
+                let served = match server.call(req) {
+                    Response::Run { result: Ok(s), .. } => s,
+                    Response::Run { result: Err(e), .. } => {
+                        eprintln!(
+                            "golden: served {name}/{strategy}/{cores} failed: {}",
+                            e.message()
+                        );
+                        mismatches += 1;
+                        continue;
+                    }
+                    Response::Stats { .. } => unreachable!("run request"),
+                };
+                let baseline = exp.baseline_cycles();
+                let direct = match exp.run(strategy, cores) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("golden: direct {name}/{strategy}/{cores} failed: {e}");
+                        mismatches += 1;
+                        continue;
+                    }
+                };
+                let r = &served.run;
+                let same = r.cycles == direct.cycles
+                    && r.ticked_cycles == direct.ticked_cycles
+                    && r.speedup.to_bits() == direct.speedup.to_bits()
+                    && r.stats == direct.stats
+                    && served.baseline_cycles == baseline;
+                if !same {
+                    eprintln!(
+                        "golden: {name}/{strategy}/{cores} diverged: served \
+                         {}/{} vs direct {}/{}",
+                        r.cycles, r.ticked_cycles, direct.cycles, direct.ticked_cycles
+                    );
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    let golden_match = mismatches == 0;
+
+    let total_seconds = t_total.elapsed().as_secs_f64();
+    let failures = failures.load(Ordering::Relaxed);
+    let scale = match args.scale {
+        Scale::Test => "test",
+        Scale::Full => "full",
+    };
+    let doc = Json::Obj(vec![
+        ("binary".into(), Json::Str("serve_bench".into())),
+        ("scale".into(), Json::Str(scale.into())),
+        ("concurrency".into(), Json::UInt(args.concurrency as u64)),
+        ("requests".into(), Json::UInt(args.requests as u64)),
+        ("host_seconds".into(), Json::Num(total_seconds)),
+        (
+            "saturation".into(),
+            Json::Obj(vec![
+                ("requests_per_second".into(), Json::Num(serve_rps)),
+                ("p50_micros".into(), Json::UInt(percentile(&lat, 0.50))),
+                ("p99_micros".into(), Json::UInt(percentile(&lat, 0.99))),
+                ("fresh_every".into(), Json::UInt(FRESH_EVERY as u64)),
+                ("host_seconds".into(), Json::Num(sat_seconds)),
+            ]),
+        ),
+        (
+            "one_shot".into(),
+            Json::Obj(vec![
+                ("requests_per_second".into(), Json::Num(oneshot_rps)),
+                ("host_seconds".into(), Json::Num(one_seconds)),
+            ]),
+        ),
+        ("speedup_vs_one_shot".into(), Json::Num(speedup_vs_one_shot)),
+        ("cold_mean_micros".into(), Json::Num(mean(&cold))),
+        ("warm_mean_micros".into(), Json::Num(mean(&warm))),
+        ("warm_speedup".into(), Json::Num(warm_speedup)),
+        ("golden_match".into(), Json::UInt(u64::from(golden_match))),
+        ("golden_checked".into(), Json::UInt(checked as u64)),
+        ("failures".into(), Json::UInt(failures)),
+        ("cache".into(), server.engine().stats_json()),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_serve.json", format!("{}\n", doc.render())) {
+        eprintln!("cannot write BENCH_serve.json: {e}");
+    }
+    append_history(&Json::Obj(vec![
+        (
+            "unix_seconds".into(),
+            Json::UInt(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+            ),
+        ),
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("binary".into(), Json::Str("serve_bench".into())),
+        ("scale".into(), Json::Str(scale.into())),
+        ("concurrency".into(), Json::UInt(args.concurrency as u64)),
+        ("requests_per_second".into(), Json::Num(serve_rps)),
+        ("speedup_vs_one_shot".into(), Json::Num(speedup_vs_one_shot)),
+        ("warm_speedup".into(), Json::Num(warm_speedup)),
+        ("golden_match".into(), Json::UInt(u64::from(golden_match))),
+        ("failures".into(), Json::UInt(failures)),
+        ("host_seconds".into(), Json::Num(total_seconds)),
+    ]));
+    eprintln!(
+        "serve_bench: saturation {serve_rps:.1} req/s (p50 {}us p99 {}us), one-shot \
+         {oneshot_rps:.1} req/s => {speedup_vs_one_shot:.1}x; warm {warm_speedup:.1}x \
+         vs cold; golden {} ({checked} configs); {failures} failures; history -> {HISTORY_FILE}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        if golden_match { "MATCH" } else { "DIVERGED" },
+    );
+
+    let mut bad = Vec::new();
+    if failures > 0 {
+        bad.push(format!("{failures} request(s) failed"));
+    }
+    if !golden_match {
+        bad.push(format!("{mismatches} golden config(s) diverged"));
+    }
+    if args.enforce {
+        if speedup_vs_one_shot < 2.0 {
+            bad.push(format!(
+                "saturation speedup {speedup_vs_one_shot:.2}x < 2x one-shot"
+            ));
+        }
+        if warm_speedup < 5.0 {
+            bad.push(format!("warm speedup {warm_speedup:.2}x < 5x cold"));
+        }
+    }
+    if !bad.is_empty() {
+        eprintln!("serve_bench: FAILED: {}", bad.join("; "));
+        std::process::exit(1);
+    }
+}

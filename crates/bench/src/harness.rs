@@ -594,9 +594,18 @@ pub fn history_row(
 /// Append one [`history_row`] to [`HISTORY_FILE`] (newline-delimited
 /// JSON, append-only: the file is the repo's perf memory across
 /// commits, so nothing ever rewrites earlier rows).
+///
+/// Torn-row safe under concurrent writers: the row is rendered into one
+/// buffer (trailing newline included) and written with a *single*
+/// `write` syscall on an `O_APPEND` handle, which POSIX makes atomic
+/// with respect to other appenders for writes this size — and a
+/// process-wide mutex serializes the serve daemon's own workers on top,
+/// so `bench_diff` never sees two rows interleaved mid-line.
 pub fn append_history(row: &Json) {
     use std::io::Write;
+    static WRITER: Mutex<()> = Mutex::new(());
     let line = format!("{}\n", row.render());
+    let _guard = WRITER.lock().expect("history writer poisoned");
     let res = std::fs::OpenOptions::new()
         .create(true)
         .append(true)

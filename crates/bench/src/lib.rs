@@ -3,3 +3,4 @@
 
 pub mod harness;
 pub mod jsonv;
+pub mod serve;

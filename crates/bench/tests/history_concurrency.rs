@@ -1,0 +1,61 @@
+//! `append_history` under concurrent writers.
+//!
+//! The serve daemon's workers and `serve_bench` both append history rows
+//! from multiple threads; a torn line would poison `bench_diff`'s parse
+//! of the whole file. This test lives in its own integration binary so it
+//! can move the process working directory to a scratch dir without racing
+//! other tests (`HISTORY_FILE` is cwd-relative).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use voltron_bench::harness::{append_history, HISTORY_FILE};
+use voltron_bench::jsonv::{self, JValue};
+use voltron_core::report::Json;
+
+#[test]
+fn concurrent_appends_produce_whole_lines() {
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "voltron-history-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    std::env::set_current_dir(&dir).expect("enter scratch dir");
+
+    const WRITERS: usize = 8;
+    const ROWS: usize = 50;
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            scope.spawn(move || {
+                for row in 0..ROWS {
+                    // Vary the payload size so interleaved writes of equal
+                    // length can't mask tearing.
+                    let pad = "x".repeat(1 + (writer * ROWS + row) % 97);
+                    append_history(&Json::Obj(vec![
+                        ("writer".into(), Json::UInt(writer as u64)),
+                        ("row".into(), Json::UInt(row as u64)),
+                        ("pad".into(), Json::Str(pad)),
+                    ]));
+                }
+            });
+        }
+    });
+
+    let text = std::fs::read_to_string(HISTORY_FILE).expect("history file exists");
+    let mut seen = vec![[false; ROWS]; WRITERS];
+    for (i, line) in text.lines().enumerate() {
+        let v =
+            jsonv::parse(line).unwrap_or_else(|e| panic!("line {} is torn: {e}\n{line}", i + 1));
+        let writer = v.get("writer").and_then(JValue::as_num).expect("writer") as usize;
+        let row = v.get("row").and_then(JValue::as_num).expect("row") as usize;
+        assert!(!seen[writer][row], "duplicate row {writer}/{row}");
+        seen[writer][row] = true;
+    }
+    assert_eq!(
+        text.lines().count(),
+        WRITERS * ROWS,
+        "every append produced exactly one line"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

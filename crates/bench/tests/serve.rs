@@ -1,0 +1,419 @@
+//! End-to-end equivalence and robustness tests for the serve daemon.
+//!
+//! The load-bearing claim is that a served run is *architecturally
+//! indistinguishable* from the one-shot `Experiment` path: same cycles,
+//! same speedup bits, bit-identical `MachineStats` — through concurrent
+//! clients, pooled (reset) machines, and every cache layer.
+
+use std::io::Cursor;
+use std::sync::mpsc::channel;
+use std::sync::Mutex;
+
+use voltron_bench::jsonv::{self, JValue};
+use voltron_bench::serve::{
+    parse_request, serve_connection, Request, Response, ServeError, Served, Server, ServerConfig,
+};
+use voltron_core::{Experiment, RunResult, Strategy};
+use voltron_sim::CoherenceBackend;
+use voltron_workloads::{by_name, Scale};
+
+/// A golden-matrix slice that spans every strategy, both hybrid core
+/// counts, and three workload families (mirrors `tests/cycle_golden.rs`).
+const MATRIX: &[(&str, Strategy, usize)] = &[
+    ("rawcaudio", Strategy::Serial, 1),
+    ("rawcaudio", Strategy::Ilp, 4),
+    ("rawcaudio", Strategy::FineGrainTlp, 4),
+    ("rawcaudio", Strategy::Llp, 4),
+    ("rawcaudio", Strategy::Hybrid, 2),
+    ("rawcaudio", Strategy::Hybrid, 4),
+    ("164.gzip", Strategy::Serial, 1),
+    ("164.gzip", Strategy::Hybrid, 4),
+    ("epic", Strategy::FineGrainTlp, 4),
+    ("epic", Strategy::Hybrid, 4),
+];
+
+fn assert_run_matches(served: &Served, direct: &RunResult, baseline: u64, what: &str) {
+    let r = &served.run;
+    assert_eq!(r.strategy, direct.strategy, "{what}: strategy");
+    assert_eq!(r.cores, direct.cores, "{what}: cores");
+    assert_eq!(r.backend, direct.backend, "{what}: backend");
+    assert_eq!(r.cycles, direct.cycles, "{what}: cycles");
+    assert_eq!(r.ticked_cycles, direct.ticked_cycles, "{what}: ticked");
+    assert_eq!(
+        r.speedup.to_bits(),
+        direct.speedup.to_bits(),
+        "{what}: speedup bits"
+    );
+    assert_eq!(r.stats, direct.stats, "{what}: MachineStats");
+    assert_eq!(r.region_kinds, direct.region_kinds, "{what}: region kinds");
+    assert_eq!(served.baseline_cycles, baseline, "{what}: baseline cycles");
+}
+
+fn unwrap_run(resp: Response) -> Box<Served> {
+    match resp {
+        Response::Run { result: Ok(s), .. } => s,
+        Response::Run {
+            result: Err(e), id, ..
+        } => {
+            panic!("request {id} failed: {}: {}", e.kind(), e.message())
+        }
+        Response::Stats { .. } => panic!("unexpected stats response"),
+    }
+}
+
+/// Tentpole equivalence: the golden-matrix slice, served to four
+/// concurrent client threads, must match field-for-field what a direct
+/// `Experiment` produces — including when the server answers from its
+/// result cache and its machine pool.
+#[test]
+fn served_matrix_matches_direct_under_concurrency() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        queue_depth: 8,
+        pool_cap: 4,
+    });
+
+    const CLIENTS: usize = 4;
+    let results: Mutex<Vec<(usize, usize, Box<Served>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = &server;
+            let results = &results;
+            scope.spawn(move || {
+                for step in 0..MATRIX.len() {
+                    // Each client walks the matrix at a different phase so
+                    // cold compiles, cache hits, and pool churn interleave.
+                    let idx = (step + client * 3) % MATRIX.len();
+                    let (workload, strategy, cores) = MATRIX[idx];
+                    let mut req = Request::new(workload, strategy, cores);
+                    req.id = (client * MATRIX.len() + idx) as u64;
+                    let served = unwrap_run(server.call(req));
+                    results.lock().unwrap().push((client, idx, served));
+                }
+            });
+        }
+    });
+
+    // Direct one-shot path, one Experiment per workload (its own caches).
+    let mut direct: Vec<(String, Experiment<'static>)> = Vec::new();
+    for name in ["rawcaudio", "164.gzip", "epic"] {
+        let w = by_name(name, Scale::Test).expect("workload exists");
+        // Leak the program so the Experiment (which borrows it) can live
+        // in the same vec; fine for a test process.
+        let program = Box::leak(Box::new(w.program));
+        direct.push((name.to_string(), Experiment::new(program).expect("direct")));
+    }
+
+    let results = results.into_inner().unwrap();
+    assert_eq!(results.len(), CLIENTS * MATRIX.len());
+    for (client, idx, served) in &results {
+        let (workload, strategy, cores) = MATRIX[*idx];
+        let exp = &mut direct
+            .iter_mut()
+            .find(|(n, _)| n == workload)
+            .expect("direct experiment")
+            .1;
+        let baseline = exp.baseline_cycles();
+        let d = exp
+            .run_on(strategy, cores, CoherenceBackend::Snooping)
+            .expect("direct run");
+        assert_run_matches(
+            served,
+            d,
+            baseline,
+            &format!("client {client} {workload}/{strategy:?}/{cores}"),
+        );
+    }
+
+    // With 4 clients walking the same 10 configs, the result cache must
+    // have absorbed most of the load.
+    let stats = server.engine().stats_json().render();
+    let v = jsonv::parse(&stats).expect("stats parse");
+    let hits = v.get("result_hits").and_then(JValue::as_num).unwrap_or(0.0);
+    assert!(
+        hits >= (CLIENTS - 1) as f64 * MATRIX.len() as f64 * 0.5,
+        "expected substantial result-cache traffic, got {stats}"
+    );
+    server.shutdown();
+}
+
+/// Directed pool check on both coherence backends: a second identical
+/// `fresh` request must be served by a *pooled, reset* machine and still
+/// produce bit-identical results.
+#[test]
+fn pooled_machine_reuse_equals_fresh_on_both_backends() {
+    for backend in [
+        CoherenceBackend::Snooping,
+        CoherenceBackend::directory_for(4),
+    ] {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            pool_cap: 2,
+        });
+        let mut req = Request::new("rawcaudio", Strategy::Hybrid, 4);
+        req.backend = backend;
+        req.fresh = true; // bypass the result cache: really simulate twice
+        let first = unwrap_run(server.call(req.clone()));
+        let second = unwrap_run(server.call(req));
+        assert!(
+            !first.cache.machine_pooled,
+            "{backend:?}: first run must build its machine"
+        );
+        assert!(
+            second.cache.machine_pooled,
+            "{backend:?}: second run must reuse the pooled machine"
+        );
+        assert!(
+            second.cache.front_end_hit && second.cache.image_hit,
+            "{backend:?}: compile layers must be warm on the second run"
+        );
+        assert!(
+            !second.cache.result_hit,
+            "{backend:?}: fresh requests must not be served from the result cache"
+        );
+        assert_eq!(first.run.cycles, second.run.cycles, "{backend:?}: cycles");
+        assert_eq!(first.run.stats, second.run.stats, "{backend:?}: stats");
+        assert_eq!(
+            first.run.speedup.to_bits(),
+            second.run.speedup.to_bits(),
+            "{backend:?}: speedup bits"
+        );
+        server.shutdown();
+    }
+}
+
+/// A cycle-budget deadline produces a typed `sim` error — and the worker
+/// that hit it keeps serving.
+#[test]
+fn budget_exhaustion_is_typed_and_worker_survives() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        pool_cap: 1,
+    });
+    let mut starved = Request::new("rawcaudio", Strategy::Serial, 1);
+    starved.budget_cycles = Some(2);
+    match server.call(starved) {
+        Response::Run { result: Err(e), .. } => {
+            assert_eq!(e.kind(), "sim", "budget exhaustion is a sim error");
+        }
+        other => panic!(
+            "expected a typed sim error, got {:?}",
+            other.to_json().render()
+        ),
+    }
+    // The single worker must still be alive and able to serve.
+    let ok = unwrap_run(server.call(Request::new("rawcaudio", Strategy::Serial, 1)));
+    assert!(ok.run.cycles > 0);
+    server.shutdown();
+}
+
+/// Requested artifacts ride on the response: what-if report, probe
+/// summary, and Chrome trace JSON.
+#[test]
+fn on_demand_artifacts_are_attached() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        pool_cap: 2,
+    });
+    let mut req = Request::new("rawcaudio", Strategy::Hybrid, 4);
+    req.whatif = true;
+    req.probes = true;
+    req.trace = true;
+    let served = unwrap_run(server.call(req));
+    let w = served.whatif.as_ref().expect("whatif report attached");
+    assert!(!w.ceilings.is_empty(), "whatif report has knob ceilings");
+    assert!(served.probes.is_some(), "probe summary attached");
+    let trace = served.trace_json.as_ref().expect("trace attached");
+    assert!(
+        trace.contains("traceEvents"),
+        "trace is Chrome trace-event JSON"
+    );
+    // Observed runs never enter the result cache: a plain repeat of the
+    // same config must still simulate (or hit the plain-result cache
+    // built by *this* request's baseline, but never return probe data).
+    let plain = unwrap_run(server.call(Request::new("rawcaudio", Strategy::Hybrid, 4)));
+    assert!(plain.whatif.is_none() && plain.probes.is_none() && plain.trace_json.is_none());
+    server.shutdown();
+}
+
+/// The NDJSON wire loop: malformed lines, bad fields, unknown workloads,
+/// and in-band stats probes each produce their typed row, and good
+/// requests still succeed on the same connection.
+#[test]
+fn wire_protocol_rows_are_typed() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        pool_cap: 2,
+    });
+    let input = concat!(
+        "this is not json\n",
+        "{\"id\": 2, \"workload\": \"no-such-benchmark\"}\n",
+        "{\"id\": 3, \"workload\": \"rawcaudio\", \"cores\": 0}\n",
+        "{\"id\": 4, \"workload\": \"rawcaudio\", \"strategy\": \"serial\", \"cores\": 1}\n",
+        "{\"id\": 5, \"stats\": true}\n",
+    );
+    let mut out = Vec::new();
+    serve_connection(&server, Cursor::new(input.as_bytes()), &mut out);
+    server.shutdown();
+
+    let text = String::from_utf8(out).expect("utf8 output");
+    let rows: Vec<JValue> = text
+        .lines()
+        .map(|l| jsonv::parse(l).expect("every response row parses"))
+        .collect();
+    assert_eq!(rows.len(), 5, "one row per request line:\n{text}");
+    let by_id = |id: f64| {
+        rows.iter()
+            .find(|r| r.get("id").and_then(JValue::as_num) == Some(id))
+            .unwrap_or_else(|| panic!("no row with id {id}:\n{text}"))
+    };
+    let err_kind = |row: &JValue| {
+        row.get("error")
+            .and_then(JValue::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    assert_eq!(err_kind(by_id(0.0)), "bad-request", "malformed JSON");
+    assert_eq!(err_kind(by_id(2.0)), "unknown-workload");
+    assert_eq!(err_kind(by_id(3.0)), "bad-request", "cores: 0 is invalid");
+    let good = by_id(4.0);
+    assert_eq!(good.get("ok").and_then(JValue::as_num), Some(1.0));
+    assert!(good.get("cycles").and_then(JValue::as_num).unwrap_or(0.0) > 0.0);
+    assert_eq!(
+        good.get("cache")
+            .and_then(|c| c.get("result"))
+            .and_then(JValue::as_str),
+        Some("miss"),
+        "first run of a config cannot be a result hit"
+    );
+    let stats = by_id(5.0);
+    assert!(
+        stats.get("stats").and_then(|s| s.get("requests")).is_some(),
+        "stats probe returns the counters document: {text}"
+    );
+}
+
+/// `parse_request` accepts the documented field set and rejects bad
+/// values with a message naming the field.
+#[test]
+fn parse_request_validates_fields() {
+    let parse = |s: &str| parse_request(&jsonv::parse(s).unwrap());
+    let req = parse(
+        "{\"id\": 9, \"workload\": \"epic\", \"scale\": \"test\", \"strategy\": \"llp\",\
+         \"cores\": 2, \"backend\": \"directory\", \"budget_cycles\": 1000,\
+         \"faults\": \"seed=3,rate=0.5\", \"fresh\": true, \"whatif\": true}",
+    )
+    .expect("full request parses");
+    assert_eq!(req.id, 9);
+    assert_eq!(req.strategy, Strategy::Llp);
+    assert_eq!(req.cores, 2);
+    assert_eq!(req.backend, CoherenceBackend::directory_for(2));
+    assert_eq!(req.budget_cycles, Some(1000));
+    assert!(req.faults.is_some() && req.fresh && req.whatif);
+
+    for (bad, needle) in [
+        ("{}", "workload"),
+        ("{\"workload\": \"epic\", \"scale\": \"huge\"}", "scale"),
+        (
+            "{\"workload\": \"epic\", \"strategy\": \"magic\"}",
+            "strategy",
+        ),
+        ("{\"workload\": \"epic\", \"cores\": 1.5}", "cores"),
+        (
+            "{\"workload\": \"epic\", \"backend\": \"psychic\"}",
+            "backend",
+        ),
+        ("{\"workload\": \"epic\", \"fresh\": 1}", "fresh"),
+    ] {
+        let err = parse(bad).expect_err(bad);
+        assert!(err.contains(needle), "{bad}: {err} should name {needle}");
+    }
+}
+
+/// Full TCP round trip against the real `serve` binary: bind port 0,
+/// discover the port from the `LISTENING` line, and exchange NDJSON.
+#[test]
+fn tcp_daemon_round_trip() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve daemon");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .expect("read LISTENING banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let result = std::panic::catch_unwind(|| {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(
+                b"{\"id\": 1, \"workload\": \"rawcaudio\", \"strategy\": \"serial\", \"cores\": 1}\n\
+                  {\"id\": 2, \"stats\": true}\n",
+            )
+            .expect("send requests");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut rows = Vec::new();
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read response row");
+            rows.push(jsonv::parse(line.trim()).expect("row parses"));
+        }
+        let run = rows
+            .iter()
+            .find(|r| r.get("id").and_then(JValue::as_num) == Some(1.0))
+            .expect("run row");
+        assert_eq!(run.get("ok").and_then(JValue::as_num), Some(1.0));
+        assert!(run.get("cycles").and_then(JValue::as_num).unwrap_or(0.0) > 0.0);
+        let stats = rows
+            .iter()
+            .find(|r| r.get("id").and_then(JValue::as_num) == Some(2.0))
+            .expect("stats row");
+        assert!(stats.get("stats").is_some());
+    });
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Submitting after shutdown yields an immediate typed error rather than
+/// a hang or a dropped reply channel.
+#[test]
+fn post_shutdown_submit_gets_typed_error() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        pool_cap: 1,
+    });
+    server.shutdown();
+    let (tx, rx) = channel();
+    server.submit(Request::new("rawcaudio", Strategy::Serial, 1), tx);
+    match rx.recv().expect("reply arrives") {
+        Response::Run {
+            result: Err(ServeError::BadRequest(m)),
+            ..
+        } => {
+            assert!(m.contains("shutting down"), "{m}");
+        }
+        other => panic!(
+            "expected shutdown error, got {:?}",
+            other.to_json().render()
+        ),
+    }
+}

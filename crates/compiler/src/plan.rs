@@ -56,6 +56,23 @@ impl std::fmt::Display for Strategy {
     }
 }
 
+impl Strategy {
+    /// Every strategy, in display order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Serial,
+        Strategy::Ilp,
+        Strategy::FineGrainTlp,
+        Strategy::Llp,
+        Strategy::Hybrid,
+    ];
+
+    /// Parse a display label back into a strategy (the serve protocol's
+    /// request field; inverse of the `Display` impl above).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|v| v.to_string() == s)
+    }
+}
+
 /// How a region executes.
 #[derive(Debug, Clone)]
 pub enum RegionKind {

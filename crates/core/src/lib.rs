@@ -57,8 +57,10 @@ pub use voltron_sim::{
 
 /// The machine configuration for one experiment run: geometry from
 /// [`MachineConfig::scaled`] (identical to the paper machine at the
-/// paper's 1/2/4-core points), coherence timing from `backend`.
-fn machine_config(cores: usize, backend: CoherenceBackend) -> MachineConfig {
+/// paper's 1/2/4-core points), coherence timing from `backend`. Public
+/// so the serve engine derives configs identical to the direct path —
+/// byte-identical served results depend on it.
+pub fn machine_config(cores: usize, backend: CoherenceBackend) -> MachineConfig {
     MachineConfig::scaled(cores).with_backend(backend)
 }
 

@@ -95,6 +95,16 @@ impl RegFile {
         RegFile::new(f.reg_counts())
     }
 
+    /// Zero every register in place, keeping the bank allocations.
+    /// Equivalent to replacing the file with [`RegFile::new`] of the same
+    /// counts (the simulator's machine pool reuses files across runs).
+    pub fn reset(&mut self) {
+        self.gpr.iter_mut().for_each(|r| *r = 0);
+        self.fpr.iter_mut().for_each(|r| *r = 0.0);
+        self.pred.iter_mut().for_each(|r| *r = false);
+        self.btr.iter_mut().for_each(|r| *r = BlockId(0));
+    }
+
     /// Read a register.
     ///
     /// # Panics

@@ -177,6 +177,19 @@ impl TagCache {
         (self.hits, self.misses)
     }
 
+    /// Empty the cache and zero its counters, keeping every set's
+    /// allocated capacity. After `reset` the cache is indistinguishable
+    /// from a freshly built one with the same geometry (the machine pool
+    /// relies on this for reset-equals-fresh runs).
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Credit `n` repeat hits without touching LRU state. Used by the
     /// fast-forward engine to replay a blocked core's per-cycle refetch
     /// of its current instruction: the last real [`TagCache::access`]

@@ -370,6 +370,23 @@ impl Core {
             bank.iter_mut().for_each(|t| *t = 0);
         }
     }
+
+    /// Return the core to its just-built state for `counts`, reusing the
+    /// register-file and scoreboard allocations when the counts match.
+    fn reset(&mut self, counts: [u32; 4]) {
+        let same = (0..4).all(|i| self.ready[i].len() == counts[i] as usize);
+        if !same {
+            *self = Core::new(counts);
+            return;
+        }
+        self.state = CoreState::Idle;
+        self.pc = (0, 0);
+        self.regs.reset();
+        self.clear_scoreboard();
+        self.epoch = 0;
+        self.pending_load = false;
+        self.snapshot = None;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -472,6 +489,20 @@ impl Machine {
     /// [`SimError::Validate`] when the images fail the static cross-core
     /// consistency pass ([`MachineProgram::validate`]).
     pub fn new(program: MachineProgram, cfg: &MachineConfig) -> Result<Machine, SimError> {
+        Machine::new_shared(Arc::new(program), cfg)
+    }
+
+    /// [`Machine::new`] for an already-shared program image. The serve
+    /// path compiles each (program, strategy, cores) once and boots many
+    /// machines from the same `Arc`, so the image is never cloned per
+    /// request.
+    ///
+    /// # Errors
+    /// See [`Machine::new`].
+    pub fn new_shared(
+        program: Arc<MachineProgram>,
+        cfg: &MachineConfig,
+    ) -> Result<Machine, SimError> {
         if program.cores.len() != cfg.cores {
             return Err(SimError::Malformed(format!(
                 "program compiled for {} cores, machine has {}",
@@ -508,7 +539,7 @@ impl Machine {
         let mut tm = TxnManager::new(n, cfg.line_size);
         tm.set_value_conflicts(cfg.ideal.zero_tm_conflicts);
         Ok(Machine {
-            program: Arc::new(program),
+            program,
             offsets,
             cores,
             memsys: MemSys::new(cfg),
@@ -548,6 +579,107 @@ impl Machine {
         })
     }
 
+    /// Return the machine to the state [`Machine::new_shared`] would
+    /// build for (`program`, `cfg`), reusing the core, cache, network,
+    /// and TM allocations instead of rebuilding them. This is the machine
+    /// pool's hot path: a reset-then-run is architecturally identical to
+    /// a fresh-boot-then-run (field-by-field, pinned by the serve
+    /// equivalence tests), only cheaper.
+    ///
+    /// Validation is skipped when the image is the *same allocation*
+    /// (`Arc::ptr_eq`) under an equal config — it already passed when the
+    /// machine was first booted; any new image or changed config is
+    /// re-validated exactly as `new` does.
+    ///
+    /// # Errors
+    /// See [`Machine::new`].
+    pub fn reset(
+        &mut self,
+        program: Arc<MachineProgram>,
+        cfg: &MachineConfig,
+    ) -> Result<(), SimError> {
+        if program.cores.len() != cfg.cores {
+            return Err(SimError::Malformed(format!(
+                "program compiled for {} cores, machine has {}",
+                program.cores.len(),
+                cfg.cores
+            )));
+        }
+        let same_program = Arc::ptr_eq(&self.program, &program);
+        if !same_program || self.cfg != *cfg {
+            program.check().map_err(SimError::Malformed)?;
+            program.validate(cfg)?;
+            cfg.watchdogs.validate().map_err(SimError::Malformed)?;
+        }
+        self.memory = Memory::from_data(&program.data);
+        if !same_program {
+            self.offsets.clear();
+            self.offsets
+                .extend(program.cores.iter().map(|c| c.block_offsets()));
+        }
+        let n = cfg.cores;
+        self.cores.truncate(n);
+        for (i, image) in program.cores.iter().enumerate() {
+            match self.cores.get_mut(i) {
+                Some(c) => c.reset(image.reg_counts()),
+                None => self.cores.push(Core::new(image.reg_counts())),
+            }
+        }
+        self.cores[0].state = CoreState::Running;
+        let region_slots = program.cores[0]
+            .blocks
+            .iter()
+            .map(|b| b.region)
+            .filter(|&r| r != REGION_OUTSIDE)
+            .max()
+            .map_or(0, |r| r as usize + 1)
+            + 1;
+        self.memsys.reset(cfg);
+        self.net.reset(cfg);
+        self.tm.reset(n, cfg.line_size);
+        self.tm.set_value_conflicts(cfg.ideal.zero_tm_conflicts);
+        self.mode = ExecMode::Decoupled;
+        self.cycle = 0;
+        self.last_progress = 0;
+        self.last_arch_change = 0;
+        self.core_stats.clear();
+        self.core_stats.resize(n, CoreStats::default());
+        self.region_table.clear();
+        self.region_table
+            .resize(region_slots, RegionBreakdown::default());
+        self.group_stall = None;
+        self.coupled_cycles = 0;
+        self.decoupled_cycles = 0;
+        self.spawns = 0;
+        self.mode_switches = 0;
+        self.dynamic_insts = 0;
+        self.tracer = None;
+        self.decisions.clear();
+        self.ticked = 0;
+        self.ff_eligible = false;
+        self.probes = cfg
+            .probe_period
+            .filter(|&p| p > 0)
+            .map(|p| ProbeSeries::new(p, n));
+        self.obs_stall.clear();
+        self.obs_stall.resize(n, None);
+        self.obs_region = None;
+        self.fault_tm = cfg.faults.as_ref().map(|p| p.injector(FaultSite::TmAbort));
+        self.fault_fetch = cfg.faults.as_ref().map(|p| p.injector(FaultSite::Fetch));
+        self.fetch_block.clear();
+        self.fetch_block.resize(n, 0);
+        self.tm_streak.clear();
+        self.tm_streak.resize(n, 0);
+        self.txn_irrevocable.clear();
+        self.txn_irrevocable.resize(n, false);
+        self.tm_begin_cycle.clear();
+        self.tm_begin_cycle.resize(n, 0);
+        self.tm_wasted = 0;
+        self.program = program;
+        self.cfg = cfg.clone();
+        Ok(())
+    }
+
     /// Install an execution tracer (see [`crate::trace`]).
     pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
         self.tracer = Some(t);
@@ -573,6 +705,18 @@ impl Machine {
     /// # Errors
     /// See [`SimError`].
     pub fn run(mut self) -> Result<RunOutcome, SimError> {
+        self.run_mut()
+    }
+
+    /// Run to completion in place, leaving the machine's allocations
+    /// behind for [`Machine::reset`] to reuse. The outcome's owned fields
+    /// (memory, per-core stats, probes) are moved out, so a finished
+    /// machine is architecturally empty until reset; everything else
+    /// (cores, caches, network, TM, region table) keeps its capacity.
+    ///
+    /// # Errors
+    /// See [`SimError`].
+    pub fn run_mut(&mut self) -> Result<RunOutcome, SimError> {
         while self.cores[0].state != CoreState::Halted {
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::MaxCycles(self.cfg.max_cycles));
@@ -655,7 +799,7 @@ impl Machine {
             decoupled_cycles: self.decoupled_cycles,
             region_cycles,
             regions,
-            cores: self.core_stats,
+            cores: std::mem::take(&mut self.core_stats),
             mem: self.memsys.stats(),
             net: self.net.stats(),
             tm: tm_stats,
@@ -665,13 +809,17 @@ impl Machine {
             faults,
         };
         let trace = self.tracer.as_ref().map(|t| t.render()).unwrap_or_default();
+        let memory = std::mem::replace(
+            &mut self.memory,
+            Memory::from_data(&voltron_ir::DataSegment::default()),
+        );
         Ok(RunOutcome {
-            memory: self.memory,
+            memory,
             stats,
             stragglers,
             trace,
             ticked_cycles: self.ticked,
-            probes: self.probes,
+            probes: self.probes.take(),
         })
     }
 

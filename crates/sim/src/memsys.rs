@@ -352,6 +352,78 @@ impl MemSys {
         }
     }
 
+    /// Return the hierarchy to its just-constructed state for `cfg`,
+    /// reusing the tag-cache, bank, and store-buffer allocations when the
+    /// geometry (core count, bank count, cache shapes) is unchanged.
+    /// Behaviourally equivalent to `*self = MemSys::new(cfg)` — the
+    /// machine pool's reset-equals-fresh tests pin this.
+    pub fn reset(&mut self, cfg: &MachineConfig) {
+        let same_geometry = self.cfg.cores == cfg.cores
+            && self.cfg.coherence.bank_count() == cfg.coherence.bank_count()
+            && (
+                self.cfg.l1d_size,
+                self.cfg.l1d_assoc,
+                self.cfg.l1i_size,
+                self.cfg.l1i_assoc,
+                self.cfg.l2_size,
+                self.cfg.l2_assoc,
+                self.cfg.line_size,
+            ) == (
+                cfg.l1d_size,
+                cfg.l1d_assoc,
+                cfg.l1i_size,
+                cfg.l1i_assoc,
+                cfg.l2_size,
+                cfg.l2_assoc,
+                cfg.line_size,
+            );
+        if !same_geometry {
+            *self = MemSys::new(cfg);
+            return;
+        }
+        let n_banks = cfg.coherence.bank_count();
+        for c in self.l1d.iter_mut().chain(&mut self.l1i) {
+            c.reset();
+        }
+        self.l2.reset();
+        for b in &mut self.banks {
+            b.queue.clear();
+            b.current = None;
+            b.extra.clear();
+            b.busy = 0;
+        }
+        self.dir_penalty = match cfg.coherence {
+            CoherenceBackend::Snooping => 0,
+            CoherenceBackend::Directory { .. } => cfg.dir_latency,
+        };
+        for q in &mut self.store_bufs {
+            q.clear();
+        }
+        self.sb_waiting.iter_mut().for_each(|w| *w = false);
+        self.ifill_pending.iter_mut().for_each(|p| *p = None);
+        self.stats_bus = 0;
+        self.stats_busy = 0;
+        self.stats_c2c = 0;
+        self.stats_mem = 0;
+        self.grants.clear();
+        // Fault state is rebuilt rather than cleared: the plan is
+        // per-request and cheap next to a run.
+        self.faults = cfg.faults.as_ref().map(|plan| {
+            Box::new(MemFaults {
+                grant_loss: plan.injector(FaultSite::GrantLoss),
+                stall: plan.injector(FaultSite::BankStall),
+                budget: cfg.watchdogs.fault_retry_budget,
+                backoff_base: cfg.watchdogs.fault_backoff_base,
+                failure: None,
+                lost: vec![0; n_banks],
+                blocked_until: vec![0; n_banks],
+                log_enabled: false,
+                events: Vec::new(),
+            })
+        });
+        self.cfg = cfg.clone();
+    }
+
     /// Home bank of a line: address-interleaved at line granularity.
     fn bank_of(&self, line: u64) -> usize {
         if self.banks.len() == 1 {

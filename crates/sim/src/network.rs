@@ -721,6 +721,64 @@ impl OperandNetwork {
         self.stats
     }
 
+    /// Return the network to its just-constructed state for `cfg`,
+    /// reusing the queue, CAM, and latch allocations when the core count
+    /// is unchanged. Behaviourally equivalent to
+    /// `*self = OperandNetwork::new(cfg)` (the machine pool's
+    /// reset-equals-fresh tests pin this), but steady-state reuse keeps
+    /// every per-stream FIFO's capacity.
+    pub fn reset(&mut self, cfg: &MachineConfig) {
+        if cfg.cores != self.cfg.cores {
+            *self = OperandNetwork::new(cfg);
+            return;
+        }
+        let n = cfg.cores;
+        self.width = cfg.mesh_width();
+        for core in 0..n {
+            for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+                self.neighbor[core * LINKS + dir_index(d)] = cfg.neighbor(core, d);
+            }
+        }
+        for q in &mut self.send_q {
+            q.clear();
+        }
+        for side in &mut self.recv {
+            for streams in &mut side.data {
+                for q in streams.values_mut() {
+                    q.clear();
+                }
+            }
+            for q in &mut side.spawns {
+                q.clear();
+            }
+            side.spawn_senders.clear();
+            side.buffered = 0;
+        }
+        // Fault state is rebuilt rather than cleared: the plan (seeds,
+        // rates, sites) is per-request and cheap next to a run.
+        self.faults = cfg.faults.as_ref().map(|plan| {
+            Box::new(NetFaults {
+                drop: plan.injector(FaultSite::NetDrop),
+                delay: plan.injector(FaultSite::NetDelay),
+                dup: plan.injector(FaultSite::NetDuplicate),
+                budget: cfg.watchdogs.fault_retry_budget,
+                backoff_base: cfg.watchdogs.fault_backoff_base,
+                failure: None,
+                tx_seq: (0..n).map(|_| HashMap::new()).collect(),
+                rx_seq: (0..n).map(|_| vec![HashMap::new(); n]).collect(),
+                log_enabled: false,
+                events: Vec::new(),
+            })
+        });
+        self.deliver_seq = 0;
+        self.link_free.iter_mut().for_each(|c| *c = 0);
+        self.direct.iter_mut().for_each(|l| *l = None);
+        self.bcast.iter_mut().for_each(|l| *l = None);
+        self.bcast_occupied = 0;
+        self.cfg = cfg.clone();
+        self.stats = NetStats::default();
+    }
+
     // ---- fault injection ----
 
     /// Enable the fault/recovery event log (only useful with a tracer

@@ -285,6 +285,30 @@ impl TxnManager {
         self.stats
     }
 
+    /// Return the manager to its just-constructed state for `cores` cores
+    /// and `line_size` granularity, retiring any live transactions into
+    /// the pool so their hash containers keep their capacity. Equivalent
+    /// to `*self = TxnManager::new(cores, line_size)` except for the
+    /// recycled allocations; callers re-apply
+    /// [`TxnManager::set_value_conflicts`] afterwards, exactly as after
+    /// `new`.
+    ///
+    /// # Panics
+    /// Panics unless `line_size` is a power of two.
+    pub fn reset(&mut self, cores: usize, line_size: u64) {
+        assert!(line_size.is_power_of_two());
+        self.line_mask = !(line_size - 1);
+        for slot in &mut self.txns {
+            if let Some(txn) = slot.take() {
+                self.pool.push(retire(txn));
+            }
+        }
+        self.txns.resize(cores, None);
+        self.expected = 0;
+        self.value_conflicts = false;
+        self.stats = TmStats::default();
+    }
+
     /// Earliest future cycle at which the TM's state can change on its
     /// own, for the machine's fast-forward engine: always `None`.
     ///

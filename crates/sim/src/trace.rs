@@ -174,8 +174,10 @@ pub enum TraceEvent<'a> {
     },
 }
 
-/// Receiver of trace events.
-pub trait Tracer {
+/// Receiver of trace events. `Send` so a machine carrying a tracer can
+/// live in the serve daemon's cross-thread machine pool (both provided
+/// tracers are plain data).
+pub trait Tracer: Send {
     /// Called for every event, in cycle order.
     fn event(&mut self, e: TraceEvent<'_>);
 

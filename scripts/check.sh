@@ -76,6 +76,58 @@ if cargo run --release -q -p voltron-bench --bin bench_diff -- \
     exit 1
 fi
 
+echo "== serve smoke: stdin burst, result cache, one-shot fingerprint equality"
+# The daemon must produce byte-identical architectural numbers to the
+# one-shot path (same BENCH_bench_one.json the bench_diff gate just
+# regenerated), absorb an identical repeat from its result cache, and
+# survive faulted and what-if requests on the same connection
+# (DESIGN.md §12).
+printf '%s\n' \
+    '{"id":1,"workload":"164.gzip","strategy":"hybrid","cores":4}' \
+    '{"id":2,"workload":"164.gzip","strategy":"hybrid","cores":4}' \
+    '{"id":3,"workload":"164.gzip","strategy":"hybrid","cores":4,"faults":"seed=7,rate=0.002"}' \
+    '{"id":4,"workload":"164.gzip","strategy":"hybrid","cores":4,"whatif":true}' \
+    | cargo run --release -q -p voltron-bench --bin serve -- --stdin \
+    > target/smoke/serve.ndjson
+if grep -q '"ok":0' target/smoke/serve.ndjson; then
+    echo "serve smoke returned an error row:" >&2
+    cat target/smoke/serve.ndjson >&2
+    exit 1
+fi
+test "$(wc -l < target/smoke/serve.ndjson)" -eq 4 || {
+    echo "serve smoke expected 4 response rows" >&2
+    exit 1
+}
+grep '"id":2,' target/smoke/serve.ndjson | grep -q '"result":"hit"' || {
+    echo "repeat request was not served from the result cache" >&2
+    exit 1
+}
+served=$(grep '"id":1,' target/smoke/serve.ndjson \
+    | sed -n 's/.*"cycles":\([0-9][0-9]*\).*/\1/p')
+oneshot=$(sed -n \
+    's/.*"strategy":"hybrid","cores":4,"backend":"snooping","cycles":\([0-9][0-9]*\).*/\1/p' \
+    BENCH_bench_one.json)
+if [ -z "$served" ] || [ "$served" != "$oneshot" ]; then
+    echo "served cycles (${served:-none}) != one-shot cycles (${oneshot:-none})" >&2
+    exit 1
+fi
+
+echo "== serve_bench: saturation throughput, warm cache, served golden matrix"
+# The standing heavy-traffic benchmark: enforces >= 2x saturation
+# throughput vs amortized one-shot runs and >= 5x warm-over-cold repeat
+# latency, re-checks the served golden matrix against the direct path,
+# and appends a git-rev-stamped row to BENCH_history.ndjson so
+# bench_diff guards serving throughput too.
+cargo run --release -q -p voltron-bench --bin serve_bench > /dev/null
+grep -q '"golden_match":1' BENCH_serve.json || {
+    echo "serve_bench golden matrix diverged from the direct path" >&2
+    exit 1
+}
+grep -q '"failures":0' BENCH_serve.json || {
+    echo "serve_bench recorded request failures" >&2
+    exit 1
+}
+
 echo "== chaos smoke: fixed-seed fault plan + retries, no hard failures"
 # The whole figure path under fire (DESIGN.md §10): a seeded fault plan
 # across every site, failed workloads retried under reseeded plans. Any
